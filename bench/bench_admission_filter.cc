@@ -1,0 +1,88 @@
+// §6.1.5: application-informed admission filter — uniform R/W workload on
+// the LSM store with background compaction, with and without the filter
+// that rejects page-cache admissions from the compaction thread.
+//
+// Paper shape: P99 improves 17% (2.61ms -> 2.16ms), throughput unchanged.
+// At our scale the DB is small enough that compaction I/O overlaps the
+// foreground working set, so the P99 gain largely evaporates (see
+// EXPERIMENTS.md); the bench demonstrates the mechanism (compaction reads
+// serviced like direct I/O) and the unchanged throughput.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace cache_ext::bench {
+namespace {
+
+struct FilterArm {
+  harness::RunResult run;
+  uint64_t direct_reads = 0;
+  uint64_t compactions = 0;
+};
+
+FilterArm RunArm(bool with_filter) {
+  harness::EnvOptions env_options;
+  env_options.ssd = YcsbBenchConfig::ContendedSsd();
+  harness::Env env(env_options);
+  MemCgroup* cg = env.CreateCgroup("/af", 4200 * 1024);
+  lsm::DbOptions db_options;
+  db_options.memtable_bytes = 256 * 1024;  // frequent flush/compaction
+  db_options.level_base_bytes = 1 << 20;
+  db_options.num_levels = 3;  // compactions reach the big cold level
+  auto db = env.CreateLoadedDb(cg, "db", 20000, 1024, db_options);
+  CHECK(db.ok());
+  if (with_filter) {
+    policies::PolicyParams params;
+    params.filter_tids = {(*db)->compaction_tid()};
+    auto agent = env.AttachPolicy(cg, "admission_filter", params);
+    CHECK(agent.ok());
+  }
+  workloads::YcsbConfig config;
+  config.workload = workloads::YcsbWorkload::kUniformRW;
+  config.record_count = 20000;
+  config.value_size = 1024;
+  workloads::YcsbGenerator gen(config);
+  std::vector<harness::LaneSpec> lanes;
+  for (int i = 0; i < 8; ++i) {
+    lanes.push_back(harness::LaneSpec{&gen, TaskContext{100, 100 + i}, 5000});
+  }
+  harness::KvRunnerOptions options;
+  options.base_time_ns = env.ssd().FrontierNs();
+  auto result = harness::RunKvWorkload(db->get(), cg, lanes, options);
+  CHECK(result.ok());
+  FilterArm arm;
+  arm.run = *result;
+  arm.direct_reads = env.cache().StatsFor(cg).direct_reads;
+  arm.compactions = (*db)->compactions_run();
+  return arm;
+}
+
+void RunAdmissionFilter() {
+  std::printf("§6.1.5: admission filter for compaction threads, uniform "
+              "R/W\n(paper: P99 -17%%, throughput unchanged)\n");
+  harness::Table table("Admission filter — uniform R/W with compaction",
+                       {"configuration", "throughput", "P99", "hit rate",
+                        "compactions", "filtered pages"});
+  const FilterArm baseline = RunArm(false);
+  const FilterArm filtered = RunArm(true);
+  table.AddRow({"default", harness::FormatOps(baseline.run.throughput_ops),
+                harness::FormatNs(baseline.run.p99_ns),
+                harness::FormatPercent(baseline.run.hit_rate),
+                std::to_string(baseline.compactions), "0"});
+  table.AddRow({"admission filter",
+                harness::FormatOps(filtered.run.throughput_ops),
+                harness::FormatNs(filtered.run.p99_ns),
+                harness::FormatPercent(filtered.run.hit_rate),
+                std::to_string(filtered.compactions),
+                std::to_string(filtered.direct_reads)});
+  table.Print();
+}
+
+}  // namespace
+}  // namespace cache_ext::bench
+
+int main() {
+  cache_ext::bench::RunAdmissionFilter();
+  return 0;
+}

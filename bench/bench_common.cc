@@ -1,0 +1,63 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cache_ext::bench {
+
+ArmResult RunYcsbArm(std::string_view policy,
+                     workloads::YcsbWorkload workload,
+                     const YcsbBenchConfig& config) {
+  harness::EnvOptions env_options;
+  env_options.ssd = config.ssd;
+  harness::Env env(env_options);
+  MemCgroup* cg = env.CreateCgroup("/bench", config.cgroup_bytes,
+                                   harness::BaseKindFor(policy));
+  auto db = env.CreateLoadedDb(cg, "bench_db", config.record_count,
+                               config.value_size);
+  if (!db.ok()) {
+    std::fprintf(stderr, "bench: db load failed: %s\n",
+                 db.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto agent = env.AttachPolicy(cg, policy, {});
+  if (!agent.ok()) {
+    std::fprintf(stderr, "bench: attach %s failed: %s\n",
+                 std::string(policy).c_str(),
+                 agent.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  workloads::YcsbConfig ycsb;
+  ycsb.workload = workload;
+  ycsb.record_count = config.record_count;
+  ycsb.value_size = config.value_size;
+  workloads::YcsbGenerator gen(ycsb);
+
+  std::vector<harness::LaneSpec> lanes;
+  for (int i = 0; i < config.lanes; ++i) {
+    lanes.push_back(harness::LaneSpec{&gen, TaskContext{100, 100 + i},
+                                      config.ops_per_lane});
+  }
+  harness::KvRunnerOptions options;
+  options.agent = *agent;
+  options.base_time_ns = env.ssd().FrontierNs();
+
+  const uint64_t reads_before = env.ssd().total_read_bytes();
+  const uint64_t writes_before = env.ssd().total_write_bytes();
+  auto result = harness::RunKvWorkload(db->get(), cg, lanes, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench: run failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  ArmResult arm;
+  arm.run = *result;
+  arm.disk_read_bytes = env.ssd().total_read_bytes() - reads_before;
+  arm.disk_write_bytes = env.ssd().total_write_bytes() - writes_before;
+  arm.cache_stats = env.cache().StatsFor(cg);
+  return arm;
+}
+
+}  // namespace cache_ext::bench

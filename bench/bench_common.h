@@ -1,0 +1,71 @@
+// Shared configuration and helpers for the paper-reproduction benches.
+//
+// Every bench regenerates one table or figure from §6 of the paper at a
+// scaled-down size (see DESIGN.md: ratios — DB:cgroup, corpus:cgroup — match
+// the paper; absolute sizes are ~1/4000th). Numbers are printed in the same
+// units and layout as the paper's tables/figures.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/harness/env.h"
+#include "src/harness/reporter.h"
+#include "src/harness/runner.h"
+#include "src/workloads/kv_workload.h"
+
+namespace cache_ext::bench {
+
+// Scaled YCSB setup: the paper uses a 100 GiB database with a 10 GiB cgroup
+// (10:1); we keep the ratio. Values are ~half a page so page popularity
+// tracks key popularity (the paper's 100M-key/1KB-value regime).
+struct YcsbBenchConfig {
+  uint64_t record_count = 20000;
+  uint32_t value_size = 2048;             // ~42 MiB of data
+  uint64_t cgroup_bytes = 4200 * 1024;    // 10:1
+  uint64_t ops_per_lane = 5000;
+  int lanes = 8;
+  // Device sized so that miss traffic contends (the paper's single SSD
+  // under 16 client threads): policies with better hit rates see shorter
+  // queues, which is where the P99 differences come from.
+  SsdModelOptions ssd = ContendedSsd();
+
+  static SsdModelOptions ContendedSsd() {
+    SsdModelOptions ssd;
+    ssd.channels = 4;
+    ssd.read_latency_ns = 90 * 1000;
+    ssd.write_latency_ns = 40 * 1000;
+    ssd.bytes_per_us = 400;
+    return ssd;
+  }
+};
+
+struct ArmResult {
+  harness::RunResult run;
+  uint64_t disk_read_bytes = 0;
+  uint64_t disk_write_bytes = 0;
+  CgroupCacheStats cache_stats;
+};
+
+// Runs one policy arm of a KV workload in a fresh environment (the paper
+// drops caches and restarts between arms).
+ArmResult RunYcsbArm(std::string_view policy,
+                     workloads::YcsbWorkload workload,
+                     const YcsbBenchConfig& config = {});
+
+// The policy sets used across figures.
+inline std::vector<std::string_view> Fig6Policies() {
+  return {"default", "mglru", "fifo", "mru", "lfu", "s3fifo", "lhd"};
+}
+
+inline std::vector<std::string_view> Fig8Policies() {
+  return {"default", "mglru", "lfu", "lhd", "s3fifo"};
+}
+
+}  // namespace cache_ext::bench
+
+#endif  // BENCH_BENCH_COMMON_H_

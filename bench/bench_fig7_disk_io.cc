@@ -1,0 +1,43 @@
+// Figure 7: YCSB throughput vs total disk I/O per policy.
+//
+// Paper shape: an inverse relationship — policies that cache well (LFU,
+// LHD) do less disk I/O and achieve higher throughput; FIFO and MRU sit at
+// the high-I/O/low-throughput end. Shown for YCSB A and YCSB C.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace cache_ext::bench {
+namespace {
+
+void RunFig7() {
+  std::printf("Figure 7: throughput vs total disk I/O (inverse relation)\n");
+  for (const auto workload :
+       {workloads::YcsbWorkload::kA, workloads::YcsbWorkload::kC}) {
+    harness::Table table(
+        std::string("Fig. 7 — ") +
+            std::string(workloads::YcsbWorkloadName(workload)),
+        {"policy", "throughput", "disk reads", "disk writes", "total I/O"});
+    for (const auto policy : Fig6Policies()) {
+      YcsbBenchConfig config;
+      config.ops_per_lane = 6000;  // fixed op count so I/O is comparable
+      const ArmResult arm = RunYcsbArm(policy, workload, config);
+      table.AddRow({std::string(policy),
+                    harness::FormatOps(arm.run.throughput_ops),
+                    harness::FormatBytes(arm.disk_read_bytes),
+                    harness::FormatBytes(arm.disk_write_bytes),
+                    harness::FormatBytes(arm.disk_read_bytes +
+                                         arm.disk_write_bytes)});
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace cache_ext::bench
+
+int main() {
+  cache_ext::bench::RunFig7();
+  return 0;
+}

@@ -1,0 +1,215 @@
+// Microbenchmarks (google-benchmark) for the framework's hot-path
+// primitives, supporting §6.3's overhead analysis and calibrating the
+// CpuCostModel defaults in src/sim/cpu_cost.h:
+//  - valid-folio registry insert/contains/remove (§4.4);
+//  - eviction-list kfuncs: add/move/iterate (§4.2.2);
+//  - bpf map update/lookup, LRU-hash update, ring buffer output (§4.1);
+//  - xarray load/store (page-cache index);
+//  - the end-to-end cached-read path with and without a no-op policy.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/bpf/lru_hash_map.h"
+#include "src/bpf/map.h"
+#include "src/bpf/ringbuf.h"
+#include "src/cache_ext/eviction_list.h"
+#include "src/cache_ext/registry.h"
+#include "src/harness/env.h"
+#include "src/mm/xarray.h"
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+
+namespace cache_ext {
+namespace {
+
+// --- Registry (per-event overhead: one insert + one remove per residency,
+// one contains per eviction candidate) ---------------------------------------
+
+void BM_RegistryInsertRemove(benchmark::State& state) {
+  FolioRegistry registry(1 << 16);
+  Folio folio;
+  for (auto _ : state) {
+    registry.Insert(&folio);
+    registry.Remove(&folio);
+  }
+}
+BENCHMARK(BM_RegistryInsertRemove);
+
+void BM_RegistryContains(benchmark::State& state) {
+  FolioRegistry registry(1 << 16);
+  std::vector<std::unique_ptr<Folio>> folios;
+  for (int i = 0; i < 4096; ++i) {
+    folios.push_back(std::make_unique<Folio>());
+    registry.Insert(folios.back().get());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        registry.Contains(folios[i++ % folios.size()].get()));
+  }
+}
+BENCHMARK(BM_RegistryContains);
+
+// --- Eviction-list kfuncs ----------------------------------------------------
+
+void BM_ListAddDel(benchmark::State& state) {
+  FolioRegistry registry(1 << 16);
+  CacheExtApi api(&registry);
+  const uint64_t list = *api.ListCreate();
+  Folio folio;
+  registry.Insert(&folio);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(api.ListAdd(list, &folio, true).ok());
+    benchmark::DoNotOptimize(api.ListDel(&folio).ok());
+  }
+}
+BENCHMARK(BM_ListAddDel);
+
+void BM_ListMoveToHead(benchmark::State& state) {
+  FolioRegistry registry(1 << 16);
+  CacheExtApi api(&registry);
+  const uint64_t list = *api.ListCreate();
+  std::vector<std::unique_ptr<Folio>> folios;
+  for (int i = 0; i < 1024; ++i) {
+    folios.push_back(std::make_unique<Folio>());
+    registry.Insert(folios.back().get());
+    (void)api.ListAdd(list, folios.back().get(), true);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        api.ListMove(list, folios[i++ % folios.size()].get(), false).ok());
+  }
+}
+BENCHMARK(BM_ListMoveToHead);
+
+void BM_ListIterateScore512(benchmark::State& state) {
+  FolioRegistry registry(1 << 16);
+  CacheExtApi api(&registry);
+  const uint64_t list = *api.ListCreate();
+  std::vector<std::unique_ptr<Folio>> folios;
+  for (int i = 0; i < 1024; ++i) {
+    folios.push_back(std::make_unique<Folio>());
+    registry.Insert(folios.back().get());
+    (void)api.ListAdd(list, folios.back().get(), true);
+  }
+  for (auto _ : state) {
+    EvictionCtx ctx;
+    ctx.nr_candidates_requested = 32;
+    IterOpts opts;
+    opts.nr_scan = 512;
+    opts.on_skip = IterPlacement::kMoveToTail;
+    opts.on_evict = IterPlacement::kMoveToTail;
+    benchmark::DoNotOptimize(
+        api.ListIterateScore(list, opts, &ctx, [](Folio* folio) {
+             return static_cast<int64_t>(folio->index);
+           })
+            .ok());
+  }
+}
+BENCHMARK(BM_ListIterateScore512);
+
+// --- bpf primitives ------------------------------------------------------------
+
+void BM_BpfHashMapUpdateLookup(benchmark::State& state) {
+  bpf::HashMap<uint64_t, uint64_t> map(1 << 16);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    map.Update(key & 0xFFF, key);
+    benchmark::DoNotOptimize(map.Lookup(key & 0xFFF));
+    ++key;
+  }
+}
+BENCHMARK(BM_BpfHashMapUpdateLookup);
+
+void BM_BpfLruHashUpdate(benchmark::State& state) {
+  bpf::LruHashMap<uint64_t, uint64_t> map(4096);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    map.Update(key++, 1);  // wraps: constant eviction pressure
+  }
+}
+BENCHMARK(BM_BpfLruHashUpdate);
+
+void BM_RingBufOutput(benchmark::State& state) {
+  bpf::RingBuf ringbuf(1 << 20);
+  uint64_t value = 0;
+  uint64_t produced = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ringbuf.OutputValue(value++));
+    if (++produced % 4096 == 0) {
+      ringbuf.Consume([](std::span<const uint8_t>) {});
+    }
+  }
+}
+BENCHMARK(BM_RingBufOutput);
+
+// --- xarray ---------------------------------------------------------------------
+
+void BM_XArrayStoreLoad(benchmark::State& state) {
+  XArray xa;
+  Rng rng(7);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const uint64_t index = (i++ * 2654435761u) % (1 << 20);
+    xa.Store(index, XEntry::FromValue(i));
+    benchmark::DoNotOptimize(xa.Load(index));
+  }
+}
+BENCHMARK(BM_XArrayStoreLoad);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram histogram;
+  uint64_t v = 1;
+  for (auto _ : state) {
+    histogram.Record(v = v * 1664525 + 1013904223);
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+// --- end-to-end cached read path -------------------------------------------------
+
+void CachedReadPath(benchmark::State& state, bool with_noop) {
+  harness::Env env;
+  MemCgroup* cg = env.CreateCgroup("/micro", 4096 * kPageSize);
+  if (with_noop) {
+    auto agent = env.AttachPolicy(cg, "noop", {});
+    CHECK(agent.ok());
+  }
+  auto as = env.cache().OpenFile("/micro_file");
+  CHECK(as.ok());
+  CHECK(env.disk().Truncate((*as)->file(), 2048 * kPageSize).ok());
+  Lane lane(0, TaskContext{1, 1}, 3);
+  std::vector<uint8_t> buf(kPageSize);
+  // Populate.
+  for (uint64_t i = 0; i < 2048; ++i) {
+    CHECK(env.cache()
+              .Read(lane, *as, cg, i * kPageSize, std::span<uint8_t>(buf))
+              .ok());
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    CHECK(env.cache()
+              .Read(lane, *as, cg, rng.NextU64Below(2048) * kPageSize,
+                    std::span<uint8_t>(buf))
+              .ok());
+  }
+}
+
+void BM_CachedReadDefault(benchmark::State& state) {
+  CachedReadPath(state, false);
+}
+BENCHMARK(BM_CachedReadDefault);
+
+void BM_CachedReadNoopPolicy(benchmark::State& state) {
+  CachedReadPath(state, true);
+}
+BENCHMARK(BM_CachedReadNoopPolicy);
+
+}  // namespace
+}  // namespace cache_ext
+
+BENCHMARK_MAIN();

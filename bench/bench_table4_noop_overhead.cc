@@ -1,0 +1,113 @@
+// Table 4: baseline CPU overhead of the cache_ext framework — fio-style
+// randread with a NO-OP cache_ext policy vs the default Linux policy.
+//
+// Unlike the macro benches (virtual time), this is a real CPU
+// microbenchmark: we measure actual wall-clock CPU per page-cache read op
+// with and without the no-op policy attached. The no-op policy maintains
+// all cache_ext data structures (registry inserts/removals, hook dispatch,
+// program invocation) but defers every decision to the default policy,
+// isolating framework overhead exactly as §6.3.2 does.
+//
+// Paper rows (µCPU per I/O): 5 GiB 234.80 -> 236.51 (+0.72%), 10 GiB
+// 217.48 -> 221.14 (+1.66%), 30 GiB 197.67 -> 198.01 (+0.17%).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/fio.h"
+
+namespace cache_ext::bench {
+namespace {
+
+// One row: randread over a file 3x the cgroup size, 8 lanes, measuring real
+// ns of CPU per operation. Median of three trials (wall-clock measurements
+// share the machine with whatever else runs).
+double MeasureOnce(uint64_t cgroup_pages, bool with_noop) {
+  harness::Env env;
+  MemCgroup* cg = env.CreateCgroup("/fio", cgroup_pages * kPageSize);
+  if (with_noop) {
+    auto agent = env.AttachPolicy(cg, "noop", {});
+    CHECK(agent.ok());
+  }
+  workloads::FioConfig fio_config;
+  fio_config.file_pages = cgroup_pages * 3;
+  auto fio = workloads::FioRandRead::Create(&env.cache(), fio_config);
+  CHECK(fio.ok());
+
+  constexpr int kLanes = 8;
+  std::vector<Lane> lanes;
+  for (int i = 0; i < kLanes; ++i) {
+    lanes.emplace_back(static_cast<uint32_t>(i), TaskContext{50, 50 + i},
+                       0xF10 + static_cast<uint64_t>(i));
+  }
+
+  // Warm up: populate the cache to steady state.
+  const uint64_t warmup_ops = cgroup_pages * 2;
+  for (uint64_t i = 0; i < warmup_ops; ++i) {
+    CHECK(fio->Step(lanes[i % kLanes], cg).ok());
+  }
+
+  const uint64_t measure_ops = 200000;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < measure_ops; ++i) {
+    CHECK(fio->Step(lanes[i % kLanes], cg).ok());
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                 .count()) /
+         static_cast<double>(measure_ops);
+}
+
+double MeasureNsPerOp(uint64_t cgroup_pages, bool with_noop) {
+  double trials[3];
+  for (double& trial : trials) {
+    trial = MeasureOnce(cgroup_pages, with_noop);
+  }
+  std::sort(trials, trials + 3);
+  return trials[1];
+}
+
+void RunTable4() {
+  std::printf("Table 4: no-op cache_ext CPU overhead, fio-style randread\n");
+  std::printf("(REAL wall-clock CPU per op; paper reports 0.17%%-1.66%%)\n");
+  harness::Table table("Table 4 — CPU per I/O operation",
+                       {"cgroup size", "default", "cache_ext no-op",
+                        "added", "vs sim path", "vs kernel path"});
+  // Paper: 5/10/30 GiB cgroups; scaled by the same 1/320 factor as the
+  // other benches: 16 MiB / 32 MiB / 96 MiB.
+  const struct {
+    const char* label;
+    uint64_t pages;
+  } rows[] = {{"16 MiB (5 GiB / 320)", 4096},
+              {"32 MiB (10 GiB / 320)", 8192},
+              {"96 MiB (30 GiB / 320)", 24576}};
+  // Our simulated read hot path costs well under 1 us of real CPU; the
+  // kernel's buffered-read path (syscall, VFS, filemap, locking, copyout)
+  // costs an order of magnitude more, which is the denominator the paper's
+  // 0.17-1.66% rows are measured against. We report the absolute added
+  // cost and both relative views.
+  constexpr double kKernelReadPathNs = 10000.0;
+  for (const auto& row : rows) {
+    const double base = MeasureNsPerOp(row.pages, false);
+    const double noop = MeasureNsPerOp(row.pages, true);
+    const double added = noop - base;
+    table.AddRow({row.label, harness::FormatDouble(base, 1) + " ns/op",
+                  harness::FormatDouble(noop, 1) + " ns/op",
+                  harness::FormatDouble(added, 1) + " ns",
+                  harness::FormatDouble(added / base * 100, 2) + "%",
+                  harness::FormatDouble(added / kKernelReadPathNs * 100, 2) +
+                      "%"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace cache_ext::bench
+
+int main() {
+  cache_ext::bench::RunTable4();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Writing your own eviction policy against the cache_ext API.
+//
+// This example implements SIEVE (Zhang et al., NSDI'24 — cited by the paper
+// as recent eviction research) from scratch using only the public policy
+// interface: the Ops struct (Fig. 3), one eviction list, and one bpf map.
+// It then verifies the policy behaves sanely and compares it against the
+// kernel default on a Zipfian workload.
+//
+// SIEVE in a nutshell: one FIFO queue plus a "visited" bit per object. On a
+// hit, set the bit. On eviction, walk from the oldest end: visited objects
+// get their bit cleared and survive in place; the first unvisited object is
+// evicted. (SIEVE does not move survivors to the head — that is what makes
+// it simpler than LRU/CLOCK and surprisingly effective.)
+
+#include <cstdio>
+#include <memory>
+
+#include "src/bpf/map.h"
+#include "src/cache_ext/eviction_list.h"
+#include "src/cache_ext/loader.h"
+#include "src/harness/env.h"
+#include "src/harness/reporter.h"
+#include "src/harness/runner.h"
+#include "src/workloads/kv_workload.h"
+
+namespace {
+
+using namespace cache_ext;  // example code: keep the tutorial readable
+
+// All policy state lives in one struct captured by the programs — exactly
+// how an eBPF policy keeps its state in maps and globals.
+struct SieveState {
+  explicit SieveState(uint32_t max_folios) : visited(max_folios) {}
+  uint64_t queue = 0;                       // the single FIFO list
+  bpf::HashMap<const Folio*, uint8_t> visited;  // the "visited" bits
+};
+
+Ops MakeSieveOps(uint64_t capacity_pages) {
+  auto st = std::make_shared<SieveState>(
+      static_cast<uint32_t>(2 * capacity_pages + 16));
+
+  Ops ops;
+  ops.name = "sieve_example";
+
+  // policy_init: create the queue (like Fig. 4's lfu_policy_init).
+  ops.policy_init = [st](CacheExtApi& api, MemCgroup*) -> int32_t {
+    auto list = api.ListCreate();
+    if (!list.ok()) {
+      return -1;
+    }
+    st->queue = *list;
+    return 0;
+  };
+
+  // New folios enter the tail; the head is the oldest ("the hand" starts
+  // from the oldest end in this implementation).
+  ops.folio_added = [st](CacheExtApi& api, Folio* folio) {
+    (void)api.ListAdd(st->queue, folio, /*tail=*/true);
+    (void)st->visited.Update(folio, 0);
+  };
+
+  ops.folio_accessed = [st](CacheExtApi&, Folio* folio) {
+    if (uint8_t* bit = st->visited.Lookup(folio); bit != nullptr) {
+      *bit = 1;
+    }
+  };
+
+  // Eviction: walk from the head; visited folios get a second chance IN
+  // PLACE (kKeepInPlace — the SIEVE trick), unvisited folios are proposed.
+  ops.evict_folios = [st](CacheExtApi& api, EvictionCtx* ctx, MemCgroup*) {
+    IterOpts opts;
+    opts.nr_scan = 8 * ctx->nr_candidates_requested;
+    opts.on_skip = IterPlacement::kMoveToTail;  // survivors rotate*
+    opts.on_evict = IterPlacement::kMoveToTail;
+    // *True SIEVE keeps survivors in place and remembers the hand position;
+    // the list API's bounded iteration restarts from the head each round,
+    // so rotating survivors to the tail gives the same one-bit second
+    // chance with a moving hand.
+    (void)api.ListIterate(st->queue, opts, ctx, [st](Folio* folio) {
+      uint8_t* bit = st->visited.Lookup(folio);
+      if (bit != nullptr && *bit != 0) {
+        *bit = 0;  // second chance
+        return IterVerdict::kSkip;
+      }
+      return IterVerdict::kEvict;
+    });
+  };
+
+  ops.folio_removed = [st](CacheExtApi&, Folio* folio) {
+    st->visited.Delete(folio);
+  };
+  return ops;
+}
+
+cache_ext::harness::RunResult RunArm(bool with_sieve) {
+  harness::Env env;
+  constexpr uint64_t kCgroupBytes = 2ULL << 20;
+  MemCgroup* cg = env.CreateCgroup("/sieve_demo", kCgroupBytes);
+  auto db = env.CreateLoadedDb(cg, "db", 20000, 256);
+  CHECK(db.ok());
+
+  if (with_sieve) {
+    // The loader verifies the ops struct (name, required programs, budget)
+    // before anything runs — the "verifier" step.
+    Ops ops = MakeSieveOps(cg->limit_pages());
+    Status verified = CacheExtLoader::Verify(ops);
+    CHECK(verified.ok());
+    auto policy = env.loader().Attach(cg, std::move(ops));
+    CHECK(policy.ok());
+    std::printf("loaded policy '%s' for cgroup '%s'\n",
+                std::string((*policy)->name()).c_str(),
+                cg->name().c_str());
+  }
+
+  workloads::YcsbConfig config;
+  config.workload = workloads::YcsbWorkload::kC;
+  config.record_count = 20000;
+  config.value_size = 256;
+  workloads::YcsbGenerator gen(config);
+  std::vector<harness::LaneSpec> lanes;
+  for (int i = 0; i < 4; ++i) {
+    lanes.push_back(harness::LaneSpec{&gen, TaskContext{10, 10 + i}, 8000});
+  }
+  harness::KvRunnerOptions options;
+  options.base_time_ns = env.ssd().FrontierNs();
+  auto result = RunKvWorkload(db->get(), cg, lanes, options);
+  CHECK(result.ok());
+  return *result;
+}
+
+}  // namespace
+
+int main() {
+  const auto baseline = RunArm(false);
+  const auto sieve = RunArm(true);
+
+  harness::Table table("custom policy: SIEVE built on the cache_ext API",
+                       {"policy", "throughput", "hit rate"});
+  table.AddRow({"default kernel LRU",
+                harness::FormatOps(baseline.throughput_ops),
+                harness::FormatPercent(baseline.hit_rate)});
+  table.AddRow({"SIEVE (this example)", harness::FormatOps(sieve.throughput_ops),
+                harness::FormatPercent(sieve.hit_rate)});
+  table.Print();
+
+  std::printf("\n~60 lines of policy code: one list, one map, five "
+              "programs.\nSee src/policies/ for the paper's eight "
+              "policies.\n");
+  return 0;
+}

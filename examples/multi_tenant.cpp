@@ -1,0 +1,97 @@
+// Multi-tenant isolation (§4.3, Fig. 11): two containers on one machine,
+// each with its own cgroup and its own page-cache policy.
+//
+// Tenant A runs a key-value store with Zipfian point reads (wants LFU);
+// tenant B runs repeated full-corpus searches (wants MRU). The example runs
+// all four configurations from the paper's isolation experiment and shows
+// that only per-cgroup "tailored" policies make both tenants fast — global
+// policies always sacrifice one of them.
+
+#include <cstdio>
+
+#include "src/harness/env.h"
+#include "src/harness/reporter.h"
+#include "src/harness/runner.h"
+#include "src/search/corpus.h"
+#include "src/workloads/kv_workload.h"
+
+namespace {
+
+using namespace cache_ext;
+
+constexpr uint64_t kRecords = 20000;
+constexpr uint32_t kValueSize = 256;
+constexpr uint64_t kKvCgroupBytes = 2ULL << 20;
+constexpr uint64_t kCorpusBytes = 6 << 20;
+
+harness::IsolationResult RunConfig(std::string_view kv_policy,
+                                   std::string_view search_policy) {
+  harness::Env env;
+  // One cgroup per tenant — the natural isolation boundary cache_ext uses;
+  // each can load its own policy without affecting the other (§4.3).
+  MemCgroup* kv_cg = env.CreateCgroup("/tenant_a", kKvCgroupBytes,
+                                      harness::BaseKindFor(kv_policy));
+  MemCgroup* search_cg =
+      env.CreateCgroup("/tenant_b", kCorpusBytes * 7 / 10,
+                       harness::BaseKindFor(search_policy));
+
+  auto db = env.CreateLoadedDb(kv_cg, "tenant_a_db", kRecords, kValueSize);
+  CHECK(db.ok());
+  search::CorpusConfig corpus_config;
+  corpus_config.total_bytes = kCorpusBytes;
+  auto corpus = search::GenerateCorpus(&env.disk(), corpus_config);
+  CHECK(corpus.ok());
+
+  auto kv_agent = env.AttachPolicy(kv_cg, kv_policy, {});
+  CHECK(kv_agent.ok());
+  auto search_agent = env.AttachPolicy(search_cg, search_policy, {});
+  CHECK(search_agent.ok());
+
+  search::FileSearcher searcher(&env.cache(), search_cg, corpus->files);
+  workloads::YcsbConfig ycsb;
+  ycsb.workload = workloads::YcsbWorkload::kC;
+  ycsb.record_count = kRecords;
+  ycsb.value_size = kValueSize;
+  workloads::YcsbGenerator gen(ycsb);
+
+  harness::IsolationOptions options;
+  options.duration_ns = 4ULL * 1000 * 1000 * 1000;  // 4 virtual seconds
+  options.kv_agent = *kv_agent;
+  options.search_agent = *search_agent;
+  auto result = harness::RunIsolationWorkload(
+      db->get(), kv_cg, &gen, &searcher, search_cg, corpus_config.pattern,
+      options);
+  CHECK(result.ok());
+  return *result;
+}
+
+}  // namespace
+
+int main() {
+  struct Config {
+    const char* label;
+    const char* kv;
+    const char* search;
+  };
+  const Config configs[] = {
+      {"both default", "default", "default"},
+      {"global LFU", "lfu", "lfu"},
+      {"global MRU", "mru", "mru"},
+      {"tailored (A=LFU, B=MRU)", "lfu", "mru"},
+  };
+
+  harness::Table table("multi-tenant isolation: per-cgroup policies",
+                       {"configuration", "tenant A (KV ops/s)",
+                        "tenant B (searches)"});
+  for (const Config& config : configs) {
+    const auto result = RunConfig(config.kv, config.search);
+    table.AddRow({config.label,
+                  harness::FormatOps(result.kv_throughput_ops),
+                  harness::FormatDouble(result.searches_completed, 2)});
+  }
+  table.Print();
+
+  std::printf("\nGlobal policies help one tenant and hurt the other;\n"
+              "per-cgroup tailored policies win on both axes (Fig. 11).\n");
+  return 0;
+}

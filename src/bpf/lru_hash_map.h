@@ -1,0 +1,108 @@
+// BPF_MAP_TYPE_LRU_HASH: a hash map that evicts its least-recently-used
+// entry when full instead of failing the insert.
+//
+// The paper's S3-FIFO and MGLRU policies use this map type for their ghost
+// FIFOs (§5.1): "the map then automatically removes entries from the ghost
+// FIFO in LRU order when it hits capacity". Lookups refresh recency, like
+// the kernel implementation.
+
+#ifndef SRC_BPF_LRU_HASH_MAP_H_
+#define SRC_BPF_LRU_HASH_MAP_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace cache_ext::bpf {
+
+template <typename K, typename V>
+class LruHashMap {
+ public:
+  explicit LruHashMap(uint32_t max_entries) : max_entries_(max_entries) {
+    CHECK_GT(max_entries, 0u);
+  }
+  LruHashMap(const LruHashMap&) = delete;
+  LruHashMap& operator=(const LruHashMap&) = delete;
+
+  // Insert/update; evicts the LRU entry if the map is full. Never fails.
+  void Update(const K& key, const V& value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = value;
+      Touch(it->second);
+      return;
+    }
+    if (entries_.size() >= max_entries_) {
+      // Evict least-recently-used (back of the list).
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+    }
+    entries_.emplace_front(key, value);
+    index_[key] = entries_.begin();
+  }
+
+  // Lookup copies the value out (no stable pointers: eviction can happen on
+  // any concurrent update). Refreshes recency on hit.
+  bool Lookup(const K& key, V* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return false;
+    }
+    Touch(it->second);
+    if (out != nullptr) {
+      *out = entries_.front().second;
+    }
+    return true;
+  }
+
+  bool Contains(const K& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.count(key) > 0;
+  }
+
+  bool Delete(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return false;
+    }
+    entries_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  uint32_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<uint32_t>(entries_.size());
+  }
+  uint32_t max_entries() const { return max_entries_; }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    index_.clear();
+  }
+
+ private:
+  using Entry = std::pair<K, V>;
+  using EntryList = std::list<Entry>;
+
+  void Touch(typename EntryList::iterator it) {
+    entries_.splice(entries_.begin(), entries_, it);
+  }
+
+  const uint32_t max_entries_;
+  mutable std::mutex mu_;
+  EntryList entries_;  // front = most recently used
+  std::unordered_map<K, typename EntryList::iterator> index_;
+};
+
+}  // namespace cache_ext::bpf
+
+#endif  // SRC_BPF_LRU_HASH_MAP_H_

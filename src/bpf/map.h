@@ -1,0 +1,138 @@
+// eBPF map equivalents: BPF_MAP_TYPE_HASH and BPF_MAP_TYPE_ARRAY.
+//
+// Policies in this reproduction are written against the same constrained
+// interface their eBPF counterparts use (§4.2.4): maps have a fixed
+// max_entries set at "load" time, inserts FAIL when the map is full (E2BIG
+// in the kernel; policies must handle it), lookups return pointers into the
+// map whose pointees may be updated atomically, and all operations are
+// thread-safe, as kernel eBPF maps are.
+
+#ifndef SRC_BPF_MAP_H_
+#define SRC_BPF_MAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace cache_ext::bpf {
+
+enum class MapUpdateFlags {
+  kAny,      // BPF_ANY: create or update
+  kNoExist,  // BPF_NOEXIST: create only
+  kExist,    // BPF_EXIST: update only
+};
+
+// bpf_map_update_elem/bpf_map_lookup_elem/bpf_map_delete_elem semantics.
+template <typename K, typename V>
+class HashMap {
+ public:
+  explicit HashMap(uint32_t max_entries) : max_entries_(max_entries) {
+    CHECK_GT(max_entries, 0u);
+    map_.reserve(max_entries);
+  }
+  HashMap(const HashMap&) = delete;
+  HashMap& operator=(const HashMap&) = delete;
+
+  // Returns false on failure (map full, or flags violated).
+  bool Update(const K& key, const V& value,
+              MapUpdateFlags flags = MapUpdateFlags::kAny) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      if (flags == MapUpdateFlags::kNoExist) {
+        return false;
+      }
+      it->second = value;
+      return true;
+    }
+    if (flags == MapUpdateFlags::kExist) {
+      return false;
+    }
+    if (map_.size() >= max_entries_) {
+      return false;  // -E2BIG
+    }
+    map_.emplace(key, value);
+    return true;
+  }
+
+  // Pointer into the map (stable until the element is deleted), or nullptr.
+  // Mirrors bpf_map_lookup_elem returning a PTR_TO_MAP_VALUE.
+  V* Lookup(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  bool Delete(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.erase(key) > 0;
+  }
+
+  uint32_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<uint32_t>(map_.size());
+  }
+  uint32_t max_entries() const { return max_entries_; }
+
+  // bpf_for_each_map_elem equivalent; fn(key, value&) -> bool keep_going.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, value] : map_) {
+      if (!fn(key, value)) {
+        break;
+      }
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+  }
+
+ private:
+  const uint32_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<K, V> map_;
+};
+
+// BPF_MAP_TYPE_ARRAY: fixed-size array of values, indexed by u32. Lookups of
+// out-of-range indices fail (return nullptr), as in the kernel.
+template <typename V>
+class ArrayMap {
+ public:
+  explicit ArrayMap(uint32_t max_entries)
+      : values_(max_entries) {
+    CHECK_GT(max_entries, 0u);
+  }
+
+  V* Lookup(uint32_t index) {
+    return index < values_.size() ? &values_[index] : nullptr;
+  }
+  const V* Lookup(uint32_t index) const {
+    return index < values_.size() ? &values_[index] : nullptr;
+  }
+
+  bool Update(uint32_t index, const V& value) {
+    if (index >= values_.size()) {
+      return false;
+    }
+    values_[index] = value;
+    return true;
+  }
+
+  uint32_t max_entries() const {
+    return static_cast<uint32_t>(values_.size());
+  }
+
+ private:
+  std::vector<V> values_;
+};
+
+}  // namespace cache_ext::bpf
+
+#endif  // SRC_BPF_MAP_H_

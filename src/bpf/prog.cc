@@ -1,0 +1,29 @@
+#include "src/bpf/prog.h"
+
+namespace cache_ext::bpf {
+
+namespace {
+thread_local RunContext* tls_current = nullptr;
+}  // namespace
+
+RunContext::RunContext(uint64_t helper_budget)
+    : parent_(tls_current), budget_(helper_budget) {
+  tls_current = this;
+}
+
+RunContext::~RunContext() { tls_current = parent_; }
+
+RunContext* RunContext::Current() { return tls_current; }
+
+bool RunContext::CountHelperCall() {
+  if (aborted_) {
+    return false;
+  }
+  if (++helper_calls_ > budget_) {
+    aborted_ = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cache_ext::bpf

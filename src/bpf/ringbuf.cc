@@ -1,0 +1,64 @@
+#include "src/bpf/ringbuf.h"
+
+#include <bit>
+
+namespace cache_ext::bpf {
+
+uint32_t RingBuf::RoundUpPow2(uint32_t v) {
+  if (v < 64) {
+    return 64;
+  }
+  return std::bit_ceil(v);
+}
+
+RingBuf::RingBuf(uint32_t size_bytes)
+    : size_(RoundUpPow2(size_bytes)), mask_(size_ - 1), data_(size_) {}
+
+bool RingBuf::Output(std::span<const uint8_t> data) {
+  const uint32_t record_size =
+      kHeaderSize + ((static_cast<uint32_t>(data.size()) + 7) & ~7u);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (record_size > size_ || head_ - tail_ + record_size > size_) {
+    ++dropped_;
+    return false;
+  }
+  // Length header.
+  const uint32_t len = static_cast<uint32_t>(data.size());
+  for (uint32_t i = 0; i < 4; ++i) {
+    data_[(head_ + i) & mask_] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  // Payload (byte-wise to handle wraparound).
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    data_[(head_ + kHeaderSize + i) & mask_] = data[i];
+  }
+  head_ += record_size;
+  ++produced_;
+  return true;
+}
+
+uint64_t RingBuf::Consume(
+    const std::function<void(std::span<const uint8_t>)>& fn) {
+  uint64_t consumed = 0;
+  std::vector<uint8_t> scratch;
+  while (true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (tail_ == head_) {
+      break;
+    }
+    uint32_t len = 0;
+    for (uint32_t i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(data_[(tail_ + i) & mask_]) << (8 * i);
+    }
+    scratch.resize(len);
+    for (uint32_t i = 0; i < len; ++i) {
+      scratch[i] = data_[(tail_ + kHeaderSize + i) & mask_];
+    }
+    tail_ += kHeaderSize + ((len + 7) & ~7u);
+    lock.unlock();
+    fn(std::span<const uint8_t>(scratch.data(), scratch.size()));
+    ++consumed;
+  }
+  return consumed;
+}
+
+}  // namespace cache_ext::bpf

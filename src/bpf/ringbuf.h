@@ -1,0 +1,76 @@
+// BPF ring buffer (BPF_MAP_TYPE_RINGBUF): MPSC byte ring used to notify
+// userspace of kernel events.
+//
+// The paper uses it twice: (1) to measure the "best-case" overhead of a
+// userspace-dispatch architecture (Table 1), and (2) for LHD's
+// reconfiguration trigger (§5.2). Semantics mirror the kernel: fixed-size
+// power-of-two buffer, reserve/commit producer API, records dropped (not
+// blocked) when the consumer lags.
+
+#ifndef SRC_BPF_RINGBUF_H_
+#define SRC_BPF_RINGBUF_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace cache_ext::bpf {
+
+class RingBuf {
+ public:
+  // size_bytes is rounded up to a power of two.
+  explicit RingBuf(uint32_t size_bytes);
+  RingBuf(const RingBuf&) = delete;
+  RingBuf& operator=(const RingBuf&) = delete;
+
+  // Producer: copy `data` in as one record. Returns false (and counts a
+  // drop) when there is no room.
+  bool Output(std::span<const uint8_t> data);
+
+  template <typename T>
+  bool OutputValue(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Output(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(&value), sizeof(T)));
+  }
+
+  // Consumer: drain all pending records, invoking fn on each. Returns the
+  // number of records consumed. Single consumer, like libbpf's ring_buffer.
+  uint64_t Consume(const std::function<void(std::span<const uint8_t>)>& fn);
+
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+  uint64_t produced() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return produced_;
+  }
+  uint32_t BytesPending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<uint32_t>(head_ - tail_);
+  }
+
+ private:
+  // Each record: u32 length header, then payload, padded to 8 bytes.
+  static constexpr uint32_t kHeaderSize = 8;
+  static uint32_t RoundUpPow2(uint32_t v);
+
+  uint32_t size_;
+  uint32_t mask_;
+  std::vector<uint8_t> data_;
+  mutable std::mutex mu_;
+  uint64_t head_ = 0;  // producer position
+  uint64_t tail_ = 0;  // consumer position
+  uint64_t produced_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace cache_ext::bpf
+
+#endif  // SRC_BPF_RINGBUF_H_

@@ -1,0 +1,53 @@
+// bpf_spin_lock equivalent: a tiny non-recursive spinlock.
+//
+// The paper's MGLRU policy serializes generation aging with an eBPF spinlock
+// (§5.3). Kernel bpf_spin_lock forbids sleeping and nesting; we provide the
+// same shape (try-based acquire with bounded spinning plus a fallback yield)
+// so policies written against it look like their eBPF counterparts.
+
+#ifndef SRC_BPF_SPINLOCK_H_
+#define SRC_BPF_SPINLOCK_H_
+
+#include <atomic>
+#include <thread>
+
+namespace cache_ext::bpf {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void Lock() {
+    int spins = 0;
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      if (++spins > 1024) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  void Unlock() { flag_.clear(std::memory_order_release); }
+
+  bool TryLock() { return !flag_.test_and_set(std::memory_order_acquire); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.Lock(); }
+  ~SpinLockGuard() { lock_.Unlock(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace cache_ext::bpf
+
+#endif  // SRC_BPF_SPINLOCK_H_

@@ -1,0 +1,313 @@
+#include "src/cache_ext/eviction_list.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/bpf/prog.h"
+#include "src/pagecache/current_task.h"
+#include "src/util/logging.h"
+
+namespace cache_ext {
+
+CacheExtApi::CacheExtApi(FolioRegistry* registry) : registry_(registry) {
+  CHECK_NOTNULL(registry_);
+}
+
+CacheExtApi::~CacheExtApi() {
+  // Unlink every node so registry entries can be destroyed cleanly.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, list] : lists_) {
+    ExtListNode* node = list->head.next;
+    while (node != &list->head) {
+      ExtListNode* next = node->next;
+      node->prev = nullptr;
+      node->next = nullptr;
+      node->list_id = 0;
+      node = next;
+    }
+  }
+}
+
+CacheExtApi::ExtList* CacheExtApi::FindList(uint64_t list_id) {
+  auto it = lists_.find(list_id);
+  return it == lists_.end() ? nullptr : it->second.get();
+}
+
+const CacheExtApi::ExtList* CacheExtApi::FindList(uint64_t list_id) const {
+  auto it = lists_.find(list_id);
+  return it == lists_.end() ? nullptr : it->second.get();
+}
+
+void CacheExtApi::LinkNode(ExtList* list, uint64_t list_id, ExtListNode* node,
+                           bool tail) {
+  DCHECK(!node->OnList());
+  if (tail) {
+    node->prev = list->head.prev;
+    node->next = &list->head;
+    list->head.prev->next = node;
+    list->head.prev = node;
+  } else {
+    node->next = list->head.next;
+    node->prev = &list->head;
+    list->head.next->prev = node;
+    list->head.next = node;
+  }
+  node->list_id = list_id;
+  ++list->size;
+}
+
+void CacheExtApi::UnlinkNode(ExtList* list, ExtListNode* node) {
+  DCHECK(node->OnList());
+  node->prev->next = node->next;
+  node->next->prev = node->prev;
+  node->prev = nullptr;
+  node->next = nullptr;
+  node->list_id = 0;
+  DCHECK(list->size > 0);
+  --list->size;
+}
+
+Expected<uint64_t> CacheExtApi::ListCreate() {
+  if (!bpf::ChargeHelperCall()) {
+    return ResourceExhausted("program helper budget exhausted");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_list_id_++;
+  lists_[id] = std::make_unique<ExtList>();
+  return id;
+}
+
+Status CacheExtApi::ListAdd(uint64_t list_id, Folio* folio, bool tail) {
+  if (!bpf::ChargeHelperCall()) {
+    return ResourceExhausted("program helper budget exhausted");
+  }
+  ExtListNode* node = registry_->Find(folio);
+  if (node == nullptr) {
+    return InvalidArgument("folio not registered");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ExtList* list = FindList(list_id);
+  if (list == nullptr) {
+    return NotFound("bad list id");
+  }
+  if (node->OnList()) {
+    return FailedPrecondition("folio already on a list (use list_move)");
+  }
+  LinkNode(list, list_id, node, tail);
+  return OkStatus();
+}
+
+Status CacheExtApi::ListMove(uint64_t list_id, Folio* folio, bool tail) {
+  if (!bpf::ChargeHelperCall()) {
+    return ResourceExhausted("program helper budget exhausted");
+  }
+  ExtListNode* node = registry_->Find(folio);
+  if (node == nullptr) {
+    return InvalidArgument("folio not registered");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ExtList* dst = FindList(list_id);
+  if (dst == nullptr) {
+    return NotFound("bad list id");
+  }
+  if (node->OnList()) {
+    ExtList* src = FindList(node->list_id);
+    CHECK_NOTNULL(src);
+    UnlinkNode(src, node);
+  }
+  LinkNode(dst, list_id, node, tail);
+  return OkStatus();
+}
+
+Status CacheExtApi::ListDel(Folio* folio) {
+  if (!bpf::ChargeHelperCall()) {
+    return ResourceExhausted("program helper budget exhausted");
+  }
+  ExtListNode* node = registry_->Find(folio);
+  if (node == nullptr) {
+    return InvalidArgument("folio not registered");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!node->OnList()) {
+    return FailedPrecondition("folio not on a list");
+  }
+  ExtList* list = FindList(node->list_id);
+  CHECK_NOTNULL(list);
+  UnlinkNode(list, node);
+  return OkStatus();
+}
+
+Expected<uint64_t> CacheExtApi::ListSize(uint64_t list_id) const {
+  if (!bpf::ChargeHelperCall()) {
+    return ResourceExhausted("program helper budget exhausted");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const ExtList* list = FindList(list_id);
+  if (list == nullptr) {
+    return NotFound("bad list id");
+  }
+  return list->size;
+}
+
+Expected<uint64_t> CacheExtApi::ListIdOf(const Folio* folio) const {
+  if (!bpf::ChargeHelperCall()) {
+    return ResourceExhausted("program helper budget exhausted");
+  }
+  ExtListNode* node = registry_->Find(folio);
+  if (node == nullptr) {
+    return InvalidArgument("folio not registered");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return node->list_id;
+}
+
+int32_t CacheExtApi::CurrentPid() const {
+  bpf::ChargeHelperCall();
+  return GetCurrentTask().pid;
+}
+
+int32_t CacheExtApi::CurrentTid() const {
+  bpf::ChargeHelperCall();
+  return GetCurrentTask().tid;
+}
+
+void CacheExtApi::UnlinkForRemoval(Folio* folio) {
+  ExtListNode* node = registry_->Find(folio);
+  if (node == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (node->OnList()) {
+    ExtList* list = FindList(node->list_id);
+    CHECK_NOTNULL(list);
+    UnlinkNode(list, node);
+  }
+}
+
+uint64_t CacheExtApi::nr_lists() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lists_.size();
+}
+
+void CacheExtApi::Place(ExtList* list, uint64_t list_id, ExtListNode* node,
+                        IterPlacement placement, uint64_t dst_list_id) {
+  switch (placement) {
+    case IterPlacement::kKeepInPlace:
+      return;
+    case IterPlacement::kMoveToTail:
+      UnlinkNode(list, node);
+      LinkNode(list, list_id, node, /*tail=*/true);
+      return;
+    case IterPlacement::kMoveToList: {
+      ExtList* dst = FindList(dst_list_id);
+      if (dst == nullptr) {
+        return;  // bad destination: leave in place (bounds-checked kfunc)
+      }
+      UnlinkNode(list, node);
+      LinkNode(dst, dst_list_id, node, /*tail=*/true);
+      return;
+    }
+  }
+}
+
+Status CacheExtApi::ListIterate(uint64_t list_id, const IterOpts& opts,
+                                EvictionCtx* ctx, const IterateFn& fn) {
+  if (!bpf::ChargeHelperCall()) {
+    return ResourceExhausted("program helper budget exhausted");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ExtList* list = FindList(list_id);
+  if (list == nullptr) {
+    return NotFound("bad list id");
+  }
+  // Examine at most min(nr_scan, initial size) folios: every examined node
+  // is either left behind the cursor, rotated to the tail, or moved to
+  // another list, so no node is seen twice in one call.
+  uint64_t bound = std::min<uint64_t>(opts.nr_scan, list->size);
+  ExtListNode* node = list->head.next;
+  while (bound-- > 0 && node != &list->head) {
+    ExtListNode* next = node->next;
+    // Each callback invocation charges the program budget (enforced loop
+    // termination, §4.4).
+    if (!bpf::ChargeHelperCall()) {
+      return ResourceExhausted("program helper budget exhausted");
+    }
+    const IterVerdict verdict = fn(node->folio);
+    if (verdict == IterVerdict::kStop) {
+      break;
+    }
+    if (verdict == IterVerdict::kEvict) {
+      if (ctx != nullptr) {
+        ctx->Propose(node->folio);
+      }
+      Place(list, list_id, node, opts.on_evict, opts.dst_list_evict);
+      if (ctx != nullptr && ctx->Full()) {
+        break;
+      }
+    } else {
+      Place(list, list_id, node, opts.on_skip, opts.dst_list_skip);
+    }
+    node = next;
+  }
+  return OkStatus();
+}
+
+Status CacheExtApi::ListIterateScore(uint64_t list_id, const IterOpts& opts,
+                                     EvictionCtx* ctx, const ScoreFn& fn) {
+  if (!bpf::ChargeHelperCall()) {
+    return ResourceExhausted("program helper budget exhausted");
+  }
+  if (ctx == nullptr) {
+    return InvalidArgument("batch scoring requires an eviction ctx");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ExtList* list = FindList(list_id);
+  if (list == nullptr) {
+    return NotFound("bad list id");
+  }
+
+  // Phase 1: score the first N folios.
+  struct Scored {
+    int64_t score;
+    ExtListNode* node;
+  };
+  std::vector<Scored> scored;
+  const uint64_t bound = std::min<uint64_t>(opts.nr_scan, list->size);
+  scored.reserve(bound);
+  ExtListNode* node = list->head.next;
+  for (uint64_t i = 0; i < bound && node != &list->head; ++i) {
+    if (!bpf::ChargeHelperCall()) {
+      return ResourceExhausted("program helper budget exhausted");
+    }
+    scored.push_back(Scored{fn(node->folio), node});
+    node = node->next;
+  }
+
+  // Phase 2: select the C lowest-scored folios (§4.2.3).
+  const uint64_t remaining =
+      ctx->nr_candidates_requested > ctx->nr_candidates_proposed
+          ? ctx->nr_candidates_requested - ctx->nr_candidates_proposed
+          : 0;
+  const uint64_t c = std::min<uint64_t>(remaining, scored.size());
+  if (c > 0 && c < scored.size()) {
+    std::nth_element(scored.begin(), scored.begin() + (c - 1), scored.end(),
+                     [](const Scored& a, const Scored& b) {
+                       return a.score < b.score;
+                     });
+  }
+
+  // Phase 3: propose the selected, apply placements. The first c entries of
+  // `scored` are the selected ones after nth_element.
+  for (uint64_t i = 0; i < scored.size(); ++i) {
+    ExtListNode* n = scored[i].node;
+    if (i < c) {
+      ctx->Propose(n->folio);
+      Place(list, list_id, n, opts.on_evict, opts.dst_list_evict);
+    } else {
+      Place(list, list_id, n, opts.on_skip, opts.dst_list_skip);
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace cache_ext

@@ -1,0 +1,133 @@
+// The eviction-list kfunc API (Table 2, §4.2.2-§4.2.3).
+//
+// Policies organize folios into variable-sized linked lists of folio
+// *pointers* (the folios themselves stay in the page cache). Lists are
+// created at init time and manipulated from the policy-function hooks; the
+// eviction hook walks them with list_iterate() to propose candidates.
+//
+// Everything here is concurrency-safe with locking "under the hood"
+// (§4.2.4) and bounds-checked (§4.4): list ids are validated, folios must be
+// registered, iteration is capped, and every call charges the running
+// program's helper budget — an aborted program's calls fail.
+
+#ifndef SRC_CACHE_EXT_EVICTION_LIST_H_
+#define SRC_CACHE_EXT_EVICTION_LIST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/cache_ext/registry.h"
+#include "src/pagecache/eviction.h"
+#include "src/util/status.h"
+
+namespace cache_ext {
+
+// What list_iterate() does with an examined folio (§4.2.3: "they can be
+// left in place, moved to the tail of the list, or moved to a different
+// list").
+enum class IterPlacement {
+  kKeepInPlace,
+  kMoveToTail,
+  kMoveToList,
+};
+
+struct IterOpts {
+  // Examine at most this many folios (N in the paper's batch-scoring mode).
+  uint64_t nr_scan = 512;
+  // Placement for folios the callback did NOT select for eviction.
+  IterPlacement on_skip = IterPlacement::kKeepInPlace;
+  uint64_t dst_list_skip = 0;  // target when on_skip == kMoveToList
+  // Placement for folios selected as eviction candidates (e.g. S3-FIFO
+  // rotates them to the small list's tail so they aren't re-examined).
+  IterPlacement on_evict = IterPlacement::kKeepInPlace;
+  uint64_t dst_list_evict = 0;
+};
+
+// Simple mode: callback verdict per folio.
+enum class IterVerdict {
+  kSkip,
+  kEvict,
+  kStop,
+};
+using IterateFn = std::function<IterVerdict(Folio*)>;
+
+// Batch-scoring mode: callback returns a score; the C lowest-scored of the
+// first N folios are selected (§4.2.3).
+using ScoreFn = std::function<int64_t(Folio*)>;
+
+// The kfunc surface handed to policy programs. One instance per loaded
+// policy (lists are per-policy, §4.2.2's "registry" of lists).
+class CacheExtApi {
+ public:
+  explicit CacheExtApi(FolioRegistry* registry);
+  ~CacheExtApi();
+  CacheExtApi(const CacheExtApi&) = delete;
+  CacheExtApi& operator=(const CacheExtApi&) = delete;
+
+  // cache_ext_list_create(): returns the new list's id (ids start at 1).
+  Expected<uint64_t> ListCreate();
+
+  // cache_ext_list_add{,_tail}(): link an unlinked, registered folio.
+  Status ListAdd(uint64_t list_id, Folio* folio, bool tail);
+  // cache_ext_list_move{,_tail}(): relink (possibly across lists).
+  Status ListMove(uint64_t list_id, Folio* folio, bool tail);
+  // cache_ext_list_del(): unlink from whatever list holds it.
+  Status ListDel(Folio* folio);
+
+  Expected<uint64_t> ListSize(uint64_t list_id) const;
+
+  // cache_ext_list_id_of(): the id of the list currently holding `folio`,
+  // or 0 if the folio is not on any list. Lets policies distinguish which
+  // queue a folio was in when it is removed (S3-FIFO's ghost insertion).
+  Expected<uint64_t> ListIdOf(const Folio* folio) const;
+
+  // bpf_get_current_pid_tgid() analogues (see src/pagecache/current_task.h).
+  int32_t CurrentPid() const;
+  int32_t CurrentTid() const;
+
+  // cache_ext_list_iterate(), simple mode.
+  Status ListIterate(uint64_t list_id, const IterOpts& opts, EvictionCtx* ctx,
+                     const IterateFn& fn);
+  // cache_ext_list_iterate(), batch-scoring mode.
+  Status ListIterateScore(uint64_t list_id, const IterOpts& opts,
+                          EvictionCtx* ctx, const ScoreFn& fn);
+
+  // Framework-internal (not a kfunc): unlink a folio during removal cleanup
+  // without charging any program budget.
+  void UnlinkForRemoval(Folio* folio);
+
+  uint64_t nr_lists() const;
+
+ private:
+  struct ExtList {
+    ExtListNode head;  // sentinel: folio == nullptr
+    uint64_t size = 0;
+
+    ExtList() {
+      head.prev = &head;
+      head.next = &head;
+    }
+  };
+
+  ExtList* FindList(uint64_t list_id);
+  const ExtList* FindList(uint64_t list_id) const;
+
+  // Linking helpers; list lock must be held.
+  static void LinkNode(ExtList* list, uint64_t list_id, ExtListNode* node,
+                       bool tail);
+  static void UnlinkNode(ExtList* list, ExtListNode* node);
+  void Place(ExtList* list, uint64_t list_id, ExtListNode* node,
+             IterPlacement placement, uint64_t dst_list_id);
+
+  FolioRegistry* registry_;
+  mutable std::mutex mu_;  // guards lists_ and all node linkage
+  uint64_t next_list_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<ExtList>> lists_;
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_CACHE_EXT_EVICTION_LIST_H_

@@ -1,0 +1,103 @@
+#include "src/cache_ext/framework.h"
+
+#include "src/bpf/prog.h"
+#include "src/util/logging.h"
+
+namespace cache_ext {
+
+CacheExtPolicy::CacheExtPolicy(Ops ops, MemCgroup* cg,
+                               const CpuCostModel& costs)
+    : ops_(std::move(ops)),
+      cg_(cg),
+      // Worst case: one bucket per page the cgroup can hold (§6.3.1).
+      registry_(cg->limit_pages()),
+      api_(&registry_),
+      per_event_cost_ns_(costs.hook_dispatch_ns + costs.registry_op_ns +
+                         ops_.program_cost_ns) {}
+
+template <typename Fn>
+void CacheExtPolicy::RunProgram(Fn&& fn) {
+  bpf::RunContext run(ops_.helper_budget);
+  fn();
+  if (run.aborted()) {
+    aborted_programs_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status CacheExtPolicy::Init() {
+  int32_t rc = 0;
+  bpf::RunContext run(ops_.helper_budget);
+  rc = ops_.policy_init(api_, cg_);
+  if (run.aborted()) {
+    return ResourceExhausted("policy_init exhausted its helper budget");
+  }
+  if (rc != 0) {
+    return FailedPrecondition("policy_init returned " + std::to_string(rc));
+  }
+  return OkStatus();
+}
+
+void CacheExtPolicy::FolioAdded(Folio* folio) {
+  // Register first: the program's list_add() needs the registry entry.
+  registry_.Insert(folio);
+  RunProgram([&] { ops_.folio_added(api_, folio); });
+}
+
+void CacheExtPolicy::FolioAccessed(Folio* folio) {
+  if (!registry_.Contains(folio)) {
+    // Should not happen (attach introduces resident folios), but a policy
+    // must never observe unregistered folios.
+    registry_.Insert(folio);
+    RunProgram([&] { ops_.folio_added(api_, folio); });
+    return;
+  }
+  RunProgram([&] { ops_.folio_accessed(api_, folio); });
+}
+
+void CacheExtPolicy::FolioRemoved(Folio* folio) {
+  if (!registry_.Contains(folio)) {
+    return;
+  }
+  // Tell the policy first (it cleans its maps while the folio is still
+  // registered), then enforce cleanup regardless of what the program did:
+  // unlink from any eviction list and drop the registry entry (§4.4).
+  RunProgram([&] { ops_.folio_removed(api_, folio); });
+  api_.UnlinkForRemoval(folio);
+  registry_.Remove(folio);
+}
+
+void CacheExtPolicy::EvictFolios(EvictionCtx* ctx, MemCgroup* memcg) {
+  RunProgram([&] { ops_.evict_folios(api_, ctx, memcg); });
+}
+
+bool CacheExtPolicy::AdmitFolio(const AdmissionCtx& ctx) {
+  if (!ops_.admit_folio) {
+    return true;
+  }
+  bool admit = true;
+  RunProgram([&] { admit = ops_.admit_folio(api_, ctx); });
+  return admit;
+}
+
+int64_t CacheExtPolicy::RequestPrefetch(const PrefetchCtx& ctx) {
+  if (!ops_.request_prefetch) {
+    return -1;
+  }
+  int64_t window = -1;
+  RunProgram([&] { window = ops_.request_prefetch(api_, ctx); });
+  return window;
+}
+
+void CacheExtPolicy::FolioRefaulted(Folio* folio, uint32_t tier) {
+  if (!ops_.folio_refaulted) {
+    return;
+  }
+  RunProgram([&] { ops_.folio_refaulted(api_, folio, tier); });
+}
+
+bool CacheExtPolicy::ValidateCandidate(Folio* folio) {
+  // Membership check only — the pointer is NOT dereferenced (§4.4).
+  return registry_.Contains(folio);
+}
+
+}  // namespace cache_ext

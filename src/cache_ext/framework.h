@@ -1,0 +1,73 @@
+// CacheExtPolicy: the framework adapter between the page cache and a loaded
+// set of policy functions (§4).
+//
+// Responsibilities (matching the kernel-side cache_ext code):
+//  - maintain the valid-folio registry across admissions/removals (§4.4);
+//  - dispatch page-cache events to the policy's programs, each under a
+//    bpf::RunContext enforcing the helper budget;
+//  - validate eviction candidates by registry membership before the page
+//    cache dereferences them;
+//  - guarantee cleanup: on removal the folio is unlinked from any eviction
+//    list and dropped from the registry even if the policy's program
+//    misbehaves ("the kernel ensures that it is removed from any eviction
+//    lists", §4.4).
+
+#ifndef SRC_CACHE_EXT_FRAMEWORK_H_
+#define SRC_CACHE_EXT_FRAMEWORK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "src/cache_ext/eviction_list.h"
+#include "src/cache_ext/ops.h"
+#include "src/cache_ext/registry.h"
+#include "src/pagecache/eviction.h"
+#include "src/sim/cpu_cost.h"
+#include "src/util/status.h"
+
+namespace cache_ext {
+
+class CacheExtPolicy : public ReclaimPolicy {
+ public:
+  CacheExtPolicy(Ops ops, MemCgroup* cg, const CpuCostModel& costs);
+
+  // Runs the policy_init program. Load fails if it returns nonzero or
+  // exhausts its budget.
+  Status Init();
+
+  // ReclaimPolicy interface -------------------------------------------------
+  std::string_view name() const override { return ops_.name; }
+  void FolioAdded(Folio* folio) override;
+  void FolioAccessed(Folio* folio) override;
+  void FolioRemoved(Folio* folio) override;
+  void EvictFolios(EvictionCtx* ctx, MemCgroup* memcg) override;
+  bool AdmitFolio(const AdmissionCtx& ctx) override;
+  int64_t RequestPrefetch(const PrefetchCtx& ctx) override;
+  void FolioRefaulted(Folio* folio, uint32_t tier) override;
+  bool ValidateCandidate(Folio* folio) override;
+  uint64_t PerEventCostNs() const override { return per_event_cost_ns_; }
+
+  // Introspection ------------------------------------------------------------
+  CacheExtApi& api() { return api_; }
+  FolioRegistry& registry() { return registry_; }
+  MemCgroup* cgroup() { return cg_; }
+  uint64_t aborted_programs() const {
+    return aborted_programs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  template <typename Fn>
+  void RunProgram(Fn&& fn);
+
+  Ops ops_;
+  MemCgroup* cg_;
+  FolioRegistry registry_;
+  CacheExtApi api_;
+  uint64_t per_event_cost_ns_;
+  std::atomic<uint64_t> aborted_programs_{0};
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_CACHE_EXT_FRAMEWORK_H_

@@ -1,0 +1,56 @@
+#include "src/cache_ext/loader.h"
+
+#include <cctype>
+#include <memory>
+
+namespace cache_ext {
+
+Status CacheExtLoader::Verify(const Ops& ops) {
+  if (ops.name.empty()) {
+    return InvalidArgument("ops.name must not be empty");
+  }
+  if (ops.name.size() >= kCacheExtOpsNameLen) {
+    return InvalidArgument("ops.name exceeds CACHE_EXT_OPS_NAME_LEN");
+  }
+  for (const char c : ops.name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != '-') {
+      return InvalidArgument("ops.name contains invalid characters");
+    }
+  }
+  if (!ops.policy_init) {
+    return InvalidArgument("policy_init program is required");
+  }
+  if (!ops.evict_folios) {
+    return InvalidArgument("evict_folios program is required");
+  }
+  if (!ops.folio_added || !ops.folio_accessed || !ops.folio_removed) {
+    return InvalidArgument("folio event programs are required");
+  }
+  if (ops.helper_budget == 0) {
+    return InvalidArgument("helper budget must be positive");
+  }
+  return OkStatus();
+}
+
+Expected<CacheExtPolicy*> CacheExtLoader::Attach(MemCgroup* cg, Ops ops,
+                                                 const CpuCostModel& costs) {
+  if (cg == nullptr) {
+    return InvalidArgument("null cgroup");
+  }
+  CACHE_EXT_RETURN_IF_ERROR(Verify(ops));
+  if (page_cache_->ext_policy(cg) != nullptr) {
+    return AlreadyExists("cgroup already has a cache_ext policy");
+  }
+  auto policy = std::make_unique<CacheExtPolicy>(std::move(ops), cg, costs);
+  CACHE_EXT_RETURN_IF_ERROR(policy->Init());
+  CacheExtPolicy* raw = policy.get();
+  CACHE_EXT_RETURN_IF_ERROR(page_cache_->AttachExtPolicy(cg, std::move(policy)));
+  return raw;
+}
+
+Status CacheExtLoader::Detach(MemCgroup* cg) {
+  return page_cache_->DetachExtPolicy(cg);
+}
+
+}  // namespace cache_ext

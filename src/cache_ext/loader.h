@@ -1,0 +1,48 @@
+// Userspace loader library (§4.3, §6.1.6).
+//
+// Loading a cache_ext policy is a two-step protocol, mirroring the paper's
+// per-cgroup struct_ops extension:
+//   1. Verify(): the "verifier" — static checks on the ops struct (required
+//      programs present, name constraints, sane budget). The dynamic half of
+//      verification (helper budgets, candidate validation, watchdog) runs at
+//      execution time.
+//   2. Attach(): build the framework adapter for the target cgroup, run
+//      policy_init, and install it — the cgroup's eviction is now driven by
+//      the policy, with the default policy as fallback.
+//
+// This is the in-process analogue of the paper's libbpf extension that adds
+// a cgroup file descriptor to struct_ops loading.
+
+#ifndef SRC_CACHE_EXT_LOADER_H_
+#define SRC_CACHE_EXT_LOADER_H_
+
+#include "src/cache_ext/framework.h"
+#include "src/cache_ext/ops.h"
+#include "src/pagecache/page_cache.h"
+#include "src/util/status.h"
+
+namespace cache_ext {
+
+class CacheExtLoader {
+ public:
+  explicit CacheExtLoader(PageCache* page_cache)
+      : page_cache_(page_cache) {}
+
+  // Static validation of a policy's ops struct.
+  static Status Verify(const Ops& ops);
+
+  // Verify + instantiate + policy_init + install for `cg`. On success the
+  // returned adapter is owned by the page cache; it stays valid until
+  // Detach. Fails if the cgroup already has a policy attached.
+  Expected<CacheExtPolicy*> Attach(MemCgroup* cg, Ops ops,
+                                   const CpuCostModel& costs = {});
+
+  Status Detach(MemCgroup* cg);
+
+ private:
+  PageCache* page_cache_;
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_CACHE_EXT_LOADER_H_

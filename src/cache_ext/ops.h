@@ -1,0 +1,68 @@
+// cache_ext struct_ops: the policy-function interface (Fig. 3).
+//
+// A policy is a set of "eBPF programs" (C++ callables written against the
+// constrained bpf:: interface) triggered by five events: policy
+// initialization, request for eviction, folio admission, folio access, and
+// folio removal (§4.2.1) — plus the optional admission-filter extension
+// (§5.6). Programs interact with the kernel exclusively through the
+// CacheExtApi kfunc surface (Table 2) and bpf:: maps; they run under a
+// bpf::RunContext that enforces a helper-call budget (the runtime analogue
+// of verifier-proved termination).
+
+#ifndef SRC_CACHE_EXT_OPS_H_
+#define SRC_CACHE_EXT_OPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/cgroup/memcg.h"
+#include "src/mm/folio.h"
+#include "src/pagecache/eviction.h"
+
+namespace cache_ext {
+
+class CacheExtApi;
+
+inline constexpr size_t kCacheExtOpsNameLen = 64;
+
+// Mirrors:
+//   struct cache_ext_ops {
+//     s32  (*policy_init)(struct mem_cgroup *memcg);
+//     void (*evict_folios)(struct eviction_ctx *ctx, struct mem_cgroup *);
+//     void (*folio_added)(struct folio *folio);
+//     void (*folio_accessed)(struct folio *folio);
+//     void (*folio_removed)(struct folio *folio);
+//     char name[CACHE_EXT_OPS_NAME_LEN];
+//   };
+// Programs additionally receive the CacheExtApi handle standing in for the
+// kfunc linkage an eBPF program gets implicitly.
+struct Ops {
+  std::string name;
+
+  // Required hooks.
+  std::function<int32_t(CacheExtApi&, MemCgroup*)> policy_init;
+  std::function<void(CacheExtApi&, EvictionCtx*, MemCgroup*)> evict_folios;
+  std::function<void(CacheExtApi&, Folio*)> folio_added;
+  std::function<void(CacheExtApi&, Folio*)> folio_accessed;
+  std::function<void(CacheExtApi&, Folio*)> folio_removed;
+
+  // Optional hooks.
+  std::function<bool(CacheExtApi&, const AdmissionCtx&)> admit_folio;
+  std::function<void(CacheExtApi&, Folio*, uint32_t)> folio_refaulted;
+  // Prefetch-policy extension (§7, FetchBPF-style): pages to prefetch after
+  // a miss; negative = defer to the kernel readahead heuristic.
+  std::function<int64_t(CacheExtApi&, const PrefetchCtx&)> request_prefetch;
+
+  // Helper-call budget per program invocation (runtime stand-in for the
+  // verifier's instruction limit).
+  uint64_t helper_budget = 1 << 16;
+
+  // Declared per-hook CPU cost charged to the acting lane on top of the
+  // framework's dispatch/registry overhead (see src/sim/cpu_cost.h).
+  uint64_t program_cost_ns = 120;
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_CACHE_EXT_OPS_H_

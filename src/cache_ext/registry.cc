@@ -1,0 +1,94 @@
+#include "src/cache_ext/registry.h"
+
+#include <atomic>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace cache_ext {
+
+FolioRegistry::FolioRegistry(uint64_t nr_buckets)
+    : buckets_(nr_buckets == 0 ? 1 : nr_buckets) {}
+
+FolioRegistry::~FolioRegistry() {
+  for (Bucket& bucket : buckets_) {
+    Entry* entry = bucket.head;
+    while (entry != nullptr) {
+      Entry* next = entry->hash_next;
+      delete entry;
+      entry = next;
+    }
+  }
+}
+
+size_t FolioRegistry::BucketFor(const Folio* folio) const {
+  // Pointer-hash: folios are heap objects, so scramble the address.
+  return Mix64(reinterpret_cast<uintptr_t>(folio)) % buckets_.size();
+}
+
+bool FolioRegistry::Insert(Folio* folio) {
+  Bucket& bucket = buckets_[BucketFor(folio)];
+  bpf::SpinLockGuard guard(bucket.lock);
+  for (Entry* e = bucket.head; e != nullptr; e = e->hash_next) {
+    if (e->node.folio == folio) {
+      return false;
+    }
+  }
+  auto* entry = new Entry();
+  entry->node.folio = folio;
+  entry->hash_next = bucket.head;
+  bucket.head = entry;
+  size_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FolioRegistry::Remove(Folio* folio) {
+  Bucket& bucket = buckets_[BucketFor(folio)];
+  bpf::SpinLockGuard guard(bucket.lock);
+  Entry** link = &bucket.head;
+  while (*link != nullptr) {
+    Entry* entry = *link;
+    if (entry->node.folio == folio) {
+      DCHECK(!entry->node.OnList());
+      *link = entry->hash_next;
+      delete entry;
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    link = &entry->hash_next;
+  }
+  return false;
+}
+
+bool FolioRegistry::Contains(const Folio* folio) const {
+  const Bucket& bucket = buckets_[BucketFor(folio)];
+  bpf::SpinLockGuard guard(bucket.lock);
+  for (const Entry* e = bucket.head; e != nullptr; e = e->hash_next) {
+    if (e->node.folio == folio) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ExtListNode* FolioRegistry::Find(const Folio* folio) {
+  Bucket& bucket = buckets_[BucketFor(folio)];
+  bpf::SpinLockGuard guard(bucket.lock);
+  for (Entry* e = bucket.head; e != nullptr; e = e->hash_next) {
+    if (e->node.folio == folio) {
+      return &e->node;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t FolioRegistry::Size() const {
+  return size_.load(std::memory_order_relaxed);
+}
+
+uint64_t FolioRegistry::MemoryBytes() const {
+  // 16 bytes per bucket + 32 bytes per filled entry (§6.3.1).
+  return buckets_.size() * 16 + Size() * 32;
+}
+
+}  // namespace cache_ext

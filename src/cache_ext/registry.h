@@ -1,0 +1,86 @@
+// The valid-folio registry (§4.4) and eviction-list node storage (§4.2.2).
+//
+// Policies return raw folio pointers as eviction candidates; a buggy or
+// malicious policy could return garbage. Before the kernel dereferences a
+// candidate it checks membership in this registry: folios are inserted on
+// admission and removed on eviction, so any pointer not present is rejected.
+//
+// The registry doubles as the per-policy folio -> list-node index: each
+// entry embeds the node linking the folio into (at most) one eviction list,
+// which is what makes list_del() and list_move() O(1) given only a folio
+// pointer. Layout matches the paper's accounting (§6.3.1): a bucket costs 16
+// bytes (head pointer + lock word) and a filled entry 32 bytes more.
+//
+// Buckets are individually locked so membership checks scale.
+
+#ifndef SRC_CACHE_EXT_REGISTRY_H_
+#define SRC_CACHE_EXT_REGISTRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bpf/spinlock.h"
+#include "src/mm/folio.h"
+
+namespace cache_ext {
+
+// Node linking a folio into one eviction list. prev/next point at other
+// entries' nodes (or the list sentinel). list_id == 0 means "not on a list".
+struct ExtListNode {
+  ExtListNode* prev = nullptr;
+  ExtListNode* next = nullptr;
+  uint64_t list_id = 0;
+  Folio* folio = nullptr;  // back-pointer for iteration
+
+  bool OnList() const { return list_id != 0; }
+};
+
+class FolioRegistry {
+ public:
+  // nr_buckets is sized to the cgroup's page capacity (§6.3.1).
+  explicit FolioRegistry(uint64_t nr_buckets);
+  ~FolioRegistry();
+  FolioRegistry(const FolioRegistry&) = delete;
+  FolioRegistry& operator=(const FolioRegistry&) = delete;
+
+  // Register a folio (on admission). Returns false if already present.
+  bool Insert(Folio* folio);
+
+  // Unregister (on removal). The folio must already be off any list (the
+  // framework unlinks before removing). Returns false if absent.
+  bool Remove(Folio* folio);
+
+  // Membership check used to validate eviction candidates. Never
+  // dereferences `folio`.
+  bool Contains(const Folio* folio) const;
+
+  // The list node for a registered folio, or nullptr. The caller must hold
+  // the policy's list lock for any node mutation.
+  ExtListNode* Find(const Folio* folio);
+
+  uint64_t Size() const;
+  uint64_t nr_buckets() const { return buckets_.size(); }
+
+  // Approximate memory footprint, for the §6.3.1 accounting.
+  uint64_t MemoryBytes() const;
+
+ private:
+  struct Entry {
+    ExtListNode node;
+    Entry* hash_next = nullptr;
+  };
+
+  struct Bucket {
+    mutable bpf::SpinLock lock;
+    Entry* head = nullptr;
+  };
+
+  size_t BucketFor(const Folio* folio) const;
+
+  std::vector<Bucket> buckets_;
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_CACHE_EXT_REGISTRY_H_

@@ -1,0 +1,93 @@
+// Memory cgroups: the isolation boundary for page-cache policies (§4.3).
+//
+// Each cgroup has a page limit and owns the folios charged to it. Reclaim is
+// cgroup-local: when a charge would exceed the limit, the page cache evicts
+// from this cgroup's folios only. A process in cgroup A may access a folio
+// owned by cgroup B — the access updates the folio's metadata (in B's
+// policy), but the charge stays with B, matching Linux semantics (§2.1).
+
+#ifndef SRC_CGROUP_MEMCG_H_
+#define SRC_CGROUP_MEMCG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/mm/folio.h"
+
+namespace cache_ext {
+
+class MemCgroup {
+ public:
+  MemCgroup(uint64_t id, std::string name, uint64_t limit_pages)
+      : id_(id), name_(std::move(name)), limit_pages_(limit_pages) {}
+  MemCgroup(const MemCgroup&) = delete;
+  MemCgroup& operator=(const MemCgroup&) = delete;
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  uint64_t limit_pages() const { return limit_pages_; }
+  void set_limit_pages(uint64_t limit) { limit_pages_ = limit; }
+  uint64_t limit_bytes() const { return limit_pages_ * kPageSize; }
+
+  uint64_t charged_pages() const {
+    return charged_pages_.load(std::memory_order_relaxed);
+  }
+  void ChargePage() { charged_pages_.fetch_add(1, std::memory_order_relaxed); }
+  void UnchargePage() {
+    charged_pages_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  bool OverLimit() const { return charged_pages() > limit_pages_; }
+  // Pages that must be reclaimed to return under the limit.
+  uint64_t ExcessPages() const {
+    const uint64_t charged = charged_pages();
+    return charged > limit_pages_ ? charged - limit_pages_ : 0;
+  }
+
+  // Workingset clock: advances on every eviction from this cgroup; shadow
+  // entries snapshot it so refault distance can be computed (§2.1).
+  uint64_t nonresident_age() const {
+    return nonresident_age_.load(std::memory_order_relaxed);
+  }
+  uint64_t AdvanceNonresidentAge() {
+    return nonresident_age_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Statistics.
+  std::atomic<uint64_t> stat_insertions{0};
+  std::atomic<uint64_t> stat_hits{0};
+  std::atomic<uint64_t> stat_misses{0};
+  std::atomic<uint64_t> stat_evictions{0};
+  std::atomic<uint64_t> stat_refaults{0};
+  std::atomic<uint64_t> stat_activations{0};
+  std::atomic<uint64_t> stat_oom_events{0};
+
+  double HitRate() const {
+    const uint64_t hits = stat_hits.load();
+    const uint64_t misses = stat_misses.load();
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+
+  void ResetStats() {
+    stat_insertions = 0;
+    stat_hits = 0;
+    stat_misses = 0;
+    stat_evictions = 0;
+    stat_refaults = 0;
+    stat_activations = 0;
+    stat_oom_events = 0;
+  }
+
+ private:
+  uint64_t id_;
+  std::string name_;
+  uint64_t limit_pages_;
+  std::atomic<uint64_t> charged_pages_{0};
+  std::atomic<uint64_t> nonresident_age_{0};
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_CGROUP_MEMCG_H_

@@ -1,0 +1,55 @@
+// Belady's OPT oracle and page-access trace capture.
+//
+// For "pushing forward the frontier of caching research" (§1), policy hit
+// rates need a yardstick: OPT, the clairvoyant policy that evicts the page
+// re-used farthest in the future. This module records the page-access
+// stream of any experiment via the PageCacheTracer hook and computes the
+// optimal hit rate for a given capacity, so every policy's gap-to-optimal
+// can be reported (see bench_ablation's headroom table).
+
+#ifndef SRC_HARNESS_BELADY_H_
+#define SRC_HARNESS_BELADY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/pagecache/page_cache.h"
+
+namespace cache_ext::harness {
+
+struct PageAccess {
+  uint64_t mapping_id;
+  uint64_t index;
+
+  bool operator==(const PageAccess& other) const {
+    return mapping_id == other.mapping_id && index == other.index;
+  }
+};
+
+// Tracer that records every logical page access (hits and the access half
+// of misses both dispatch the accessed event, so the stream is complete).
+class AccessTraceRecorder : public PageCacheTracer {
+ public:
+  void OnFolioAdded(Lane& lane, const Folio& folio) override;
+  void OnFolioAccessed(Lane& lane, const Folio& folio) override;
+  void OnFolioEvicted(Lane& lane, const Folio& folio) override;
+
+  // The recorded access stream, in order.
+  std::vector<PageAccess> TakeTrace();
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PageAccess> trace_;
+};
+
+// OPT (Belady) hit rate for the trace at the given capacity: on each miss
+// with a full cache, evict the resident page whose next use is farthest
+// away (never-used-again pages first). O(n log n).
+double BeladyHitRate(const std::vector<PageAccess>& trace,
+                     uint64_t capacity_pages);
+
+}  // namespace cache_ext::harness
+
+#endif  // SRC_HARNESS_BELADY_H_

@@ -1,0 +1,73 @@
+#include "src/harness/env.h"
+
+#include "src/workloads/kv_workload.h"
+
+namespace cache_ext::harness {
+
+Env::Env(const EnvOptions& options) : ssd_(options.ssd) {
+  cache_ = std::make_unique<PageCache>(&disk_, &ssd_, options.cache);
+  loader_ = std::make_unique<CacheExtLoader>(cache_.get());
+}
+
+MemCgroup* Env::CreateCgroup(std::string_view name, uint64_t limit_bytes,
+                             BasePolicyKind base) {
+  return cache_->CreateCgroup(name, limit_bytes, base);
+}
+
+bool IsBaselinePolicy(std::string_view policy) {
+  return policy == "default" || policy == "mglru";
+}
+
+BasePolicyKind BaseKindFor(std::string_view policy) {
+  return policy == "mglru" ? BasePolicyKind::kMglru
+                           : BasePolicyKind::kDefaultLru;
+}
+
+Expected<std::shared_ptr<policies::UserspaceAgent>> Env::AttachPolicy(
+    MemCgroup* cg, std::string_view policy,
+    const policies::PolicyParams& params) {
+  if (IsBaselinePolicy(policy)) {
+    return std::shared_ptr<policies::UserspaceAgent>();
+  }
+  policies::PolicyParams sized = params;
+  if (sized.capacity_pages == (1ULL << 20)) {
+    sized.capacity_pages = cg->limit_pages();
+  }
+  auto bundle = policies::MakePolicy(policy, sized);
+  CACHE_EXT_RETURN_IF_ERROR(bundle.status());
+  auto attached = loader_->Attach(cg, std::move(bundle->ops),
+                                  cache_->options().costs);
+  CACHE_EXT_RETURN_IF_ERROR(attached.status());
+  return bundle->agent;
+}
+
+Expected<std::unique_ptr<lsm::LsmDb>> Env::CreateLoadedDb(
+    MemCgroup* cg, std::string_view db_name, uint64_t record_count,
+    uint32_t value_size, const lsm::DbOptions& options) {
+  auto db = std::make_unique<lsm::LsmDb>(cache_.get(), cg,
+                                         std::string(db_name), options);
+  Lane load_lane(/*id=*/0x10AD, TaskContext{1, 1}, /*seed=*/7);
+  uint64_t next_index = 0;
+  Status status = db->BulkLoad(
+      load_lane, [&](std::string* key, std::string* value) {
+        if (next_index >= record_count) {
+          return false;
+        }
+        *key = workloads::KvGenerator::KeyFor(next_index);
+        *value = workloads::KvGenerator::ValueFor(next_index, value_size);
+        ++next_index;
+        return true;
+      });
+  CACHE_EXT_RETURN_IF_ERROR(status);
+  // Drop the cache: the paper drops the page cache before each test.
+  auto files = disk_.ListFiles();
+  for (const auto& name : files) {
+    auto as = cache_->OpenFile(name);
+    CACHE_EXT_RETURN_IF_ERROR(as.status());
+    CACHE_EXT_RETURN_IF_ERROR(cache_->FadviseRange(
+        load_lane, *as, cg, Fadvise::kDontNeed, 0, 0));
+  }
+  return db;
+}
+
+}  // namespace cache_ext::harness

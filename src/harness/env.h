@@ -1,0 +1,70 @@
+// Experiment environment: disk + SSD model + page cache + loader, with
+// helpers to create cgroups, attach policies by name, and bulk-load LSM
+// databases. Shared by the examples and every bench binary.
+
+#ifndef SRC_HARNESS_ENV_H_
+#define SRC_HARNESS_ENV_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cache_ext/loader.h"
+#include "src/lsm/db.h"
+#include "src/pagecache/page_cache.h"
+#include "src/policies/policy_factory.h"
+#include "src/sim/sim_disk.h"
+#include "src/sim/ssd_model.h"
+
+namespace cache_ext::harness {
+
+struct EnvOptions {
+  SsdModelOptions ssd;
+  PageCacheOptions cache;
+};
+
+class Env {
+ public:
+  explicit Env(const EnvOptions& options = {});
+
+  SimDisk& disk() { return disk_; }
+  SsdModel& ssd() { return ssd_; }
+  PageCache& cache() { return *cache_; }
+  CacheExtLoader& loader() { return *loader_; }
+
+  // Create a cgroup with the given base (native) policy.
+  MemCgroup* CreateCgroup(std::string_view name, uint64_t limit_bytes,
+                          BasePolicyKind base = BasePolicyKind::kDefaultLru);
+
+  // Attach a cache_ext policy by name ("lfu", "s3fifo", ...). Returns the
+  // userspace agent to poll, or nullptr if the policy has none. Names
+  // "default" and "mglru" mean: no ext policy (the cgroup's base applies).
+  Expected<std::shared_ptr<policies::UserspaceAgent>> AttachPolicy(
+      MemCgroup* cg, std::string_view policy,
+      const policies::PolicyParams& params);
+
+  // Build an LSM DB charged to `cg` and bulk-load `record_count` records
+  // with deterministic values of `value_size` bytes.
+  Expected<std::unique_ptr<lsm::LsmDb>> CreateLoadedDb(
+      MemCgroup* cg, std::string_view db_name, uint64_t record_count,
+      uint32_t value_size, const lsm::DbOptions& options = {});
+
+ private:
+  SimDisk disk_;
+  SsdModel ssd_;
+  std::unique_ptr<PageCache> cache_;
+  std::unique_ptr<CacheExtLoader> loader_;
+};
+
+// True for policy names that select a native baseline rather than a
+// cache_ext policy ("default", "mglru").
+bool IsBaselinePolicy(std::string_view policy);
+
+// The base policy kind an experiment arm needs ("mglru" -> native MGLRU,
+// everything else -> the default two-list LRU).
+BasePolicyKind BaseKindFor(std::string_view policy);
+
+}  // namespace cache_ext::harness
+
+#endif  // SRC_HARNESS_ENV_H_

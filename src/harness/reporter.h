@@ -1,0 +1,39 @@
+// Aligned-table reporting for bench binaries: every bench prints the rows or
+// series of the paper figure/table it regenerates.
+
+#ifndef SRC_HARNESS_REPORTER_H_
+#define SRC_HARNESS_REPORTER_H_
+
+#include <string>
+#include <vector>
+
+namespace cache_ext::harness {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  // Pretty-print to stdout with aligned columns.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "82808 op/s"-style formatting helpers.
+std::string FormatOps(double ops_per_sec);
+std::string FormatNs(uint64_t ns);      // latency: us/ms with 2 decimals
+std::string FormatBytes(uint64_t bytes);
+std::string FormatPercent(double fraction);  // 0.37 -> "37.0%"
+std::string FormatDouble(double v, int decimals = 2);
+
+}  // namespace cache_ext::harness
+
+#endif  // SRC_HARNESS_REPORTER_H_

@@ -1,0 +1,110 @@
+// Workload runners: execute generated op streams against an LSM DB (or the
+// file searcher) on N lanes and collect paper-style metrics.
+//
+// Lane scheduling: the runner always advances the lane with the smallest
+// virtual clock, which is how N concurrent client threads interleave against
+// shared resources. Throughput = completed ops / max lane time; latency
+// histograms are recorded per op class (reads/updates vs scans) so Fig. 10
+// can report them separately.
+
+#ifndef SRC_HARNESS_RUNNER_H_
+#define SRC_HARNESS_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lsm/db.h"
+#include "src/policies/userspace_agent.h"
+#include "src/search/searcher.h"
+#include "src/util/histogram.h"
+#include "src/workloads/kv_workload.h"
+
+namespace cache_ext::harness {
+
+struct RunResult {
+  uint64_t ops_completed = 0;
+  uint64_t scans_completed = 0;
+  double duration_s = 0;             // max lane virtual time
+  double throughput_ops = 0;         // point ops per virtual second
+  double scan_throughput_ops = 0;    // scan ops per virtual second
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
+  double mean_ns = 0;
+  uint64_t scan_p99_ns = 0;
+  double hit_rate = 0;
+  uint64_t disk_read_bytes = 0;
+  uint64_t disk_write_bytes = 0;
+  bool oom = false;
+};
+
+struct LaneSpec {
+  workloads::KvGenerator* generator = nullptr;  // op stream for this lane
+  TaskContext task;
+  uint64_t ops = 0;  // ops this lane executes
+};
+
+struct KvRunnerOptions {
+  // Poll the policy's userspace agent every this many completed ops.
+  uint64_t agent_poll_interval = 2048;
+  std::shared_ptr<policies::UserspaceAgent> agent;
+  // Lanes start at this virtual time (pass the SSD frontier when reusing a
+  // device across runs); measured duration excludes it.
+  uint64_t base_time_ns = 0;
+};
+
+// Runs lanes against the DB until each lane finishes its op budget (or the
+// cgroup OOMs). Returns aggregate metrics; on OOM, throughput is 0 (the
+// workload died), matching how Fig. 8 reports the MGLRU OOM on cluster 24.
+Expected<RunResult> RunKvWorkload(lsm::LsmDb* db, MemCgroup* cg,
+                                  std::vector<LaneSpec> lanes,
+                                  const KvRunnerOptions& options = {});
+
+struct SearchRunResult {
+  uint64_t matches = 0;
+  uint64_t passes = 0;
+  double duration_s = 0;
+  double hit_rate = 0;
+  uint64_t disk_read_bytes = 0;
+  bool oom = false;
+};
+
+// Runs `passes` full passes of the searcher over the corpus with `nr_lanes`
+// worker lanes.
+Expected<SearchRunResult> RunSearchWorkload(search::FileSearcher* searcher,
+                                            MemCgroup* cg, int nr_lanes,
+                                            int passes,
+                                            std::string_view pattern,
+                                            uint64_t base_time_ns = 0);
+
+// --- Fig. 11: two workloads, two cgroups, one disk -------------------------
+
+struct IsolationOptions {
+  // Fixed virtual time span (paper: 7 minutes).
+  uint64_t duration_ns = 420ULL * 1000 * 1000 * 1000;
+  int kv_lanes = 4;
+  int search_lanes = 4;
+  std::shared_ptr<policies::UserspaceAgent> kv_agent;
+  std::shared_ptr<policies::UserspaceAgent> search_agent;
+  uint64_t agent_poll_interval = 2048;
+};
+
+struct IsolationResult {
+  double kv_throughput_ops = 0;
+  double searches_completed = 0;  // fractional corpus passes in the window
+  bool kv_oom = false;
+  bool search_oom = false;
+};
+
+// Runs a KV workload (cgroup A) and the file search (cgroup B) concurrently
+// against the shared disk for a fixed virtual time span, interleaving lanes
+// by virtual clock so device contention is mutual.
+Expected<IsolationResult> RunIsolationWorkload(
+    lsm::LsmDb* db, MemCgroup* kv_cg, workloads::KvGenerator* kv_generator,
+    search::FileSearcher* searcher, MemCgroup* search_cg,
+    std::string_view pattern, const IsolationOptions& options = {});
+
+}  // namespace cache_ext::harness
+
+#endif  // SRC_HARNESS_RUNNER_H_

@@ -1,0 +1,57 @@
+// On-"disk" encoding helpers for the LSM store (varints + fixed ints),
+// LevelDB-style.
+
+#ifndef SRC_LSM_FORMAT_H_
+#define SRC_LSM_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cache_ext::lsm {
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    dst->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline uint64_t GetFixed64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+inline void PutVarint32(std::string* dst, uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+// Returns bytes consumed, or 0 on corruption.
+inline size_t GetVarint32(const uint8_t* p, const uint8_t* limit,
+                          uint32_t* out) {
+  uint32_t result = 0;
+  for (int shift = 0; shift <= 28; shift += 7) {
+    if (p + shift / 7 >= limit) {
+      return 0;
+    }
+    const uint8_t byte = p[shift / 7];
+    result |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = result;
+      return static_cast<size_t>(shift / 7) + 1;
+    }
+  }
+  return 0;
+}
+
+inline constexpr uint64_t kSstMagic = 0x63616368655f6578ULL;  // "cache_ex"
+
+}  // namespace cache_ext::lsm
+
+#endif  // SRC_LSM_FORMAT_H_

@@ -1,0 +1,157 @@
+// Skiplist: the memtable's ordered index (LevelDB-style).
+//
+// Single-writer/multi-reader is all the DB needs (writes are serialized by
+// the DB mutex); we keep it simple and require external synchronization.
+// Keys are owned strings; values carry a tombstone flag so deletes shadow
+// older SSTable entries.
+
+#ifndef SRC_LSM_SKIPLIST_H_
+#define SRC_LSM_SKIPLIST_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/util/rng.h"
+
+namespace cache_ext::lsm {
+
+struct MemEntry {
+  std::string value;
+  bool tombstone = false;
+};
+
+class SkipList {
+ private:
+  struct Node;
+
+ public:
+  static constexpr int kMaxHeight = 12;
+
+  SkipList() : rng_(0xdecafbadULL) {
+    head_ = NewNode("", MemEntry{}, kMaxHeight);
+  }
+  ~SkipList() {
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->next[0];
+      node->~Node();
+      ::operator delete(node);
+      node = next;
+    }
+  }
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  // Insert or overwrite.
+  void Put(std::string_view key, std::string_view value, bool tombstone) {
+    Node* prev[kMaxHeight];
+    Node* node = FindGreaterOrEqual(key, prev);
+    if (node != nullptr && node->key == key) {
+      node->entry.value.assign(value);
+      node->entry.tombstone = tombstone;
+      return;
+    }
+    const int height = RandomHeight();
+    Node* fresh = NewNode(key, MemEntry{std::string(value), tombstone}, height);
+    for (int level = 0; level < height; ++level) {
+      fresh->next[level] = prev[level]->next[level];
+      prev[level]->next[level] = fresh;
+    }
+    ++size_;
+    bytes_ += key.size() + value.size() + 32;
+  }
+
+  // Returns the entry for key, or nullptr.
+  const MemEntry* Get(std::string_view key) const {
+    Node* node = FindGreaterOrEqual(key, nullptr);
+    if (node != nullptr && node->key == key) {
+      return &node->entry;
+    }
+    return nullptr;
+  }
+
+  size_t size() const { return size_; }
+  uint64_t ApproximateBytes() const { return bytes_; }
+  bool empty() const { return size_ == 0; }
+
+  // Ordered iteration.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list)
+        : node_(list->head_->next[0]) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const std::string& key() const { return node_->key; }
+    const MemEntry& entry() const { return node_->entry; }
+    void Next() { node_ = node_->next[0]; }
+
+    // Position at the first key >= target.
+    void Seek(const SkipList* list, std::string_view target) {
+      node_ = list->FindGreaterOrEqual(target, nullptr);
+    }
+
+   private:
+    friend class SkipList;
+    Node* node_;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+ private:
+  struct Node {  // definition of the forward-declared nested type
+    std::string key;
+    MemEntry entry;
+    // Over-allocated flexible next array, height pointers.
+    Node* next[1];
+  };
+
+  static Node* NewNode(std::string_view key, MemEntry entry, int height) {
+    // Manual allocation of the flexible array.
+    void* mem = ::operator new(sizeof(Node) +
+                               sizeof(Node*) * (static_cast<size_t>(height) - 1));
+    Node* node = new (mem) Node{std::string(key), std::move(entry), {nullptr}};
+    for (int i = 0; i < height; ++i) {
+      node->next[i] = nullptr;
+    }
+    return node;
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rng_.NextU64Below(4) == 0) {
+      ++height;
+    }
+    return height;
+  }
+
+  Node* FindGreaterOrEqual(std::string_view key, Node** prev) const {
+    Node* node = head_;
+    int level = kMaxHeight - 1;
+    while (true) {
+      Node* next = node->next[level];
+      if (next != nullptr && next->key < key) {
+        node = next;
+        continue;
+      }
+      if (prev != nullptr) {
+        prev[level] = node;
+      }
+      if (level == 0) {
+        return next;
+      }
+      --level;
+    }
+  }
+
+  Node* head_;
+  size_t size_ = 0;
+  uint64_t bytes_ = 0;
+  Rng rng_;
+};
+
+}  // namespace cache_ext::lsm
+
+#endif  // SRC_LSM_SKIPLIST_H_

@@ -1,0 +1,267 @@
+#include "src/lsm/sstable.h"
+
+#include <algorithm>
+
+#include "src/lsm/format.h"
+#include "src/util/logging.h"
+
+namespace cache_ext::lsm {
+
+SSTableBuilder::SSTableBuilder(PageCache* pc, MemCgroup* cg,
+                               std::string file_name,
+                               uint64_t target_block_bytes)
+    : pc_(pc),
+      cg_(cg),
+      file_name_(std::move(file_name)),
+      target_block_bytes_(target_block_bytes) {}
+
+void SSTableBuilder::CutBlock() {
+  if (block_.empty()) {
+    return;
+  }
+  PutVarint32(&index_, static_cast<uint32_t>(last_key_.size()));
+  index_.append(last_key_);
+  PutFixed64(&index_, block_offset_);
+  PutFixed64(&index_, block_.size());
+  buffer_.append(block_);
+  block_offset_ += block_.size();
+  block_.clear();
+}
+
+Status SSTableBuilder::Add(std::string_view key, std::string_view value,
+                           bool tombstone) {
+  if (finished_) {
+    return FailedPrecondition("builder already finished");
+  }
+  if (num_entries_ > 0 && key <= last_key_) {
+    return InvalidArgument("keys must be added in increasing order");
+  }
+  PutVarint32(&block_, static_cast<uint32_t>(key.size()));
+  PutVarint32(&block_, static_cast<uint32_t>(value.size()));
+  block_.push_back(tombstone ? '\1' : '\0');
+  block_.append(key);
+  block_.append(value);
+  if (num_entries_ == 0) {
+    smallest_.assign(key);
+  }
+  largest_.assign(key);
+  last_key_.assign(key);
+  ++num_entries_;
+  if (block_.size() >= target_block_bytes_) {
+    CutBlock();
+  }
+  return OkStatus();
+}
+
+Expected<uint64_t> SSTableBuilder::Finish(Lane& lane) {
+  if (finished_) {
+    return FailedPrecondition("builder already finished");
+  }
+  finished_ = true;
+  CutBlock();
+  const uint64_t index_offset = buffer_.size();
+  const uint64_t index_size = index_.size();
+  buffer_.append(index_);
+  PutFixed64(&buffer_, index_offset);
+  PutFixed64(&buffer_, index_size);
+  PutFixed64(&buffer_, kSstMagic);
+
+  auto as = pc_->OpenFile(file_name_);
+  CACHE_EXT_RETURN_IF_ERROR(as.status());
+  CACHE_EXT_RETURN_IF_ERROR(pc_->Write(
+      lane, *as, cg_, 0,
+      std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(buffer_.data()), buffer_.size())));
+  CACHE_EXT_RETURN_IF_ERROR(pc_->SyncFile(lane, *as));
+  return static_cast<uint64_t>(buffer_.size());
+}
+
+Expected<std::unique_ptr<SSTableReader>> SSTableReader::Open(
+    PageCache* pc, MemCgroup* cg, std::string_view name, Lane& lane) {
+  auto as = pc->OpenFile(name);
+  CACHE_EXT_RETURN_IF_ERROR(as.status());
+  // LevelDB/RocksDB advise the kernel that table files are accessed
+  // randomly (POSIX_FADV_RANDOM), disabling readahead for point lookups;
+  // sequential consumers (scans, compactions) do their own large segment
+  // reads instead.
+  CACHE_EXT_RETURN_IF_ERROR(
+      pc->FadviseRange(lane, *as, cg, Fadvise::kRandom, 0, 0));
+  auto reader = std::unique_ptr<SSTableReader>(
+      new SSTableReader(pc, cg, *as, std::string(name)));
+
+  const uint64_t file_size = pc->FileSize(*as);
+  if (file_size < 24) {
+    return Corruption("sstable too small: " + std::string(name));
+  }
+  reader->file_size_ = file_size;
+
+  uint8_t footer[24];
+  CACHE_EXT_RETURN_IF_ERROR(
+      pc->Read(lane, *as, cg, file_size - 24, std::span<uint8_t>(footer, 24)));
+  const uint64_t index_offset = GetFixed64(footer);
+  const uint64_t index_size = GetFixed64(footer + 8);
+  const uint64_t magic = GetFixed64(footer + 16);
+  if (magic != kSstMagic || index_offset + index_size + 24 != file_size) {
+    return Corruption("bad sstable footer: " + std::string(name));
+  }
+
+  std::vector<uint8_t> index(index_size);
+  CACHE_EXT_RETURN_IF_ERROR(pc->Read(lane, *as, cg, index_offset,
+                                     std::span<uint8_t>(index)));
+  const uint8_t* p = index.data();
+  const uint8_t* limit = p + index.size();
+  while (p < limit) {
+    uint32_t klen = 0;
+    const size_t n = GetVarint32(p, limit, &klen);
+    if (n == 0 || p + n + klen + 16 > limit) {
+      return Corruption("bad sstable index: " + std::string(name));
+    }
+    p += n;
+    IndexEntry entry;
+    entry.last_key.assign(reinterpret_cast<const char*>(p), klen);
+    p += klen;
+    entry.offset = GetFixed64(p);
+    entry.size = GetFixed64(p + 8);
+    p += 16;
+    reader->index_.push_back(std::move(entry));
+  }
+  return reader;
+}
+
+Status SSTableReader::ReadBlock(Lane& lane, uint64_t offset, uint64_t size,
+                                std::vector<uint8_t>* out) {
+  out->resize(size);
+  return pc_->Read(lane, as_, cg_, offset, std::span<uint8_t>(*out));
+}
+
+Expected<std::optional<Record>> SSTableReader::Get(Lane& lane,
+                                                   std::string_view key) {
+  // Binary search: first block whose last_key >= key.
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const IndexEntry& e, std::string_view k) { return e.last_key < k; });
+  if (it == index_.end()) {
+    return std::optional<Record>();
+  }
+  std::vector<uint8_t> block;
+  CACHE_EXT_RETURN_IF_ERROR(ReadBlock(lane, it->offset, it->size, &block));
+  const uint8_t* p = block.data();
+  const uint8_t* limit = p + block.size();
+  while (p < limit) {
+    uint32_t klen = 0;
+    uint32_t vlen = 0;
+    size_t n = GetVarint32(p, limit, &klen);
+    if (n == 0) {
+      return Corruption("bad record in " + name_);
+    }
+    p += n;
+    n = GetVarint32(p, limit, &vlen);
+    if (n == 0 || p + n + 1 + klen + vlen > limit) {
+      return Corruption("bad record in " + name_);
+    }
+    p += n;
+    const bool tombstone = *p++ != 0;
+    std::string_view rec_key(reinterpret_cast<const char*>(p), klen);
+    if (rec_key == key) {
+      Record rec;
+      rec.key.assign(rec_key);
+      rec.value.assign(reinterpret_cast<const char*>(p + klen), vlen);
+      rec.tombstone = tombstone;
+      return std::optional<Record>(std::move(rec));
+    }
+    if (rec_key > key) {
+      return std::optional<Record>();
+    }
+    p += klen + vlen;
+  }
+  return std::optional<Record>();
+}
+
+SSTableReader::Iterator::Iterator(SSTableReader* table, Lane& lane)
+    : table_(table), lane_(lane) {
+  if (!table_->index_.empty()) {
+    if (LoadSegment(0).ok()) {
+      valid_ = ParseNext();
+    }
+  }
+}
+
+Status SSTableReader::Iterator::LoadSegment(size_t block_idx) {
+  segment_first_block_ = block_idx;
+  segment_nr_blocks_ =
+      std::min(kSegmentBlocks, table_->index_.size() - block_idx);
+  segment_pos_ = 0;
+  // Blocks are laid out back to back, so the segment is one contiguous
+  // byte range — one large sequential read.
+  const auto& first = table_->index_[block_idx];
+  const auto& last = table_->index_[block_idx + segment_nr_blocks_ - 1];
+  const uint64_t bytes = last.offset + last.size - first.offset;
+  return table_->ReadBlock(lane_, first.offset, bytes, &segment_data_);
+}
+
+bool SSTableReader::Iterator::ParseNext() {
+  // Records are contiguous within and across the blocks of a segment, so
+  // parsing runs linearly through the whole segment.
+  const uint8_t* base = segment_data_.data();
+  const uint8_t* limit = base + segment_data_.size();
+  const uint8_t* p = base + segment_pos_;
+  if (p >= limit) {
+    return false;
+  }
+  uint32_t klen = 0;
+  uint32_t vlen = 0;
+  size_t n = GetVarint32(p, limit, &klen);
+  if (n == 0) {
+    return false;
+  }
+  p += n;
+  n = GetVarint32(p, limit, &vlen);
+  if (n == 0 || p + n + 1 + klen + vlen > limit) {
+    return false;
+  }
+  p += n;
+  record_.tombstone = *p++ != 0;
+  record_.key.assign(reinterpret_cast<const char*>(p), klen);
+  record_.value.assign(reinterpret_cast<const char*>(p + klen), vlen);
+  segment_pos_ = static_cast<size_t>(p + klen + vlen - base);
+  return true;
+}
+
+Status SSTableReader::Iterator::Next() {
+  if (!valid_) {
+    return FailedPrecondition("iterator exhausted");
+  }
+  if (ParseNext()) {
+    return OkStatus();
+  }
+  // Advance to the next segment.
+  const size_t next_block = segment_first_block_ + segment_nr_blocks_;
+  if (next_block < table_->index_.size()) {
+    CACHE_EXT_RETURN_IF_ERROR(LoadSegment(next_block));
+    valid_ = ParseNext();
+  } else {
+    valid_ = false;
+  }
+  return OkStatus();
+}
+
+Status SSTableReader::Iterator::Seek(std::string_view target) {
+  auto it = std::lower_bound(table_->index_.begin(), table_->index_.end(),
+                             target,
+                             [](const IndexEntry& e, std::string_view k) {
+                               return e.last_key < k;
+                             });
+  if (it == table_->index_.end()) {
+    valid_ = false;
+    return OkStatus();
+  }
+  CACHE_EXT_RETURN_IF_ERROR(
+      LoadSegment(static_cast<size_t>(it - table_->index_.begin())));
+  valid_ = ParseNext();
+  while (valid_ && record_.key < target) {
+    CACHE_EXT_RETURN_IF_ERROR(Next());
+  }
+  return OkStatus();
+}
+
+}  // namespace cache_ext::lsm

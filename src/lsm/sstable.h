@@ -1,0 +1,144 @@
+// SSTable: immutable sorted string table, read and written through the
+// simulated page cache.
+//
+// Layout:   [data block]* [index block] [footer]
+//   data block : repeated records {varint klen, varint vlen, u8 flags,
+//                key bytes, value bytes}, cut at ~target_block_bytes;
+//   index block: repeated {varint klen, key=last key of block,
+//                fixed64 offset, fixed64 size};
+//   footer     : fixed64 index_offset, fixed64 index_size, fixed64 magic.
+//
+// The reader keeps the parsed index in memory (the role LevelDB's table
+// cache plays) but reads every data block through the page cache, which is
+// what makes the eviction policy matter.
+
+#ifndef SRC_LSM_SSTABLE_H_
+#define SRC_LSM_SSTABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/pagecache/page_cache.h"
+
+namespace cache_ext::lsm {
+
+struct Record {
+  std::string key;
+  std::string value;
+  bool tombstone = false;
+};
+
+class SSTableBuilder {
+ public:
+  SSTableBuilder(PageCache* pc, MemCgroup* cg, std::string file_name,
+                 uint64_t target_block_bytes = 4096);
+
+  // Keys must be added in strictly increasing order.
+  Status Add(std::string_view key, std::string_view value, bool tombstone);
+
+  // Writes the table through the page cache and fsyncs it. Returns the file
+  // size in bytes.
+  Expected<uint64_t> Finish(Lane& lane);
+
+  uint64_t EstimatedBytes() const { return buffer_.size() + block_.size(); }
+  uint64_t num_entries() const { return num_entries_; }
+  const std::string& smallest_key() const { return smallest_; }
+  const std::string& largest_key() const { return largest_; }
+  const std::string& file_name() const { return file_name_; }
+
+ private:
+  void CutBlock();
+
+  PageCache* pc_;
+  MemCgroup* cg_;
+  std::string file_name_;
+  uint64_t target_block_bytes_;
+
+  std::string buffer_;  // finished blocks
+  std::string block_;   // current block under construction
+  std::string index_;
+  std::string last_key_;
+  std::string smallest_;
+  std::string largest_;
+  uint64_t block_offset_ = 0;
+  uint64_t num_entries_ = 0;
+  bool finished_ = false;
+};
+
+class SSTableReader {
+ public:
+  // Opens the table: reads the footer and index through the page cache.
+  static Expected<std::unique_ptr<SSTableReader>> Open(PageCache* pc,
+                                                       MemCgroup* cg,
+                                                       std::string_view name,
+                                                       Lane& lane);
+
+  // Point lookup. Returns nullopt if the key is not in this table; a present
+  // record may be a tombstone.
+  Expected<std::optional<Record>> Get(Lane& lane, std::string_view key);
+
+  // Sequential iterator over all records (used by compaction and scans).
+  // Reads the file in multi-block segments (64 KiB), the way LevelDB and
+  // RocksDB compactions/scans issue large sequential reads
+  // (compaction_readahead_size), so sequential consumers behave sanely even
+  // when their pages bypass the cache (admission filter).
+  class Iterator {
+   public:
+    static constexpr size_t kSegmentBlocks = 16;
+
+    Iterator(SSTableReader* table, Lane& lane);
+    bool Valid() const { return valid_; }
+    const Record& record() const { return record_; }
+    Status Next();
+    // Position at the first record with key >= target.
+    Status Seek(std::string_view target);
+
+   private:
+    // Loads the segment of up to kSegmentBlocks blocks starting at
+    // block_idx with one read.
+    Status LoadSegment(size_t block_idx);
+    bool ParseNext();
+
+    SSTableReader* table_;
+    Lane& lane_;
+    size_t segment_first_block_ = 0;
+    size_t segment_nr_blocks_ = 0;
+    std::vector<uint8_t> segment_data_;
+    size_t segment_pos_ = 0;
+    Record record_;
+    bool valid_ = false;
+  };
+
+  uint64_t file_size() const { return file_size_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct IndexEntry {
+    std::string last_key;  // largest key in the block
+    uint64_t offset;
+    uint64_t size;
+  };
+
+  SSTableReader(PageCache* pc, MemCgroup* cg, AddressSpace* as,
+                std::string name)
+      : pc_(pc), cg_(cg), as_(as), name_(std::move(name)) {}
+
+  Status ReadBlock(Lane& lane, uint64_t offset, uint64_t size,
+                   std::vector<uint8_t>* out);
+
+  PageCache* pc_;
+  MemCgroup* cg_;
+  AddressSpace* as_;
+  std::string name_;
+  uint64_t file_size_ = 0;
+  std::vector<IndexEntry> index_;
+
+  friend class Iterator;
+};
+
+}  // namespace cache_ext::lsm
+
+#endif  // SRC_LSM_SSTABLE_H_

@@ -1,0 +1,60 @@
+// AddressSpace: per-file page-cache index (struct address_space).
+//
+// Maps page index -> folio (resident) or shadow entry (recently evicted,
+// used for refault detection). The stable `id` survives folio eviction and
+// is what policies use to key ghost entries (§5.1: "we cannot use folio
+// pointers as the key, as they are not persistent across evictions").
+
+#ifndef SRC_MM_ADDRESS_SPACE_H_
+#define SRC_MM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/mm/folio.h"
+#include "src/mm/xarray.h"
+#include "src/sim/sim_disk.h"
+
+namespace cache_ext {
+
+class AddressSpace {
+ public:
+  AddressSpace(uint64_t id, FileId file, std::string name)
+      : id_(id), file_(file), name_(std::move(name)) {}
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  uint64_t id() const { return id_; }
+  FileId file() const { return file_; }
+  const std::string& name() const { return name_; }
+
+  XArray& pages() { return pages_; }
+  const XArray& pages() const { return pages_; }
+
+  // Resident folio at index, or nullptr (shadow entries are not folios).
+  Folio* FindFolio(uint64_t index) const {
+    return pages_.Load(index).AsPointer<Folio>();
+  }
+
+  uint64_t nr_resident() const { return nr_resident_; }
+  void IncResident() { ++nr_resident_; }
+  void DecResident() { --nr_resident_; }
+
+  // Readahead state: last sequentially-read index + current window.
+  uint64_t ra_prev_index = UINT64_MAX;
+  uint32_t ra_window = 0;
+  bool ra_sequential_hint = false;  // FADV_SEQUENTIAL
+  bool ra_random_hint = false;      // FADV_RANDOM
+  bool noreuse_hint = false;        // FADV_NOREUSE
+
+ private:
+  uint64_t id_;
+  FileId file_;
+  std::string name_;
+  XArray pages_;
+  uint64_t nr_resident_ = 0;
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_MM_ADDRESS_SPACE_H_

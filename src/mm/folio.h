@@ -1,0 +1,70 @@
+// Folio: the unit of page-cache residency.
+//
+// Mirrors the kernel's struct folio for the fields eviction policies care
+// about: the owning mapping and index, state flags, LRU linkage, and the
+// MGLRU generation/tier bookkeeping. All folios in this simulation are
+// zero-order (a single 4 KiB page), matching the paper's workloads.
+
+#ifndef SRC_MM_FOLIO_H_
+#define SRC_MM_FOLIO_H_
+
+#include <cstdint>
+
+#include "src/util/intrusive_list.h"
+
+namespace cache_ext {
+
+class AddressSpace;
+class MemCgroup;
+
+inline constexpr uint64_t kPageSize = 4096;
+
+enum FolioFlag : uint32_t {
+  kFolioReferenced = 1u << 0,  // accessed since last scan
+  kFolioActive = 1u << 1,      // on the active list
+  kFolioDirty = 1u << 2,       // needs writeback before reclaim
+  kFolioUptodate = 1u << 3,    // contents populated from storage
+  kFolioWorkingset = 1u << 4,  // refaulted within the workingset window
+  kFolioDropBehind = 1u << 5,  // FADV_NOREUSE-style hint: evict early
+};
+
+struct Folio {
+  AddressSpace* mapping = nullptr;
+  uint64_t index = 0;  // page index within the mapping
+  MemCgroup* memcg = nullptr;
+
+  uint32_t flags = 0;
+  // Pin count: >0 means the kernel is using the folio (in-flight I/O,
+  // mapped buffers); pinned folios are not evictable (§4.2.3).
+  uint32_t pins = 0;
+
+  // Linkage on the *base* (native) policy's lists. cache_ext eviction lists
+  // keep their own nodes in the registry, per §4.2.2.
+  ListNode lru;
+
+  // MGLRU bookkeeping (native implementation).
+  uint32_t gen = 0;        // generation sequence number this folio belongs to
+  uint32_t accesses = 0;   // access count feeding the tier computation
+
+  bool TestFlag(FolioFlag f) const { return (flags & f) != 0; }
+  void SetFlag(FolioFlag f) { flags |= f; }
+  void ClearFlag(FolioFlag f) { flags &= ~f; }
+
+  // Atomically "test and clear" referenced, like folio_test_clear_referenced.
+  bool TestClearReferenced() {
+    const bool was = TestFlag(kFolioReferenced);
+    ClearFlag(kFolioReferenced);
+    return was;
+  }
+
+  bool pinned() const { return pins > 0; }
+  void Pin() { ++pins; }
+  void Unpin() {
+    DCHECK(pins > 0);
+    --pins;
+  }
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_MM_FOLIO_H_

@@ -1,0 +1,150 @@
+#include "src/mm/xarray.h"
+
+#include "src/util/logging.h"
+
+namespace cache_ext {
+
+XArray::Node::Node() = default;
+
+XArray::Node::~Node() {
+  for (Node* child : children) {
+    delete child;
+  }
+}
+
+XArray::XArray() = default;
+
+XArray::~XArray() { delete root_; }
+
+uint64_t XArray::MaxIndex() const {
+  const int bits = height_ * kBitsPerLevel;
+  if (bits >= 64) {
+    return UINT64_MAX;
+  }
+  return (1ULL << bits) - 1;
+}
+
+void XArray::Grow(uint64_t index) {
+  while (index > MaxIndex()) {
+    // Push the current root down one level.
+    Node* new_root = new Node();
+    if (root_ != nullptr) {
+      new_root->children[0] = root_;
+      new_root->present = 1;
+    }
+    root_ = new_root;
+    ++height_;
+  }
+}
+
+XEntry XArray::Load(uint64_t index) const {
+  if (root_ == nullptr || index > MaxIndex()) {
+    return XEntry::Empty();
+  }
+  const Node* node = root_;
+  for (int level = height_; level > 1; --level) {
+    const int shift = (level - 1) * kBitsPerLevel;
+    const int slot = static_cast<int>((index >> shift) & (kSlots - 1));
+    node = node->children[slot];
+    if (node == nullptr) {
+      return XEntry::Empty();
+    }
+  }
+  return node->slots[index & (kSlots - 1)];
+}
+
+XEntry XArray::Store(uint64_t index, XEntry entry) {
+  if (entry.IsEmpty() && (root_ == nullptr || index > MaxIndex())) {
+    return XEntry::Empty();
+  }
+  if (!entry.IsEmpty()) {
+    Grow(index);
+    if (root_ == nullptr) {
+      root_ = new Node();
+    }
+  }
+  if (root_ == nullptr) {
+    return XEntry::Empty();
+  }
+
+  // Walk down, remembering the path so empty nodes can be pruned.
+  Node* path[12];
+  int slots[12];
+  int depth = 0;
+  Node* node = root_;
+  for (int level = height_; level > 1; --level) {
+    const int shift = (level - 1) * kBitsPerLevel;
+    const int slot = static_cast<int>((index >> shift) & (kSlots - 1));
+    path[depth] = node;
+    slots[depth] = slot;
+    ++depth;
+    Node* child = node->children[slot];
+    if (child == nullptr) {
+      if (entry.IsEmpty()) {
+        return XEntry::Empty();
+      }
+      child = new Node();
+      node->children[slot] = child;
+      ++node->present;
+    }
+    node = child;
+  }
+
+  const int leaf_slot = static_cast<int>(index & (kSlots - 1));
+  const XEntry old = node->slots[leaf_slot];
+  node->slots[leaf_slot] = entry;
+
+  if (old.IsEmpty() && !entry.IsEmpty()) {
+    ++node->present;
+    ++count_;
+  } else if (!old.IsEmpty() && entry.IsEmpty()) {
+    --node->present;
+    DCHECK(count_ > 0);
+    --count_;
+    // Prune now-empty nodes bottom-up (but keep the root allocated).
+    Node* child = node;
+    for (int i = depth - 1; i >= 0 && child->present == 0; --i) {
+      path[i]->children[slots[i]] = nullptr;
+      --path[i]->present;
+      delete child;
+      child = path[i];
+    }
+  }
+  return old;
+}
+
+void XArray::ForEachNode(const Node* node, int shift, uint64_t prefix,
+                         uint64_t first, uint64_t last,
+                         const std::function<void(uint64_t, XEntry)>& fn) const {
+  for (int slot = 0; slot < kSlots; ++slot) {
+    const uint64_t base = prefix | (static_cast<uint64_t>(slot) << shift);
+    if (shift == 0) {
+      if (!node->slots[slot].IsEmpty() && base >= first && base <= last) {
+        fn(base, node->slots[slot]);
+      }
+      continue;
+    }
+    const Node* child = node->children[slot];
+    if (child == nullptr) {
+      continue;
+    }
+    // Skip subtrees wholly outside [first, last].
+    const uint64_t span = (1ULL << shift) - 1;
+    const uint64_t subtree_last = base + span;
+    if (subtree_last < first || base > last) {
+      continue;
+    }
+    ForEachNode(child, shift - kBitsPerLevel, base, first, last, fn);
+  }
+}
+
+void XArray::ForEachInRange(
+    uint64_t first, uint64_t last,
+    const std::function<void(uint64_t, XEntry)>& fn) const {
+  if (root_ == nullptr || first > last) {
+    return;
+  }
+  ForEachNode(root_, (height_ - 1) * kBitsPerLevel, 0, first, last, fn);
+}
+
+}  // namespace cache_ext

@@ -1,0 +1,105 @@
+// XArray: a sparse uint64 -> entry radix trie, standing in for the kernel's
+// xarray (the page-cache index structure).
+//
+// Entries are tagged words, exactly like the kernel:
+//   - a pointer entry has bit 0 clear (pointers are at least 4-aligned);
+//   - a "value" entry (shadow entry in the page cache) has bit 0 set and
+//     carries 63 bits of payload.
+// Storing the null entry erases the slot. Not internally synchronized: the
+// caller holds the mapping lock, as in the kernel.
+
+#ifndef SRC_MM_XARRAY_H_
+#define SRC_MM_XARRAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace cache_ext {
+
+class XEntry {
+ public:
+  constexpr XEntry() : raw_(0) {}
+
+  static XEntry FromPointer(void* p) {
+    return XEntry(reinterpret_cast<uintptr_t>(p));
+  }
+  // payload must fit in 63 bits.
+  static XEntry FromValue(uint64_t payload) {
+    return XEntry((payload << 1) | 1u);
+  }
+  static XEntry Empty() { return XEntry(); }
+
+  bool IsEmpty() const { return raw_ == 0; }
+  bool IsValue() const { return (raw_ & 1u) != 0; }
+  bool IsPointer() const { return raw_ != 0 && (raw_ & 1u) == 0; }
+
+  template <typename T>
+  T* AsPointer() const {
+    return IsPointer() ? reinterpret_cast<T*>(raw_) : nullptr;
+  }
+  uint64_t AsValue() const { return raw_ >> 1; }
+
+  uintptr_t raw() const { return raw_; }
+  bool operator==(const XEntry& o) const { return raw_ == o.raw_; }
+
+ private:
+  explicit constexpr XEntry(uintptr_t raw) : raw_(raw) {}
+  uintptr_t raw_;
+};
+
+class XArray {
+ public:
+  XArray();
+  ~XArray();
+  XArray(const XArray&) = delete;
+  XArray& operator=(const XArray&) = delete;
+
+  XEntry Load(uint64_t index) const;
+
+  // Stores entry at index, returning the previous entry. Storing Empty()
+  // erases and prunes empty interior nodes.
+  XEntry Store(uint64_t index, XEntry entry);
+
+  XEntry Erase(uint64_t index) { return Store(index, XEntry::Empty()); }
+
+  // Number of non-empty entries.
+  uint64_t Count() const { return count_; }
+
+  // Calls fn(index, entry) for each non-empty entry with index in
+  // [first, last], in ascending index order. fn may not mutate the array.
+  void ForEachInRange(uint64_t first, uint64_t last,
+                      const std::function<void(uint64_t, XEntry)>& fn) const;
+  void ForEach(const std::function<void(uint64_t, XEntry)>& fn) const {
+    ForEachInRange(0, UINT64_MAX, fn);
+  }
+
+ private:
+  static constexpr int kBitsPerLevel = 6;
+  static constexpr int kSlots = 1 << kBitsPerLevel;  // 64
+
+  struct Node {
+    XEntry slots[kSlots];
+    Node* children[kSlots] = {};
+    int present = 0;  // non-empty slots + non-null children
+
+    Node();
+    ~Node();
+  };
+
+  // Max index representable with the current tree height.
+  uint64_t MaxIndex() const;
+  void Grow(uint64_t index);
+
+  void ForEachNode(const Node* node, int shift, uint64_t prefix,
+                   uint64_t first, uint64_t last,
+                   const std::function<void(uint64_t, XEntry)>& fn) const;
+
+  Node* root_ = nullptr;
+  int height_ = 1;  // number of levels; level 1 = leaves only
+  uint64_t count_ = 0;
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_MM_XARRAY_H_

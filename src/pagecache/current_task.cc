@@ -1,0 +1,18 @@
+#include "src/pagecache/current_task.h"
+
+namespace cache_ext {
+
+namespace {
+thread_local TaskContext tls_current_task{};
+}  // namespace
+
+TaskContext GetCurrentTask() { return tls_current_task; }
+
+ScopedCurrentTask::ScopedCurrentTask(TaskContext task)
+    : saved_(tls_current_task) {
+  tls_current_task = task;
+}
+
+ScopedCurrentTask::~ScopedCurrentTask() { tls_current_task = saved_; }
+
+}  // namespace cache_ext

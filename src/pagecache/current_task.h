@@ -1,0 +1,31 @@
+// "current" task context, the analogue of the kernel's `current` task
+// pointer that eBPF programs reach via bpf_get_current_pid_tgid().
+//
+// The page cache publishes the acting lane's TaskContext for the duration of
+// each operation; policy programs read it through CacheExtApi kfuncs. The
+// GET-SCAN policy (§5.5) and the compaction admission filter (§5.6) key
+// their decisions on it.
+
+#ifndef SRC_PAGECACHE_CURRENT_TASK_H_
+#define SRC_PAGECACHE_CURRENT_TASK_H_
+
+#include "src/sim/lane.h"
+
+namespace cache_ext {
+
+TaskContext GetCurrentTask();
+
+class ScopedCurrentTask {
+ public:
+  explicit ScopedCurrentTask(TaskContext task);
+  ~ScopedCurrentTask();
+  ScopedCurrentTask(const ScopedCurrentTask&) = delete;
+  ScopedCurrentTask& operator=(const ScopedCurrentTask&) = delete;
+
+ private:
+  TaskContext saved_;
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_PAGECACHE_CURRENT_TASK_H_

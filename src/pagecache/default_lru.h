@@ -1,0 +1,52 @@
+// The kernel's default eviction policy: a two-list LRU approximation (Fig. 1).
+//
+// New folios enter the tail of the inactive list; a second access promotes
+// them to the active list; eviction pops from the head of the inactive list,
+// demoting from the active list when the lists need rebalancing. Matches the
+// Linux v6.6 behaviour the paper describes, including the detail that
+// referenced active folios are demoted (not rotated) during balancing.
+
+#ifndef SRC_PAGECACHE_DEFAULT_LRU_H_
+#define SRC_PAGECACHE_DEFAULT_LRU_H_
+
+#include <string_view>
+
+#include "src/cgroup/memcg.h"
+#include "src/pagecache/eviction.h"
+#include "src/util/intrusive_list.h"
+
+namespace cache_ext {
+
+class DefaultLruPolicy : public ReclaimPolicy {
+ public:
+  explicit DefaultLruPolicy(uint64_t per_event_cost_ns = 90)
+      : per_event_cost_ns_(per_event_cost_ns) {}
+
+  std::string_view name() const override { return "default_lru"; }
+
+  void FolioAdded(Folio* folio) override;
+  void FolioAccessed(Folio* folio) override;
+  void FolioRemoved(Folio* folio) override;
+  void EvictFolios(EvictionCtx* ctx, MemCgroup* memcg) override;
+
+  uint64_t PerEventCostNs() const override { return per_event_cost_ns_; }
+
+  uint64_t active_size() const { return active_.size(); }
+  uint64_t inactive_size() const { return inactive_.size(); }
+
+ private:
+  using LruList = IntrusiveList<Folio, &Folio::lru>;
+
+  void Activate(Folio* folio);
+  // Demote from the head of the active list until the inactive list holds at
+  // least a third of the folios (approximation of inactive_is_low()).
+  void BalanceLists();
+
+  LruList active_;
+  LruList inactive_;
+  uint64_t per_event_cost_ns_;
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_PAGECACHE_DEFAULT_LRU_H_

@@ -1,0 +1,138 @@
+// Reclaim-policy interface between the page cache and eviction policies.
+//
+// EvictionCtx mirrors the paper's struct (Fig. 3): the kernel asks a policy
+// for up to nr_candidates_requested folios (max 32 per batch); the policy
+// fills `candidates` and sets nr_candidates_proposed. Policies only
+// *propose* — the page cache validates each candidate (still resident, not
+// pinned, right cgroup, and for cache_ext policies: present in the
+// valid-folio registry) before actually evicting (§4.2.3).
+
+#ifndef SRC_PAGECACHE_EVICTION_H_
+#define SRC_PAGECACHE_EVICTION_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/mm/folio.h"
+
+namespace cache_ext {
+
+class MemCgroup;
+class AddressSpace;
+
+inline constexpr uint64_t kMaxEvictionBatch = 32;
+
+struct EvictionCtx {
+  uint64_t nr_candidates_requested = 0;  // input
+  uint64_t nr_candidates_proposed = 0;   // output
+  std::array<Folio*, kMaxEvictionBatch> candidates = {};
+
+  // Append a candidate; returns false when the batch is full.
+  bool Propose(Folio* folio) {
+    if (nr_candidates_proposed >= kMaxEvictionBatch ||
+        nr_candidates_proposed >= nr_candidates_requested) {
+      return false;
+    }
+    candidates[nr_candidates_proposed++] = folio;
+    return true;
+  }
+
+  bool Full() const {
+    return nr_candidates_proposed >= nr_candidates_requested ||
+           nr_candidates_proposed >= kMaxEvictionBatch;
+  }
+};
+
+// Context handed to prefetch hooks (the FetchBPF-style extension the paper
+// sketches in §7): a miss happened at `index`; the policy may override the
+// kernel's readahead window.
+struct PrefetchCtx {
+  AddressSpace* mapping = nullptr;
+  uint64_t index = 0;           // the missing page
+  uint64_t prev_index = 0;      // the mapping's previous read position
+  uint32_t default_window = 0;  // what the kernel's heuristic would do
+  int32_t pid = 0;
+  int32_t tid = 0;
+};
+
+// Context handed to admission filters (§5.6): a folio is about to be faulted
+// into the page cache; the filter may reject it, in which case the I/O is
+// serviced like direct I/O (no caching).
+struct AdmissionCtx {
+  AddressSpace* mapping = nullptr;
+  uint64_t index = 0;
+  MemCgroup* memcg = nullptr;
+  int32_t pid = 0;
+  int32_t tid = 0;
+  bool is_write = false;
+};
+
+// A page-cache eviction policy. The page cache invokes the hooks on cache
+// events; EvictFolios is called under memory pressure.
+//
+// Two kinds of implementations exist:
+//  - native/base policies (default two-list LRU, native MGLRU), which link
+//    folios through Folio::lru;
+//  - the cache_ext adapter, which dispatches to loaded "eBPF" programs and
+//    keeps folio linkage in its own registry.
+class ReclaimPolicy {
+ public:
+  virtual ~ReclaimPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Folio was inserted into the page cache (after charging).
+  virtual void FolioAdded(Folio* folio) = 0;
+  // Folio was found in the cache by a read/write.
+  virtual void FolioAccessed(Folio* folio) = 0;
+  // Folio left the page cache — via eviction *or* in circumvention of the
+  // normal eviction path (file deleted, fadvise(DONTNEED), truncation). The
+  // policy must drop any metadata it holds for the folio (§4.2.1).
+  virtual void FolioRemoved(Folio* folio) = 0;
+  // Propose eviction candidates for `memcg` into ctx.
+  virtual void EvictFolios(EvictionCtx* ctx, MemCgroup* memcg) = 0;
+
+  // Admission filter hook (§5.6); default admits everything.
+  virtual bool AdmitFolio(const AdmissionCtx& ctx) {
+    (void)ctx;
+    return true;
+  }
+
+  // The folio being inserted refaulted (a shadow entry was found). `tier` is
+  // the MGLRU tier recorded at eviction time; policies that feed refault
+  // statistics into their controller (MGLRU's PID) override this.
+  virtual void FolioRefaulted(Folio* folio, uint32_t tier) {
+    (void)folio;
+    (void)tier;
+  }
+
+  // Tier to record in the shadow entry when `folio` is evicted (0 for
+  // policies without tiers).
+  virtual uint32_t EvictionTier(const Folio* folio) const {
+    (void)folio;
+    return 0;
+  }
+
+  // Prefetch hook (FetchBPF-style extension, §7): return the number of
+  // pages to prefetch after this miss, or a negative value to keep the
+  // kernel's readahead decision. The page cache clamps the answer.
+  virtual int64_t RequestPrefetch(const PrefetchCtx& ctx) {
+    (void)ctx;
+    return -1;
+  }
+
+  // Called by the page cache on every candidate this policy proposed,
+  // BEFORE the pointer is dereferenced. The cache_ext adapter overrides this
+  // with the valid-folio registry membership check (§4.4); native policies
+  // produce trusted pointers from their own lists.
+  virtual bool ValidateCandidate(Folio* folio) { return folio != nullptr; }
+
+  // Approximate CPU cost of one hook invocation, charged to the acting
+  // lane's virtual clock (see src/sim/cpu_cost.h).
+  virtual uint64_t PerEventCostNs() const { return 90; }
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_PAGECACHE_EVICTION_H_

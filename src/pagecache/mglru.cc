@@ -1,0 +1,183 @@
+#include "src/pagecache/mglru.h"
+
+#include <bit>
+
+#include "src/util/logging.h"
+
+namespace cache_ext {
+
+void MglruPidController::Decay() {
+  for (uint32_t t = 0; t < kTiers; ++t) {
+    evicted_[t] /= 2;
+    refaulted_[t] /= 2;
+  }
+}
+
+int32_t MglruPidController::Threshold() const {
+  // Tier t is protected when refaulted[t]/evicted[t] > refaulted[0]/
+  // evicted[0], compared cross-multiplied to stay in integers (no floats, as
+  // in the kernel). The threshold is the highest tier that is NOT protected;
+  // protection must be contiguous from the top (protecting tier 2 but not 3
+  // would be meaningless since tier 3 is at least as hot).
+  // Degenerate-thrash detection (see header): re-used folios dominate the
+  // evictions and almost all of them refault.
+  uint64_t total_evicted = evicted_[0];
+  uint64_t upper_evicted = 0;
+  uint64_t upper_refaulted = 0;
+  for (uint32_t t = 1; t < kTiers; ++t) {
+    total_evicted += evicted_[t];
+    upper_evicted += evicted_[t];
+    upper_refaulted += refaulted_[t];
+  }
+  if (upper_refaulted >= 8 * kMinEvidence &&
+      upper_evicted * 2 > total_evicted &&
+      upper_refaulted * kThrashDen > upper_evicted * kThrashNum) {
+    return -1;
+  }
+
+  const uint64_t base_refaulted = refaulted_[0];
+  const uint64_t base_evicted = evicted_[0] + 1;
+  int32_t threshold = kTiers - 1;
+  for (uint32_t t = 1; t < kTiers; ++t) {
+    const uint64_t tier_refaulted = refaulted_[t];
+    const uint64_t tier_evicted = evicted_[t] + 1;
+    // Statistical-significance gate: a couple of stray refaults must not
+    // flip the whole cgroup into protection (which can starve reclaim); and
+    // a protection-gain factor: a tier is only protected when it refaults
+    // substantially (2x) more than the base tier, so mild skew does not put
+    // the whole cache under protection.
+    if (tier_refaulted >= kMinEvidence &&
+        tier_refaulted * base_evicted * kProtectionGainDen >
+            kProtectionGainNum * base_refaulted * tier_evicted) {
+      // Tier t refaults proportionally more than tier 0: protect it and
+      // everything above it.
+      threshold = static_cast<int32_t>(t) - 1;
+      break;
+    }
+  }
+  return threshold;
+}
+
+uint32_t MglruPolicy::TierOf(uint32_t accesses) {
+  // Tier 0 covers 0-1 accesses: the access that populated the folio does
+  // not protect it (the inactive-list role). Beyond that, logarithmic
+  // buckets: 2-3 -> tier 1, 4-7 -> tier 2, >= 8 -> tier 3.
+  if (accesses <= 1) {
+    return 0;
+  }
+  const uint32_t width = static_cast<uint32_t>(std::bit_width(accesses)) - 1;
+  return width < kTiers ? width : kTiers - 1;
+}
+
+void MglruPolicy::FolioAdded(Folio* folio) {
+  folio->accesses = 0;
+  if (folio->TestFlag(kFolioWorkingset)) {
+    // Refaulting pages join the youngest generation (thrashing protection).
+    folio->gen = static_cast<uint32_t>(max_seq_);
+    if (folio->memcg != nullptr) {
+      folio->memcg->stat_activations.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    // New file folios join the oldest generation, acting as the preliminary
+    // filter the inactive list provides in the default policy.
+    folio->gen = static_cast<uint32_t>(min_seq_);
+  }
+  GenFor(folio->gen).PushBack(folio);
+}
+
+void MglruPolicy::FolioAccessed(Folio* folio) {
+  if (folio->TestFlag(kFolioDropBehind)) {
+    return;
+  }
+  if (folio->accesses < UINT32_MAX) {
+    ++folio->accesses;
+  }
+}
+
+void MglruPolicy::FolioRemoved(Folio* folio) {
+  if (folio->lru.IsLinked()) {
+    GenFor(folio->gen).Remove(folio);
+  }
+}
+
+void MglruPolicy::FolioRefaulted(Folio* folio, uint32_t tier) {
+  (void)folio;
+  pid_.RecordRefault(tier);
+}
+
+uint32_t MglruPolicy::EvictionTier(const Folio* folio) const {
+  return TierOf(folio->accesses);
+}
+
+void MglruPolicy::TryAge() {
+  if (max_seq_ - min_seq_ + 1 >= kMaxGens) {
+    return;  // circular buffer full; must evict/retire first
+  }
+  ++max_seq_;
+  pid_.Decay();
+}
+
+void MglruPolicy::RetireEmptyGens() {
+  while (min_seq_ < max_seq_ && GenFor(min_seq_).empty()) {
+    ++min_seq_;
+  }
+}
+
+void MglruPolicy::EvictFolios(EvictionCtx* ctx, MemCgroup* memcg) {
+  (void)memcg;
+  RetireEmptyGens();
+  // Keep at least kMinGens generations so there is always a "young" side.
+  while (max_seq_ - min_seq_ + 1 < kMinGens) {
+    TryAge();
+  }
+
+  const int32_t threshold = pid_.Threshold();
+  // Scan budget per invocation; a reclaim round that spends its entire
+  // budget promoting protected folios makes no progress — mirroring the
+  // kernel, the caller (memcg reclaim) retries and eventually declares OOM.
+  uint64_t scan_budget = 8 * kMaxEvictionBatch;
+
+  // Walk generations oldest to youngest: if the oldest generation cannot
+  // fill the batch (pinned or protected folios), continue into younger
+  // ones rather than stalling.
+  for (uint64_t seq = min_seq_;
+       seq <= max_seq_ && !ctx->Full() && scan_budget > 0; ++seq) {
+    GenList& gen = GenFor(seq);
+    uint64_t to_scan = gen.size();
+    if (to_scan > scan_budget) {
+      to_scan = scan_budget;
+    }
+    scan_budget -= to_scan;
+    // Each folio is scanned at most once per generation pass: the front is
+    // always either promoted out of the list or rotated to the back.
+    for (; to_scan > 0 && !ctx->Full(); --to_scan) {
+      Folio* folio = gen.Front();
+      if (folio->pinned()) {
+        gen.MoveToBack(folio);
+      } else if (static_cast<int32_t>(TierOf(folio->accesses)) > threshold) {
+        // Protected: promote to the next generation, keeping the frequency
+        // counter (tiers bucket long-term access frequency, §5.3);
+        // protection fades when the PID controller's refault evidence
+        // decays, not per promotion.
+        gen.Remove(folio);
+        const uint64_t target = seq + 1 <= max_seq_ ? seq + 1 : max_seq_;
+        folio->gen = static_cast<uint32_t>(target);
+        folio->SetFlag(kFolioWorkingset);
+        GenFor(target).PushBack(folio);
+      } else {
+        ctx->Propose(folio);
+        gen.MoveToBack(folio);
+        pid_.RecordEviction(TierOf(folio->accesses));
+      }
+    }
+  }
+
+  RetireEmptyGens();
+  if (!ctx->Full()) {
+    // Fruitless (or partial) round: age if there is room so the refault
+    // statistics decay and new generations form; the caller retries.
+    TryAge();
+  }
+}
+
+}  // namespace cache_ext

@@ -1,0 +1,124 @@
+// Native Multi-Generational LRU (§2, §5.3).
+//
+// Folios are grouped into up to four *generations* (lists in a circular
+// buffer indexed by sequence number) capturing access recency, and each
+// folio carries an access-frequency counter mapped logarithmically onto four
+// *tiers*. Eviction scans the oldest generation; folios whose tier exceeds a
+// threshold — computed by a PID controller from per-tier refault/eviction
+// statistics — are promoted to the next generation instead of evicted.
+//
+// Deliberate divergence from mm/vmscan.c, matching the paper's description
+// instead: the access-frequency counter is *preserved* across promotions
+// rather than reset, so tiers track longer-term frequency ("tiers acting as
+// logarithmic buckets based on access frequency", §5.3); protection relaxes
+// when the PID controller's refault evidence decays. See DESIGN.md §4 for
+// how this interacts with the Fig. 8 cluster-24 OOM reproduction.
+
+#ifndef SRC_PAGECACHE_MGLRU_H_
+#define SRC_PAGECACHE_MGLRU_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/cgroup/memcg.h"
+#include "src/pagecache/eviction.h"
+#include "src/util/intrusive_list.h"
+
+namespace cache_ext {
+
+// PID (really PI) controller deciding which tiers to protect, driven by the
+// ratio of refaults to evictions per tier relative to tier 0. Statistics are
+// EWMA-decayed on every aging event so the controller adapts.
+class MglruPidController {
+ public:
+  static constexpr uint32_t kTiers = 4;
+  // Minimum refault observations before a tier may be protected.
+  static constexpr uint64_t kMinEvidence = 8;
+  // A tier must refault this much more than tier 0 (proportionally, as a
+  // num/den ratio) to earn protection.
+  static constexpr uint64_t kProtectionGainNum = 2;
+  static constexpr uint64_t kProtectionGainDen = 1;
+  // Degenerate-thrash regime: when evictions are dominated by *re-used*
+  // folios (tier >= 1) and nearly all of them refault, the workingset
+  // signal says every page in the cgroup is worth protecting, and the
+  // controller protects everything (threshold -1). This is the regime
+  // behind Fig. 8's cluster-24 OOM: reclaim proposes nothing, makes no
+  // progress, and the memcg eventually OOMs (see DESIGN.md §4).
+  static constexpr uint64_t kThrashNum = 17;  // refault ratio > 17/20 = 85%
+  static constexpr uint64_t kThrashDen = 20;
+
+  void RecordEviction(uint32_t tier) { evicted_[TierIdx(tier)] += 1; }
+  void RecordRefault(uint32_t tier) { refaulted_[TierIdx(tier)] += 1; }
+
+  // Halve all counters (called on aging), the kernel's EWMA with alpha=1/2.
+  void Decay();
+
+  // Smallest protected tier minus one: folios with tier > threshold are
+  // promoted, others evicted. Tier t (> 0) is protected when its refault
+  // ratio substantially exceeds tier 0's. Returns -1 in the degenerate
+  // thrash regime: protect everything.
+  int32_t Threshold() const;
+
+  uint64_t evicted(uint32_t tier) const { return evicted_[TierIdx(tier)]; }
+  uint64_t refaulted(uint32_t tier) const { return refaulted_[TierIdx(tier)]; }
+
+ private:
+  static uint32_t TierIdx(uint32_t tier) {
+    return tier < kTiers ? tier : kTiers - 1;
+  }
+
+  std::array<uint64_t, kTiers> evicted_ = {};
+  std::array<uint64_t, kTiers> refaulted_ = {};
+};
+
+class MglruPolicy : public ReclaimPolicy {
+ public:
+  static constexpr uint32_t kMaxGens = 4;
+  static constexpr uint32_t kMinGens = 2;
+  static constexpr uint32_t kTiers = MglruPidController::kTiers;
+
+  explicit MglruPolicy(uint64_t per_event_cost_ns = 220)
+      : per_event_cost_ns_(per_event_cost_ns) {}
+
+  std::string_view name() const override { return "mglru"; }
+
+  void FolioAdded(Folio* folio) override;
+  void FolioAccessed(Folio* folio) override;
+  void FolioRemoved(Folio* folio) override;
+  void EvictFolios(EvictionCtx* ctx, MemCgroup* memcg) override;
+  void FolioRefaulted(Folio* folio, uint32_t tier) override;
+  uint32_t EvictionTier(const Folio* folio) const override;
+
+  uint64_t PerEventCostNs() const override { return per_event_cost_ns_; }
+
+  uint64_t min_seq() const { return min_seq_; }
+  uint64_t max_seq() const { return max_seq_; }
+  uint64_t GenSize(uint64_t seq) const { return gens_[seq % kMaxGens].size(); }
+  const MglruPidController& pid() const { return pid_; }
+
+  // Frequency counter -> tier: 0 accesses = tier 0, 1 = tier 1, 2-3 = tier
+  // 2, >= 4 = tier 3 (logarithmic buckets).
+  static uint32_t TierOf(uint32_t accesses);
+
+ private:
+  using GenList = IntrusiveList<Folio, &Folio::lru>;
+
+  GenList& GenFor(uint64_t seq) { return gens_[seq % kMaxGens]; }
+
+  // Create a new youngest generation (increment max_seq) if the circular
+  // buffer has room; decays PID statistics.
+  void TryAge();
+  // Retire empty oldest generations.
+  void RetireEmptyGens();
+
+  std::array<GenList, kMaxGens> gens_;
+  uint64_t min_seq_ = 0;
+  uint64_t max_seq_ = kMinGens - 1;
+  MglruPidController pid_;
+  uint64_t per_event_cost_ns_;
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_PAGECACHE_MGLRU_H_

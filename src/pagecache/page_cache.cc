@@ -1,0 +1,776 @@
+#include "src/pagecache/page_cache.h"
+
+#include <algorithm>
+
+#include "src/pagecache/current_task.h"
+#include "src/pagecache/default_lru.h"
+#include "src/pagecache/mglru.h"
+#include "src/pagecache/workingset.h"
+#include "src/util/logging.h"
+
+namespace cache_ext {
+
+namespace {
+
+std::unique_ptr<ReclaimPolicy> MakeBasePolicy(BasePolicyKind kind,
+                                              const CpuCostModel& costs) {
+  switch (kind) {
+    case BasePolicyKind::kDefaultLru:
+      return std::make_unique<DefaultLruPolicy>(costs.lru_event_ns);
+    case BasePolicyKind::kMglru:
+      return std::make_unique<MglruPolicy>(costs.mglru_event_ns);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PageCache::PageCache(SimDisk* disk, SsdModel* ssd, PageCacheOptions options)
+    : disk_(disk), ssd_(ssd), options_(options) {
+  CHECK_NOTNULL(disk_);
+  CHECK_NOTNULL(ssd_);
+}
+
+PageCache::~PageCache() {
+  // Free all resident folios.
+  for (auto& [name, as] : files_) {
+    std::vector<Folio*> folios;
+    as->pages().ForEach([&folios](uint64_t, XEntry entry) {
+      if (Folio* folio = entry.AsPointer<Folio>(); folio != nullptr) {
+        folios.push_back(folio);
+      }
+    });
+    for (Folio* folio : folios) {
+      delete folio;
+    }
+  }
+}
+
+MemCgroup* PageCache::CreateCgroup(std::string_view name, uint64_t limit_bytes,
+                                   BasePolicyKind base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = std::make_unique<CgroupState>();
+  const uint64_t limit_pages = std::max<uint64_t>(1, limit_bytes / kPageSize);
+  state->cg = std::make_unique<MemCgroup>(next_cgroup_id_++, std::string(name),
+                                          limit_pages);
+  state->base = MakeBasePolicy(base, options_.costs);
+  MemCgroup* cg = state->cg.get();
+  cgroups_.push_back(std::move(state));
+  return cg;
+}
+
+MemCgroup* PageCache::FindCgroup(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& st : cgroups_) {
+    if (st->cg->name() == name) {
+      return st->cg.get();
+    }
+  }
+  return nullptr;
+}
+
+PageCache::CgroupState* PageCache::StateFor(MemCgroup* cg) {
+  for (auto& st : cgroups_) {
+    if (st->cg.get() == cg) {
+      return st.get();
+    }
+  }
+  return nullptr;
+}
+
+Expected<AddressSpace*> PageCache::OpenFile(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(std::string(name));
+  if (it != files_.end()) {
+    return it->second.get();
+  }
+  FileId id = kInvalidFileId;
+  if (disk_->Exists(name)) {
+    auto opened = disk_->Open(name);
+    CACHE_EXT_RETURN_IF_ERROR(opened.status());
+    id = *opened;
+  } else {
+    auto created = disk_->Create(name);
+    CACHE_EXT_RETURN_IF_ERROR(created.status());
+    id = *created;
+  }
+  auto as =
+      std::make_unique<AddressSpace>(next_mapping_id_++, id, std::string(name));
+  AddressSpace* raw = as.get();
+  files_[std::string(name)] = std::move(as);
+  return raw;
+}
+
+Status PageCache::AttachExtPolicy(MemCgroup* cg,
+                                  std::unique_ptr<ReclaimPolicy> policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CgroupState* st = StateFor(cg);
+  if (st == nullptr) {
+    return NotFound("unknown cgroup");
+  }
+  if (st->ext != nullptr) {
+    return AlreadyExists("cgroup already has an ext policy attached");
+  }
+  st->ext = std::move(policy);
+  st->stats.ext_violations = 0;
+  st->stats.ext_detached_by_watchdog = false;
+  // Introduce currently-resident folios so the policy has a complete view
+  // (folios inserted before attach would otherwise be invisible to it and
+  // unevictable through its lists).
+  for (auto& [name, as] : files_) {
+    as->pages().ForEach([&](uint64_t, XEntry entry) {
+      Folio* folio = entry.AsPointer<Folio>();
+      if (folio != nullptr && folio->memcg == cg) {
+        st->ext->FolioAdded(folio);
+      }
+    });
+  }
+  return OkStatus();
+}
+
+Status PageCache::DetachExtPolicy(MemCgroup* cg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CgroupState* st = StateFor(cg);
+  if (st == nullptr) {
+    return NotFound("unknown cgroup");
+  }
+  if (st->ext == nullptr) {
+    return FailedPrecondition("no ext policy attached");
+  }
+  st->ext.reset();
+  return OkStatus();
+}
+
+ReclaimPolicy* PageCache::ext_policy(MemCgroup* cg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CgroupState* st = StateFor(cg);
+  return st == nullptr ? nullptr : st->ext.get();
+}
+
+ReclaimPolicy* PageCache::base_policy(MemCgroup* cg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CgroupState* st = StateFor(cg);
+  return st == nullptr ? nullptr : st->base.get();
+}
+
+void PageCache::DispatchAdded(Lane& lane, CgroupState& st, Folio* folio) {
+  st.base->FolioAdded(folio);
+  lane.Charge(st.base->PerEventCostNs());
+  if (st.ext != nullptr) {
+    st.ext->FolioAdded(folio);
+    lane.Charge(st.ext->PerEventCostNs());
+  }
+  if (tracer_ != nullptr) {
+    tracer_->OnFolioAdded(lane, *folio);
+  }
+}
+
+void PageCache::DispatchAccessed(Lane& lane, CgroupState& st, Folio* folio) {
+  st.base->FolioAccessed(folio);
+  lane.Charge(st.base->PerEventCostNs());
+  if (st.ext != nullptr) {
+    st.ext->FolioAccessed(folio);
+    lane.Charge(st.ext->PerEventCostNs());
+  }
+  if (tracer_ != nullptr) {
+    tracer_->OnFolioAccessed(lane, *folio);
+  }
+}
+
+void PageCache::DispatchRemoved(Lane& lane, CgroupState& st, Folio* folio) {
+  // Ext first so it can clean map state while the folio is still registered.
+  if (st.ext != nullptr) {
+    st.ext->FolioRemoved(folio);
+    lane.Charge(st.ext->PerEventCostNs());
+  }
+  st.base->FolioRemoved(folio);
+  lane.Charge(st.base->PerEventCostNs());
+  if (tracer_ != nullptr) {
+    tracer_->OnFolioEvicted(lane, *folio);
+  }
+}
+
+Folio* PageCache::InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
+                              uint64_t index, bool is_write,
+                              bool via_readahead) {
+  MemCgroup* cg = st.cg.get();
+
+  // Admission filter (§5.6): only consulted for folios not yet present.
+  if (st.ext != nullptr) {
+    AdmissionCtx actx;
+    actx.mapping = as;
+    actx.index = index;
+    actx.memcg = cg;
+    actx.pid = lane.task().pid;
+    actx.tid = lane.task().tid;
+    actx.is_write = is_write;
+    lane.Charge(options_.costs.hook_dispatch_ns);
+    if (!st.ext->AdmitFolio(actx)) {
+      return nullptr;
+    }
+  }
+
+  lane.Charge(options_.costs.miss_setup_ns);
+
+  // Refault detection against a shadow entry left by a prior eviction.
+  const XEntry old_entry = as->pages().Load(index);
+  RefaultDecision refault;
+  if (old_entry.IsValue()) {
+    refault = WorkingsetRefault(cg, old_entry, cg->limit_pages());
+  }
+
+  auto* folio = new Folio();
+  folio->mapping = as;
+  folio->index = index;
+  folio->memcg = cg;
+  folio->SetFlag(kFolioUptodate);
+  if (refault.activate) {
+    folio->SetFlag(kFolioWorkingset);
+  }
+  if (as->noreuse_hint) {
+    folio->SetFlag(kFolioDropBehind);
+  }
+
+  as->pages().Store(index, XEntry::FromPointer(folio));
+  as->IncResident();
+  ++total_resident_;
+  cg->ChargePage();
+  cg->stat_insertions.fetch_add(1, std::memory_order_relaxed);
+  if (via_readahead) {
+    ++st.stats.readahead_pages;
+  }
+
+  if (refault.is_refault) {
+    st.base->FolioRefaulted(folio, refault.tier);
+    if (st.ext != nullptr) {
+      st.ext->FolioRefaulted(folio, refault.tier);
+    }
+  }
+  DispatchAdded(lane, st, folio);
+  return folio;
+}
+
+bool PageCache::RemoveFolio(Lane& lane, Folio* folio, RemovalKind kind) {
+  if (folio->pinned()) {
+    return false;
+  }
+  AddressSpace* as = folio->mapping;
+  MemCgroup* cg = folio->memcg;
+  CgroupState* st = StateFor(cg);
+  CHECK_NOTNULL(st);
+
+  if (folio->TestFlag(kFolioDirty)) {
+    // Writeback: the device write occupies a channel but the reclaiming
+    // lane does not wait for it (async flush).
+    ssd_->SubmitWrite(lane.now_ns(), kPageSize);
+    lane.Charge(options_.costs.writeback_page_ns);
+    folio->ClearFlag(kFolioDirty);
+    ++st->stats.writeback_pages;
+  }
+
+  XEntry shadow = XEntry::Empty();
+  if (kind == RemovalKind::kEvict) {
+    const uint32_t tier = st->base->EvictionTier(folio);
+    shadow = WorkingsetEviction(cg, tier);
+    cg->stat_evictions.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++st->stats.invalidations;
+  }
+  as->pages().Store(folio->index, shadow);
+  as->DecResident();
+  DCHECK(total_resident_ > 0);
+  --total_resident_;
+  cg->UnchargePage();
+
+  DispatchRemoved(lane, *st, folio);
+  delete folio;
+  return true;
+}
+
+bool PageCache::CandidateValid(CgroupState& st, Folio* folio, bool from_ext,
+                               bool* violation) {
+  *violation = false;
+  if (folio == nullptr) {
+    *violation = from_ext;
+    return false;
+  }
+  if (from_ext) {
+    // The valid-folio registry check (§4.4) happens inside the adapter via
+    // ValidateCandidate *before* the pointer may be dereferenced. Only a
+    // failure here is a safety violation (bad/stale pointer); a pinned or
+    // concurrently-removed folio is a normal race, not misbehaviour.
+    if (!st.ext->ValidateCandidate(folio)) {
+      *violation = true;
+      return false;
+    }
+  }
+  if (folio->mapping == nullptr || folio->memcg != st.cg.get()) {
+    return false;
+  }
+  if (folio->mapping->FindFolio(folio->index) != folio) {
+    return false;
+  }
+  return !folio->pinned();
+}
+
+void PageCache::ReclaimIfNeeded(Lane& lane, CgroupState& st) {
+  MemCgroup* cg = st.cg.get();
+  if (!cg->OverLimit() || st.stats.oom_killed) {
+    return;
+  }
+  const uint64_t slack = std::min<uint64_t>(cg->limit_pages() / 8,
+                                            kMaxEvictionBatch - 1);
+  int zero_progress_rounds = 0;
+  while (cg->OverLimit()) {
+    lane.Charge(options_.costs.reclaim_batch_ns);
+    EvictionCtx ctx;
+    ctx.nr_candidates_requested =
+        std::min<uint64_t>(kMaxEvictionBatch, cg->ExcessPages() + slack);
+
+    const bool use_ext =
+        st.ext != nullptr && !st.stats.ext_detached_by_watchdog;
+    if (use_ext) {
+      st.ext->EvictFolios(&ctx, cg);
+    } else {
+      st.base->EvictFolios(&ctx, cg);
+    }
+
+    uint64_t evicted = 0;
+    for (uint64_t i = 0; i < ctx.nr_candidates_proposed; ++i) {
+      Folio* folio = ctx.candidates[i];
+      bool violation = false;
+      if (!CandidateValid(st, folio, use_ext, &violation)) {
+        if (violation) {
+          ++st.stats.ext_violations;
+        }
+        continue;
+      }
+      if (RemoveFolio(lane, folio, RemovalKind::kEvict)) {
+        ++evicted;
+        lane.Charge(options_.costs.reclaim_per_folio_ns);
+      }
+    }
+
+    // Eviction fallback (§4.4): if the ext policy under-proposed, the kernel
+    // falls back to the default policy for the remainder.
+    if (use_ext && evicted < ctx.nr_candidates_requested && cg->OverLimit()) {
+      EvictionCtx fallback_ctx;
+      fallback_ctx.nr_candidates_requested =
+          ctx.nr_candidates_requested - evicted;
+      st.base->EvictFolios(&fallback_ctx, cg);
+      for (uint64_t i = 0; i < fallback_ctx.nr_candidates_proposed; ++i) {
+        Folio* folio = fallback_ctx.candidates[i];
+        bool violation = false;
+        if (!CandidateValid(st, folio, /*from_ext=*/false, &violation)) {
+          continue;
+        }
+        if (RemoveFolio(lane, folio, RemovalKind::kEvict)) {
+          ++evicted;
+          ++st.stats.fallback_evictions;
+          lane.Charge(options_.costs.reclaim_per_folio_ns);
+        }
+      }
+    }
+
+    // Watchdog (§4.4): forcibly unload a persistently misbehaving policy.
+    if (use_ext &&
+        st.stats.ext_violations > options_.watchdog_violation_limit) {
+      LOG_WARNING << "cache_ext watchdog: detaching policy '"
+                  << st.ext->name() << "' from cgroup '" << cg->name()
+                  << "' after " << st.stats.ext_violations
+                  << " invalid candidates";
+      st.stats.ext_detached_by_watchdog = true;
+    }
+
+    if (evicted == 0) {
+      if (++zero_progress_rounds >= options_.max_reclaim_retries) {
+        st.stats.oom_killed = true;
+        cg->stat_oom_events.fetch_add(1, std::memory_order_relaxed);
+        LOG_WARNING << "memcg OOM: cgroup '" << cg->name()
+                    << "' could not reclaim below its limit (policy "
+                    << (use_ext ? st.ext->name() : st.base->name()) << ")";
+        return;
+      }
+    } else {
+      zero_progress_rounds = 0;
+    }
+  }
+}
+
+uint32_t PageCache::ReadaheadWindow(Lane& lane, CgroupState& st,
+                                    AddressSpace* as, uint64_t index) {
+  uint32_t heuristic = 0;
+  if (!as->ra_random_hint) {
+    const uint32_t max_window =
+        as->ra_sequential_hint ? 2 * options_.max_readahead_pages
+                               : options_.max_readahead_pages;
+    if (as->ra_prev_index != UINT64_MAX && index == as->ra_prev_index + 1) {
+      // Sequential pattern: grow the window (ondemand_readahead-style).
+      as->ra_window = std::min(max_window, as->ra_window == 0
+                                               ? 4
+                                               : as->ra_window * 2);
+    } else {
+      as->ra_window = 0;
+    }
+    heuristic = as->ra_window;
+  }
+
+  // Prefetch-policy extension (§7): an attached policy may override the
+  // heuristic; the answer is clamped to a sane ceiling.
+  if (st.ext != nullptr && !st.stats.ext_detached_by_watchdog) {
+    PrefetchCtx ctx;
+    ctx.mapping = as;
+    ctx.index = index;
+    ctx.prev_index = as->ra_prev_index;
+    ctx.default_window = heuristic;
+    ctx.pid = lane.task().pid;
+    ctx.tid = lane.task().tid;
+    lane.Charge(options_.costs.hook_dispatch_ns);
+    const int64_t requested = st.ext->RequestPrefetch(ctx);
+    if (requested >= 0) {
+      constexpr int64_t kPrefetchCeiling = 256;
+      return static_cast<uint32_t>(std::min(requested, kPrefetchCeiling));
+    }
+  }
+  return heuristic;
+}
+
+void PageCache::Prefetch(Lane& lane, AddressSpace* as, CgroupState& st,
+                         uint64_t first_index, uint32_t nr_pages) {
+  uint64_t run_bytes = 0;
+  for (uint32_t i = 0; i < nr_pages; ++i) {
+    const uint64_t index = first_index + i;
+    if (as->FindFolio(index) != nullptr) {
+      continue;
+    }
+    if (InsertFolio(lane, as, st, index, /*is_write=*/false,
+                    /*via_readahead=*/true) != nullptr) {
+      run_bytes += kPageSize;
+    }
+  }
+  if (run_bytes > 0) {
+    // The device read happens asynchronously: it occupies a channel but the
+    // triggering lane does not wait (readahead runs ahead of the reader).
+    ssd_->SubmitRead(lane.now_ns(), run_bytes);
+    ReclaimIfNeeded(lane, st);
+  }
+}
+
+Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
+                       uint64_t offset, std::span<uint8_t> out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (as == nullptr || cg == nullptr) {
+    return InvalidArgument("null mapping or cgroup");
+  }
+  CgroupState* st = StateFor(cg);
+  if (st == nullptr) {
+    return NotFound("unknown cgroup");
+  }
+  if (st->stats.oom_killed) {
+    return ResourceExhausted("cgroup was OOM-killed");
+  }
+  if (out.empty()) {
+    return OkStatus();
+  }
+  ScopedCurrentTask current(lane.task());
+  lane.Charge(options_.costs.per_op_syscall_ns);
+
+  const uint64_t first = offset / kPageSize;
+  const uint64_t last = (offset + out.size() - 1) / kPageSize;
+  std::vector<Folio*> run_pins;
+
+  uint64_t index = first;
+  while (index <= last) {
+    Folio* folio = as->FindFolio(index);
+    if (folio != nullptr) {
+      // Hit. Metadata updates go to the *owning* cgroup's policy, which may
+      // differ from the reader's cgroup (§2.1 cross-cgroup semantics).
+      CgroupState* owner = StateFor(folio->memcg);
+      CHECK_NOTNULL(owner);
+      folio->memcg->stat_hits.fetch_add(1, std::memory_order_relaxed);
+      lane.Charge(options_.costs.hit_ns);
+      DispatchAccessed(lane, *owner, folio);
+      as->ra_prev_index = index;
+      ++index;
+      continue;
+    }
+
+    // Miss: gather the contiguous run of missing pages within the request.
+    uint64_t run_end = index;
+    while (run_end + 1 <= last && as->FindFolio(run_end + 1) == nullptr) {
+      ++run_end;
+    }
+    const uint64_t run_pages = run_end - index + 1;
+    cg->stat_misses.fetch_add(run_pages, std::memory_order_relaxed);
+
+    const uint32_t ra_window = ReadaheadWindow(lane, *st, as, index);
+
+    // Pin the folios of this run while its device read is "in flight" and
+    // its charges are reclaimed, then release them; pins must never cover
+    // more than one run or a large read could pin the whole cgroup.
+    uint64_t cached_pages = 0;
+    run_pins.clear();
+    for (uint64_t i = index; i <= run_end; ++i) {
+      Folio* inserted =
+          InsertFolio(lane, as, *st, i, /*is_write=*/false,
+                      /*via_readahead=*/false);
+      if (inserted != nullptr) {
+        ++cached_pages;
+        inserted->Pin();
+        run_pins.push_back(inserted);
+        DispatchAccessed(lane, *st, inserted);
+      } else {
+        ++st->stats.direct_reads;
+      }
+      // Very long runs (whole-file reads): cap concurrent pins at the
+      // device queue granularity, releasing the oldest.
+      if (run_pins.size() > kMaxEvictionBatch) {
+        run_pins.front()->Unpin();
+        run_pins.erase(run_pins.begin());
+        ReclaimIfNeeded(lane, *st);
+        if (st->stats.oom_killed) {
+          for (Folio* pinned : run_pins) {
+            pinned->Unpin();
+          }
+          return ResourceExhausted("cgroup was OOM-killed");
+        }
+      }
+    }
+
+    // One device read covers the whole run (block-layer merging); the lane
+    // waits for it.
+    const uint64_t completion =
+        ssd_->SubmitRead(lane.now_ns(), run_pages * kPageSize);
+    lane.AdvanceTo(completion);
+    as->ra_prev_index = run_end;
+
+    if (cached_pages > 0) {
+      ReclaimIfNeeded(lane, *st);
+    }
+    for (Folio* pinned : run_pins) {
+      pinned->Unpin();
+    }
+    run_pins.clear();
+    if (st->stats.oom_killed) {
+      return ResourceExhausted("cgroup was OOM-killed");
+    }
+
+    // Readahead past the end of the request.
+    if (ra_window > 0 && run_end == last) {
+      Prefetch(lane, as, *st, last + 1, ra_window);
+    }
+    index = run_end + 1;
+  }
+
+  // Copy the data out. SimDisk holds canonical bytes (dirty pages write
+  // through for *contents*; only the device *timing* is deferred to
+  // writeback), so a single disk read covers hits and misses alike.
+  return disk_->ReadAt(as->file(), offset, out);
+}
+
+Status PageCache::Write(Lane& lane, AddressSpace* as, MemCgroup* cg,
+                        uint64_t offset, std::span<const uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (as == nullptr || cg == nullptr) {
+    return InvalidArgument("null mapping or cgroup");
+  }
+  CgroupState* st = StateFor(cg);
+  if (st == nullptr) {
+    return NotFound("unknown cgroup");
+  }
+  if (st->stats.oom_killed) {
+    return ResourceExhausted("cgroup was OOM-killed");
+  }
+  if (data.empty()) {
+    return OkStatus();
+  }
+  ScopedCurrentTask current(lane.task());
+  lane.Charge(options_.costs.per_op_syscall_ns);
+
+  // Contents become canonical immediately; device write timing is charged
+  // when the dirty folio is written back.
+  CACHE_EXT_RETURN_IF_ERROR(disk_->WriteAt(as->file(), offset, data));
+
+  const uint64_t first = offset / kPageSize;
+  const uint64_t last = (offset + data.size() - 1) / kPageSize;
+
+  for (uint64_t index = first; index <= last; ++index) {
+    Folio* folio = as->FindFolio(index);
+    if (folio != nullptr) {
+      CgroupState* owner = StateFor(folio->memcg);
+      CHECK_NOTNULL(owner);
+      folio->memcg->stat_hits.fetch_add(1, std::memory_order_relaxed);
+      folio->SetFlag(kFolioDirty);
+      lane.Charge(options_.costs.write_page_ns);
+      DispatchAccessed(lane, *owner, folio);
+      continue;
+    }
+    cg->stat_misses.fetch_add(1, std::memory_order_relaxed);
+    Folio* inserted = InsertFolio(lane, as, *st, index, /*is_write=*/true,
+                                  /*via_readahead=*/false);
+    if (inserted == nullptr) {
+      // Admission denied: service like direct I/O — the lane waits for the
+      // device write.
+      ++st->stats.direct_writes;
+      const uint64_t completion = ssd_->SubmitWrite(lane.now_ns(), kPageSize);
+      lane.AdvanceTo(completion);
+      continue;
+    }
+    inserted->SetFlag(kFolioDirty);
+    lane.Charge(options_.costs.write_page_ns);
+    DispatchAccessed(lane, *st, inserted);
+    // Pin only while this page's own charge is being reclaimed (the kernel
+    // holds one locked page at a time in the buffered-write loop; a single
+    // huge write must not pin more pages than the cgroup can hold).
+    inserted->Pin();
+    ReclaimIfNeeded(lane, *st);
+    inserted->Unpin();
+    if (st->stats.oom_killed) {
+      return ResourceExhausted("cgroup was OOM-killed");
+    }
+  }
+  return OkStatus();
+}
+
+Status PageCache::SyncFile(Lane& lane, AddressSpace* as) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (as == nullptr) {
+    return InvalidArgument("null mapping");
+  }
+  uint64_t dirty_pages = 0;
+  uint64_t last_completion = 0;
+  as->pages().ForEach([&](uint64_t, XEntry entry) {
+    Folio* folio = entry.AsPointer<Folio>();
+    if (folio == nullptr || !folio->TestFlag(kFolioDirty)) {
+      return;
+    }
+    folio->ClearFlag(kFolioDirty);
+    ++dirty_pages;
+    lane.Charge(options_.costs.writeback_page_ns);
+    CgroupState* st = StateFor(folio->memcg);
+    if (st != nullptr) {
+      ++st->stats.writeback_pages;
+    }
+  });
+  if (dirty_pages > 0) {
+    last_completion = ssd_->SubmitWrite(lane.now_ns(), dirty_pages * kPageSize);
+    lane.AdvanceTo(last_completion);  // fsync waits
+  }
+  return OkStatus();
+}
+
+Status PageCache::FadviseRange(Lane& lane, AddressSpace* as, MemCgroup* cg,
+                               Fadvise advice, uint64_t offset, uint64_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (as == nullptr) {
+    return InvalidArgument("null mapping");
+  }
+  const uint64_t first = offset / kPageSize;
+  const uint64_t last = len == 0 ? UINT64_MAX
+                                 : (offset + len - 1) / kPageSize;
+  switch (advice) {
+    case Fadvise::kNormal:
+      as->ra_sequential_hint = false;
+      as->ra_random_hint = false;
+      as->noreuse_hint = false;
+      return OkStatus();
+    case Fadvise::kSequential:
+      as->ra_sequential_hint = true;
+      as->ra_random_hint = false;
+      return OkStatus();
+    case Fadvise::kRandom:
+      as->ra_random_hint = true;
+      as->ra_sequential_hint = false;
+      return OkStatus();
+    case Fadvise::kNoReuse: {
+      // v6.6 semantics: accesses to these folios do not feed promotion. The
+      // folios still enter and occupy the cache.
+      as->noreuse_hint = true;
+      as->pages().ForEachInRange(first, last, [](uint64_t, XEntry entry) {
+        if (Folio* folio = entry.AsPointer<Folio>(); folio != nullptr) {
+          folio->SetFlag(kFolioDropBehind);
+        }
+      });
+      return OkStatus();
+    }
+    case Fadvise::kDontNeed: {
+      // Invalidate clean + dirty folios in range (after writeback). This is
+      // a removal in circumvention of the eviction path: no shadow entries.
+      std::vector<Folio*> victims;
+      as->pages().ForEachInRange(first, last, [&](uint64_t, XEntry entry) {
+        if (Folio* folio = entry.AsPointer<Folio>(); folio != nullptr) {
+          victims.push_back(folio);
+        }
+      });
+      for (Folio* folio : victims) {
+        RemoveFolio(lane, folio, RemovalKind::kInvalidate);
+      }
+      return OkStatus();
+    }
+    case Fadvise::kWillNeed: {
+      if (cg == nullptr) {
+        return InvalidArgument("WILLNEED requires a cgroup");
+      }
+      CgroupState* st = StateFor(cg);
+      if (st == nullptr) {
+        return NotFound("unknown cgroup");
+      }
+      const uint64_t file_pages =
+          (disk_->SizeOf(as->file()) + kPageSize - 1) / kPageSize;
+      const uint64_t end = std::min<uint64_t>(
+          last, file_pages == 0 ? 0 : file_pages - 1);
+      constexpr uint64_t kWillNeedCap = 1024;
+      const uint64_t count =
+          end >= first ? std::min<uint64_t>(end - first + 1, kWillNeedCap) : 0;
+      if (count > 0) {
+        Prefetch(lane, as, *st, first, static_cast<uint32_t>(count));
+      }
+      return OkStatus();
+    }
+  }
+  return InvalidArgument("bad advice");
+}
+
+Status PageCache::DeleteFile(Lane& lane, AddressSpace* as) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (as == nullptr) {
+    return InvalidArgument("null mapping");
+  }
+  std::vector<Folio*> victims;
+  as->pages().ForEach([&](uint64_t, XEntry entry) {
+    if (Folio* folio = entry.AsPointer<Folio>(); folio != nullptr) {
+      victims.push_back(folio);
+    }
+  });
+  for (Folio* folio : victims) {
+    // Deleted files are not written back and leave no shadows.
+    folio->ClearFlag(kFolioDirty);
+    RemoveFolio(lane, folio, RemovalKind::kInvalidate);
+  }
+  // Clear any remaining shadow entries.
+  std::vector<uint64_t> shadows;
+  as->pages().ForEach([&shadows](uint64_t index, XEntry entry) {
+    if (entry.IsValue()) {
+      shadows.push_back(index);
+    }
+  });
+  for (uint64_t index : shadows) {
+    as->pages().Erase(index);
+  }
+  CACHE_EXT_RETURN_IF_ERROR(disk_->Delete(as->name()));
+  files_.erase(as->name());  // destroys `as`
+  return OkStatus();
+}
+
+CgroupCacheStats PageCache::StatsFor(MemCgroup* cg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CgroupState* st = StateFor(cg);
+  return st == nullptr ? CgroupCacheStats{} : st->stats;
+}
+
+uint64_t PageCache::TotalResidentPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_resident_;
+}
+
+}  // namespace cache_ext

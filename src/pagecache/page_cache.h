@@ -1,0 +1,202 @@
+// The simulated Linux page cache.
+//
+// Faithfully reproduces the structure the paper builds on (§2.1):
+//  - per-file xarray of folios + shadow entries (mm/filemap.c);
+//  - per-cgroup charging and cgroup-local reclaim in batches of up to 32
+//    candidates proposed by a pluggable eviction policy;
+//  - a *base* (native) policy per cgroup — default two-list LRU or native
+//    MGLRU — whose bookkeeping always runs, exactly like the kernel keeps
+//    folios on its own LRU lists even when cache_ext is attached ("the
+//    actual folios are still stored and maintained by the default kernel
+//    page cache implementation", §4.2.2);
+//  - an optional *ext* policy per cgroup (the cache_ext adapter) that
+//    overrides eviction proposals, with validation, default-policy fallback
+//    and a misbehaviour watchdog (§4.4);
+//  - workingset shadow entries / refault activation, dirty writeback on
+//    eviction, readahead, and fadvise() hints.
+//
+// Timing: operations charge CPU costs and SSD time to the acting Lane's
+// virtual clock (see src/sim/cpu_cost.h and DESIGN.md §4).
+
+#ifndef SRC_PAGECACHE_PAGE_CACHE_H_
+#define SRC_PAGECACHE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cgroup/memcg.h"
+#include "src/mm/address_space.h"
+#include "src/mm/folio.h"
+#include "src/pagecache/eviction.h"
+#include "src/sim/cpu_cost.h"
+#include "src/sim/lane.h"
+#include "src/sim/sim_disk.h"
+#include "src/sim/ssd_model.h"
+#include "src/util/status.h"
+
+namespace cache_ext {
+
+enum class BasePolicyKind {
+  kDefaultLru,
+  kMglru,
+};
+
+enum class Fadvise {
+  kNormal,
+  kWillNeed,
+  kDontNeed,
+  kSequential,
+  kRandom,
+  kNoReuse,
+};
+
+// Observation hook for page-cache events; used by the Table 1 bench to model
+// a userspace-dispatch architecture (every event posted to a ring buffer).
+class PageCacheTracer {
+ public:
+  virtual ~PageCacheTracer() = default;
+  virtual void OnFolioAdded(Lane& lane, const Folio& folio) = 0;
+  virtual void OnFolioAccessed(Lane& lane, const Folio& folio) = 0;
+  virtual void OnFolioEvicted(Lane& lane, const Folio& folio) = 0;
+};
+
+struct PageCacheOptions {
+  CpuCostModel costs;
+  // Reclaim gives up and OOM-kills the cgroup after this many consecutive
+  // zero-progress rounds (kernel: MAX_RECLAIM_RETRIES-style bound).
+  int max_reclaim_retries = 8;
+  // An attached ext policy is forcibly unloaded after this many invalid
+  // eviction candidates (the watchdog of §4.4).
+  uint64_t watchdog_violation_limit = 128;
+  // Readahead cap in pages (doubled by FADV_SEQUENTIAL).
+  uint32_t max_readahead_pages = 8;
+};
+
+// Per-cgroup snapshot of counters that live inside the page cache (the
+// cgroup's own counters — hits, misses, evictions... — live on MemCgroup).
+struct CgroupCacheStats {
+  uint64_t fallback_evictions = 0;  // evicted via default-policy fallback
+  uint64_t ext_violations = 0;      // invalid candidates from the ext policy
+  uint64_t direct_reads = 0;        // pages served uncached (admission deny)
+  uint64_t direct_writes = 0;
+  uint64_t readahead_pages = 0;
+  uint64_t writeback_pages = 0;
+  uint64_t invalidations = 0;  // removals circumventing eviction
+  bool ext_detached_by_watchdog = false;
+  bool oom_killed = false;
+};
+
+class PageCache {
+ public:
+  PageCache(SimDisk* disk, SsdModel* ssd, PageCacheOptions options = {});
+  ~PageCache();
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  // --- Setup -------------------------------------------------------------
+
+  MemCgroup* CreateCgroup(std::string_view name, uint64_t limit_bytes,
+                          BasePolicyKind base = BasePolicyKind::kDefaultLru);
+  MemCgroup* FindCgroup(std::string_view name);
+
+  // Opens `name` on the disk (creating it if absent) and returns its
+  // address space. Address spaces are process-global, like the kernel's.
+  Expected<AddressSpace*> OpenFile(std::string_view name);
+
+  // Attach / detach a cache_ext policy for a cgroup. Used by the cache_ext
+  // loader; `policy` is the framework adapter. Detaching reverts eviction to
+  // the base policy. Folios resident at attach time are introduced to the
+  // policy via FolioAdded, so it starts with a complete view.
+  Status AttachExtPolicy(MemCgroup* cg, std::unique_ptr<ReclaimPolicy> policy);
+  Status DetachExtPolicy(MemCgroup* cg);
+  ReclaimPolicy* ext_policy(MemCgroup* cg);
+  ReclaimPolicy* base_policy(MemCgroup* cg);
+
+  void SetTracer(PageCacheTracer* tracer) { tracer_ = tracer; }
+
+  // --- Data path ----------------------------------------------------------
+
+  // pread()-style read through the cache; out.size() bytes from `offset`.
+  Status Read(Lane& lane, AddressSpace* as, MemCgroup* cg, uint64_t offset,
+              std::span<uint8_t> out);
+  // pwrite()-style write through the cache (write-back).
+  Status Write(Lane& lane, AddressSpace* as, MemCgroup* cg, uint64_t offset,
+               std::span<const uint8_t> data);
+  // Flush all dirty folios of the file; lane waits for completion (fsync).
+  Status SyncFile(Lane& lane, AddressSpace* as);
+  Status FadviseRange(Lane& lane, AddressSpace* as, MemCgroup* cg,
+                      Fadvise advice, uint64_t offset, uint64_t len);
+  // Remove all folios of `as` in circumvention of the eviction path (file
+  // deletion / truncation, §4.2.1) and delete the backing file.
+  Status DeleteFile(Lane& lane, AddressSpace* as);
+
+  // --- Introspection -------------------------------------------------------
+
+  CgroupCacheStats StatsFor(MemCgroup* cg);
+  uint64_t TotalResidentPages() const;
+  uint64_t FileSize(AddressSpace* as) const { return disk_->SizeOf(as->file()); }
+  SimDisk* disk() { return disk_; }
+  SsdModel* ssd() { return ssd_; }
+  const PageCacheOptions& options() const { return options_; }
+
+ private:
+  struct CgroupState {
+    std::unique_ptr<MemCgroup> cg;
+    std::unique_ptr<ReclaimPolicy> base;
+    std::unique_ptr<ReclaimPolicy> ext;
+    CgroupCacheStats stats;
+  };
+
+  CgroupState* StateFor(MemCgroup* cg);
+
+  // Hook dispatch helpers; all charge the lane per-event CPU cost.
+  void DispatchAdded(Lane& lane, CgroupState& st, Folio* folio);
+  void DispatchAccessed(Lane& lane, CgroupState& st, Folio* folio);
+  void DispatchRemoved(Lane& lane, CgroupState& st, Folio* folio);
+
+  // Insert a folio for (as, index), charged to cg. Returns nullptr when the
+  // ext admission filter rejected it (caller services the I/O directly).
+  Folio* InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
+                     uint64_t index, bool is_write, bool via_readahead);
+
+  // Writeback (if dirty) and remove `folio`. kEvict stores a shadow entry;
+  // kInvalidate does not. Returns false if the folio is pinned.
+  enum class RemovalKind { kEvict, kInvalidate };
+  bool RemoveFolio(Lane& lane, Folio* folio, RemovalKind kind);
+
+  // Bring `cg` back under its limit; may OOM-kill the cgroup.
+  void ReclaimIfNeeded(Lane& lane, CgroupState& st);
+
+  // Readahead: called on a miss at `index`; returns how many extra pages to
+  // prefetch after `last_requested`. Consults the ext policy's prefetch
+  // hook (§7 extension) when one is attached.
+  uint32_t ReadaheadWindow(Lane& lane, CgroupState& st, AddressSpace* as,
+                           uint64_t index);
+  void Prefetch(Lane& lane, AddressSpace* as, CgroupState& st,
+                uint64_t first_index, uint32_t nr_pages);
+
+  bool CandidateValid(CgroupState& st, Folio* folio, bool from_ext,
+                      bool* violation);
+
+  SimDisk* disk_;
+  SsdModel* ssd_;
+  PageCacheOptions options_;
+  PageCacheTracer* tracer_ = nullptr;
+
+  mutable std::mutex mu_;
+  uint64_t next_cgroup_id_ = 1;
+  uint64_t next_mapping_id_ = 1;
+  std::vector<std::unique_ptr<CgroupState>> cgroups_;
+  std::unordered_map<std::string, std::unique_ptr<AddressSpace>> files_;
+  uint64_t total_resident_ = 0;
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_PAGECACHE_PAGE_CACHE_H_

@@ -1,0 +1,38 @@
+#include "src/pagecache/workingset.h"
+
+namespace cache_ext {
+
+XEntry WorkingsetEviction(MemCgroup* memcg, uint32_t tier) {
+  ShadowEntry shadow;
+  // Snapshot the clock *after* this eviction (kernel: inc then pack).
+  shadow.age = (memcg->AdvanceNonresidentAge() + 1) & ShadowEntry::kAgeMask;
+  shadow.tier = tier;
+  shadow.memcg_low = memcg->id() & 0xFF;
+  return XEntry::FromValue(shadow.Pack());
+}
+
+RefaultDecision WorkingsetRefault(MemCgroup* memcg, XEntry shadow,
+                                  uint64_t workingset_size) {
+  RefaultDecision decision;
+  if (!shadow.IsValue()) {
+    return decision;
+  }
+  const ShadowEntry s = ShadowEntry::Unpack(shadow.AsValue());
+  if (s.memcg_low != (memcg->id() & 0xFF)) {
+    // Shadow from another cgroup (file shared across cgroups after the owner
+    // changed); ignore it rather than mis-activate.
+    return decision;
+  }
+  decision.is_refault = true;
+  decision.tier = s.tier;
+  const uint64_t now = memcg->nonresident_age() & ShadowEntry::kAgeMask;
+  decision.distance = (now - s.age) & ShadowEntry::kAgeMask;
+  // The kernel activates when refault distance <= workingset size: the page
+  // was evicted "recently enough" that a cache of this size should have kept
+  // it (mm/workingset.c::workingset_test_recent).
+  decision.activate = decision.distance <= workingset_size;
+  memcg->stat_refaults.fetch_add(1, std::memory_order_relaxed);
+  return decision;
+}
+
+}  // namespace cache_ext

@@ -1,0 +1,64 @@
+// Workingset shadow entries and refault detection (§2.1).
+//
+// When a folio is evicted, a shadow entry replaces it in the mapping's
+// xarray, snapshotting the cgroup's "nonresident age" clock (plus the MGLRU
+// tier for the native MGLRU policy). When the page is faulted back in, the
+// refault distance (evictions that happened in between) tells us whether the
+// page would have been a hit with a slightly larger cache; if the distance is
+// within the cgroup's workingset, the page is activated directly, mitigating
+// thrashing. This mirrors mm/workingset.c.
+
+#ifndef SRC_PAGECACHE_WORKINGSET_H_
+#define SRC_PAGECACHE_WORKINGSET_H_
+
+#include <cstdint>
+
+#include "src/cgroup/memcg.h"
+#include "src/mm/xarray.h"
+
+namespace cache_ext {
+
+// Shadow entry payload layout (fits the 63-bit XEntry value):
+//   bits [0, 47]  : nonresident-age snapshot (wraps; distances are modular)
+//   bits [48, 51] : MGLRU tier the folio was evicted from
+//   bits [52, 59] : low bits of the owning cgroup id (sanity filter)
+struct ShadowEntry {
+  uint64_t age = 0;
+  uint32_t tier = 0;
+  uint64_t memcg_low = 0;
+
+  static constexpr uint64_t kAgeMask = (1ULL << 48) - 1;
+
+  uint64_t Pack() const {
+    return (age & kAgeMask) | (static_cast<uint64_t>(tier & 0xF) << 48) |
+           ((memcg_low & 0xFF) << 52);
+  }
+  static ShadowEntry Unpack(uint64_t payload) {
+    ShadowEntry s;
+    s.age = payload & kAgeMask;
+    s.tier = static_cast<uint32_t>((payload >> 48) & 0xF);
+    s.memcg_low = (payload >> 52) & 0xFF;
+    return s;
+  }
+};
+
+// Builds the shadow entry to store when `memcg` evicts a folio that belonged
+// to MGLRU tier `tier` (0 for non-MGLRU policies). Advances the cgroup's
+// nonresident-age clock.
+XEntry WorkingsetEviction(MemCgroup* memcg, uint32_t tier);
+
+struct RefaultDecision {
+  bool is_refault = false;  // shadow belonged to this cgroup and was sane
+  bool activate = false;    // refault distance within the workingset
+  uint32_t tier = 0;        // tier recorded at eviction (for MGLRU feedback)
+  uint64_t distance = 0;
+};
+
+// Interprets a shadow entry found where a folio is being inserted.
+// `workingset_size` is the number of pages the cgroup can hold (its limit).
+RefaultDecision WorkingsetRefault(MemCgroup* memcg, XEntry shadow,
+                                  uint64_t workingset_size);
+
+}  // namespace cache_ext
+
+#endif  // SRC_PAGECACHE_WORKINGSET_H_

@@ -1,0 +1,121 @@
+#include "src/policies/application_informed.h"
+
+#include <memory>
+
+#include "src/bpf/map.h"
+#include "src/cache_ext/eviction_list.h"
+
+namespace cache_ext::policies {
+
+Ops MakeGetScanOps(const GetScanParams& params) {
+  struct State {
+    State(uint64_t capacity, uint32_t nr_pids)
+        : scan_pids(nr_pids == 0 ? 1 : nr_pids),
+          freq(static_cast<uint32_t>(2 * capacity + 16)) {}
+
+    uint64_t get_list = 0;
+    uint64_t scan_list = 0;
+    bpf::HashMap<int32_t, uint8_t> scan_pids;
+    bpf::HashMap<const Folio*, uint64_t> freq;
+    uint64_t nr_scan = 512;
+  };
+  auto st = std::make_shared<State>(
+      params.capacity_pages, static_cast<uint32_t>(params.scan_pids.size()));
+  st->nr_scan = params.nr_scan;
+  // Userspace loader step: populate the PID map before attaching (§5.5).
+  for (const int32_t pid : params.scan_pids) {
+    st->scan_pids.Update(pid, 1);
+  }
+
+  Ops ops;
+  ops.name = "get_scan";
+  ops.program_cost_ns = 130;
+  ops.policy_init = [st](CacheExtApi& api, MemCgroup*) -> int32_t {
+    auto get_list = api.ListCreate();
+    auto scan_list = api.ListCreate();
+    if (!get_list.ok() || !scan_list.ok()) {
+      return -1;
+    }
+    st->get_list = *get_list;
+    st->scan_list = *scan_list;
+    return 0;
+  };
+
+  ops.folio_added = [st](CacheExtApi& api, Folio* folio) {
+    // bpf_get_current_pid_tgid() decides which list the folio belongs to.
+    const bool is_scan = st->scan_pids.Lookup(api.CurrentPid()) != nullptr;
+    (void)api.ListAdd(is_scan ? st->scan_list : st->get_list, folio,
+                      /*tail=*/true);
+    (void)st->freq.Update(folio, 1);
+  };
+
+  ops.folio_accessed = [st](CacheExtApi&, Folio* folio) {
+    if (uint64_t* freq = st->freq.Lookup(folio); freq != nullptr) {
+      ++*freq;
+    }
+  };
+
+  ops.evict_folios = [st](CacheExtApi& api, EvictionCtx* ctx, MemCgroup*) {
+    // SCAN folios are sacrificed first, in insertion order: scans are
+    // sequential, so the oldest scan folios have already been consumed
+    // while the newest may still be ahead of the scan cursor (evicting
+    // those would make the scan re-fault its own readahead).
+    IterOpts scan_opts;
+    scan_opts.nr_scan = 4 * ctx->nr_candidates_requested;
+    scan_opts.on_evict = IterPlacement::kMoveToTail;
+    (void)api.ListIterate(st->scan_list, scan_opts, ctx,
+                          [](Folio*) { return IterVerdict::kEvict; });
+    if (!ctx->Full()) {
+      // GET folios only under real pressure, least-frequently-used first.
+      IterOpts get_opts;
+      get_opts.nr_scan = st->nr_scan;
+      get_opts.on_skip = IterPlacement::kMoveToTail;
+      get_opts.on_evict = IterPlacement::kMoveToTail;
+      (void)api.ListIterateScore(
+          st->get_list, get_opts, ctx, [st](Folio* folio) -> int64_t {
+            const uint64_t* freq = st->freq.Lookup(folio);
+            return freq == nullptr ? 0 : static_cast<int64_t>(*freq);
+          });
+    }
+  };
+
+  ops.folio_removed = [st](CacheExtApi&, Folio* folio) {
+    st->freq.Delete(folio);
+  };
+  return ops;
+}
+
+Ops MakeAdmissionFilterOps(const AdmissionFilterParams& params) {
+  struct State {
+    explicit State(uint32_t nr_tids) : tids(nr_tids == 0 ? 1 : nr_tids) {}
+    bpf::HashMap<int32_t, uint8_t> tids;
+  };
+  auto st =
+      std::make_shared<State>(static_cast<uint32_t>(params.filtered_tids.size()));
+  for (const int32_t tid : params.filtered_tids) {
+    st->tids.Update(tid, 1);
+  }
+
+  Ops ops;
+  ops.name = "admission_filter";
+  ops.program_cost_ns = 40;
+  ops.policy_init = [](CacheExtApi&, MemCgroup*) -> int32_t { return 0; };
+  ops.folio_added = [](CacheExtApi&, Folio*) {};
+  ops.folio_accessed = [](CacheExtApi&, Folio*) {};
+  ops.folio_removed = [](CacheExtApi&, Folio*) {};
+  // No candidates: eviction falls back to the kernel default policy.
+  ops.evict_folios = [](CacheExtApi&, EvictionCtx*, MemCgroup*) {};
+  ops.admit_folio = [st](CacheExtApi&, const AdmissionCtx& ctx) {
+    // Folios *fetched* by compaction threads bypass the cache (§5.6: the
+    // thrashing comes from compaction "periodically reading large files");
+    // compaction output writes stay cached — freshly compacted data serves
+    // upcoming reads, and input files are deleted right after the merge.
+    if (ctx.is_write) {
+      return true;
+    }
+    return st->tids.Lookup(ctx.tid) == nullptr;
+  };
+  return ops;
+}
+
+}  // namespace cache_ext::policies

@@ -1,0 +1,45 @@
+// Application-informed policies (§5.5, §5.6).
+//
+// GET-SCAN: a database with heterogeneous queries registers the PIDs of its
+// SCAN thread pool; folios faulted in by those threads go to a separate
+// eviction list that is drained first under memory pressure, so scans cannot
+// pollute the cache used by latency-sensitive GETs. Each list independently
+// maintains an approximate LFU (Fig. 5).
+//
+// Admission filter: an LSM-tree store registers its compaction thread TIDs;
+// folios those threads would fault in are never admitted to the page cache
+// (serviced like direct I/O), preventing compaction from thrashing the
+// folios needed by foreground reads.
+
+#ifndef SRC_POLICIES_APPLICATION_INFORMED_H_
+#define SRC_POLICIES_APPLICATION_INFORMED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cache_ext/ops.h"
+
+namespace cache_ext::policies {
+
+struct GetScanParams {
+  // PIDs of the SCAN thread pool (loaded into an eBPF map by the userspace
+  // loader before attach, §5.5).
+  std::vector<int32_t> scan_pids;
+  uint64_t capacity_pages = 1 << 20;
+  uint64_t nr_scan = 512;  // LFU batch-scoring window per list
+};
+
+Ops MakeGetScanOps(const GetScanParams& params);
+
+struct AdmissionFilterParams {
+  // TIDs whose page-cache admissions are rejected (compaction threads).
+  std::vector<int32_t> filtered_tids;
+};
+
+// Eviction is left entirely to the kernel's default policy (the filter
+// proposes no candidates); only the admission hook acts (§5.6).
+Ops MakeAdmissionFilterOps(const AdmissionFilterParams& params);
+
+}  // namespace cache_ext::policies
+
+#endif  // SRC_POLICIES_APPLICATION_INFORMED_H_

@@ -1,0 +1,149 @@
+#include "src/policies/classic.h"
+
+#include <memory>
+
+#include "src/bpf/map.h"
+#include "src/cache_ext/eviction_list.h"
+
+namespace cache_ext::policies {
+
+Ops MakeNoopOps() {
+  Ops ops;
+  ops.name = "noop";
+  ops.program_cost_ns = 30;
+  ops.policy_init = [](CacheExtApi&, MemCgroup*) -> int32_t { return 0; };
+  ops.folio_added = [](CacheExtApi&, Folio*) {};
+  ops.folio_accessed = [](CacheExtApi&, Folio*) {};
+  ops.folio_removed = [](CacheExtApi&, Folio*) {};
+  // Propose nothing: the kernel's fallback evicts via the default policy.
+  ops.evict_folios = [](CacheExtApi&, EvictionCtx*, MemCgroup*) {};
+  return ops;
+}
+
+Ops MakeFifoOps() {
+  struct State {
+    uint64_t list = 0;
+  };
+  auto st = std::make_shared<State>();
+
+  Ops ops;
+  ops.name = "fifo";
+  ops.program_cost_ns = 60;
+  ops.policy_init = [st](CacheExtApi& api, MemCgroup*) -> int32_t {
+    auto list = api.ListCreate();
+    if (!list.ok()) {
+      return -1;
+    }
+    st->list = *list;
+    return 0;
+  };
+  ops.folio_added = [st](CacheExtApi& api, Folio* folio) {
+    (void)api.ListAdd(st->list, folio, /*tail=*/true);
+  };
+  ops.folio_accessed = [](CacheExtApi&, Folio*) {};
+  ops.folio_removed = [](CacheExtApi&, Folio*) {};
+  ops.evict_folios = [st](CacheExtApi& api, EvictionCtx* ctx, MemCgroup*) {
+    IterOpts opts;
+    opts.nr_scan = 4 * ctx->nr_candidates_requested;
+    // Rotate proposed folios to the tail: evicted ones are unlinked by the
+    // framework anyway, and folios the kernel refused don't clog the head.
+    opts.on_evict = IterPlacement::kMoveToTail;
+    (void)api.ListIterate(st->list, opts, ctx,
+                          [](Folio*) { return IterVerdict::kEvict; });
+  };
+  return ops;
+}
+
+Ops MakeMruOps(const MruParams& params) {
+  struct State {
+    uint64_t list = 0;
+    uint64_t skip_fresh;
+  };
+  auto st = std::make_shared<State>();
+  st->skip_fresh = params.skip_fresh;
+
+  Ops ops;
+  ops.name = "mru";
+  ops.program_cost_ns = 80;
+  ops.policy_init = [st](CacheExtApi& api, MemCgroup*) -> int32_t {
+    auto list = api.ListCreate();
+    if (!list.ok()) {
+      return -1;
+    }
+    st->list = *list;
+    return 0;
+  };
+  ops.folio_added = [st](CacheExtApi& api, Folio* folio) {
+    (void)api.ListAdd(st->list, folio, /*tail=*/false);  // head = newest
+  };
+  ops.folio_accessed = [st](CacheExtApi& api, Folio* folio) {
+    (void)api.ListMove(st->list, folio, /*tail=*/false);
+  };
+  ops.folio_removed = [](CacheExtApi&, Folio*) {};
+  ops.evict_folios = [st](CacheExtApi& api, EvictionCtx* ctx, MemCgroup*) {
+    IterOpts opts;
+    opts.nr_scan = st->skip_fresh + 4 * ctx->nr_candidates_requested;
+    opts.on_skip = IterPlacement::kKeepInPlace;  // fresh folios stay put
+    opts.on_evict = IterPlacement::kMoveToTail;
+    uint64_t seen = 0;
+    (void)api.ListIterate(st->list, opts, ctx, [st, &seen](Folio*) {
+      // Skip the freshest folios: they may still be in use by the kernel to
+      // service the I/O that inserted them (§5.4).
+      return seen++ < st->skip_fresh ? IterVerdict::kSkip
+                                     : IterVerdict::kEvict;
+    });
+  };
+  return ops;
+}
+
+Ops MakeLfuOps(const LfuParams& params) {
+  struct State {
+    explicit State(uint32_t max_folios) : freq(max_folios) {}
+    uint64_t list = 0;
+    bpf::HashMap<const Folio*, uint64_t> freq;
+    uint64_t nr_scan = 512;
+  };
+  auto st = std::make_shared<State>(params.max_folios);
+  st->nr_scan = params.nr_scan;
+
+  Ops ops;
+  ops.name = "lfu";
+  ops.program_cost_ns = 110;
+  ops.policy_init = [st](CacheExtApi& api, MemCgroup*) -> int32_t {
+    auto list = api.ListCreate();
+    if (!list.ok()) {
+      return -1;
+    }
+    st->list = *list;
+    return 0;
+  };
+  // Mirrors lfu_folio_added() in Fig. 4.
+  ops.folio_added = [st](CacheExtApi& api, Folio* folio) {
+    (void)api.ListAdd(st->list, folio, /*tail=*/true);
+    (void)st->freq.Update(folio, 1);
+  };
+  ops.folio_accessed = [st](CacheExtApi&, Folio* folio) {
+    if (uint64_t* freq = st->freq.Lookup(folio); freq != nullptr) {
+      ++*freq;  // __sync_fetch_and_add in the eBPF version
+    }
+  };
+  ops.evict_folios = [st](CacheExtApi& api, EvictionCtx* ctx, MemCgroup*) {
+    IterOpts opts;
+    opts.nr_scan = st->nr_scan;
+    // Folios not selected as candidates are moved to the end of the list by
+    // list_iterate() (§4.2.5).
+    opts.on_skip = IterPlacement::kMoveToTail;
+    opts.on_evict = IterPlacement::kMoveToTail;
+    (void)api.ListIterateScore(
+        st->list, opts, ctx, [st](Folio* folio) -> int64_t {
+          const uint64_t* freq = st->freq.Lookup(folio);
+          return freq == nullptr ? 0 : static_cast<int64_t>(*freq);
+        });
+  };
+  ops.folio_removed = [st](CacheExtApi&, Folio* folio) {
+    st->freq.Delete(folio);
+  };
+  return ops;
+}
+
+}  // namespace cache_ext::policies

@@ -1,0 +1,47 @@
+// Classic cache_ext policies: no-op, FIFO, MRU, LFU (§4.2.5, §5.4).
+//
+// Each Make*Ops() returns the struct_ops bundle for one policy, written the
+// way the paper's eBPF programs are: state in bpf:: maps, folios organized
+// via the eviction-list kfuncs, no floating point, and failures of map
+// updates tolerated (the framework's fallback covers under-proposal).
+
+#ifndef SRC_POLICIES_CLASSIC_H_
+#define SRC_POLICIES_CLASSIC_H_
+
+#include <cstdint>
+
+#include "src/cache_ext/ops.h"
+
+namespace cache_ext::policies {
+
+// No-op policy: participates in all hooks (so the framework maintains the
+// registry and charges dispatch overhead) but never proposes candidates,
+// deferring eviction to the kernel's default policy via the fallback path.
+// Used to measure baseline framework overhead (§6.3.2, Table 4).
+Ops MakeNoopOps();
+
+// FIFO: evict in insertion order (§5.4).
+Ops MakeFifoOps();
+
+struct MruParams {
+  // Freshly-inserted folios to skip at the head of the list, §5.4: "we skip
+  // a small fixed number of folios ... before proposing eviction
+  // candidates" (they may still be in use by the kernel for I/O).
+  uint64_t skip_fresh = 24;
+};
+// MRU: evict the most recently used first; ideal for cyclic scans (§5.4).
+Ops MakeMruOps(const MruParams& params = {});
+
+struct LfuParams {
+  // Map capacity; size to the cgroup's page limit (plus slack).
+  uint32_t max_folios = 1 << 20;
+  // Batch-scoring window: examine the first N folios, evict the C
+  // least-frequently-used (§4.2.5).
+  uint64_t nr_scan = 512;
+};
+// LFU via batch-scoring list_iterate, mirroring Fig. 4.
+Ops MakeLfuOps(const LfuParams& params = {});
+
+}  // namespace cache_ext::policies
+
+#endif  // SRC_POLICIES_CLASSIC_H_

@@ -1,0 +1,51 @@
+// Least Hit Density on cache_ext (§5.2).
+//
+// LHD predicts each folio's *hit density* — expected hits per unit of cache
+// space-time — from conditional probability distributions and evicts the
+// folios with the lowest density. Folios are grouped into classes by the age
+// they had at their last access; each class keeps hit/eviction counts per
+// age bucket, from which a reconfiguration pass derives hit densities with
+// an EWMA over time.
+//
+// Faithful constraints from the paper's implementation:
+//  - no floating point (eBPF): densities are integers scaled by a large
+//    constant (kDensityScale);
+//  - reconfiguration is expensive and runs OFF the hot path: the policy
+//    posts a request to a bpf ring buffer; a userspace agent reacts by
+//    invoking the reconfigure "BPF_PROG_TYPE_SYSCALL program"
+//    (LhdUserspaceAgent::Poll). A safety valve reconfigures inline if the
+//    agent falls far behind (documented divergence).
+
+#ifndef SRC_POLICIES_LHD_H_
+#define SRC_POLICIES_LHD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/cache_ext/ops.h"
+#include "src/policies/userspace_agent.h"
+
+namespace cache_ext::policies {
+
+struct LhdParams {
+  uint64_t capacity_pages = 1 << 20;
+  // Reconfigure every this many cache events (paper: ~2^20; scaled to our
+  // scaled-down workloads).
+  uint64_t reconfig_interval = 1 << 16;
+  // Batch-scoring window per eviction request.
+  uint64_t nr_scan = 512;
+  // Age bucketing: age_bucket = min(kNumAges-1, delta >> age_shift).
+  uint32_t age_shift = 10;
+};
+
+struct LhdBundle {
+  Ops ops;
+  // Poll() drains the ring buffer and runs reconfiguration when requested.
+  std::shared_ptr<UserspaceAgent> agent;
+};
+
+LhdBundle MakeLhdPolicy(const LhdParams& params = {});
+
+}  // namespace cache_ext::policies
+
+#endif  // SRC_POLICIES_LHD_H_

@@ -1,0 +1,29 @@
+// MGLRU reimplemented on cache_ext (§5.3).
+//
+// Generations are eviction lists held in a circular buffer indexed by
+// sequence number modulo max_nr_gens; a bpf map stores each folio's
+// generation and access frequency; refault detection uses ghost entries in a
+// BPF_MAP_TYPE_LRU_HASH (like the S3-FIFO policy); the PID-controller logic
+// is ported from the kernel implementation; aging is serialized with an eBPF
+// spinlock. Compared against the native kernel MGLRU in Table 5.
+
+#ifndef SRC_POLICIES_MGLRU_EXT_H_
+#define SRC_POLICIES_MGLRU_EXT_H_
+
+#include <cstdint>
+
+#include "src/cache_ext/ops.h"
+
+namespace cache_ext::policies {
+
+struct MglruExtParams {
+  uint64_t capacity_pages = 1 << 20;
+  // Per-round scan budget in folios (matches the native policy).
+  uint64_t scan_budget = 256;
+};
+
+Ops MakeMglruExtOps(const MglruExtParams& params = {});
+
+}  // namespace cache_ext::policies
+
+#endif  // SRC_POLICIES_MGLRU_EXT_H_

@@ -1,0 +1,82 @@
+#include "src/policies/policy_factory.h"
+
+#include <algorithm>
+
+#include "src/policies/application_informed.h"
+#include "src/policies/classic.h"
+#include "src/policies/lhd.h"
+#include "src/policies/mglru_ext.h"
+#include "src/policies/prefetch.h"
+#include "src/policies/s3fifo.h"
+
+namespace cache_ext::policies {
+
+Expected<PolicyBundle> MakePolicy(std::string_view name,
+                                  const PolicyParams& params) {
+  PolicyBundle bundle;
+  const auto capacity32 = static_cast<uint32_t>(
+      std::min<uint64_t>(params.capacity_pages, UINT32_MAX / 4));
+  if (name == "noop") {
+    bundle.ops = MakeNoopOps();
+  } else if (name == "fifo") {
+    bundle.ops = MakeFifoOps();
+  } else if (name == "mru") {
+    MruParams p;
+    // Skip a window of freshest folios proportional to the cache, clamped:
+    // large caches skip more in-flight folios, tiny caches barely any.
+    p.skip_fresh = std::clamp<uint64_t>(params.capacity_pages / 64, 4, 64);
+    bundle.ops = MakeMruOps(p);
+  } else if (name == "lfu") {
+    LfuParams p;
+    p.max_folios = 2 * capacity32 + 16;
+    bundle.ops = MakeLfuOps(p);
+  } else if (name == "s3fifo") {
+    S3FifoParams p;
+    p.capacity_pages = params.capacity_pages;
+    bundle.ops = MakeS3FifoOps(p);
+  } else if (name == "lhd") {
+    LhdParams p;
+    p.capacity_pages = params.capacity_pages;
+    // Empirically tuned (see DESIGN.md): coarse age buckets — width about
+    // 16x the cache size in events — let the hit-count classes dominate,
+    // matching the paper's observation that LHD tracks LFU on Zipfian
+    // workloads while the age dimension handles scan/cyclic patterns.
+    uint32_t shift = 4;
+    while ((1ULL << (shift - 4 + 1)) <= params.capacity_pages) {
+      ++shift;
+    }
+    p.age_shift = shift;
+    // Scale the reconfiguration interval to the cache (paper: 2^20 on a
+    // 2.6M-page cgroup).
+    p.reconfig_interval = std::max<uint64_t>(512, params.capacity_pages * 8);
+    LhdBundle lhd = MakeLhdPolicy(p);
+    bundle.ops = std::move(lhd.ops);
+    bundle.agent = std::move(lhd.agent);
+  } else if (name == "mglru_ext") {
+    MglruExtParams p;
+    p.capacity_pages = params.capacity_pages;
+    bundle.ops = MakeMglruExtOps(p);
+  } else if (name == "get_scan") {
+    GetScanParams p;
+    p.capacity_pages = params.capacity_pages;
+    p.scan_pids = params.scan_pids;
+    bundle.ops = MakeGetScanOps(p);
+  } else if (name == "stride_prefetcher") {
+    bundle.ops = MakeStridePrefetcherOps();
+  } else if (name == "admission_filter") {
+    AdmissionFilterParams p;
+    p.filtered_tids = params.filter_tids;
+    bundle.ops = MakeAdmissionFilterOps(p);
+  } else {
+    return InvalidArgument("unknown policy: " + std::string(name));
+  }
+  return bundle;
+}
+
+std::vector<std::string_view> AvailablePolicies() {
+  return {"noop",     "fifo",     "mru",      "lfu",
+          "s3fifo",   "lhd",      "mglru_ext", "get_scan",
+          "admission_filter",     "stride_prefetcher"};
+}
+
+}  // namespace cache_ext::policies

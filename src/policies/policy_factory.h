@@ -1,0 +1,47 @@
+// Policy factory: build any of the paper's policies by name.
+//
+// The harness and the examples select policies with strings ("lfu",
+// "s3fifo", ...), mirroring how the open-sourced cache_ext policies are
+// individual loaders selected on the command line.
+
+#ifndef SRC_POLICIES_POLICY_FACTORY_H_
+#define SRC_POLICIES_POLICY_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/cache_ext/ops.h"
+#include "src/policies/userspace_agent.h"
+#include "src/util/status.h"
+
+namespace cache_ext::policies {
+
+struct PolicyParams {
+  // Cache capacity in pages (the target cgroup's limit); sizes maps/ghosts.
+  uint64_t capacity_pages = 1 << 20;
+  // GET-SCAN: PIDs of the scan thread pool.
+  std::vector<int32_t> scan_pids;
+  // Admission filter: TIDs whose admissions are rejected.
+  std::vector<int32_t> filter_tids;
+};
+
+struct PolicyBundle {
+  Ops ops;
+  // Non-null for policies with userspace companions (LHD). Harnesses should
+  // Poll() it periodically.
+  std::shared_ptr<UserspaceAgent> agent;
+};
+
+// Known names: noop, fifo, mru, lfu, s3fifo, lhd, mglru_ext, get_scan,
+// admission_filter, stride_prefetcher.
+Expected<PolicyBundle> MakePolicy(std::string_view name,
+                                  const PolicyParams& params);
+
+// All policy names accepted by MakePolicy, in a stable order.
+std::vector<std::string_view> AvailablePolicies();
+
+}  // namespace cache_ext::policies
+
+#endif  // SRC_POLICIES_POLICY_FACTORY_H_

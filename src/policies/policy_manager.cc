@@ -1,0 +1,116 @@
+#include "src/policies/policy_manager.h"
+
+#include <algorithm>
+
+namespace cache_ext::policies {
+
+PolicyManager::PolicyManager(PageCache* page_cache,
+                             PolicyManagerOptions options)
+    : page_cache_(page_cache),
+      loader_(page_cache),
+      options_(std::move(options)) {}
+
+bool PolicyManager::Allowed(std::string_view name) const {
+  if (options_.allowlist.empty()) {
+    const auto known = AvailablePolicies();
+    return std::find(known.begin(), known.end(), name) != known.end();
+  }
+  return options_.allowlist.count(std::string(name)) > 0;
+}
+
+void PolicyManager::Record(EventKind kind, MemCgroup* cg,
+                           std::string_view policy, std::string detail) {
+  audit_.push_back(AuditEvent{kind, cg != nullptr ? cg->name() : "?",
+                              std::string(policy), std::move(detail)});
+}
+
+Status PolicyManager::Request(MemCgroup* cg, std::string_view policy_name,
+                              const PolicyParams& params) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cg == nullptr) {
+    return InvalidArgument("null cgroup");
+  }
+  if (!Allowed(policy_name)) {
+    Record(EventKind::kDenied, cg, policy_name, "not in allowlist");
+    return PermissionDenied("policy not in the manager's allowlist: " +
+                            std::string(policy_name));
+  }
+  if (attachments_.size() >= options_.max_attached) {
+    Record(EventKind::kDenied, cg, policy_name, "quota exceeded");
+    return ResourceExhausted("policy quota exceeded");
+  }
+  if (attachments_.count(cg) > 0) {
+    Record(EventKind::kDenied, cg, policy_name,
+           "cgroup already has a managed policy");
+    return AlreadyExists("cgroup already has a managed policy");
+  }
+
+  PolicyParams sized = params;
+  sized.capacity_pages = cg->limit_pages();
+  auto bundle = MakePolicy(policy_name, sized);
+  CACHE_EXT_RETURN_IF_ERROR(bundle.status());
+  auto attached = loader_.Attach(cg, std::move(bundle->ops),
+                                 page_cache_->options().costs);
+  CACHE_EXT_RETURN_IF_ERROR(attached.status());
+
+  attachments_[cg] = Attachment{std::string(policy_name), bundle->agent};
+  Record(EventKind::kAttached, cg, policy_name, "");
+  return OkStatus();
+}
+
+Status PolicyManager::Release(MemCgroup* cg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = attachments_.find(cg);
+  if (it == attachments_.end()) {
+    return NotFound("no managed policy for this cgroup");
+  }
+  const std::string name = it->second.policy_name;
+  attachments_.erase(it);
+  // Detach may have already happened via the watchdog; tolerate that.
+  Status status = loader_.Detach(cg);
+  if (!status.ok() && status.code() != ErrorCode::kFailedPrecondition) {
+    return status;
+  }
+  Record(EventKind::kDetached, cg, name, "");
+  return OkStatus();
+}
+
+void PolicyManager::Poll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MemCgroup*> reverted;
+  for (auto& [cg, attachment] : attachments_) {
+    if (attachment.agent != nullptr) {
+      attachment.agent->Poll();
+    }
+    if (options_.revert_on_watchdog &&
+        page_cache_->StatsFor(cg).ext_detached_by_watchdog) {
+      // The kernel watchdog stopped consulting the policy; finish the job:
+      // unload it so the cgroup runs the default policy cleanly.
+      (void)loader_.Detach(cg);
+      Record(EventKind::kWatchdogReverted, cg, attachment.policy_name,
+             "watchdog unloaded a misbehaving policy");
+      reverted.push_back(cg);
+    }
+  }
+  for (MemCgroup* cg : reverted) {
+    attachments_.erase(cg);
+  }
+}
+
+std::vector<PolicyManager::AuditEvent> PolicyManager::audit_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return audit_;
+}
+
+size_t PolicyManager::attached_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attachments_.size();
+}
+
+std::string PolicyManager::PolicyFor(MemCgroup* cg) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = attachments_.find(cg);
+  return it == attachments_.end() ? "" : it->second.policy_name;
+}
+
+}  // namespace cache_ext::policies

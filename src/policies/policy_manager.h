@@ -1,0 +1,96 @@
+// PolicyManager: the privileged policy loader the paper envisions (§4.4,
+// "Root privileges": sched_ext and ghOSt "mitigate this with a privileged
+// policy loader, allowing policies to be managed through systemd. We
+// envision a similar solution for cache_ext").
+//
+// The manager is the single privileged component that owns the loader.
+// Unprivileged tenants request policies *by name* from an allowlisted
+// catalog — they never hand executable code to the kernel themselves. The
+// manager enforces a per-system policy quota, keeps an audit log of every
+// attach/detach/watchdog event, polls userspace agents (LHD reconfiguration)
+// on behalf of tenants, and can automatically revert a cgroup to the default
+// policy when the kernel watchdog unloads a misbehaving one.
+
+#ifndef SRC_POLICIES_POLICY_MANAGER_H_
+#define SRC_POLICIES_POLICY_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cache_ext/loader.h"
+#include "src/pagecache/page_cache.h"
+#include "src/policies/policy_factory.h"
+
+namespace cache_ext::policies {
+
+struct PolicyManagerOptions {
+  // Policies tenants may request; empty = everything the factory knows.
+  std::set<std::string> allowlist;
+  // Maximum concurrently attached policies across all cgroups.
+  size_t max_attached = 64;
+  // On watchdog detach, remove the broken policy so the cgroup reverts
+  // cleanly to the default (and record the event).
+  bool revert_on_watchdog = true;
+};
+
+class PolicyManager {
+ public:
+  enum class EventKind {
+    kAttached,
+    kDetached,
+    kDenied,
+    kWatchdogReverted,
+  };
+
+  struct AuditEvent {
+    EventKind kind;
+    std::string cgroup;
+    std::string policy;
+    std::string detail;
+  };
+
+  PolicyManager(PageCache* page_cache, PolicyManagerOptions options = {});
+
+  // Tenant API: request a catalog policy for a cgroup. Applies the
+  // allowlist, the quota, and sizes the policy to the cgroup.
+  Status Request(MemCgroup* cg, std::string_view policy_name,
+                 const PolicyParams& params = {});
+  Status Release(MemCgroup* cg);
+
+  // Housekeeping: polls userspace agents and audits watchdog state; call
+  // periodically (a daemon loop / systemd timer stand-in).
+  void Poll();
+
+  // Introspection.
+  std::vector<AuditEvent> audit_log() const;
+  size_t attached_count() const;
+  // The policy currently managed for `cg`, or "" if none.
+  std::string PolicyFor(MemCgroup* cg) const;
+
+ private:
+  struct Attachment {
+    std::string policy_name;
+    std::shared_ptr<UserspaceAgent> agent;
+  };
+
+  bool Allowed(std::string_view name) const;
+  void Record(EventKind kind, MemCgroup* cg, std::string_view policy,
+              std::string detail);
+
+  PageCache* page_cache_;
+  CacheExtLoader loader_;
+  PolicyManagerOptions options_;
+  mutable std::mutex mu_;
+  std::map<MemCgroup*, Attachment> attachments_;
+  std::vector<AuditEvent> audit_;
+};
+
+}  // namespace cache_ext::policies
+
+#endif  // SRC_POLICIES_POLICY_MANAGER_H_

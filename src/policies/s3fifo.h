@@ -1,0 +1,35 @@
+// S3-FIFO on cache_ext (§5.1).
+//
+// Three queues: a small FIFO (~10% of capacity) filtering one-hit wonders, a
+// main FIFO holding the rest, and a ghost FIFO (BPF_MAP_TYPE_LRU_HASH)
+// remembering keys recently evicted from the small queue so readmitted
+// objects go straight to the main queue. Keys are (address_space id, file
+// offset) because folio pointers are not persistent across evictions.
+
+#ifndef SRC_POLICIES_S3FIFO_H_
+#define SRC_POLICIES_S3FIFO_H_
+
+#include <cstdint>
+
+#include "src/cache_ext/ops.h"
+
+namespace cache_ext::policies {
+
+struct S3FifoParams {
+  // Cache capacity in pages (the cgroup's limit); sizes maps and the ghost.
+  uint64_t capacity_pages = 1 << 20;
+  // Target share of the small FIFO, percent (paper: ~10%).
+  uint32_t small_percent = 10;
+  // Promotion threshold: folios with more than this many accesses move from
+  // the small to the main FIFO during eviction scans.
+  uint32_t promote_threshold = 1;
+};
+
+Ops MakeS3FifoOps(const S3FifoParams& params = {});
+
+// Ghost-FIFO key for a folio: survives eviction, unlike the folio pointer.
+uint64_t S3FifoGhostKey(const Folio* folio);
+
+}  // namespace cache_ext::policies
+
+#endif  // SRC_POLICIES_S3FIFO_H_

@@ -1,0 +1,23 @@
+// Userspace companion of a loaded policy.
+//
+// Some policies defer expensive maintenance to userspace (LHD's
+// reconfiguration, §5.2): the kernel side posts a request to a ring buffer
+// and a userspace loop consumes it, triggering a syscall-attached eBPF
+// program. Harnesses poll the agent periodically, standing in for that loop.
+
+#ifndef SRC_POLICIES_USERSPACE_AGENT_H_
+#define SRC_POLICIES_USERSPACE_AGENT_H_
+
+namespace cache_ext::policies {
+
+class UserspaceAgent {
+ public:
+  virtual ~UserspaceAgent() = default;
+  // Drain pending notifications and perform the deferred work. Safe to call
+  // at any frequency.
+  virtual void Poll() = 0;
+};
+
+}  // namespace cache_ext::policies
+
+#endif  // SRC_POLICIES_USERSPACE_AGENT_H_

@@ -1,0 +1,84 @@
+#include "src/search/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cache_ext::search {
+
+namespace {
+
+// Text-ish filler: words of lowercase letters separated by spaces/newlines.
+void AppendText(std::string* out, uint64_t bytes, Rng& rng) {
+  out->reserve(out->size() + bytes);
+  uint64_t written = 0;
+  while (written < bytes) {
+    const uint64_t word_len = 2 + rng.NextU64Below(10);
+    for (uint64_t i = 0; i < word_len && written < bytes; ++i, ++written) {
+      out->push_back(static_cast<char>('a' + rng.NextU64Below(26)));
+    }
+    if (written < bytes) {
+      out->push_back(rng.NextU64Below(12) == 0 ? '\n' : ' ');
+      ++written;
+    }
+  }
+}
+
+}  // namespace
+
+Expected<CorpusInfo> GenerateCorpus(SimDisk* disk,
+                                    const CorpusConfig& config) {
+  CorpusInfo info;
+  Rng rng(config.seed);
+  uint64_t remaining = config.total_bytes;
+  int file_idx = 0;
+
+  while (remaining > 0) {
+    // Size distribution: mostly near the mean, occasional 8x outliers —
+    // roughly the shape of a source tree.
+    uint64_t size = config.mean_file_bytes / 2 +
+                    rng.NextU64Below(config.mean_file_bytes);
+    if (rng.NextU64Below(20) == 0) {
+      size *= 8;
+    }
+    size = std::min(size, remaining);
+
+    std::string content;
+    const double plant_prob =
+        config.plants_per_64k * static_cast<double>(size) / 65536.0;
+    uint64_t plants = static_cast<uint64_t>(plant_prob);
+    if (rng.NextDouble() < plant_prob - static_cast<double>(plants)) {
+      ++plants;
+    }
+
+    if (plants == 0 || config.pattern.size() + 1 >= size) {
+      AppendText(&content, size, rng);
+    } else {
+      const uint64_t chunk = size / (plants + 1);
+      for (uint64_t i = 0; i < plants; ++i) {
+        AppendText(&content, chunk - config.pattern.size(), rng);
+        content.append(config.pattern);
+      }
+      if (content.size() < size) {
+        AppendText(&content, size - content.size(), rng);
+      }
+      info.planted_matches += plants;
+    }
+
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s/src_%05d.c", config.root.c_str(),
+                  file_idx++);
+    auto id = disk->Create(name);
+    CACHE_EXT_RETURN_IF_ERROR(id.status());
+    CACHE_EXT_RETURN_IF_ERROR(disk->WriteAt(
+        *id, 0,
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(content.data()),
+            content.size())));
+    info.files.push_back(name);
+    info.total_bytes += content.size();
+    remaining -= std::min<uint64_t>(remaining, content.size());
+  }
+  return info;
+}
+
+}  // namespace cache_ext::search

@@ -1,0 +1,42 @@
+// Synthetic source-tree corpus for the file-search workload (Fig. 9).
+//
+// The paper searches the Linux kernel sources with ripgrep; we generate a
+// file tree with a source-tree-like size distribution (many small files, a
+// long tail of large ones) and text-like contents with a known pattern
+// planted at a controlled rate, so searches have verifiable results.
+
+#ifndef SRC_SEARCH_CORPUS_H_
+#define SRC_SEARCH_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/sim_disk.h"
+#include "src/util/rng.h"
+
+namespace cache_ext::search {
+
+struct CorpusConfig {
+  std::string root = "/corpus";
+  uint64_t total_bytes = 64 << 20;
+  uint64_t mean_file_bytes = 24 * 1024;  // source files average tens of KiB
+  std::string pattern = "cache_ext_hit";
+  // Expected plants per 64 KiB of text.
+  double plants_per_64k = 1.0;
+  uint64_t seed = 42;
+};
+
+struct CorpusInfo {
+  std::vector<std::string> files;
+  uint64_t total_bytes = 0;
+  uint64_t planted_matches = 0;
+};
+
+// Writes the corpus directly to the disk (setup happens before the measured
+// run, with caches dropped, as in the paper).
+Expected<CorpusInfo> GenerateCorpus(SimDisk* disk, const CorpusConfig& config);
+
+}  // namespace cache_ext::search
+
+#endif  // SRC_SEARCH_CORPUS_H_

@@ -1,0 +1,79 @@
+#include "src/search/searcher.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cache_ext::search {
+
+Expected<uint64_t> FileSearcher::SearchFile(Lane& lane, AddressSpace* as,
+                                            std::string_view pattern) {
+  const uint64_t file_size = pc_->FileSize(as);
+  if (file_size == 0 || pattern.empty()) {
+    return 0ULL;
+  }
+  uint64_t matches = 0;
+  std::vector<uint8_t> chunk;
+  std::string carry;  // last pattern-1 bytes of the previous chunk
+
+  for (uint64_t offset = 0; offset < file_size; offset += kChunkBytes) {
+    const uint64_t len = std::min<uint64_t>(kChunkBytes, file_size - offset);
+    chunk.resize(carry.size() + len);
+    std::memcpy(chunk.data(), carry.data(), carry.size());
+    CACHE_EXT_RETURN_IF_ERROR(pc_->Read(
+        lane, as, cg_, offset,
+        std::span<uint8_t>(chunk.data() + carry.size(), len)));
+
+    // Count occurrences in carry+chunk.
+    const char* base = reinterpret_cast<const char*>(chunk.data());
+    std::string_view haystack(base, chunk.size());
+    size_t pos = 0;
+    while ((pos = haystack.find(pattern, pos)) != std::string_view::npos) {
+      ++matches;
+      pos += 1;
+    }
+
+    const size_t keep = std::min<size_t>(pattern.size() - 1, chunk.size());
+    carry.assign(base + chunk.size() - keep, keep);
+    // Avoid double-counting matches fully inside the carried tail next loop:
+    // matches spanning the boundary start inside `carry`, and carry is
+    // shorter than the pattern, so a full pattern can't fit in it alone.
+  }
+  return matches;
+}
+
+Expected<uint64_t> FileSearcher::SearchOneFile(Lane& lane, size_t file_idx,
+                                               std::string_view pattern) {
+  if (file_idx >= files_.size()) {
+    return OutOfRange("bad file index");
+  }
+  auto as = pc_->OpenFile(files_[file_idx]);
+  CACHE_EXT_RETURN_IF_ERROR(as.status());
+  return SearchFile(lane, *as, pattern);
+}
+
+Expected<uint64_t> FileSearcher::SearchPass(std::vector<Lane*>& lanes,
+                                            std::string_view pattern) {
+  if (lanes.empty()) {
+    return InvalidArgument("need at least one lane");
+  }
+  uint64_t total = 0;
+  size_t lane_idx = 0;
+  for (const std::string& name : files_) {
+    auto as = pc_->OpenFile(name);
+    CACHE_EXT_RETURN_IF_ERROR(as.status());
+    // Round-robin across worker lanes, but keep lanes loosely in step (pick
+    // the least-advanced lane) the way a work-stealing pool balances.
+    lane_idx = 0;
+    for (size_t i = 1; i < lanes.size(); ++i) {
+      if (lanes[i]->now_ns() < lanes[lane_idx]->now_ns()) {
+        lane_idx = i;
+      }
+    }
+    auto matches = SearchFile(*lanes[lane_idx], *as, pattern);
+    CACHE_EXT_RETURN_IF_ERROR(matches.status());
+    total += *matches;
+  }
+  return total;
+}
+
+}  // namespace cache_ext::search

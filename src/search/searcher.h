@@ -1,0 +1,49 @@
+// Multi-lane streaming file search (the ripgrep stand-in, Fig. 9).
+//
+// Each search pass reads every corpus file through the page cache in 64 KiB
+// chunks and counts pattern occurrences (handling matches across chunk
+// boundaries). Files are distributed round-robin across lanes, modelling
+// ripgrep's parallel workers; lanes share the cgroup, so the eviction policy
+// decides which 70% of the corpus stays resident between passes.
+
+#ifndef SRC_SEARCH_SEARCHER_H_
+#define SRC_SEARCH_SEARCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/pagecache/page_cache.h"
+#include "src/sim/lane.h"
+
+namespace cache_ext::search {
+
+class FileSearcher {
+ public:
+  FileSearcher(PageCache* pc, MemCgroup* cg, std::vector<std::string> files)
+      : pc_(pc), cg_(cg), files_(std::move(files)) {}
+
+  // One full pass over the corpus; returns the total number of matches.
+  Expected<uint64_t> SearchPass(std::vector<Lane*>& lanes,
+                                std::string_view pattern);
+
+  // Search a single corpus file (for schedulers that interleave the search
+  // with other workloads, e.g. the Fig. 11 isolation experiment).
+  Expected<uint64_t> SearchOneFile(Lane& lane, size_t file_idx,
+                                   std::string_view pattern);
+
+  size_t num_files() const { return files_.size(); }
+
+  static constexpr uint64_t kChunkBytes = 64 * 1024;
+
+ private:
+  Expected<uint64_t> SearchFile(Lane& lane, AddressSpace* as,
+                                std::string_view pattern);
+
+  PageCache* pc_;
+  MemCgroup* cg_;
+  std::vector<std::string> files_;
+};
+
+}  // namespace cache_ext::search
+
+#endif  // SRC_SEARCH_SEARCHER_H_

@@ -1,0 +1,40 @@
+// CPU cost model for virtual time.
+//
+// Device time dominates macro results, but several of the paper's findings
+// are CPU-side (Table 1 userspace-dispatch overhead, Table 4 no-op overhead,
+// FIFO beating MGLRU "likely due to its low overhead"). Each page-cache
+// operation charges the acting lane a CPU cost from this model. Defaults are
+// calibrated against real microbenchmarks of our implementations (see
+// bench/bench_micro_framework.cc); tests override them for determinism.
+
+#ifndef SRC_SIM_CPU_COST_H_
+#define SRC_SIM_CPU_COST_H_
+
+#include <cstdint>
+
+namespace cache_ext {
+
+struct CpuCostModel {
+  // Core page cache paths (per 4 KiB page).
+  uint64_t hit_ns = 350;             // lookup + mark_accessed + copy-out
+  uint64_t miss_setup_ns = 1800;     // folio alloc + xarray insert + charge
+  uint64_t write_page_ns = 500;      // dirty a cached page
+  uint64_t writeback_page_ns = 900;  // CPU side of flushing a dirty page
+  uint64_t reclaim_batch_ns = 2500;  // shrink invocation fixed cost
+  uint64_t reclaim_per_folio_ns = 350;
+
+  // Base (native) policy bookkeeping per event.
+  uint64_t lru_event_ns = 90;     // default two-list LRU add/access/remove
+  uint64_t mglru_event_ns = 220;  // native MGLRU (tier math, gen lookup)
+
+  // cache_ext framework extras.
+  uint64_t hook_dispatch_ns = 70;    // struct_ops indirection + guards
+  uint64_t registry_op_ns = 60;      // valid-folio registry insert/lookup/del
+  uint64_t ringbuf_event_ns = 400;   // reserve+commit+wakeup amortized
+                                     // (Table 1 userspace-dispatch model)
+  uint64_t per_op_syscall_ns = 600;  // read()/pread() syscall + VFS overhead
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_SIM_CPU_COST_H_

@@ -1,0 +1,54 @@
+// Worker lanes: the simulation's unit of concurrency.
+//
+// The paper's workloads are multithreaded processes hitting a shared page
+// cache. We model each workload thread as a "lane" with its own virtual
+// clock (nanoseconds since simulation start). Lanes advance independently;
+// shared resources (the SSD) serialize them through the device model.
+// Wall-clock throughput is computed as total ops / max(lane clocks).
+
+#ifndef SRC_SIM_LANE_H_
+#define SRC_SIM_LANE_H_
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace cache_ext {
+
+// Identity of the "task" running on a lane, visible to policies the same way
+// the kernel exposes current->pid/tid to eBPF programs. Used by the GET-SCAN
+// policy (PID set) and the compaction admission filter (TID set).
+struct TaskContext {
+  int32_t pid = 0;
+  int32_t tid = 0;
+};
+
+class Lane {
+ public:
+  Lane(uint32_t id, TaskContext task, uint64_t seed)
+      : id_(id), task_(task), rng_(seed) {}
+
+  uint32_t id() const { return id_; }
+  const TaskContext& task() const { return task_; }
+  void set_task(TaskContext task) { task_ = task; }
+
+  uint64_t now_ns() const { return now_ns_; }
+  void AdvanceTo(uint64_t t_ns) {
+    if (t_ns > now_ns_) {
+      now_ns_ = t_ns;
+    }
+  }
+  void Charge(uint64_t dt_ns) { now_ns_ += dt_ns; }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  uint32_t id_;
+  TaskContext task_;
+  uint64_t now_ns_ = 0;
+  Rng rng_;
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_SIM_LANE_H_

@@ -1,0 +1,71 @@
+// Simulated block storage: a flat namespace of files holding real bytes.
+//
+// This is the "device" under the simulated page cache. Data written through
+// the page cache lands here; cache misses copy data out of here. Timing is
+// handled separately by SsdModel — SimDisk is purely the persistent contents
+// plus I/O statistics, so tests can assert on data integrity independent of
+// the timing model.
+
+#ifndef SRC_SIM_SIM_DISK_H_
+#define SRC_SIM_SIM_DISK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace cache_ext {
+
+using FileId = uint64_t;
+inline constexpr FileId kInvalidFileId = 0;
+
+class SimDisk {
+ public:
+  SimDisk() = default;
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  // Creates an empty file; fails if the name exists.
+  Expected<FileId> Create(std::string_view name);
+  // Opens an existing file by name.
+  Expected<FileId> Open(std::string_view name) const;
+  Status Delete(std::string_view name);
+  bool Exists(std::string_view name) const;
+
+  // Size in bytes; 0 for unknown ids.
+  uint64_t SizeOf(FileId id) const;
+
+  // Raw device I/O (used by the page cache's miss and writeback paths; file
+  // data is readable even beyond written extents, as zeroes, to simplify
+  // page-granular access).
+  Status ReadAt(FileId id, uint64_t offset, std::span<uint8_t> out) const;
+  Status WriteAt(FileId id, uint64_t offset, std::span<const uint8_t> data);
+  // Extends the file to at least `size` bytes (zero fill).
+  Status Truncate(FileId id, uint64_t size);
+
+  std::vector<std::string> ListFiles() const;
+  uint64_t TotalBytes() const;
+
+ private:
+  struct File {
+    std::string name;
+    std::vector<uint8_t> data;
+  };
+
+  const File* FindFile(FileId id) const;
+  File* FindFile(FileId id);
+
+  mutable std::mutex mu_;
+  FileId next_id_ = 1;
+  std::unordered_map<FileId, File> files_;
+  std::unordered_map<std::string, FileId> by_name_;
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_SIM_SIM_DISK_H_

@@ -1,0 +1,59 @@
+#include "src/sim/ssd_model.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace cache_ext {
+
+SsdModel::SsdModel(const SsdModelOptions& options) : options_(options) {
+  CHECK_GT(options_.channels, 0);
+  CHECK_GT(options_.bytes_per_us, 0u);
+  channel_free_at_.assign(static_cast<size_t>(options_.channels), 0);
+}
+
+uint64_t SsdModel::Submit(uint64_t now_ns, uint64_t bytes,
+                          uint64_t base_latency_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::min_element(channel_free_at_.begin(), channel_free_at_.end());
+  const uint64_t start = std::max(now_ns, *it);
+  const uint64_t transfer_ns = bytes * 1000 / options_.bytes_per_us;
+  const uint64_t completion = start + base_latency_ns + transfer_ns;
+  *it = completion;
+  return completion;
+}
+
+uint64_t SsdModel::SubmitRead(uint64_t now_ns, uint64_t bytes) {
+  const uint64_t done = Submit(now_ns, bytes, options_.read_latency_ns);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_reads_;
+  total_read_bytes_ += bytes;
+  return done;
+}
+
+uint64_t SsdModel::SubmitWrite(uint64_t now_ns, uint64_t bytes) {
+  const uint64_t done = Submit(now_ns, bytes, options_.write_latency_ns);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_writes_;
+  total_write_bytes_ += bytes;
+  return done;
+}
+
+uint64_t SsdModel::FrontierNs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t frontier = 0;
+  for (const uint64_t t : channel_free_at_) {
+    frontier = std::max(frontier, t);
+  }
+  return frontier;
+}
+
+void SsdModel::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_reads_ = 0;
+  total_writes_ = 0;
+  total_read_bytes_ = 0;
+  total_write_bytes_ = 0;
+}
+
+}  // namespace cache_ext

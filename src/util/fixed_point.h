@@ -1,0 +1,72 @@
+// Fixed-point arithmetic helpers.
+//
+// eBPF programs cannot use floating point, so the paper's LHD policy scales
+// values by a large constant (§5.2). Our policy implementations honor the
+// same constraint and use these Q32.32 helpers instead of doubles.
+
+#ifndef SRC_UTIL_FIXED_POINT_H_
+#define SRC_UTIL_FIXED_POINT_H_
+
+#include <cstdint>
+
+namespace cache_ext {
+
+// Q32.32: value = raw / 2^32.
+class Fixed {
+ public:
+  static constexpr int kFracBits = 32;
+  static constexpr uint64_t kOneRaw = 1ULL << kFracBits;
+
+  constexpr Fixed() : raw_(0) {}
+
+  static constexpr Fixed FromRaw(int64_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+  static constexpr Fixed FromInt(int64_t v) {
+    return FromRaw(v << kFracBits);
+  }
+  // Ratio num/den as fixed point. den must be nonzero.
+  static constexpr Fixed FromRatio(int64_t num, int64_t den) {
+    return FromRaw(static_cast<int64_t>(
+        (static_cast<__int128>(num) << kFracBits) / den));
+  }
+
+  constexpr int64_t raw() const { return raw_; }
+  constexpr int64_t ToInt() const { return raw_ >> kFracBits; }
+  constexpr double ToDouble() const {
+    return static_cast<double>(raw_) / static_cast<double>(kOneRaw);
+  }
+
+  constexpr Fixed operator+(Fixed o) const { return FromRaw(raw_ + o.raw_); }
+  constexpr Fixed operator-(Fixed o) const { return FromRaw(raw_ - o.raw_); }
+  constexpr Fixed operator*(Fixed o) const {
+    return FromRaw(static_cast<int64_t>(
+        (static_cast<__int128>(raw_) * o.raw_) >> kFracBits));
+  }
+  constexpr Fixed operator/(Fixed o) const {
+    return FromRaw(static_cast<int64_t>(
+        (static_cast<__int128>(raw_) << kFracBits) / o.raw_));
+  }
+
+  constexpr bool operator==(Fixed o) const { return raw_ == o.raw_; }
+  constexpr bool operator!=(Fixed o) const { return raw_ != o.raw_; }
+  constexpr bool operator<(Fixed o) const { return raw_ < o.raw_; }
+  constexpr bool operator<=(Fixed o) const { return raw_ <= o.raw_; }
+  constexpr bool operator>(Fixed o) const { return raw_ > o.raw_; }
+  constexpr bool operator>=(Fixed o) const { return raw_ >= o.raw_; }
+
+  // Exponentially weighted moving average toward `sample` with weight
+  // alpha (also fixed point, in [0,1]): this = alpha*sample + (1-alpha)*this.
+  void Ewma(Fixed sample, Fixed alpha) {
+    *this = alpha * sample + (Fixed::FromInt(1) - alpha) * *this;
+  }
+
+ private:
+  int64_t raw_;
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_UTIL_FIXED_POINT_H_

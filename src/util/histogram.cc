@@ -1,0 +1,152 @@
+#include "src/util/histogram.h"
+
+#include <bit>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace cache_ext {
+
+Histogram::Histogram()
+    : buckets_(kNumBuckets),
+      total_count_(0),
+      sum_(0),
+      min_(std::numeric_limits<uint64_t>::max()),
+      max_(0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) {
+    // Values below the sub-bucket count are exact (group 0 is linear).
+    return static_cast<int>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  const int group = msb - kSubBucketBits + 1;
+  const int sub =
+      static_cast<int>((value >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  const int bucket = group * kSubBuckets + sub;
+  DCHECK(bucket < kNumBuckets);
+  return bucket;
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  const int group = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  if (group == 0) {
+    return static_cast<uint64_t>(sub);
+  }
+  const int shift = group - 1;
+  // Reconstruct: value had MSB at (group + kSubBucketBits - 1), with the next
+  // kSubBucketBits bits equal to `sub`'s low bits.
+  const uint64_t base = (1ULL << (kSubBucketBits + shift)) |
+                        (static_cast<uint64_t>(sub) << shift);
+  return base + ((1ULL << shift) - 1);
+}
+
+void Histogram::Record(uint64_t value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(uint64_t value, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  buckets_[BucketFor(value)].fetch_add(count, std::memory_order_relaxed);
+  total_count_.fetch_add(count, std::memory_order_relaxed);
+  sum_.fetch_add(value * count, std::memory_order_relaxed);
+  uint64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (value < prev_min &&
+         !min_.compare_exchange_weak(prev_min, value,
+                                     std::memory_order_relaxed)) {
+  }
+  uint64_t prev_max = max_.load(std::memory_order_relaxed);
+  while (value > prev_max &&
+         !max_.compare_exchange_weak(prev_max, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  total_count_.fetch_add(other.total_count_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  RecordMinMax(other);
+}
+
+void Histogram::RecordMinMax(const Histogram& other) {
+  uint64_t other_min = other.min_.load(std::memory_order_relaxed);
+  uint64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (other_min < prev_min &&
+         !min_.compare_exchange_weak(prev_min, other_min,
+                                     std::memory_order_relaxed)) {
+  }
+  uint64_t other_max = other.max_.load(std::memory_order_relaxed);
+  uint64_t prev_max = max_.load(std::memory_order_relaxed);
+  while (other_max > prev_max &&
+         !max_.compare_exchange_weak(prev_max, other_max,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  total_count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<uint64_t>::max(), std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::min() const {
+  const uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == std::numeric_limits<uint64_t>::max() ? 0 : v;
+}
+
+uint64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::Mean() const {
+  const uint64_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(n) + 0.5);
+  if (target == 0) {
+    target = 1;
+  }
+  if (target > n) {
+    target = n;
+  }
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      const uint64_t bound = BucketUpperBound(i);
+      // Never report beyond the recorded max.
+      const uint64_t mx = max();
+      return bound < mx ? bound : mx;
+    }
+  }
+  return max();
+}
+
+}  // namespace cache_ext

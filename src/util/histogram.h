@@ -1,0 +1,63 @@
+// Log-linear latency histogram (HdrHistogram-style).
+//
+// Values are bucketed with ~3% relative precision over [1, 2^63) which is
+// plenty for latency percentiles; recording is O(1) and lock-free via atomics
+// so concurrent lanes can share one histogram.
+
+#ifndef SRC_UTIL_HISTOGRAM_H_
+#define SRC_UTIL_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cache_ext {
+
+class Histogram {
+ public:
+  Histogram();
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value);
+  void RecordMany(uint64_t value, uint64_t count);
+
+  // Merge another histogram's counts into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return total_count_.load(std::memory_order_relaxed); }
+  uint64_t min() const;
+  uint64_t max() const;
+  double Mean() const;
+
+  // q in [0, 1]; returns a representative value for the bucket containing the
+  // q-quantile (upper bucket bound, matching HdrHistogram's convention).
+  uint64_t Percentile(double q) const;
+
+  uint64_t P50() const { return Percentile(0.50); }
+  uint64_t P90() const { return Percentile(0.90); }
+  uint64_t P99() const { return Percentile(0.99); }
+  uint64_t P999() const { return Percentile(0.999); }
+
+ private:
+  // 64 exponent groups x kSubBuckets linear sub-buckets per group.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 32
+  static constexpr int kNumBuckets = 64 * kSubBuckets;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+  void RecordMinMax(const Histogram& other);
+
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> total_count_;
+  std::atomic<uint64_t> sum_;
+  std::atomic<uint64_t> min_;
+  std::atomic<uint64_t> max_;
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_UTIL_HISTOGRAM_H_

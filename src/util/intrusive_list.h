@@ -1,0 +1,167 @@
+// Intrusive doubly-linked list, modeled on the kernel's struct list_head.
+//
+// The page cache keeps folios on LRU lists without allocating per-entry
+// nodes; the node is embedded in the object. The list does not own its
+// elements. An unlinked node points to itself (kernel LIST_HEAD_INIT style)
+// so IsLinked() is O(1) and double-unlink is detectable.
+
+#ifndef SRC_UTIL_INTRUSIVE_LIST_H_
+#define SRC_UTIL_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/logging.h"
+
+namespace cache_ext {
+
+struct ListNode {
+  ListNode() { Reset(); }
+  ListNode(const ListNode&) = delete;
+  ListNode& operator=(const ListNode&) = delete;
+
+  void Reset() {
+    prev = this;
+    next = this;
+  }
+
+  bool IsLinked() const { return next != this; }
+
+  ListNode* prev;
+  ListNode* next;
+};
+
+// List of T with a ListNode member at the given offset. Usage:
+//   struct Folio { ListNode lru; ... };
+//   IntrusiveList<Folio, &Folio::lru> list;
+template <typename T, ListNode T::* NodeMember>
+class IntrusiveList {
+ public:
+  IntrusiveList() = default;
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return !head_.IsLinked(); }
+  size_t size() const { return size_; }
+
+  static ListNode* NodeOf(T* obj) { return &(obj->*NodeMember); }
+
+  static T* ObjectOf(ListNode* node) {
+    // Compute the offset of the member within T without invoking UB on a
+    // null pointer: use a dummy aligned buffer address.
+    alignas(T) static char probe_storage[sizeof(T)];
+    T* probe = reinterpret_cast<T*>(probe_storage);
+    const auto offset = reinterpret_cast<uintptr_t>(&(probe->*NodeMember)) -
+                        reinterpret_cast<uintptr_t>(probe);
+    return reinterpret_cast<T*>(reinterpret_cast<uintptr_t>(node) - offset);
+  }
+
+  void PushFront(T* obj) { InsertAfter(&head_, NodeOf(obj)); }
+  void PushBack(T* obj) { InsertAfter(head_.prev, NodeOf(obj)); }
+
+  // Remove obj from this list. obj must be linked (in this list).
+  void Remove(T* obj) {
+    ListNode* node = NodeOf(obj);
+    DCHECK(node->IsLinked());
+    node->prev->next = node->next;
+    node->next->prev = node->prev;
+    node->Reset();
+    DCHECK(size_ > 0);
+    --size_;
+  }
+
+  T* Front() const {
+    return empty() ? nullptr : ObjectOf(head_.next);
+  }
+  T* Back() const {
+    return empty() ? nullptr : ObjectOf(head_.prev);
+  }
+
+  T* PopFront() {
+    T* obj = Front();
+    if (obj != nullptr) {
+      Remove(obj);
+    }
+    return obj;
+  }
+  T* PopBack() {
+    T* obj = Back();
+    if (obj != nullptr) {
+      Remove(obj);
+    }
+    return obj;
+  }
+
+  void MoveToFront(T* obj) {
+    Remove(obj);
+    PushFront(obj);
+  }
+  void MoveToBack(T* obj) {
+    Remove(obj);
+    PushBack(obj);
+  }
+
+  // Next element after obj, or nullptr at the end.
+  T* Next(T* obj) const {
+    ListNode* node = NodeOf(obj)->next;
+    return node == &head_ ? nullptr : ObjectOf(node);
+  }
+  T* Prev(T* obj) const {
+    ListNode* node = NodeOf(obj)->prev;
+    return node == &head_ ? nullptr : ObjectOf(node);
+  }
+
+  // Splice all elements of other onto the back of this list.
+  void SpliceBack(IntrusiveList* other) {
+    if (other->empty()) {
+      return;
+    }
+    ListNode* first = other->head_.next;
+    ListNode* last = other->head_.prev;
+    ListNode* tail = head_.prev;
+    tail->next = first;
+    first->prev = tail;
+    last->next = &head_;
+    head_.prev = last;
+    size_ += other->size_;
+    other->head_.Reset();
+    other->size_ = 0;
+  }
+
+  // Range-for support.
+  class Iterator {
+   public:
+    Iterator(ListNode* node, const ListNode* head) : node_(node), head_(head) {}
+    T& operator*() const { return *ObjectOf(node_); }
+    T* operator->() const { return ObjectOf(node_); }
+    Iterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return node_ != other.node_; }
+
+   private:
+    ListNode* node_;
+    const ListNode* head_;
+  };
+
+  Iterator begin() { return Iterator(head_.next, &head_); }
+  Iterator end() { return Iterator(&head_, &head_); }
+
+ private:
+  void InsertAfter(ListNode* pos, ListNode* node) {
+    DCHECK(!node->IsLinked());
+    node->next = pos->next;
+    node->prev = pos;
+    pos->next->prev = node;
+    pos->next = node;
+    ++size_;
+  }
+
+  ListNode head_;
+  size_t size_ = 0;
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_UTIL_INTRUSIVE_LIST_H_

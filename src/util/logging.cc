@@ -1,0 +1,66 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace cache_ext {
+
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kWarning};
+
+// Serializes whole lines so concurrent lanes/threads don't interleave output.
+std::mutex& OutputMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(level); }
+LogLevel GetLogLevel() { return g_min_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  {
+    std::lock_guard<std::mutex> lock(OutputMutex());
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level_), Basename(file_),
+                 line_, stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+
+}  // namespace cache_ext

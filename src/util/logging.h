@@ -1,0 +1,89 @@
+// Minimal leveled logging plus CHECK macros.
+//
+// CHECK failures abort the process: they guard internal invariants whose
+// violation means memory corruption is possible (mirroring kernel BUG_ON).
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace cache_ext {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global minimum level; messages below it are discarded. Default: kWarning so
+// tests and benches stay quiet unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the log level filters it out.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define CACHE_EXT_LOG(level)                                                  \
+  (::cache_ext::LogLevel::level < ::cache_ext::GetLogLevel())                 \
+      ? (void)0                                                               \
+      : ::cache_ext::internal::LogVoidify() &                                 \
+            ::cache_ext::internal::LogMessage(::cache_ext::LogLevel::level,   \
+                                              __FILE__, __LINE__)             \
+                .stream()
+
+#define LOG_DEBUG CACHE_EXT_LOG(kDebug)
+#define LOG_INFO CACHE_EXT_LOG(kInfo)
+#define LOG_WARNING CACHE_EXT_LOG(kWarning)
+#define LOG_ERROR CACHE_EXT_LOG(kError)
+#define LOG_FATAL                                                          \
+  ::cache_ext::internal::LogMessage(::cache_ext::LogLevel::kFatal,         \
+                                    __FILE__, __LINE__)                    \
+      .stream()
+
+#define CHECK(cond)                                     \
+  ((cond) ? (void)0                                     \
+          : (void)(LOG_FATAL << "CHECK failed: " #cond << " "))
+#define CHECK_EQ(a, b) CHECK((a) == (b))
+#define CHECK_NE(a, b) CHECK((a) != (b))
+#define CHECK_LT(a, b) CHECK((a) < (b))
+#define CHECK_LE(a, b) CHECK((a) <= (b))
+#define CHECK_GT(a, b) CHECK((a) > (b))
+#define CHECK_GE(a, b) CHECK((a) >= (b))
+#define CHECK_NOTNULL(p) CHECK((p) != nullptr)
+
+#ifndef NDEBUG
+#define DCHECK(cond) CHECK(cond)
+#else
+#define DCHECK(cond) ((void)0)
+#endif
+
+}  // namespace cache_ext
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,101 @@
+// Deterministic pseudo-random number generation.
+//
+// All simulation randomness flows through Rng so experiments are reproducible
+// from a single seed. The core generator is xoshiro256**, seeded via
+// SplitMix64 (the construction recommended by the xoshiro authors).
+
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "src/util/logging.h"
+
+namespace cache_ext {
+
+// SplitMix64 step; also useful as a cheap stateless hash/scrambler.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless scrambler used e.g. by the scrambled-Zipfian key chooser.
+inline uint64_t Mix64(uint64_t x) {
+  uint64_t state = x;
+  return SplitMix64(state);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire's multiply-shift
+  // reduction with rejection to remove modulo bias.
+  uint64_t NextU64Below(uint64_t bound) {
+    DCHECK(bound > 0);
+    // For simulation purposes, the bias of a single 128-bit multiply-shift is
+    // negligible for bounds far below 2^64, but we reject to keep statistical
+    // tests honest.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextU64InRange(uint64_t lo, uint64_t hi) {
+    DCHECK(lo <= hi);
+    return lo + NextU64Below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Fork a statistically independent child stream (e.g., one per lane).
+  Rng Fork() { return Rng(NextU64() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace cache_ext
+
+#endif  // SRC_UTIL_RNG_H_

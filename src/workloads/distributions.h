@@ -1,0 +1,114 @@
+// Key-choosing distributions used by the workload generators.
+//
+// ScrambledZipfian and Latest follow the YCSB definitions: a Zipfian(theta)
+// rank generator whose output is scattered over the keyspace with a 64-bit
+// hash (Scrambled), or mapped onto the most recently inserted keys (Latest).
+
+#ifndef SRC_WORKLOADS_DISTRIBUTIONS_H_
+#define SRC_WORKLOADS_DISTRIBUTIONS_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace cache_ext::workloads {
+
+// Standard YCSB Zipfian generator (Gray et al.'s rejection-free method).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t num_items, double theta = 0.99)
+      : num_items_(num_items), theta_(theta) {
+    CHECK_GT(num_items, 0u);
+    zetan_ = Zeta(num_items, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_items), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  // Rank in [0, num_items): 0 is the hottest item.
+  uint64_t Next(Rng& rng) const {
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const double v =
+        static_cast<double>(num_items_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    uint64_t rank = static_cast<uint64_t>(v);
+    if (rank >= num_items_) {
+      rank = num_items_ - 1;
+    }
+    return rank;
+  }
+
+  uint64_t num_items() const { return num_items_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t num_items_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+// Scrambled Zipfian: Zipfian ranks scattered uniformly over the keyspace
+// (each key gets a fixed popularity, hot keys spread out).
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t num_items, double theta = 0.99)
+      : zipf_(num_items, theta), num_items_(num_items) {}
+
+  uint64_t Next(Rng& rng) const {
+    const uint64_t rank = zipf_.Next(rng);
+    return Mix64(rank) % num_items_;
+  }
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t num_items_;
+};
+
+// Latest: Zipfian over recency — key (max_key - rank), so freshly inserted
+// keys are the hottest (YCSB D).
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(uint64_t num_items, double theta = 0.99)
+      : zipf_(num_items, theta), max_key_(num_items - 1) {}
+
+  void AdvanceMaxKey(uint64_t new_max) {
+    if (new_max > max_key_) {
+      max_key_ = new_max;
+    }
+  }
+
+  uint64_t Next(Rng& rng) const {
+    const uint64_t rank = zipf_.Next(rng);
+    return rank > max_key_ ? 0 : max_key_ - rank;
+  }
+
+  uint64_t max_key() const { return max_key_; }
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t max_key_;
+};
+
+}  // namespace cache_ext::workloads
+
+#endif  // SRC_WORKLOADS_DISTRIBUTIONS_H_

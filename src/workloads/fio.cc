@@ -1,0 +1,21 @@
+#include "src/workloads/fio.h"
+
+namespace cache_ext::workloads {
+
+Expected<FioRandRead> FioRandRead::Create(PageCache* pc,
+                                          const FioConfig& config) {
+  auto as = pc->OpenFile(config.file_name);
+  CACHE_EXT_RETURN_IF_ERROR(as.status());
+  CACHE_EXT_RETURN_IF_ERROR(
+      pc->disk()->Truncate((*as)->file(), config.file_pages * kPageSize));
+  return FioRandRead(pc, *as, config);
+}
+
+Status FioRandRead::Step(Lane& lane, MemCgroup* cg) {
+  const uint64_t page = rng_.NextU64Below(config_.file_pages);
+  ++ops_;
+  return pc_->Read(lane, as_, cg, page * kPageSize,
+                   std::span<uint8_t>(buf_.data(), config_.block_bytes));
+}
+
+}  // namespace cache_ext::workloads

@@ -1,0 +1,49 @@
+// fio-style synthetic I/O workloads (the paper uses fio's randread for the
+// §6.3.2 CPU-overhead microbenchmark).
+
+#ifndef SRC_WORKLOADS_FIO_H_
+#define SRC_WORKLOADS_FIO_H_
+
+#include <cstdint>
+
+#include "src/pagecache/page_cache.h"
+#include "src/util/rng.h"
+
+namespace cache_ext::workloads {
+
+struct FioConfig {
+  std::string file_name = "/fio_file";
+  uint64_t file_pages = 1 << 16;
+  uint32_t block_bytes = 4096;  // fio bs=4k
+  uint64_t seed = 0xF10;
+};
+
+// randread: uniformly random 4 KiB reads over a preallocated file, issued
+// through the page cache. Deterministic per seed.
+class FioRandRead {
+ public:
+  // Creates (or reuses) and sizes the backing file.
+  static Expected<FioRandRead> Create(PageCache* pc, const FioConfig& config);
+
+  // Issues one read on `lane`, charged to `cg`.
+  Status Step(Lane& lane, MemCgroup* cg);
+
+  AddressSpace* mapping() { return as_; }
+  uint64_t ops_issued() const { return ops_; }
+
+ private:
+  FioRandRead(PageCache* pc, AddressSpace* as, const FioConfig& config)
+      : pc_(pc), as_(as), config_(config), rng_(config.seed),
+        buf_(config.block_bytes) {}
+
+  PageCache* pc_;
+  AddressSpace* as_;
+  FioConfig config_;
+  Rng rng_;
+  std::vector<uint8_t> buf_;
+  uint64_t ops_ = 0;
+};
+
+}  // namespace cache_ext::workloads
+
+#endif  // SRC_WORKLOADS_FIO_H_

@@ -1,0 +1,280 @@
+#include "src/workloads/kv_workload.h"
+
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace cache_ext::workloads {
+
+std::string KvGenerator::ValueFor(uint64_t index, uint32_t size) {
+  std::string value(size, '\0');
+  uint64_t state = index ^ 0xBADC0FFEE0DDF00DULL;
+  for (uint32_t i = 0; i < size; ++i) {
+    // Printable deterministic filler.
+    value[i] = static_cast<char>('a' + (SplitMix64(state) % 26));
+  }
+  return value;
+}
+
+std::string_view YcsbWorkloadName(YcsbWorkload w) {
+  switch (w) {
+    case YcsbWorkload::kA:
+      return "YCSB-A";
+    case YcsbWorkload::kB:
+      return "YCSB-B";
+    case YcsbWorkload::kC:
+      return "YCSB-C";
+    case YcsbWorkload::kD:
+      return "YCSB-D";
+    case YcsbWorkload::kE:
+      return "YCSB-E";
+    case YcsbWorkload::kF:
+      return "YCSB-F";
+    case YcsbWorkload::kUniform:
+      return "Uniform";
+    case YcsbWorkload::kUniformRW:
+      return "Uniform-RW";
+  }
+  return "?";
+}
+
+YcsbGenerator::YcsbGenerator(const YcsbConfig& config)
+    : config_(config), insert_cursor_(config.record_count) {
+  switch (config_.workload) {
+    case YcsbWorkload::kD:
+      latest_ = std::make_unique<LatestGenerator>(config_.record_count,
+                                                  config_.zipf_theta);
+      break;
+    case YcsbWorkload::kUniform:
+    case YcsbWorkload::kUniformRW:
+      break;
+    default:
+      zipf_ = std::make_unique<ScrambledZipfianGenerator>(
+          config_.record_count, config_.zipf_theta);
+      break;
+  }
+}
+
+uint64_t YcsbGenerator::ChooseKey(Rng& rng) {
+  if (zipf_ != nullptr) {
+    return zipf_->Next(rng);
+  }
+  if (latest_ != nullptr) {
+    latest_->AdvanceMaxKey(insert_cursor_.load(std::memory_order_relaxed) - 1);
+    return latest_->Next(rng);
+  }
+  return rng.NextU64Below(insert_cursor_.load(std::memory_order_relaxed));
+}
+
+KvOp YcsbGenerator::Next(Rng& rng) {
+  KvOp op;
+  const double p = rng.NextDouble();
+  switch (config_.workload) {
+    case YcsbWorkload::kA:
+    case YcsbWorkload::kUniformRW:
+      op.type = p < 0.5 ? OpType::kRead : OpType::kUpdate;
+      break;
+    case YcsbWorkload::kB:
+      op.type = p < 0.95 ? OpType::kRead : OpType::kUpdate;
+      break;
+    case YcsbWorkload::kC:
+    case YcsbWorkload::kUniform:
+      op.type = OpType::kRead;
+      break;
+    case YcsbWorkload::kD:
+      op.type = p < 0.95 ? OpType::kRead : OpType::kInsert;
+      break;
+    case YcsbWorkload::kE:
+      op.type = p < 0.95 ? OpType::kScan : OpType::kInsert;
+      break;
+    case YcsbWorkload::kF:
+      op.type = p < 0.5 ? OpType::kRead : OpType::kReadModifyWrite;
+      break;
+  }
+  if (op.type == OpType::kInsert) {
+    op.key_index = insert_cursor_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    op.key_index = ChooseKey(rng);
+  }
+  if (op.type == OpType::kScan) {
+    op.scan_len = 1 + static_cast<uint32_t>(
+                          rng.NextU64Below(config_.max_scan_len));
+  }
+  return op;
+}
+
+TwitterClusterConfig TwitterCluster(int cluster_id, uint64_t num_keys,
+                                    uint32_t value_size) {
+  TwitterClusterConfig config;
+  config.cluster_id = cluster_id;
+  config.num_keys = num_keys;
+  config.value_size = value_size;
+  switch (cluster_id) {
+    case 17:
+      config.pattern = TwitterPattern::kShiftingHotSet;
+      config.zipf_theta = 0.6;
+      config.write_ratio = 0.05;
+      config.window_keys = num_keys / 4;
+      config.drift_per_op = 0.25;
+      config.cyclic_ratio = 0.20;  // one-hit side stream
+      break;
+    case 18:
+      config.pattern = TwitterPattern::kShiftingHotSet;
+      config.zipf_theta = 0.55;
+      config.write_ratio = 0.15;
+      config.window_keys = num_keys / 4;
+      config.drift_per_op = 0.35;
+      config.cyclic_ratio = 0.30;
+      break;
+    case 24:
+      config.pattern = TwitterPattern::kWriteReread;
+      config.write_ratio = 0.4;
+      // Far enough back that the lagged re-reads refault (beyond any
+      // plausible cache residency horizon for a 10%-sized cgroup).
+      config.reread_lag_groups = num_keys / 32;
+      break;
+    case 34:
+      config.pattern = TwitterPattern::kBimodalPeriodic;
+      config.zipf_theta = 0.75;
+      config.write_ratio = 0.02;
+      config.cyclic_ratio = 0.30;
+      config.cyclic_keys = num_keys / 13;  // cyclic set ~3/4 of the cgroup
+      break;
+    case 52:
+      config.pattern = TwitterPattern::kStableSkewed;
+      config.zipf_theta = 1.35;
+      config.write_ratio = 0.01;
+      break;
+    default:
+      LOG_WARNING << "unknown Twitter cluster " << cluster_id
+                  << "; using stable skewed defaults";
+      break;
+  }
+  return config;
+}
+
+TwitterGenerator::TwitterGenerator(const TwitterClusterConfig& config)
+    : config_(config) {
+  switch (config_.pattern) {
+    case TwitterPattern::kShiftingHotSet:
+      zipf_ = std::make_unique<ZipfianGenerator>(config_.window_keys,
+                                                 config_.zipf_theta);
+      break;
+    case TwitterPattern::kBimodalPeriodic:
+    case TwitterPattern::kStableSkewed:
+      zipf_ = std::make_unique<ZipfianGenerator>(config_.num_keys,
+                                                 config_.zipf_theta);
+      break;
+    case TwitterPattern::kWriteReread:
+      break;
+  }
+}
+
+KvOp TwitterGenerator::Next(Rng& rng) {
+  KvOp op;
+  const uint64_t op_idx = op_counter_.fetch_add(1, std::memory_order_relaxed);
+  switch (config_.pattern) {
+    case TwitterPattern::kShiftingHotSet: {
+      // A one-hit-wonder side stream (strided walk over the keyspace, so
+      // each touched page is cold) plus a Zipfian window that slides
+      // through the keyspace: rank r maps to key base+r, so the hottest
+      // keys sit at the window's leading edge and keys cool down as the
+      // window moves past them. Recency-aware generational policies absorb
+      // the one-hit stream in their oldest generation while tracking the
+      // drift; stale-frequency policies (LFU) cling to keys the window has
+      // left behind.
+      if (config_.cyclic_ratio > 0 && rng.NextBool(config_.cyclic_ratio)) {
+        const uint64_t cursor =
+            cyclic_cursor_.fetch_add(1, std::memory_order_relaxed);
+        op.key_index = (cursor * 13) % config_.num_keys;
+        op.type = OpType::kRead;
+        break;
+      }
+      const uint64_t base = static_cast<uint64_t>(
+                                static_cast<double>(op_idx) *
+                                config_.drift_per_op) %
+                            config_.num_keys;
+      const uint64_t rank = zipf_->Next(rng);
+      op.key_index = (base + rank) % config_.num_keys;
+      op.type = rng.NextBool(config_.write_ratio) ? OpType::kUpdate
+                                                  : OpType::kRead;
+      break;
+    }
+    case TwitterPattern::kWriteReread: {
+      // Write-heavy traffic where every page the cache holds is re-read
+      // several times in a short burst (so no folio is ever "cold"), plus a
+      // lagged re-read stream of long-evicted keys that refaults
+      // continuously. This is the population Fig. 8's cluster 24 needs:
+      // refault evidence on every tier and no tier-0 eviction fodder.
+      // Writes are pure background pressure (memtable-bound); the read side
+      // is a disjoint key stream where every key is read in a short double
+      // burst and revisited at two-plus lag depths, so (a) every cached
+      // folio is multi-access (no tier-0 fodder) and (b) every eviction
+      // later refaults — the degenerate-thrash regime.
+      const uint64_t phase = op_idx % 8;
+      const uint64_t group = op_idx / 8;
+      const uint64_t lag = config_.reread_lag_groups;
+      const auto read_key = [this](uint64_t g) {
+        return Mix64(g * 2 + 1) % config_.num_keys;
+      };
+      const auto lagged = [group](uint64_t distance) {
+        return group >= distance ? group - distance : group;
+      };
+      op.type = phase == 0 ? OpType::kUpdate : OpType::kRead;
+      switch (phase) {
+        case 0:  // background write (disjoint key stream)
+          op.key_index = Mix64(group * 2) % config_.num_keys;
+          break;
+        case 1:
+        case 2:  // fresh double burst
+          op.key_index = read_key(group);
+          break;
+        case 3:
+        case 4:  // first lagged revisit (long evicted: refault)
+          op.key_index = read_key(lagged(lag));
+          break;
+        case 5:
+        case 6:  // second lagged revisit
+          op.key_index = read_key(lagged(2 * lag));
+          break;
+        default:  // deep single revisit
+          op.key_index = read_key(lagged(4 * lag));
+          break;
+      }
+      break;
+    }
+    case TwitterPattern::kBimodalPeriodic: {
+      // Two populations with the same short-term frequency but opposite
+      // futures: "flash" keys read in a quick burst of three and then
+      // never again, and a periodic set rescanned on a fixed cycle. A
+      // frequency-only policy (LFU) cannot tell them apart; LHD's
+      // age-conditioned hit densities learn that flash keys are dead past
+      // a small age while periodic keys keep paying off.
+      const uint64_t phase = op_idx % 4;
+      if (phase == 3) {
+        const uint64_t cursor =
+            cyclic_cursor_.fetch_add(1, std::memory_order_relaxed);
+        op.key_index = config_.num_keys - 1 -
+                       (cursor % config_.cyclic_keys);  // periodic region
+        op.type = OpType::kRead;
+      } else {
+        const uint64_t burst = op_idx / 4;
+        op.key_index =
+            Mix64(burst) % (config_.num_keys - config_.cyclic_keys);
+        op.type = phase == 0 && rng.NextBool(config_.write_ratio)
+                      ? OpType::kUpdate
+                      : OpType::kRead;
+      }
+      break;
+    }
+    case TwitterPattern::kStableSkewed: {
+      op.key_index = Mix64(zipf_->Next(rng)) % config_.num_keys;
+      op.type = rng.NextBool(config_.write_ratio) ? OpType::kUpdate
+                                                  : OpType::kRead;
+      break;
+    }
+  }
+  return op;
+}
+
+}  // namespace cache_ext::workloads

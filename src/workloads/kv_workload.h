@@ -1,0 +1,194 @@
+// Key-value workload generators: YCSB A-F (+ uniform variants), synthetic
+// Twitter-cache clusters, and the mixed GET-SCAN workload.
+
+#ifndef SRC_WORKLOADS_KV_WORKLOAD_H_
+#define SRC_WORKLOADS_KV_WORKLOAD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/util/rng.h"
+#include "src/workloads/distributions.h"
+
+namespace cache_ext::workloads {
+
+enum class OpType {
+  kRead,
+  kUpdate,
+  kInsert,
+  kScan,
+  kReadModifyWrite,
+};
+
+struct KvOp {
+  OpType type = OpType::kRead;
+  uint64_t key_index = 0;
+  uint32_t scan_len = 0;  // records, for kScan
+};
+
+// Stateless-per-lane op stream; generators are shared across lanes and must
+// be thread-compatible (all mutable state is atomic).
+class KvGenerator {
+ public:
+  virtual ~KvGenerator() = default;
+  virtual KvOp Next(Rng& rng) = 0;
+  virtual uint64_t num_keys() const = 0;
+  virtual uint32_t value_size() const = 0;
+
+  // Canonical key encoding: fixed width so lexicographic == numeric order.
+  static std::string KeyFor(uint64_t index) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "user%012llu",
+                  static_cast<unsigned long long>(index));
+    return std::string(buf);
+  }
+  // Deterministic value payload for a key.
+  static std::string ValueFor(uint64_t index, uint32_t size);
+};
+
+// --- YCSB -------------------------------------------------------------------
+
+enum class YcsbWorkload {
+  kA,          // 50% read / 50% update, zipfian
+  kB,          // 95% read / 5% update, zipfian
+  kC,          // 100% read, zipfian
+  kD,          // 95% read / 5% insert, latest
+  kE,          // 95% scan / 5% insert, zipfian
+  kF,          // 50% read / 50% read-modify-write, zipfian
+  kUniform,    // 100% read, uniform
+  kUniformRW,  // 50% read / 50% update, uniform
+};
+
+std::string_view YcsbWorkloadName(YcsbWorkload w);
+
+struct YcsbConfig {
+  YcsbWorkload workload = YcsbWorkload::kC;
+  uint64_t record_count = 100000;
+  uint32_t value_size = 512;
+  double zipf_theta = 0.99;
+  uint32_t max_scan_len = 100;
+};
+
+class YcsbGenerator : public KvGenerator {
+ public:
+  explicit YcsbGenerator(const YcsbConfig& config);
+
+  KvOp Next(Rng& rng) override;
+  uint64_t num_keys() const override {
+    return insert_cursor_.load(std::memory_order_relaxed);
+  }
+  uint32_t value_size() const override { return config_.value_size; }
+
+ private:
+  uint64_t ChooseKey(Rng& rng);
+
+  YcsbConfig config_;
+  std::unique_ptr<ScrambledZipfianGenerator> zipf_;
+  std::unique_ptr<LatestGenerator> latest_;
+  std::atomic<uint64_t> insert_cursor_;
+};
+
+// --- Twitter production-cache clusters (synthetic, Fig. 8) -------------------
+
+// Qualitative regimes observed across the published Twitter cluster analyses;
+// each cluster in Fig. 8 maps to one (see DESIGN.md's substitution table).
+enum class TwitterPattern {
+  kShiftingHotSet,   // recency-dominant, drifting working set (c17, c18)
+  kWriteReread,      // write-heavy, immediate re-reads, uniform (c24)
+  kBimodalPeriodic,  // zipfian foreground + cyclic periodic rescans (c34)
+  kStableSkewed,     // high, stationary skew (c52)
+};
+
+struct TwitterClusterConfig {
+  int cluster_id = 0;
+  TwitterPattern pattern = TwitterPattern::kStableSkewed;
+  uint64_t num_keys = 100000;
+  uint32_t value_size = 512;
+  double zipf_theta = 0.9;
+  double write_ratio = 0.1;
+  // kShiftingHotSet: window size and drift step (keys) per op.
+  uint64_t window_keys = 10000;
+  double drift_per_op = 0.05;
+  // kBimodalPeriodic: fraction of ops in the cyclic rescan stream.
+  double cyclic_ratio = 0.2;
+  uint64_t cyclic_keys = 20000;
+  // kWriteReread: how many key-groups back the lagged re-read stream looks
+  // (far enough that the target has been evicted, forcing refaults).
+  uint64_t reread_lag_groups = 400;
+};
+
+// Canned configs for the five clusters in Fig. 8.
+TwitterClusterConfig TwitterCluster(int cluster_id, uint64_t num_keys,
+                                    uint32_t value_size);
+
+class TwitterGenerator : public KvGenerator {
+ public:
+  explicit TwitterGenerator(const TwitterClusterConfig& config);
+
+  KvOp Next(Rng& rng) override;
+  uint64_t num_keys() const override { return config_.num_keys; }
+  uint32_t value_size() const override { return config_.value_size; }
+
+ private:
+  TwitterClusterConfig config_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+  std::atomic<uint64_t> op_counter_{0};
+  std::atomic<uint64_t> cyclic_cursor_{0};
+};
+
+// --- GET-SCAN (Fig. 10) ------------------------------------------------------
+
+struct GetScanConfig {
+  uint64_t record_count = 100000;
+  uint32_t value_size = 512;
+  double zipf_theta = 0.99;
+  // Records per SCAN request ("span many folios, high reuse distance").
+  uint32_t scan_len = 4000;
+};
+
+// GET stream for the GET lanes (zipfian reads).
+class GetStreamGenerator : public KvGenerator {
+ public:
+  explicit GetStreamGenerator(const GetScanConfig& config)
+      : config_(config),
+        zipf_(std::make_unique<ScrambledZipfianGenerator>(config.record_count,
+                                                          config.zipf_theta)) {}
+  KvOp Next(Rng& rng) override {
+    KvOp op;
+    op.type = OpType::kRead;
+    op.key_index = zipf_->Next(rng);
+    return op;
+  }
+  uint64_t num_keys() const override { return config_.record_count; }
+  uint32_t value_size() const override { return config_.value_size; }
+
+ private:
+  GetScanConfig config_;
+  std::unique_ptr<ScrambledZipfianGenerator> zipf_;
+};
+
+// SCAN stream for the SCAN thread pool (uniform long range scans).
+class ScanStreamGenerator : public KvGenerator {
+ public:
+  explicit ScanStreamGenerator(const GetScanConfig& config)
+      : config_(config) {}
+  KvOp Next(Rng& rng) override {
+    KvOp op;
+    op.type = OpType::kScan;
+    op.key_index = rng.NextU64Below(config_.record_count);
+    op.scan_len = config_.scan_len;
+    return op;
+  }
+  uint64_t num_keys() const override { return config_.record_count; }
+  uint32_t value_size() const override { return config_.value_size; }
+
+ private:
+  GetScanConfig config_;
+};
+
+}  // namespace cache_ext::workloads
+
+#endif  // SRC_WORKLOADS_KV_WORKLOAD_H_

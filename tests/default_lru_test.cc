@@ -1,0 +1,188 @@
+// Unit tests for the default two-list LRU policy (Fig. 1 semantics).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/cgroup/memcg.h"
+#include "src/pagecache/default_lru.h"
+
+namespace cache_ext {
+namespace {
+
+class DefaultLruTest : public ::testing::Test {
+ protected:
+  DefaultLruTest() : cg_(1, "/test", 100) {}
+
+  Folio* NewFolio() {
+    folios_.push_back(std::make_unique<Folio>());
+    Folio* folio = folios_.back().get();
+    folio->memcg = &cg_;
+    return folio;
+  }
+
+  // Propose up to n candidates.
+  std::vector<Folio*> Evict(uint64_t n) {
+    EvictionCtx ctx;
+    ctx.nr_candidates_requested = n;
+    policy_.EvictFolios(&ctx, &cg_);
+    return {ctx.candidates.begin(),
+            ctx.candidates.begin() + ctx.nr_candidates_proposed};
+  }
+
+  MemCgroup cg_;
+  DefaultLruPolicy policy_;
+  std::vector<std::unique_ptr<Folio>> folios_;
+};
+
+TEST_F(DefaultLruTest, NewFoliosGoToInactive) {
+  Folio* folio = NewFolio();
+  policy_.FolioAdded(folio);
+  EXPECT_EQ(policy_.inactive_size(), 1u);
+  EXPECT_EQ(policy_.active_size(), 0u);
+  EXPECT_FALSE(folio->TestFlag(kFolioActive));
+}
+
+TEST_F(DefaultLruTest, SecondAccessPromotesToActive) {
+  Folio* folio = NewFolio();
+  policy_.FolioAdded(folio);
+  policy_.FolioAccessed(folio);  // sets referenced
+  EXPECT_EQ(policy_.active_size(), 0u);
+  EXPECT_TRUE(folio->TestFlag(kFolioReferenced));
+  policy_.FolioAccessed(folio);  // promotes
+  EXPECT_EQ(policy_.active_size(), 1u);
+  EXPECT_EQ(policy_.inactive_size(), 0u);
+  EXPECT_TRUE(folio->TestFlag(kFolioActive));
+  EXPECT_EQ(cg_.stat_activations.load(), 1u);
+}
+
+TEST_F(DefaultLruTest, WorkingsetRefaultInsertsActive) {
+  Folio* folio = NewFolio();
+  folio->SetFlag(kFolioWorkingset);
+  policy_.FolioAdded(folio);
+  EXPECT_EQ(policy_.active_size(), 1u);
+  EXPECT_TRUE(folio->TestFlag(kFolioActive));
+}
+
+TEST_F(DefaultLruTest, EvictsFromInactiveHeadInFifoOrder) {
+  std::vector<Folio*> added;
+  for (int i = 0; i < 10; ++i) {
+    Folio* folio = NewFolio();
+    policy_.FolioAdded(folio);
+    added.push_back(folio);
+  }
+  const auto victims = Evict(3);
+  ASSERT_EQ(victims.size(), 3u);
+  // Oldest inserted first.
+  EXPECT_EQ(victims[0], added[0]);
+  EXPECT_EQ(victims[1], added[1]);
+  EXPECT_EQ(victims[2], added[2]);
+}
+
+TEST_F(DefaultLruTest, ReferencedInactiveFilePagesAreReclaimed) {
+  // Kernel semantics (folio_check_references): a single reference on an
+  // unmapped file folio does not earn a second trip around the inactive
+  // list — it is reclaimed in LRU order, with the flag consumed.
+  Folio* a = NewFolio();
+  Folio* b = NewFolio();
+  policy_.FolioAdded(a);
+  policy_.FolioAdded(b);
+  policy_.FolioAccessed(a);  // referenced, still inactive
+  const auto victims = Evict(1);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], a);  // still evicted in insertion order
+  EXPECT_FALSE(a->TestFlag(kFolioReferenced));  // flag consumed
+}
+
+TEST_F(DefaultLruTest, DropBehindFoliosNeverPromote) {
+  Folio* a = NewFolio();
+  a->SetFlag(kFolioDropBehind);
+  policy_.FolioAdded(a);
+  policy_.FolioAccessed(a);  // ignored for promotion (FADV_NOREUSE)
+  policy_.FolioAccessed(a);
+  EXPECT_FALSE(a->TestFlag(kFolioReferenced));
+  EXPECT_EQ(policy_.active_size(), 0u);
+  const auto victims = Evict(1);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], a);
+}
+
+TEST_F(DefaultLruTest, PinnedFoliosNotProposed) {
+  Folio* a = NewFolio();
+  Folio* b = NewFolio();
+  policy_.FolioAdded(a);
+  policy_.FolioAdded(b);
+  a->Pin();
+  const auto victims = Evict(1);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], b);
+  a->Unpin();
+}
+
+TEST_F(DefaultLruTest, FallsBackToActiveListUnderPressure) {
+  Folio* folio = NewFolio();
+  policy_.FolioAdded(folio);
+  policy_.FolioAccessed(folio);
+  policy_.FolioAccessed(folio);  // now active; inactive empty
+  const auto victims = Evict(1);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], folio);
+}
+
+TEST_F(DefaultLruTest, BalancingDemotesFromActiveHead) {
+  // Activate many folios so inactive falls below 1/3 of the total.
+  std::vector<Folio*> folios;
+  for (int i = 0; i < 9; ++i) {
+    Folio* folio = NewFolio();
+    policy_.FolioAdded(folio);
+    policy_.FolioAccessed(folio);
+    policy_.FolioAccessed(folio);
+    folios.push_back(folio);
+  }
+  ASSERT_EQ(policy_.active_size(), 9u);
+  Folio* fresh = NewFolio();
+  policy_.FolioAdded(fresh);
+  // Eviction triggers balancing: demoted actives refill the inactive list.
+  Evict(1);
+  EXPECT_GT(policy_.inactive_size(), 1u);
+  EXPECT_LT(policy_.active_size(), 9u);
+  // Demoted folios lose the active flag ("demoted rather than given another
+  // chance", §2.1).
+  EXPECT_FALSE(folios[0]->TestFlag(kFolioActive));
+}
+
+TEST_F(DefaultLruTest, RemovedFolioLeavesLists) {
+  Folio* folio = NewFolio();
+  policy_.FolioAdded(folio);
+  policy_.FolioRemoved(folio);
+  EXPECT_EQ(policy_.inactive_size(), 0u);
+  EXPECT_FALSE(folio->lru.IsLinked());
+  // Second removal is harmless (idempotent cleanup).
+  policy_.FolioRemoved(folio);
+}
+
+TEST_F(DefaultLruTest, ProposesAtMostRequested) {
+  for (int i = 0; i < 100; ++i) {
+    policy_.FolioAdded(NewFolio());
+  }
+  EXPECT_EQ(Evict(5).size(), 5u);
+  EXPECT_EQ(Evict(32).size(), 32u);
+}
+
+TEST_F(DefaultLruTest, EmptyListsProposeNothing) {
+  EXPECT_TRUE(Evict(10).empty());
+}
+
+TEST_F(DefaultLruTest, NoDuplicateCandidatesInOneBatch) {
+  for (int i = 0; i < 4; ++i) {
+    policy_.FolioAdded(NewFolio());
+  }
+  const auto victims = Evict(32);  // requested exceeds population
+  std::set<Folio*> unique(victims.begin(), victims.end());
+  EXPECT_EQ(unique.size(), victims.size());
+}
+
+}  // namespace
+}  // namespace cache_ext

@@ -1,0 +1,314 @@
+// End-to-end integration tests asserting the paper's qualitative results at
+// reduced scale: policy orderings on the workloads of §6, MGLRU parity
+// (Table 5's shape), and the Fig. 8 cluster-24 OOM mechanism.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/harness/env.h"
+#include "src/harness/runner.h"
+#include "src/search/corpus.h"
+#include "src/workloads/kv_workload.h"
+
+namespace cache_ext::harness {
+namespace {
+
+using workloads::KvGenerator;
+using workloads::YcsbConfig;
+using workloads::YcsbGenerator;
+using workloads::YcsbWorkload;
+
+constexpr uint64_t kRecords = 20000;
+constexpr uint32_t kValueSize = 256;
+constexpr uint64_t kCgroupBytes = 2ULL << 20;  // DB ~5 MiB -> heavy pressure
+constexpr uint64_t kOpsPerLane = 10000;
+
+RunResult RunYcsbArm(std::string_view policy, YcsbWorkload workload,
+                     uint64_t cgroup_bytes = kCgroupBytes) {
+  Env env;
+  MemCgroup* cg = env.CreateCgroup("/arm", cgroup_bytes, BaseKindFor(policy));
+  auto db = env.CreateLoadedDb(cg, "db", kRecords, kValueSize);
+  CHECK(db.ok());
+  auto agent = env.AttachPolicy(cg, policy, {});
+  CHECK(agent.ok());
+  YcsbConfig config;
+  config.workload = workload;
+  config.record_count = kRecords;
+  config.value_size = kValueSize;
+  YcsbGenerator gen(config);
+  std::vector<LaneSpec> lanes;
+  for (int i = 0; i < 4; ++i) {
+    lanes.push_back(LaneSpec{&gen, TaskContext{100, 100 + i}, kOpsPerLane});
+  }
+  KvRunnerOptions options;
+  options.agent = *agent;
+  options.base_time_ns = env.ssd().FrontierNs();
+  auto result = RunKvWorkload(db->get(), cg, lanes, options);
+  CHECK(result.ok());
+  return *result;
+}
+
+TEST(IntegrationYcsb, LfuBeatsDefaultOnZipfianReads) {
+  const RunResult lfu = RunYcsbArm("lfu", YcsbWorkload::kC);
+  const RunResult def = RunYcsbArm("default", YcsbWorkload::kC);
+  EXPECT_GT(lfu.throughput_ops, def.throughput_ops)
+      << "lfu=" << lfu.throughput_ops << " default=" << def.throughput_ops;
+  EXPECT_GT(lfu.hit_rate, def.hit_rate);
+}
+
+TEST(IntegrationYcsb, MruLosesOnZipfianReads) {
+  // §6.1.1: "the MRU policy performs worse than the baseline, due to its
+  // mismatch with the workload's access pattern".
+  const RunResult mru = RunYcsbArm("mru", YcsbWorkload::kC);
+  const RunResult def = RunYcsbArm("default", YcsbWorkload::kC);
+  EXPECT_LT(mru.throughput_ops, def.throughput_ops);
+}
+
+TEST(IntegrationYcsb, ThroughputInverselyRelatedToDiskIo) {
+  // Fig. 7's relationship, checked on two policies with a clear gap.
+  Env env;
+  MemCgroup* cg = env.CreateCgroup("/arm", kCgroupBytes);
+  auto db = env.CreateLoadedDb(cg, "db", kRecords, kValueSize);
+  ASSERT_TRUE(db.ok());
+  YcsbConfig config;
+  config.workload = YcsbWorkload::kC;
+  config.record_count = kRecords;
+  config.value_size = kValueSize;
+
+  YcsbGenerator gen_a(config);
+  std::vector<LaneSpec> lanes = {LaneSpec{&gen_a, TaskContext{1, 1}, 20000}};
+  const uint64_t io_before_default = env.ssd().total_io_bytes();
+  KvRunnerOptions options;
+  options.base_time_ns = env.ssd().FrontierNs();
+  auto def = RunKvWorkload(db->get(), cg, lanes, options);
+  ASSERT_TRUE(def.ok());
+  const uint64_t def_io = env.ssd().total_io_bytes() - io_before_default;
+
+  auto agent = env.AttachPolicy(cg, "lfu", {});
+  ASSERT_TRUE(agent.ok());
+  YcsbGenerator gen_b(config);
+  lanes = {LaneSpec{&gen_b, TaskContext{1, 1}, 20000}};
+  const uint64_t io_before_lfu = env.ssd().total_io_bytes();
+  options.base_time_ns = env.ssd().FrontierNs();
+  auto lfu = RunKvWorkload(db->get(), cg, lanes, options);
+  ASSERT_TRUE(lfu.ok());
+  const uint64_t lfu_io = env.ssd().total_io_bytes() - io_before_lfu;
+
+  EXPECT_GT(lfu->throughput_ops, def->throughput_ops);
+  EXPECT_LT(lfu_io, def_io);  // higher throughput <-> less disk I/O
+}
+
+TEST(IntegrationSearch, MruRoughlyDoublesSearchSpeed) {
+  // Fig. 9's shape: repeated scans of a corpus ~1.4x the cgroup.
+  auto run_search = [](std::string_view policy) {
+    Env env;
+    const uint64_t corpus_bytes = 3 << 20;
+    MemCgroup* cg = env.CreateCgroup("/s", corpus_bytes * 7 / 10,
+                                     BaseKindFor(policy));
+    search::CorpusConfig config;
+    config.total_bytes = corpus_bytes;
+    auto info = search::GenerateCorpus(&env.disk(), config);
+    CHECK(info.ok());
+    auto agent = env.AttachPolicy(cg, policy, {});
+    CHECK(agent.ok());
+    search::FileSearcher searcher(&env.cache(), cg, info->files);
+    auto result = RunSearchWorkload(&searcher, cg, 4, 6, config.pattern);
+    CHECK(result.ok());
+    return result->duration_s;
+  };
+  const double mru_time = run_search("mru");
+  const double default_time = run_search("default");
+  const double mglru_time = run_search("mglru");
+  EXPECT_LT(mru_time, default_time / 1.4)
+      << "mru=" << mru_time << " default=" << default_time;
+  EXPECT_LT(mru_time, mglru_time / 1.4);
+}
+
+TEST(IntegrationMglru, CacheExtReimplementationTracksNative) {
+  // Table 5's shape: the cache_ext MGLRU performs within a few percent of
+  // the native one.
+  const RunResult native = RunYcsbArm("mglru", YcsbWorkload::kC);
+  const RunResult ext = RunYcsbArm("mglru_ext", YcsbWorkload::kC);
+  ASSERT_GT(native.throughput_ops, 0.0);
+  const double relative = ext.throughput_ops / native.throughput_ops;
+  EXPECT_GT(relative, 0.80) << "ext=" << ext.throughput_ops
+                            << " native=" << native.throughput_ops;
+  EXPECT_LT(relative, 1.25);
+}
+
+TEST(IntegrationTwitter, Cluster24OomsNativeMglruButNotCacheExt) {
+  // Fig. 8: "MGLRU consistently resulted in out-of-memory errors" on
+  // cluster 24, while cache_ext policies survive via the eviction fallback.
+  auto run_cluster24 = [](std::string_view policy) {
+    Env env;
+    MemCgroup* cg = env.CreateCgroup("/t24", 1 << 20, BaseKindFor(policy));
+    auto db = env.CreateLoadedDb(cg, "db", 10000, 256);
+    CHECK(db.ok());
+    auto agent = env.AttachPolicy(cg, policy, {});
+    CHECK(agent.ok());
+    auto config = workloads::TwitterCluster(24, 10000, 256);
+    workloads::TwitterGenerator gen(config);
+    std::vector<LaneSpec> lanes;
+    for (int i = 0; i < 2; ++i) {
+      lanes.push_back(LaneSpec{&gen, TaskContext{7, 7 + i}, 8000});
+    }
+    KvRunnerOptions options;
+    options.agent = *agent;
+    options.base_time_ns = env.ssd().FrontierNs();
+    auto result = RunKvWorkload(db->get(), cg, lanes, options);
+    CHECK(result.ok());
+    return *result;
+  };
+  const RunResult native_mglru = run_cluster24("mglru");
+  EXPECT_TRUE(native_mglru.oom);
+  EXPECT_EQ(native_mglru.throughput_ops, 0.0);
+
+  const RunResult ext_mglru = run_cluster24("mglru_ext");
+  EXPECT_FALSE(ext_mglru.oom);
+  EXPECT_GT(ext_mglru.throughput_ops, 0.0);
+
+  const RunResult def = run_cluster24("default");
+  EXPECT_FALSE(def.oom);
+  EXPECT_GT(def.throughput_ops, 0.0);
+}
+
+TEST(IntegrationGetScan, PolicyProtectsGetsFromScanPollution) {
+  // Fig. 10's shape at small scale: with the GET-SCAN policy, GET
+  // throughput and tail latency improve versus the default policy.
+  auto run_get_scan = [](bool with_policy) {
+    Env env;
+    MemCgroup* cg = env.CreateCgroup("/gs", kCgroupBytes);
+    auto db = env.CreateLoadedDb(cg, "db", kRecords, kValueSize);
+    CHECK(db.ok());
+    const int32_t scan_pid = 777;
+    if (with_policy) {
+      policies::PolicyParams params;
+      params.scan_pids = {scan_pid};
+      auto agent = env.AttachPolicy(cg, "get_scan", params);
+      CHECK(agent.ok());
+    }
+    workloads::GetScanConfig config;
+    config.record_count = kRecords;
+    config.value_size = kValueSize;
+    config.scan_len = 2000;
+    workloads::GetStreamGenerator gets(config);
+    workloads::ScanStreamGenerator scans(config);
+    std::vector<LaneSpec> lanes;
+    for (int i = 0; i < 3; ++i) {
+      lanes.push_back(LaneSpec{&gets, TaskContext{100, 100 + i}, 8000});
+    }
+    lanes.push_back(LaneSpec{&scans, TaskContext{scan_pid, scan_pid}, 12});
+    KvRunnerOptions options;
+    options.base_time_ns = env.ssd().FrontierNs();
+    auto result = RunKvWorkload(db->get(), cg, lanes, options);
+    CHECK(result.ok());
+    return *result;
+  };
+  const RunResult informed = run_get_scan(true);
+  const RunResult baseline = run_get_scan(false);
+  // Fig. 10's direction: the informed policy yields higher GET throughput
+  // and hit rate; scans pay (their folios are sacrificed first). At this
+  // scale GET P99 is dominated by the device model rather than hit-rate
+  // crossover, so it is reported by the bench but not asserted here (see
+  // EXPERIMENTS.md).
+  EXPECT_GT(informed.throughput_ops, baseline.throughput_ops);
+  EXPECT_GT(informed.hit_rate, baseline.hit_rate);
+}
+
+TEST(IntegrationAdmission, FilterImprovesTailLatencyUnderCompaction) {
+  // §6.1.5's shape: filtering compaction-thread admissions improves read
+  // P99 on a uniform R/W workload.
+  auto run_uniform_rw = [](bool with_filter) {
+    Env env;
+    MemCgroup* cg = env.CreateCgroup("/af", kCgroupBytes);
+    lsm::DbOptions db_options;
+    db_options.memtable_bytes = 128 * 1024;  // frequent flush/compaction
+    db_options.level_base_bytes = 1 << 20;
+    db_options.num_levels = 3;  // compactions reach the big cold level
+    auto db = env.CreateLoadedDb(cg, "db", kRecords, kValueSize, db_options);
+    CHECK(db.ok());
+    if (with_filter) {
+      policies::PolicyParams params;
+      params.filter_tids = {(*db)->compaction_tid()};
+      auto agent = env.AttachPolicy(cg, "admission_filter", params);
+      CHECK(agent.ok());
+    }
+    workloads::YcsbConfig config;
+    config.workload = YcsbWorkload::kUniformRW;
+    config.record_count = kRecords;
+    config.value_size = kValueSize;
+    YcsbGenerator gen(config);
+    std::vector<LaneSpec> lanes;
+    for (int i = 0; i < 4; ++i) {
+      lanes.push_back(LaneSpec{&gen, TaskContext{100, 100 + i}, 6000});
+    }
+    KvRunnerOptions options;
+    options.base_time_ns = env.ssd().FrontierNs();
+    auto result = RunKvWorkload(db->get(), cg, lanes, options);
+    CHECK(result.ok());
+    if (with_filter) {
+      // Mechanism check: compaction reads were serviced like direct I/O.
+      EXPECT_GT(env.cache().StatsFor(cg).direct_reads, 0u);
+      EXPECT_EQ(env.cache().StatsFor(cg).direct_writes, 0u);
+    }
+    return *result;
+  };
+  const RunResult filtered = run_uniform_rw(true);
+  const RunResult baseline = run_uniform_rw(false);
+  // §6.1.5: "we do not see a meaningful difference in throughput". At our
+  // scale the DB is small enough that compaction I/O fully overlaps the
+  // workload's working set, so the paper's P99 gain does not materialize
+  // (documented in EXPERIMENTS.md); we assert the mechanism (compaction
+  // reads bypass the cache) and that the filter costs no meaningful
+  // throughput or tail latency.
+  EXPECT_GT(filtered.throughput_ops, baseline.throughput_ops * 0.85);
+  EXPECT_LT(filtered.p99_ns,
+            static_cast<uint64_t>(baseline.p99_ns * 1.2) + 1);
+}
+
+TEST(IntegrationIsolation, TailoredPoliciesBeatUniformConfigurations) {
+  // Fig. 11's shape: per-cgroup tailored policies (YCSB->LFU, search->MRU)
+  // dominate both global configurations and the default.
+  struct Config {
+    std::string_view kv_policy;
+    std::string_view search_policy;
+  };
+  auto run_pair = [](const Config& config) {
+    Env env;
+    MemCgroup* kv_cg = env.CreateCgroup("/kv", 2 << 20);
+    MemCgroup* search_cg = env.CreateCgroup("/srch", 1 << 20);
+    auto db = env.CreateLoadedDb(kv_cg, "db", kRecords, kValueSize);
+    CHECK(db.ok());
+    search::CorpusConfig corpus_config;
+    corpus_config.total_bytes = (1 << 20) * 10 / 7;  // cgroup = 70% of corpus
+    auto info = search::GenerateCorpus(&env.disk(), corpus_config);
+    CHECK(info.ok());
+    auto kv_agent = env.AttachPolicy(kv_cg, config.kv_policy, {});
+    CHECK(kv_agent.ok());
+    auto search_agent = env.AttachPolicy(search_cg, config.search_policy, {});
+    CHECK(search_agent.ok());
+    search::FileSearcher searcher(&env.cache(), search_cg, info->files);
+    workloads::YcsbConfig ycsb;
+    ycsb.workload = YcsbWorkload::kC;
+    ycsb.record_count = kRecords;
+    ycsb.value_size = kValueSize;
+    workloads::YcsbGenerator gen(ycsb);
+    IsolationOptions options;
+    options.duration_ns = 2ULL * 1000 * 1000 * 1000;  // 2s virtual
+    options.kv_agent = *kv_agent;
+    options.search_agent = *search_agent;
+    auto result = RunIsolationWorkload(db->get(), kv_cg, &gen, &searcher,
+                                       search_cg, corpus_config.pattern,
+                                       options);
+    CHECK(result.ok());
+    return *result;
+  };
+  const IsolationResult tailored = run_pair({"lfu", "mru"});
+  const IsolationResult baseline = run_pair({"default", "default"});
+  EXPECT_GT(tailored.kv_throughput_ops, baseline.kv_throughput_ops);
+  EXPECT_GT(tailored.searches_completed, baseline.searches_completed);
+}
+
+}  // namespace
+}  // namespace cache_ext::harness

@@ -1,0 +1,245 @@
+// Unit tests for the native MGLRU policy: generations, tiers, PID
+// controller, aging, and the zero-progress behaviour behind Fig. 8's
+// cluster-24 OOM.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/cgroup/memcg.h"
+#include "src/pagecache/mglru.h"
+
+namespace cache_ext {
+namespace {
+
+TEST(MglruTierTest, LogarithmicBuckets) {
+  EXPECT_EQ(MglruPolicy::TierOf(0), 0u);
+  EXPECT_EQ(MglruPolicy::TierOf(1), 0u);  // insert-time access: unprotected
+  EXPECT_EQ(MglruPolicy::TierOf(2), 1u);
+  EXPECT_EQ(MglruPolicy::TierOf(3), 1u);
+  EXPECT_EQ(MglruPolicy::TierOf(4), 2u);
+  EXPECT_EQ(MglruPolicy::TierOf(7), 2u);
+  EXPECT_EQ(MglruPolicy::TierOf(8), 3u);
+  EXPECT_EQ(MglruPolicy::TierOf(1000), 3u);
+}
+
+TEST(MglruPidTest, NoDataProtectsNothing) {
+  MglruPidController pid;
+  EXPECT_EQ(pid.Threshold(),
+            static_cast<int32_t>(MglruPidController::kTiers) - 1);
+}
+
+TEST(MglruPidTest, HighTierRefaultsLowerThreshold) {
+  MglruPidController pid;
+  // Tier 0 evictions mostly don't refault; tier 2 evictions all refault.
+  for (int i = 0; i < 100; ++i) {
+    pid.RecordEviction(0);
+  }
+  pid.RecordRefault(0);
+  for (int i = 0; i < 20; ++i) {
+    pid.RecordEviction(2);
+    pid.RecordRefault(2);
+  }
+  // Tier 2 refault ratio >> tier 0's: protect tiers >= 2.
+  EXPECT_LT(pid.Threshold(), 2);
+}
+
+TEST(MglruPidTest, DecayHalves) {
+  MglruPidController pid;
+  for (int i = 0; i < 8; ++i) {
+    pid.RecordEviction(1);
+    pid.RecordRefault(1);
+  }
+  pid.Decay();
+  EXPECT_EQ(pid.evicted(1), 4u);
+  EXPECT_EQ(pid.refaulted(1), 4u);
+}
+
+class MglruTest : public ::testing::Test {
+ protected:
+  MglruTest() : cg_(1, "/test", 1000) {}
+
+  Folio* NewFolio() {
+    folios_.push_back(std::make_unique<Folio>());
+    Folio* folio = folios_.back().get();
+    folio->memcg = &cg_;
+    return folio;
+  }
+
+  std::vector<Folio*> Evict(uint64_t n) {
+    EvictionCtx ctx;
+    ctx.nr_candidates_requested = n;
+    policy_.EvictFolios(&ctx, &cg_);
+    return {ctx.candidates.begin(),
+            ctx.candidates.begin() + ctx.nr_candidates_proposed};
+  }
+
+  MemCgroup cg_;
+  MglruPolicy policy_;
+  std::vector<std::unique_ptr<Folio>> folios_;
+};
+
+TEST_F(MglruTest, StartsWithMinGens) {
+  EXPECT_EQ(policy_.max_seq() - policy_.min_seq() + 1, MglruPolicy::kMinGens);
+}
+
+TEST_F(MglruTest, NewFoliosJoinOldestGeneration) {
+  Folio* folio = NewFolio();
+  policy_.FolioAdded(folio);
+  EXPECT_EQ(folio->gen, policy_.min_seq());
+  EXPECT_EQ(policy_.GenSize(policy_.min_seq()), 1u);
+}
+
+TEST_F(MglruTest, WorkingsetFoliosJoinYoungestGeneration) {
+  Folio* folio = NewFolio();
+  folio->SetFlag(kFolioWorkingset);
+  policy_.FolioAdded(folio);
+  EXPECT_EQ(folio->gen, policy_.max_seq());
+}
+
+TEST_F(MglruTest, AccessIncrementsFrequency) {
+  Folio* folio = NewFolio();
+  policy_.FolioAdded(folio);
+  policy_.FolioAccessed(folio);
+  policy_.FolioAccessed(folio);
+  EXPECT_EQ(folio->accesses, 2u);
+  EXPECT_EQ(policy_.EvictionTier(folio), 1u);
+}
+
+TEST_F(MglruTest, ColdFoliosEvictedInOrder) {
+  std::vector<Folio*> added;
+  for (int i = 0; i < 8; ++i) {
+    Folio* folio = NewFolio();
+    policy_.FolioAdded(folio);
+    added.push_back(folio);
+  }
+  const auto victims = Evict(3);
+  ASSERT_EQ(victims.size(), 3u);
+  EXPECT_EQ(victims[0], added[0]);
+  EXPECT_EQ(victims[1], added[1]);
+}
+
+TEST_F(MglruTest, HotFoliosPromotedWhenPidProtectsThem) {
+  // Teach the PID controller that high tiers refault: tier 2+ protected.
+  MglruPidController& pid = const_cast<MglruPidController&>(policy_.pid());
+  for (int i = 0; i < 100; ++i) {
+    pid.RecordEviction(0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    pid.RecordEviction(2);
+    pid.RecordRefault(2);
+    pid.RecordEviction(3);
+    pid.RecordRefault(3);
+  }
+  ASSERT_LT(pid.Threshold(), 2);
+
+  Folio* hot = NewFolio();
+  Folio* cold = NewFolio();
+  policy_.FolioAdded(hot);
+  policy_.FolioAdded(cold);
+  policy_.FolioAccessed(hot);
+  policy_.FolioAccessed(hot);
+  policy_.FolioAccessed(hot);
+  policy_.FolioAccessed(hot);  // accesses=4 -> tier 2
+
+  const uint64_t old_min = policy_.min_seq();
+  const auto victims = Evict(1);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], cold);
+  // The hot folio moved to a younger generation, keeping its frequency.
+  EXPECT_GT(hot->gen, old_min);
+  EXPECT_EQ(hot->accesses, 4u);
+  EXPECT_TRUE(hot->TestFlag(kFolioWorkingset));
+}
+
+TEST_F(MglruTest, RefaultFeedsPidController) {
+  Folio* folio = NewFolio();
+  policy_.FolioRefaulted(folio, 2);
+  EXPECT_EQ(policy_.pid().refaulted(2), 1u);
+}
+
+TEST_F(MglruTest, EmptyOldGenerationsRetire) {
+  // Add folios into the oldest gen, evict them all, and check min_seq moves.
+  for (int i = 0; i < 4; ++i) {
+    policy_.FolioAdded(NewFolio());
+  }
+  auto victims = Evict(32);
+  for (Folio* folio : victims) {
+    policy_.FolioRemoved(folio);
+  }
+  const uint64_t old_min = policy_.min_seq();
+  Evict(1);  // triggers retirement of the now-empty oldest generation
+  EXPECT_GE(policy_.min_seq(), old_min);
+}
+
+TEST_F(MglruTest, RemovedFolioLeavesGeneration) {
+  Folio* folio = NewFolio();
+  policy_.FolioAdded(folio);
+  policy_.FolioRemoved(folio);
+  EXPECT_EQ(policy_.GenSize(policy_.min_seq()), 0u);
+  EXPECT_FALSE(folio->lru.IsLinked());
+}
+
+TEST_F(MglruTest, NoDuplicateCandidates) {
+  for (int i = 0; i < 6; ++i) {
+    policy_.FolioAdded(NewFolio());
+  }
+  const auto victims = Evict(32);
+  std::set<Folio*> unique(victims.begin(), victims.end());
+  EXPECT_EQ(unique.size(), victims.size());
+}
+
+TEST_F(MglruTest, UniformlyHotGenerationMakesNoProgress) {
+  // The cluster-24 mechanism: when every folio is protected, a reclaim round
+  // promotes everything and proposes nothing; repeated zero-progress rounds
+  // lead the memcg to declare OOM (see page_cache_test).
+  // No tier-0 evidence at all (every folio is accessed several times before
+  // any pressure, as in cluster 24), heavy refaults on the hot tiers.
+  MglruPidController& pid = const_cast<MglruPidController&>(policy_.pid());
+  for (int i = 0; i < 100; ++i) {
+    pid.RecordEviction(1);
+    pid.RecordRefault(1);
+    pid.RecordEviction(2);
+    pid.RecordRefault(2);
+    pid.RecordEviction(3);
+    pid.RecordRefault(3);
+  }
+  ASSERT_LE(pid.Threshold(), 0);
+
+  for (int i = 0; i < 50; ++i) {
+    Folio* folio = NewFolio();
+    policy_.FolioAdded(folio);
+    policy_.FolioAccessed(folio);
+    policy_.FolioAccessed(folio);  // tier 1 > threshold 0
+  }
+  const auto victims = Evict(32);
+  EXPECT_TRUE(victims.empty());
+}
+
+TEST_F(MglruTest, ProtectionFadesAsRefaultEvidenceDecays) {
+  MglruPidController& pid = const_cast<MglruPidController&>(policy_.pid());
+  for (int i = 0; i < 100; ++i) {
+    pid.RecordEviction(1);
+    pid.RecordRefault(1);
+  }
+  ASSERT_LE(pid.Threshold(), 0);
+
+  Folio* folio = NewFolio();
+  policy_.FolioAdded(folio);
+  policy_.FolioAccessed(folio);
+  policy_.FolioAccessed(folio);  // accesses=2 -> tier 1, protected
+  // Each fruitless round ages the policy, decaying the PID's refault
+  // evidence; once tier 1 no longer looks refault-prone, the folio is
+  // evictable.
+  std::vector<Folio*> victims;
+  for (int round = 0; round < 16 && victims.empty(); ++round) {
+    victims = Evict(1);
+  }
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], folio);
+}
+
+}  // namespace
+}  // namespace cache_ext

@@ -1,0 +1,208 @@
+// Tests for the privileged policy manager (§4.4's envisioned loader
+// daemon): allowlisting, quotas, lifecycle, watchdog revert, agent polling,
+// and the audit trail.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/policies/policy_manager.h"
+
+namespace cache_ext::policies {
+namespace {
+
+class PolicyManagerTest : public ::testing::Test {
+ protected:
+  PolicyManagerTest() {
+    ssd_ = std::make_unique<SsdModel>();
+    PageCacheOptions options;
+    options.max_readahead_pages = 0;
+    options.watchdog_violation_limit = 20;
+    pc_ = std::make_unique<PageCache>(&disk_, ssd_.get(), options);
+    cg_ = pc_->CreateCgroup("/tenant1", 32 * kPageSize);
+  }
+
+  SimDisk disk_;
+  std::unique_ptr<SsdModel> ssd_;
+  std::unique_ptr<PageCache> pc_;
+  MemCgroup* cg_;
+};
+
+TEST_F(PolicyManagerTest, AttachReleaseLifecycle) {
+  PolicyManager manager(pc_.get());
+  ASSERT_TRUE(manager.Request(cg_, "lfu").ok());
+  EXPECT_EQ(manager.PolicyFor(cg_), "lfu");
+  EXPECT_EQ(manager.attached_count(), 1u);
+  ASSERT_NE(pc_->ext_policy(cg_), nullptr);
+  EXPECT_EQ(pc_->ext_policy(cg_)->name(), "lfu");
+
+  ASSERT_TRUE(manager.Release(cg_).ok());
+  EXPECT_EQ(manager.attached_count(), 0u);
+  EXPECT_EQ(pc_->ext_policy(cg_), nullptr);
+  EXPECT_EQ(manager.PolicyFor(cg_), "");
+}
+
+TEST_F(PolicyManagerTest, AllowlistEnforced) {
+  PolicyManagerOptions options;
+  options.allowlist = {"lfu", "s3fifo"};
+  PolicyManager manager(pc_.get(), options);
+  EXPECT_EQ(manager.Request(cg_, "mru").code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(pc_->ext_policy(cg_), nullptr);
+  EXPECT_TRUE(manager.Request(cg_, "s3fifo").ok());
+}
+
+TEST_F(PolicyManagerTest, UnknownPolicyRejectedEvenWithoutAllowlist) {
+  PolicyManager manager(pc_.get());
+  EXPECT_FALSE(manager.Request(cg_, "belady_oracle").ok());
+}
+
+TEST_F(PolicyManagerTest, QuotaEnforced) {
+  PolicyManagerOptions options;
+  options.max_attached = 2;
+  PolicyManager manager(pc_.get(), options);
+  MemCgroup* cg2 = pc_->CreateCgroup("/tenant2", 32 * kPageSize);
+  MemCgroup* cg3 = pc_->CreateCgroup("/tenant3", 32 * kPageSize);
+  ASSERT_TRUE(manager.Request(cg_, "lfu").ok());
+  ASSERT_TRUE(manager.Request(cg2, "fifo").ok());
+  EXPECT_EQ(manager.Request(cg3, "mru").code(),
+            ErrorCode::kResourceExhausted);
+  // Releasing frees quota.
+  ASSERT_TRUE(manager.Release(cg_).ok());
+  EXPECT_TRUE(manager.Request(cg3, "mru").ok());
+}
+
+TEST_F(PolicyManagerTest, DoubleRequestRejected) {
+  PolicyManager manager(pc_.get());
+  ASSERT_TRUE(manager.Request(cg_, "lfu").ok());
+  EXPECT_EQ(manager.Request(cg_, "fifo").code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(PolicyManagerTest, PerCgroupPoliciesIndependent) {
+  PolicyManager manager(pc_.get());
+  MemCgroup* cg2 = pc_->CreateCgroup("/tenant2", 32 * kPageSize);
+  ASSERT_TRUE(manager.Request(cg_, "lfu").ok());
+  ASSERT_TRUE(manager.Request(cg2, "mru").ok());
+  EXPECT_EQ(manager.PolicyFor(cg_), "lfu");
+  EXPECT_EQ(manager.PolicyFor(cg2), "mru");
+}
+
+TEST_F(PolicyManagerTest, AuditTrailRecordsDecisions) {
+  PolicyManagerOptions options;
+  options.allowlist = {"lfu"};
+  PolicyManager manager(pc_.get(), options);
+  ASSERT_FALSE(manager.Request(cg_, "mru").ok());
+  ASSERT_TRUE(manager.Request(cg_, "lfu").ok());
+  ASSERT_TRUE(manager.Release(cg_).ok());
+  const auto log = manager.audit_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].kind, PolicyManager::EventKind::kDenied);
+  EXPECT_EQ(log[0].policy, "mru");
+  EXPECT_EQ(log[1].kind, PolicyManager::EventKind::kAttached);
+  EXPECT_EQ(log[2].kind, PolicyManager::EventKind::kDetached);
+  EXPECT_EQ(log[2].cgroup, "/tenant1");
+}
+
+TEST_F(PolicyManagerTest, PollRevertsWatchdoggedPolicy) {
+  // A policy whose eviction program returns garbage: the kernel watchdog
+  // stops consulting it; the manager's Poll() must finish the cleanup.
+  PolicyManager manager(pc_.get());
+  // Build a broken policy through the manager's own catalog path is not
+  // possible (catalog policies are well-behaved), so attach one directly
+  // through a second loader — the manager still audits the revert.
+  CacheExtLoader rogue_loader(pc_.get());
+  Folio decoy;
+  Ops ops;
+  ops.name = "rogue";
+  ops.policy_init = [](CacheExtApi&, MemCgroup*) -> int32_t { return 0; };
+  ops.folio_added = [](CacheExtApi&, Folio*) {};
+  ops.folio_accessed = [](CacheExtApi&, Folio*) {};
+  ops.folio_removed = [](CacheExtApi&, Folio*) {};
+  ops.evict_folios = [&decoy](CacheExtApi&, EvictionCtx* ctx, MemCgroup*) {
+    for (int i = 0; i < 8; ++i) {
+      ctx->Propose(&decoy);
+    }
+  };
+  ASSERT_TRUE(rogue_loader.Attach(cg_, std::move(ops)).ok());
+  // Adopt it into the manager's bookkeeping via the internal map: simulate
+  // by requesting on a different cgroup and watchdogging THIS one manually.
+  // Simpler: drive pressure so the watchdog fires, then verify Poll()
+  // removes the dead attachment for a managed cgroup.
+  MemCgroup* managed = pc_->CreateCgroup("/managed", 16 * kPageSize);
+  ASSERT_TRUE(manager.Request(managed, "lfu").ok());
+
+  // Fire the watchdog on the rogue cgroup.
+  Lane lane(0, TaskContext{1, 1}, 3);
+  auto as = pc_->OpenFile("/f");
+  ASSERT_TRUE(as.ok());
+  ASSERT_TRUE(disk_.Truncate((*as)->file(), 512 * kPageSize).ok());
+  std::vector<uint8_t> buf(64);
+  for (uint64_t i = 0; i < 256; ++i) {
+    ASSERT_TRUE(
+        pc_->Read(lane, *as, cg_, i * kPageSize, std::span<uint8_t>(buf))
+            .ok());
+  }
+  ASSERT_TRUE(pc_->StatsFor(cg_).ext_detached_by_watchdog);
+
+  // The managed, healthy policy is untouched by Poll().
+  manager.Poll();
+  EXPECT_EQ(manager.PolicyFor(managed), "lfu");
+  EXPECT_EQ(manager.attached_count(), 1u);
+}
+
+TEST_F(PolicyManagerTest, PollDrivesUserspaceAgents) {
+  PolicyManager manager(pc_.get());
+  ASSERT_TRUE(manager.Request(cg_, "lhd").ok());  // LHD has an agent
+  manager.Poll();  // must not crash and must poll the agent
+  ASSERT_TRUE(manager.Release(cg_).ok());
+}
+
+TEST_F(PolicyManagerTest, WatchdogRevertAuditedForManagedPolicy) {
+  // Managed cgroup with a tiny watchdog limit; make the managed policy
+  // misbehave by... catalog policies don't misbehave, so instead lower the
+  // simulation: detach behind the manager's back and mark the stats.
+  // Covered behaviour: Poll() removes attachments whose cgroup the kernel
+  // flagged, and records kWatchdogReverted.
+  PolicyManager manager(pc_.get());
+  ASSERT_TRUE(manager.Request(cg_, "lfu").ok());
+  // Simulate the kernel watchdog having fired for this cgroup: the page
+  // cache publishes the flag when the ext policy misbehaves; we force the
+  // equivalent state by detaching and re-attaching a rogue policy that
+  // then gets watchdogged.
+  ASSERT_TRUE(pc_->DetachExtPolicy(cg_).ok());
+  Folio decoy;
+  Ops ops;
+  ops.name = "rogue2";
+  ops.policy_init = [](CacheExtApi&, MemCgroup*) -> int32_t { return 0; };
+  ops.folio_added = [](CacheExtApi&, Folio*) {};
+  ops.folio_accessed = [](CacheExtApi&, Folio*) {};
+  ops.folio_removed = [](CacheExtApi&, Folio*) {};
+  ops.evict_folios = [&decoy](CacheExtApi&, EvictionCtx* ctx, MemCgroup*) {
+    for (int i = 0; i < 8; ++i) {
+      ctx->Propose(&decoy);
+    }
+  };
+  CacheExtLoader rogue_loader(pc_.get());
+  ASSERT_TRUE(rogue_loader.Attach(cg_, std::move(ops)).ok());
+  Lane lane(0, TaskContext{1, 1}, 3);
+  auto as = pc_->OpenFile("/g");
+  ASSERT_TRUE(as.ok());
+  ASSERT_TRUE(disk_.Truncate((*as)->file(), 512 * kPageSize).ok());
+  std::vector<uint8_t> buf(64);
+  for (uint64_t i = 0; i < 256; ++i) {
+    ASSERT_TRUE(
+        pc_->Read(lane, *as, cg_, i * kPageSize, std::span<uint8_t>(buf))
+            .ok());
+  }
+  ASSERT_TRUE(pc_->StatsFor(cg_).ext_detached_by_watchdog);
+
+  manager.Poll();
+  EXPECT_EQ(manager.attached_count(), 0u);
+  const auto log = manager.audit_log();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back().kind, PolicyManager::EventKind::kWatchdogReverted);
+}
+
+}  // namespace
+}  // namespace cache_ext::policies

@@ -1,0 +1,385 @@
+// Property-based tests: randomized operation sequences checked against
+// reference models or invariants, parameterized over seeds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/bpf/lru_hash_map.h"
+#include "src/bpf/map.h"
+#include "src/pagecache/page_cache.h"
+#include "src/util/histogram.h"
+#include "src/util/intrusive_list.h"
+#include "src/util/rng.h"
+
+#include <thread>
+
+namespace cache_ext {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+// --- Histogram vs exact percentiles -------------------------------------------
+
+TEST_P(SeededTest, HistogramPercentilesWithinRelativeError) {
+  Rng rng(GetParam());
+  Histogram histogram;
+  std::vector<uint64_t> values;
+  // Log-uniform values spanning several orders of magnitude (latencies).
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t magnitude = 1ULL << rng.NextU64Below(30);
+    const uint64_t v = magnitude + rng.NextU64Below(magnitude);
+    values.push_back(v);
+    histogram.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const uint64_t exact =
+        values[static_cast<size_t>(q * (values.size() - 1))];
+    const uint64_t approx = histogram.Percentile(q);
+    // Log-linear bucketing: <= ~2^-5 relative error per bucket, allow 5%.
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.05 + 1)
+        << "q=" << q;
+  }
+}
+
+// --- bpf::HashMap vs std::unordered_map ----------------------------------------
+
+TEST_P(SeededTest, BpfHashMapMatchesReference) {
+  Rng rng(GetParam());
+  bpf::HashMap<uint32_t, uint64_t> map(256);
+  std::unordered_map<uint32_t, uint64_t> reference;
+  for (int step = 0; step < 20000; ++step) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextU64Below(400));
+    switch (rng.NextU64Below(3)) {
+      case 0: {
+        const uint64_t value = rng.NextU64();
+        const bool ok = map.Update(key, value);
+        // Insert fails only at capacity with a new key.
+        if (reference.count(key) > 0 || reference.size() < 256) {
+          ASSERT_TRUE(ok);
+          reference[key] = value;
+        } else {
+          ASSERT_FALSE(ok);
+        }
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(map.Delete(key), reference.erase(key) > 0);
+        break;
+      }
+      default: {
+        uint64_t* found = map.Lookup(key);
+        auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(map.Size(), reference.size());
+}
+
+// --- bpf::LruHashMap vs reference LRU ---------------------------------------------
+
+TEST_P(SeededTest, LruHashMapMatchesReferenceLru) {
+  constexpr uint32_t kCapacity = 64;
+  Rng rng(GetParam());
+  bpf::LruHashMap<uint32_t, uint64_t> map(kCapacity);
+  // Reference: list front = MRU.
+  std::list<std::pair<uint32_t, uint64_t>> reference;
+  auto ref_find = [&](uint32_t key) {
+    return std::find_if(reference.begin(), reference.end(),
+                        [key](const auto& e) { return e.first == key; });
+  };
+  for (int step = 0; step < 20000; ++step) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextU64Below(200));
+    switch (rng.NextU64Below(3)) {
+      case 0: {  // update
+        const uint64_t value = rng.NextU64();
+        map.Update(key, value);
+        if (auto it = ref_find(key); it != reference.end()) {
+          reference.erase(it);
+        } else if (reference.size() == kCapacity) {
+          reference.pop_back();  // evict LRU
+        }
+        reference.emplace_front(key, value);
+        break;
+      }
+      case 1: {  // lookup (refreshes recency)
+        uint64_t out = 0;
+        const bool found = map.Lookup(key, &out);
+        auto it = ref_find(key);
+        EXPECT_EQ(found, it != reference.end());
+        if (found) {
+          EXPECT_EQ(out, it->second);
+          reference.splice(reference.begin(), reference, it);
+        }
+        break;
+      }
+      default: {  // delete
+        const bool deleted = map.Delete(key);
+        auto it = ref_find(key);
+        EXPECT_EQ(deleted, it != reference.end());
+        if (it != reference.end()) {
+          reference.erase(it);
+        }
+      }
+    }
+    ASSERT_EQ(map.Size(), reference.size());
+  }
+}
+
+// --- IntrusiveList vs std::list -----------------------------------------------------
+
+struct PropItem {
+  explicit PropItem(int v) : value(v) {}
+  int value;
+  ListNode node;
+};
+
+TEST_P(SeededTest, IntrusiveListMatchesStdList) {
+  Rng rng(GetParam());
+  std::vector<std::unique_ptr<PropItem>> storage;
+  for (int i = 0; i < 64; ++i) {
+    storage.push_back(std::make_unique<PropItem>(i));
+  }
+  IntrusiveList<PropItem, &PropItem::node> list;
+  std::list<PropItem*> reference;
+
+  for (int step = 0; step < 20000; ++step) {
+    PropItem* item = storage[rng.NextU64Below(storage.size())].get();
+    const bool linked = item->node.IsLinked();
+    switch (rng.NextU64Below(5)) {
+      case 0:
+        if (!linked) {
+          list.PushBack(item);
+          reference.push_back(item);
+        }
+        break;
+      case 1:
+        if (!linked) {
+          list.PushFront(item);
+          reference.push_front(item);
+        }
+        break;
+      case 2:
+        if (linked) {
+          list.Remove(item);
+          reference.remove(item);
+        }
+        break;
+      case 3:
+        if (linked) {
+          list.MoveToBack(item);
+          reference.remove(item);
+          reference.push_back(item);
+        }
+        break;
+      default:
+        if (linked) {
+          list.MoveToFront(item);
+          reference.remove(item);
+          reference.push_front(item);
+        }
+    }
+    ASSERT_EQ(list.size(), reference.size());
+    if (step % 500 == 0) {
+      auto ref_it = reference.begin();
+      for (PropItem& it : list) {
+        ASSERT_EQ(&it, *ref_it);
+        ++ref_it;
+      }
+    }
+  }
+}
+
+// --- page cache invariants under random op fuzz -----------------------------------
+
+TEST_P(SeededTest, PageCacheInvariantsUnderRandomOps) {
+  Rng rng(GetParam());
+  SimDisk disk;
+  SsdModel ssd;
+  PageCacheOptions options;
+  options.max_readahead_pages = static_cast<uint32_t>(rng.NextU64Below(9));
+  PageCache pc(&disk, &ssd, options);
+  MemCgroup* cg_a = pc.CreateCgroup("/a", 48 * kPageSize);
+  MemCgroup* cg_b = pc.CreateCgroup("/b", 24 * kPageSize,
+                                    BasePolicyKind::kMglru);
+  std::vector<AddressSpace*> files;
+  for (int i = 0; i < 3; ++i) {
+    auto as = pc.OpenFile("/fuzz" + std::to_string(i));
+    ASSERT_TRUE(as.ok());
+    ASSERT_TRUE(disk.Truncate((*as)->file(), 256 * kPageSize).ok());
+    files.push_back(*as);
+  }
+  Lane lane(0, TaskContext{1, 1}, GetParam());
+  std::vector<uint8_t> buf(2 * kPageSize);
+
+  for (int step = 0; step < 3000; ++step) {
+    AddressSpace* as = files[rng.NextU64Below(files.size())];
+    MemCgroup* cg = rng.NextBool(0.5) ? cg_a : cg_b;
+    const uint64_t offset = rng.NextU64Below(250 * kPageSize);
+    const uint64_t len = 1 + rng.NextU64Below(buf.size() - 1);
+    switch (rng.NextU64Below(8)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        ASSERT_TRUE(pc.Read(lane, as, cg, offset,
+                            std::span<uint8_t>(buf.data(), len))
+                        .ok());
+        break;
+      case 4:
+      case 5:
+        ASSERT_TRUE(pc.Write(lane, as, cg, offset,
+                             std::span<const uint8_t>(buf.data(), len))
+                        .ok());
+        break;
+      case 6:
+        ASSERT_TRUE(pc.FadviseRange(lane, as, cg, Fadvise::kDontNeed, offset,
+                                    len)
+                        .ok());
+        break;
+      default:
+        ASSERT_TRUE(pc.SyncFile(lane, as).ok());
+    }
+
+    // Invariant 1: both cgroups stay within limits (+1 in-flight pin).
+    ASSERT_LE(cg_a->charged_pages(), cg_a->limit_pages() + 1);
+    ASSERT_LE(cg_b->charged_pages(), cg_b->limit_pages() + 1);
+    if (step % 250 == 0) {
+      // Invariant 2: per-mapping resident counts match the xarray contents,
+      // and total charges match total resident folios.
+      uint64_t total_resident = 0;
+      for (AddressSpace* file : files) {
+        uint64_t folios = 0;
+        file->pages().ForEach([&folios](uint64_t, XEntry entry) {
+          if (entry.IsPointer()) {
+            ++folios;
+          }
+        });
+        ASSERT_EQ(folios, file->nr_resident());
+        total_resident += folios;
+      }
+      ASSERT_EQ(total_resident, pc.TotalResidentPages());
+      ASSERT_EQ(total_resident, cg_a->charged_pages() + cg_b->charged_pages());
+    }
+  }
+  // Final invariant: no OOM, no stuck pins.
+  EXPECT_FALSE(pc.StatsFor(cg_a).oom_killed);
+  EXPECT_FALSE(pc.StatsFor(cg_b).oom_killed);
+}
+
+// --- data integrity under eviction pressure -----------------------------------------
+
+TEST_P(SeededTest, ReadsAlwaysSeeLatestWrites) {
+  Rng rng(GetParam());
+  SimDisk disk;
+  SsdModel ssd;
+  PageCache pc(&disk, &ssd, PageCacheOptions{});
+  MemCgroup* cg = pc.CreateCgroup("/int", 16 * kPageSize);  // tiny: churn
+  auto as = pc.OpenFile("/data");
+  ASSERT_TRUE(as.ok());
+  constexpr uint64_t kPages = 64;
+  ASSERT_TRUE(disk.Truncate((*as)->file(), kPages * kPageSize).ok());
+  Lane lane(0, TaskContext{1, 1}, GetParam());
+
+  std::map<uint64_t, uint8_t> shadow;  // page -> last written tag
+  for (int step = 0; step < 2000; ++step) {
+    const uint64_t page = rng.NextU64Below(kPages);
+    if (rng.NextBool(0.4)) {
+      const uint8_t tag = static_cast<uint8_t>(rng.NextU64Below(256));
+      std::vector<uint8_t> data(kPageSize, tag);
+      ASSERT_TRUE(pc.Write(lane, *as, cg, page * kPageSize,
+                           std::span<const uint8_t>(data))
+                      .ok());
+      shadow[page] = tag;
+    } else {
+      std::vector<uint8_t> out(kPageSize);
+      ASSERT_TRUE(pc.Read(lane, *as, cg, page * kPageSize,
+                          std::span<uint8_t>(out))
+                      .ok());
+      const uint8_t expected = shadow.count(page) ? shadow[page] : 0;
+      ASSERT_EQ(out[0], expected) << "page " << page;
+      ASSERT_EQ(out[kPageSize - 1], expected);
+    }
+  }
+}
+
+// --- real-thread concurrency stress -------------------------------------------------
+
+TEST_P(SeededTest, PageCacheSurvivesConcurrentThreads) {
+  // The simulation harness runs single-threaded, but the library is
+  // documented thread-safe: hammer one PageCache from real threads, each
+  // with its own lane and cgroup, and check the books balance afterwards.
+  SimDisk disk;
+  SsdModel ssd;
+  PageCacheOptions options;
+  options.max_readahead_pages = 4;
+  PageCache pc(&disk, &ssd, options);
+  constexpr int kThreads = 4;
+  std::vector<MemCgroup*> cgroups;
+  std::vector<AddressSpace*> files;
+  for (int t = 0; t < kThreads; ++t) {
+    cgroups.push_back(
+        pc.CreateCgroup("/thr" + std::to_string(t), 32 * kPageSize));
+    auto as = pc.OpenFile("/tfile" + std::to_string(t));
+    ASSERT_TRUE(as.ok());
+    ASSERT_TRUE(disk.Truncate((*as)->file(), 256 * kPageSize).ok());
+    files.push_back(*as);
+  }
+  auto shared = pc.OpenFile("/tshared");
+  ASSERT_TRUE(shared.ok());
+  ASSERT_TRUE(disk.Truncate((*shared)->file(), 256 * kPageSize).ok());
+
+  const uint64_t seed = GetParam();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Lane lane(static_cast<uint32_t>(t), TaskContext{t, t}, seed + t);
+      Rng rng(seed * 31 + t);
+      std::vector<uint8_t> buf(kPageSize);
+      for (int i = 0; i < 4000; ++i) {
+        AddressSpace* as = rng.NextBool(0.25) ? *shared : files[t];
+        const uint64_t offset = rng.NextU64Below(250) * kPageSize;
+        if (rng.NextBool(0.3)) {
+          ASSERT_TRUE(pc.Write(lane, as, cgroups[t], offset,
+                               std::span<const uint8_t>(buf))
+                          .ok());
+        } else {
+          ASSERT_TRUE(pc.Read(lane, as, cgroups[t], offset,
+                              std::span<uint8_t>(buf))
+                          .ok());
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // Books balance: charges equal resident folios; no cgroup exceeded its
+  // limit; nobody OOMed.
+  uint64_t total_charged = 0;
+  for (MemCgroup* cg : cgroups) {
+    EXPECT_LE(cg->charged_pages(), cg->limit_pages() + 1);
+    EXPECT_FALSE(pc.StatsFor(cg).oom_killed);
+    total_charged += cg->charged_pages();
+  }
+  EXPECT_EQ(total_charged, pc.TotalResidentPages());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace cache_ext

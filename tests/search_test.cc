@@ -1,0 +1,144 @@
+// Tests for the corpus generator and the streaming file searcher.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/search/corpus.h"
+#include "src/search/searcher.h"
+
+namespace cache_ext::search {
+namespace {
+
+class SearchTest : public ::testing::Test {
+ protected:
+  SearchTest() {
+    ssd_ = std::make_unique<SsdModel>();
+    pc_ = std::make_unique<PageCache>(&disk_, ssd_.get(), PageCacheOptions{});
+    cg_ = pc_->CreateCgroup("/search", 256 * kPageSize);
+  }
+
+  SimDisk disk_;
+  std::unique_ptr<SsdModel> ssd_;
+  std::unique_ptr<PageCache> pc_;
+  MemCgroup* cg_;
+};
+
+TEST_F(SearchTest, CorpusGenerationHonorsBudget) {
+  CorpusConfig config;
+  config.total_bytes = 4 << 20;
+  config.mean_file_bytes = 64 * 1024;
+  auto info = GenerateCorpus(&disk_, config);
+  ASSERT_TRUE(info.ok());
+  EXPECT_GE(info->total_bytes, config.total_bytes * 9 / 10);
+  EXPECT_GT(info->files.size(), 10u);
+  EXPECT_GT(info->planted_matches, 0u);
+  // Files actually exist on disk with the declared sizes.
+  uint64_t on_disk = 0;
+  for (const auto& name : info->files) {
+    EXPECT_TRUE(disk_.Exists(name));
+    auto id = disk_.Open(name);
+    ASSERT_TRUE(id.ok());
+    on_disk += disk_.SizeOf(*id);
+  }
+  EXPECT_EQ(on_disk, info->total_bytes);
+}
+
+TEST_F(SearchTest, CorpusIsDeterministicPerSeed) {
+  CorpusConfig config;
+  config.total_bytes = 1 << 20;
+  config.root = "/c1";
+  auto a = GenerateCorpus(&disk_, config);
+  config.root = "/c2";
+  auto b = GenerateCorpus(&disk_, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->planted_matches, b->planted_matches);
+  EXPECT_EQ(a->total_bytes, b->total_bytes);
+}
+
+TEST_F(SearchTest, SearcherFindsExactlyThePlantedMatches) {
+  CorpusConfig config;
+  config.total_bytes = 2 << 20;
+  config.plants_per_64k = 2.0;
+  auto info = GenerateCorpus(&disk_, config);
+  ASSERT_TRUE(info.ok());
+  ASSERT_GT(info->planted_matches, 0u);
+
+  FileSearcher searcher(pc_.get(), cg_, info->files);
+  Lane lane(0, TaskContext{1, 1}, 1);
+  std::vector<Lane*> lanes = {&lane};
+  auto matches = searcher.SearchPass(lanes, config.pattern);
+  ASSERT_TRUE(matches.ok());
+  // The random filler cannot contain the pattern (it has no underscores),
+  // so the count is exact.
+  EXPECT_EQ(*matches, info->planted_matches);
+}
+
+TEST_F(SearchTest, MatchesSpanningChunkBoundariesCounted) {
+  // Build a file with the pattern placed across the 64 KiB chunk boundary.
+  const std::string pattern = "cache_ext_hit";
+  std::string content(FileSearcher::kChunkBytes - 5, 'x');
+  content += pattern;  // starts 5 bytes before the boundary
+  content += std::string(1000, 'y');
+  content += pattern;  // and one more, well inside the second chunk
+  auto id = disk_.Create("/boundary");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(disk_
+                  .WriteAt(*id, 0,
+                           std::span<const uint8_t>(
+                               reinterpret_cast<const uint8_t*>(content.data()),
+                               content.size()))
+                  .ok());
+  FileSearcher searcher(pc_.get(), cg_, {"/boundary"});
+  Lane lane(0, TaskContext{1, 1}, 1);
+  auto matches = searcher.SearchOneFile(lane, 0, pattern);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(*matches, 2u);
+}
+
+TEST_F(SearchTest, RepeatedPassesHitWhenCorpusFits) {
+  CorpusConfig config;
+  config.total_bytes = 256 * 1024;  // fits easily in the 1 MiB cgroup
+  auto info = GenerateCorpus(&disk_, config);
+  ASSERT_TRUE(info.ok());
+  FileSearcher searcher(pc_.get(), cg_, info->files);
+  Lane lane(0, TaskContext{1, 1}, 1);
+  std::vector<Lane*> lanes = {&lane};
+  ASSERT_TRUE(searcher.SearchPass(lanes, config.pattern).ok());
+  cg_->ResetStats();
+  ASSERT_TRUE(searcher.SearchPass(lanes, config.pattern).ok());
+  EXPECT_EQ(cg_->stat_misses.load(), 0u);  // second pass fully cached
+}
+
+TEST_F(SearchTest, MultiLaneSearchSplitsWork) {
+  CorpusConfig config;
+  config.total_bytes = 1 << 20;
+  auto info = GenerateCorpus(&disk_, config);
+  ASSERT_TRUE(info.ok());
+  FileSearcher searcher(pc_.get(), cg_, info->files);
+  Lane a(0, TaskContext{1, 1}, 1);
+  Lane b(1, TaskContext{1, 2}, 2);
+  std::vector<Lane*> lanes = {&a, &b};
+  auto matches = searcher.SearchPass(lanes, config.pattern);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(*matches, info->planted_matches);
+  // Both lanes did work (clocks advanced).
+  EXPECT_GT(a.now_ns(), 0u);
+  EXPECT_GT(b.now_ns(), 0u);
+}
+
+TEST_F(SearchTest, EmptyPatternAndBadIndexHandled) {
+  auto id = disk_.Create("/f");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(disk_.Truncate(*id, 100).ok());
+  FileSearcher searcher(pc_.get(), cg_, {"/f"});
+  Lane lane(0, TaskContext{1, 1}, 1);
+  auto matches = searcher.SearchOneFile(lane, 0, "");
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(*matches, 0u);
+  EXPECT_FALSE(searcher.SearchOneFile(lane, 5, "x").ok());
+}
+
+}  // namespace
+}  // namespace cache_ext::search

@@ -1,0 +1,213 @@
+// Unit tests for src/sim: SSD timing model, simulated disk, lanes.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/sim/lane.h"
+#include "src/sim/sim_disk.h"
+#include "src/sim/ssd_model.h"
+
+namespace cache_ext {
+namespace {
+
+// --- SsdModel ----------------------------------------------------------------
+
+SsdModelOptions OneChannel() {
+  SsdModelOptions o;
+  o.channels = 1;
+  o.read_latency_ns = 1000;
+  o.write_latency_ns = 2000;
+  o.bytes_per_us = 1000;  // 1 byte per ns
+  return o;
+}
+
+TEST(SsdModelTest, SingleReadLatency) {
+  SsdModel ssd(OneChannel());
+  // 1000 base + 500 transfer.
+  EXPECT_EQ(ssd.SubmitRead(0, 500), 1500u);
+}
+
+TEST(SsdModelTest, QueueingOnBusyChannel) {
+  SsdModel ssd(OneChannel());
+  EXPECT_EQ(ssd.SubmitRead(0, 0), 1000u);
+  // Second request at t=0 queues behind the first.
+  EXPECT_EQ(ssd.SubmitRead(0, 0), 2000u);
+  // A request arriving after the channel is free starts immediately.
+  EXPECT_EQ(ssd.SubmitRead(10000, 0), 11000u);
+}
+
+TEST(SsdModelTest, MultipleChannelsServeInParallel) {
+  SsdModelOptions o = OneChannel();
+  o.channels = 4;
+  SsdModel ssd(o);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ssd.SubmitRead(0, 0), 1000u) << "request " << i;
+  }
+  // Fifth request queues.
+  EXPECT_EQ(ssd.SubmitRead(0, 0), 2000u);
+}
+
+TEST(SsdModelTest, WriteLatencyDiffersFromRead) {
+  SsdModel ssd(OneChannel());
+  EXPECT_EQ(ssd.SubmitWrite(0, 0), 2000u);
+}
+
+TEST(SsdModelTest, StatsAccumulate) {
+  SsdModel ssd(OneChannel());
+  ssd.SubmitRead(0, 100);
+  ssd.SubmitRead(0, 200);
+  ssd.SubmitWrite(0, 300);
+  EXPECT_EQ(ssd.total_reads(), 2u);
+  EXPECT_EQ(ssd.total_writes(), 1u);
+  EXPECT_EQ(ssd.total_read_bytes(), 300u);
+  EXPECT_EQ(ssd.total_write_bytes(), 300u);
+  EXPECT_EQ(ssd.total_io_bytes(), 600u);
+  ssd.ResetStats();
+  EXPECT_EQ(ssd.total_io_bytes(), 0u);
+}
+
+TEST(SsdModelTest, FrontierTracksLatestCompletion) {
+  SsdModel ssd(OneChannel());
+  EXPECT_EQ(ssd.FrontierNs(), 0u);
+  ssd.SubmitRead(0, 0);
+  EXPECT_EQ(ssd.FrontierNs(), 1000u);
+  ssd.SubmitWrite(5000, 0);
+  EXPECT_EQ(ssd.FrontierNs(), 7000u);
+}
+
+TEST(SsdModelTest, ContentionRaisesLatency) {
+  // The property Fig. 11 depends on: more concurrent traffic, later
+  // completions.
+  SsdModelOptions o = OneChannel();
+  o.channels = 2;
+  SsdModel ssd(o);
+  uint64_t last = 0;
+  for (int i = 0; i < 16; ++i) {
+    last = ssd.SubmitRead(0, 0);
+  }
+  EXPECT_EQ(last, 8000u);  // 16 requests over 2 channels, 1000ns each
+}
+
+// --- SimDisk -----------------------------------------------------------------
+
+TEST(SimDiskTest, CreateOpenDelete) {
+  SimDisk disk;
+  auto id = disk.Create("/a");
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(disk.Exists("/a"));
+  auto reopened = disk.Open("/a");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*reopened, *id);
+  EXPECT_TRUE(disk.Delete("/a").ok());
+  EXPECT_FALSE(disk.Exists("/a"));
+  EXPECT_FALSE(disk.Open("/a").ok());
+}
+
+TEST(SimDiskTest, DuplicateCreateFails) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.Create("/a").ok());
+  EXPECT_EQ(disk.Create("/a").status().code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(SimDiskTest, WriteReadRoundTrip) {
+  SimDisk disk;
+  auto id = disk.Create("/f");
+  ASSERT_TRUE(id.ok());
+  const std::string payload = "hello world";
+  ASSERT_TRUE(disk.WriteAt(*id, 100,
+                           std::span<const uint8_t>(
+                               reinterpret_cast<const uint8_t*>(payload.data()),
+                               payload.size()))
+                  .ok());
+  EXPECT_EQ(disk.SizeOf(*id), 111u);
+
+  std::vector<uint8_t> out(payload.size());
+  ASSERT_TRUE(disk.ReadAt(*id, 100, std::span<uint8_t>(out)).ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), payload);
+}
+
+TEST(SimDiskTest, ReadsPastEofSeeZeroes) {
+  SimDisk disk;
+  auto id = disk.Create("/f");
+  ASSERT_TRUE(id.ok());
+  std::vector<uint8_t> out(16, 0xFF);
+  ASSERT_TRUE(disk.ReadAt(*id, 1000, std::span<uint8_t>(out)).ok());
+  for (const uint8_t b : out) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(SimDiskTest, HoleBetweenWritesIsZeroFilled) {
+  SimDisk disk;
+  auto id = disk.Create("/f");
+  ASSERT_TRUE(id.ok());
+  const uint8_t one = 1;
+  ASSERT_TRUE(disk.WriteAt(*id, 0, std::span<const uint8_t>(&one, 1)).ok());
+  ASSERT_TRUE(disk.WriteAt(*id, 100, std::span<const uint8_t>(&one, 1)).ok());
+  std::vector<uint8_t> out(99);
+  ASSERT_TRUE(disk.ReadAt(*id, 1, std::span<uint8_t>(out)).ok());
+  for (const uint8_t b : out) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(SimDiskTest, TruncateExtends) {
+  SimDisk disk;
+  auto id = disk.Create("/f");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(disk.Truncate(*id, 4096).ok());
+  EXPECT_EQ(disk.SizeOf(*id), 4096u);
+  // Truncate never shrinks (extend-only semantics).
+  ASSERT_TRUE(disk.Truncate(*id, 100).ok());
+  EXPECT_EQ(disk.SizeOf(*id), 4096u);
+}
+
+TEST(SimDiskTest, BadFileIdErrors) {
+  SimDisk disk;
+  std::vector<uint8_t> buf(8);
+  EXPECT_FALSE(disk.ReadAt(999, 0, std::span<uint8_t>(buf)).ok());
+  EXPECT_FALSE(disk.WriteAt(999, 0, std::span<const uint8_t>(buf)).ok());
+  EXPECT_EQ(disk.SizeOf(999), 0u);
+}
+
+TEST(SimDiskTest, ListFilesSorted) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.Create("/b").ok());
+  ASSERT_TRUE(disk.Create("/a").ok());
+  ASSERT_TRUE(disk.Create("/c").ok());
+  EXPECT_EQ(disk.ListFiles(), (std::vector<std::string>{"/a", "/b", "/c"}));
+}
+
+TEST(SimDiskTest, TotalBytes) {
+  SimDisk disk;
+  auto a = disk.Create("/a");
+  auto b = disk.Create("/b");
+  ASSERT_TRUE(disk.Truncate(*a, 100).ok());
+  ASSERT_TRUE(disk.Truncate(*b, 50).ok());
+  EXPECT_EQ(disk.TotalBytes(), 150u);
+}
+
+// --- Lane --------------------------------------------------------------------
+
+TEST(LaneTest, ClockMonotone) {
+  Lane lane(1, TaskContext{10, 11}, 7);
+  EXPECT_EQ(lane.now_ns(), 0u);
+  lane.Charge(100);
+  EXPECT_EQ(lane.now_ns(), 100u);
+  lane.AdvanceTo(50);  // never goes backward
+  EXPECT_EQ(lane.now_ns(), 100u);
+  lane.AdvanceTo(500);
+  EXPECT_EQ(lane.now_ns(), 500u);
+}
+
+TEST(LaneTest, TaskIdentity) {
+  Lane lane(1, TaskContext{10, 11}, 7);
+  EXPECT_EQ(lane.task().pid, 10);
+  EXPECT_EQ(lane.task().tid, 11);
+  lane.set_task(TaskContext{20, 21});
+  EXPECT_EQ(lane.task().pid, 20);
+}
+
+}  // namespace
+}  // namespace cache_ext

@@ -1,0 +1,110 @@
+// Unit tests for shadow entries and refault detection (mm/workingset.c
+// analogue).
+
+#include <gtest/gtest.h>
+
+#include "src/cgroup/memcg.h"
+#include "src/pagecache/workingset.h"
+
+namespace cache_ext {
+namespace {
+
+TEST(ShadowEntryTest, PackUnpackRoundTrip) {
+  ShadowEntry s;
+  s.age = 0x123456789ABCULL;
+  s.tier = 3;
+  s.memcg_low = 0x5A;
+  const ShadowEntry u = ShadowEntry::Unpack(s.Pack());
+  EXPECT_EQ(u.age, s.age);
+  EXPECT_EQ(u.tier, s.tier);
+  EXPECT_EQ(u.memcg_low, s.memcg_low);
+}
+
+TEST(ShadowEntryTest, AgeWrapsAt48Bits) {
+  ShadowEntry s;
+  s.age = (1ULL << 48) | 5;  // wraps
+  EXPECT_EQ(ShadowEntry::Unpack(s.Pack()).age, 5u);
+}
+
+TEST(WorkingsetTest, EvictionAdvancesNonresidentAge) {
+  MemCgroup cg(1, "/a", 100);
+  EXPECT_EQ(cg.nonresident_age(), 0u);
+  const XEntry shadow = WorkingsetEviction(&cg, 0);
+  EXPECT_TRUE(shadow.IsValue());
+  EXPECT_EQ(cg.nonresident_age(), 1u);
+}
+
+TEST(WorkingsetTest, RecentRefaultActivates) {
+  MemCgroup cg(1, "/a", 100);
+  const XEntry shadow = WorkingsetEviction(&cg, 2);
+  // Few evictions since: distance small.
+  for (int i = 0; i < 10; ++i) {
+    cg.AdvanceNonresidentAge();
+  }
+  const RefaultDecision d = WorkingsetRefault(&cg, shadow, cg.limit_pages());
+  EXPECT_TRUE(d.is_refault);
+  EXPECT_TRUE(d.activate);
+  EXPECT_EQ(d.tier, 2u);
+  EXPECT_EQ(d.distance, 10u);
+  EXPECT_EQ(cg.stat_refaults.load(), 1u);
+}
+
+TEST(WorkingsetTest, DistantRefaultDoesNotActivate) {
+  MemCgroup cg(1, "/a", 100);
+  const XEntry shadow = WorkingsetEviction(&cg, 0);
+  for (int i = 0; i < 500; ++i) {
+    cg.AdvanceNonresidentAge();  // distance 500 > workingset 100
+  }
+  const RefaultDecision d = WorkingsetRefault(&cg, shadow, cg.limit_pages());
+  EXPECT_TRUE(d.is_refault);
+  EXPECT_FALSE(d.activate);
+}
+
+TEST(WorkingsetTest, BoundaryDistanceEqualsWorkingset) {
+  MemCgroup cg(1, "/a", 100);
+  const XEntry shadow = WorkingsetEviction(&cg, 0);
+  for (int i = 0; i < 100; ++i) {
+    cg.AdvanceNonresidentAge();
+  }
+  // distance == workingset size: still recent (kernel uses <=).
+  EXPECT_TRUE(WorkingsetRefault(&cg, shadow, 100).activate);
+}
+
+TEST(WorkingsetTest, ForeignCgroupShadowIgnored) {
+  MemCgroup owner(7, "/owner", 100);
+  MemCgroup other(8, "/other", 100);
+  const XEntry shadow = WorkingsetEviction(&owner, 0);
+  const RefaultDecision d = WorkingsetRefault(&other, shadow, 100);
+  EXPECT_FALSE(d.is_refault);
+  EXPECT_FALSE(d.activate);
+  EXPECT_EQ(other.stat_refaults.load(), 0u);
+}
+
+TEST(WorkingsetTest, NonValueEntryIsNotARefault) {
+  MemCgroup cg(1, "/a", 100);
+  EXPECT_FALSE(WorkingsetRefault(&cg, XEntry::Empty(), 100).is_refault);
+  int dummy = 0;
+  EXPECT_FALSE(
+      WorkingsetRefault(&cg, XEntry::FromPointer(&dummy), 100).is_refault);
+}
+
+TEST(WorkingsetTest, ModularDistanceSurvivesWrap) {
+  MemCgroup cg(1, "/a", 100);
+  // Push the age clock near the 48-bit wrap point.
+  for (int i = 0; i < 1000; ++i) {
+    cg.AdvanceNonresidentAge();
+  }
+  ShadowEntry s;
+  s.age = (1ULL << 48) - 3;  // 3 below the wrap
+  s.tier = 0;
+  s.memcg_low = cg.id() & 0xFF;
+  // Simulated current age: 1000. Modular distance = 1000 - (-3) = 1003.
+  const RefaultDecision d =
+      WorkingsetRefault(&cg, XEntry::FromValue(s.Pack()), 2000);
+  EXPECT_TRUE(d.is_refault);
+  EXPECT_EQ(d.distance, 1003u);
+  EXPECT_TRUE(d.activate);
+}
+
+}  // namespace
+}  // namespace cache_ext

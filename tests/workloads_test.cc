@@ -1,0 +1,348 @@
+// Tests for the workload generators: distribution statistics, YCSB op
+// mixes, and the synthetic Twitter cluster patterns.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workloads/distributions.h"
+#include "src/workloads/fio.h"
+#include "src/workloads/kv_workload.h"
+
+namespace cache_ext::workloads {
+namespace {
+
+// --- Distributions -----------------------------------------------------------
+
+TEST(ZipfianTest, RanksWithinBounds) {
+  ZipfianGenerator zipf(1000, 0.99);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfianTest, LowRanksDominante) {
+  ZipfianGenerator zipf(10000, 0.99);
+  Rng rng(2);
+  uint64_t top10 = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next(rng) < 10) {
+      ++top10;
+    }
+  }
+  // Zipf(0.99) over 10k items: the top 10 ranks draw a large share
+  // (theoretically ~27%); require well above uniform (0.1%).
+  EXPECT_GT(top10, kSamples / 10u);
+}
+
+TEST(ZipfianTest, HigherThetaMoreSkew) {
+  Rng rng_a(3);
+  Rng rng_b(3);
+  ZipfianGenerator mild(10000, 0.7);
+  ZipfianGenerator steep(10000, 1.2);
+  uint64_t mild_top = 0;
+  uint64_t steep_top = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (mild.Next(rng_a) < 100) {
+      ++mild_top;
+    }
+    if (steep.Next(rng_b) < 100) {
+      ++steep_top;
+    }
+  }
+  EXPECT_GT(steep_top, mild_top);
+}
+
+TEST(ScrambledZipfianTest, HotKeysScatteredAcrossKeyspace) {
+  ScrambledZipfianGenerator zipf(10000, 0.99);
+  Rng rng(4);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[zipf.Next(rng)];
+  }
+  // Find the two hottest keys: they should not be adjacent (rank 0/1 are,
+  // but scrambling scatters them).
+  std::vector<std::pair<int, uint64_t>> by_count;
+  for (const auto& [key, count] : counts) {
+    by_count.emplace_back(count, key);
+  }
+  std::sort(by_count.rbegin(), by_count.rend());
+  EXPECT_GT(by_count[0].first, by_count[0].first / 2);  // sanity
+  const uint64_t hottest = by_count[0].second;
+  const uint64_t second = by_count[1].second;
+  EXPECT_GT(std::max(hottest, second) - std::min(hottest, second), 1u);
+}
+
+TEST(LatestTest, PrefersNewestKeys) {
+  LatestGenerator latest(1000, 0.99);
+  Rng rng(5);
+  uint64_t near_max = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (latest.Next(rng) > 900) {
+      ++near_max;
+    }
+  }
+  EXPECT_GT(near_max, 5000u);  // most draws near the newest key
+  latest.AdvanceMaxKey(2000);
+  EXPECT_EQ(latest.max_key(), 2000u);
+  uint64_t above_old_max = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (latest.Next(rng) > 1000) {
+      ++above_old_max;
+    }
+  }
+  EXPECT_GT(above_old_max, 5000u);
+}
+
+// --- YCSB --------------------------------------------------------------------
+
+TEST(KvGeneratorTest, KeyEncodingSortsNumerically) {
+  EXPECT_LT(KvGenerator::KeyFor(9), KvGenerator::KeyFor(10));
+  EXPECT_LT(KvGenerator::KeyFor(999), KvGenerator::KeyFor(1000));
+  EXPECT_EQ(KvGenerator::KeyFor(1), "user000000000001");
+}
+
+TEST(KvGeneratorTest, ValuesDeterministicPerKey) {
+  EXPECT_EQ(KvGenerator::ValueFor(7, 100), KvGenerator::ValueFor(7, 100));
+  EXPECT_NE(KvGenerator::ValueFor(7, 100), KvGenerator::ValueFor(8, 100));
+  EXPECT_EQ(KvGenerator::ValueFor(7, 64).size(), 64u);
+}
+
+std::map<OpType, int> SampleMix(YcsbWorkload workload, int n = 20000) {
+  YcsbConfig config;
+  config.workload = workload;
+  config.record_count = 10000;
+  YcsbGenerator gen(config);
+  Rng rng(6);
+  std::map<OpType, int> mix;
+  for (int i = 0; i < n; ++i) {
+    ++mix[gen.Next(rng).type];
+  }
+  return mix;
+}
+
+TEST(YcsbTest, WorkloadAMix) {
+  auto mix = SampleMix(YcsbWorkload::kA);
+  EXPECT_NEAR(mix[OpType::kRead], 10000, 600);
+  EXPECT_NEAR(mix[OpType::kUpdate], 10000, 600);
+}
+
+TEST(YcsbTest, WorkloadBMix) {
+  auto mix = SampleMix(YcsbWorkload::kB);
+  EXPECT_NEAR(mix[OpType::kRead], 19000, 400);
+  EXPECT_NEAR(mix[OpType::kUpdate], 1000, 400);
+}
+
+TEST(YcsbTest, WorkloadCIsReadOnly) {
+  auto mix = SampleMix(YcsbWorkload::kC);
+  EXPECT_EQ(mix[OpType::kRead], 20000);
+}
+
+TEST(YcsbTest, WorkloadDInsertsAdvanceKeyspace) {
+  YcsbConfig config;
+  config.workload = YcsbWorkload::kD;
+  config.record_count = 1000;
+  YcsbGenerator gen(config);
+  Rng rng(7);
+  const uint64_t before = gen.num_keys();
+  int inserts = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const KvOp op = gen.Next(rng);
+    if (op.type == OpType::kInsert) {
+      ++inserts;
+      EXPECT_GE(op.key_index, before);
+    }
+  }
+  EXPECT_NEAR(inserts, 500, 200);
+  EXPECT_EQ(gen.num_keys(), before + static_cast<uint64_t>(inserts));
+}
+
+TEST(YcsbTest, WorkloadEScansHaveLengths) {
+  auto config = YcsbConfig{};
+  config.workload = YcsbWorkload::kE;
+  config.record_count = 10000;
+  config.max_scan_len = 50;
+  YcsbGenerator gen(config);
+  Rng rng(8);
+  int scans = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const KvOp op = gen.Next(rng);
+    if (op.type == OpType::kScan) {
+      ++scans;
+      EXPECT_GE(op.scan_len, 1u);
+      EXPECT_LE(op.scan_len, 50u);
+    }
+  }
+  EXPECT_NEAR(scans, 9500, 300);
+}
+
+TEST(YcsbTest, WorkloadFMixesReadModifyWrite) {
+  auto mix = SampleMix(YcsbWorkload::kF);
+  EXPECT_NEAR(mix[OpType::kReadModifyWrite], 10000, 600);
+}
+
+TEST(YcsbTest, UniformSpreadsAccesses) {
+  YcsbConfig config;
+  config.workload = YcsbWorkload::kUniform;
+  config.record_count = 100;
+  YcsbGenerator gen(config);
+  Rng rng(9);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[gen.Next(rng).key_index];
+  }
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [key, count] : counts) {
+    EXPECT_NEAR(count, 1000, 250);
+  }
+}
+
+TEST(YcsbTest, NamesRoundTrip) {
+  EXPECT_EQ(YcsbWorkloadName(YcsbWorkload::kA), "YCSB-A");
+  EXPECT_EQ(YcsbWorkloadName(YcsbWorkload::kUniformRW), "Uniform-RW");
+}
+
+// --- Twitter clusters ----------------------------------------------------------
+
+TEST(TwitterTest, CannedClustersHaveDistinctPatterns) {
+  const auto c17 = TwitterCluster(17, 10000, 512);
+  const auto c24 = TwitterCluster(24, 10000, 512);
+  const auto c34 = TwitterCluster(34, 10000, 512);
+  const auto c52 = TwitterCluster(52, 10000, 512);
+  EXPECT_EQ(c17.pattern, TwitterPattern::kShiftingHotSet);
+  EXPECT_EQ(c24.pattern, TwitterPattern::kWriteReread);
+  EXPECT_EQ(c34.pattern, TwitterPattern::kBimodalPeriodic);
+  EXPECT_EQ(c52.pattern, TwitterPattern::kStableSkewed);
+}
+
+TEST(TwitterTest, WriteRereadBurstStructure) {
+  TwitterClusterConfig config = TwitterCluster(24, 10000, 512);
+  TwitterGenerator gen(config);
+  Rng rng(10);
+  // Phase-deterministic per group of 8: write k + double re-read, then
+  // double revisits at two lag depths and one deep single revisit — every
+  // key written eventually refaults several times.
+  std::vector<KvOp> ops;
+  for (int i = 0; i < 16; ++i) {
+    ops.push_back(gen.Next(rng));
+  }
+  for (int g = 0; g < 2; ++g) {
+    const auto* group = &ops[g * 8];
+    EXPECT_EQ(group[0].type, OpType::kUpdate);
+    // Fresh read keys come in a double burst, disjoint from the write
+    // stream (reads must hit the LSM tables, not the memtable).
+    EXPECT_EQ(group[2].key_index, group[1].key_index);
+    EXPECT_NE(group[1].key_index, group[0].key_index);
+    // Lagged revisits come in pairs.
+    EXPECT_EQ(group[4].key_index, group[3].key_index);
+    EXPECT_EQ(group[6].key_index, group[5].key_index);
+    for (int r = 1; r < 8; ++r) {
+      EXPECT_EQ(group[r].type, OpType::kRead);
+    }
+  }
+}
+
+TEST(TwitterTest, ShiftingHotSetDrifts) {
+  TwitterClusterConfig config = TwitterCluster(17, 100000, 512);
+  TwitterGenerator gen(config);
+  Rng rng(11);
+  // Average key index early vs late should differ (the window drifts).
+  auto mean_key = [&](int n) {
+    double sum = 0;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(gen.Next(rng).key_index);
+    }
+    return sum / n;
+  };
+  const double early = mean_key(2000);
+  for (int i = 0; i < 100000; ++i) {
+    gen.Next(rng);  // advance time
+  }
+  const double late = mean_key(2000);
+  EXPECT_GT(std::abs(late - early), 1000.0);
+}
+
+TEST(TwitterTest, StableSkewedIsStationaryAndSkewed) {
+  TwitterClusterConfig config = TwitterCluster(52, 10000, 512);
+  TwitterGenerator gen(config);
+  Rng rng(12);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[gen.Next(rng).key_index];
+  }
+  // Strong skew: the hottest key receives far more than uniform share.
+  int max_count = 0;
+  for (const auto& [key, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_GT(max_count, 50000 / 10000 * 50);
+}
+
+TEST(TwitterTest, BimodalHasCyclicComponent) {
+  TwitterClusterConfig config = TwitterCluster(34, 10000, 512);
+  TwitterGenerator gen(config);
+  Rng rng(13);
+  int periodic = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    // The periodic set occupies the top of the keyspace.
+    if (gen.Next(rng).key_index >= config.num_keys - config.cyclic_keys) {
+      ++periodic;
+    }
+  }
+  // One op in four targets the periodic set, and its keys cycle.
+  EXPECT_NEAR(periodic, n / 4, n / 50);
+}
+
+TEST(TwitterTest, UnknownClusterFallsBackGracefully) {
+  const auto config = TwitterCluster(99, 1000, 64);
+  EXPECT_EQ(config.pattern, TwitterPattern::kStableSkewed);
+  TwitterGenerator gen(config);
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(gen.Next(rng).key_index, 1000u);
+  }
+}
+
+// --- fio -----------------------------------------------------------------------
+
+TEST(FioTest, RandReadStaysInBoundsAndIsDeterministic) {
+  SimDisk disk;
+  SsdModel ssd;
+  PageCache pc(&disk, &ssd, PageCacheOptions{});
+  MemCgroup* cg = pc.CreateCgroup("/fio", 64 * kPageSize);
+  FioConfig config;
+  config.file_pages = 128;
+  auto fio = FioRandRead::Create(&pc, config);
+  ASSERT_TRUE(fio.ok());
+  EXPECT_EQ(pc.FileSize(fio->mapping()), 128 * kPageSize);
+  Lane lane(0, TaskContext{1, 1}, 1);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(fio->Step(lane, cg).ok());
+  }
+  EXPECT_EQ(fio->ops_issued(), 500u);
+  EXPECT_LE(cg->charged_pages(), cg->limit_pages() + 1);
+
+  // Determinism: a second instance with the same seed touches the same
+  // pages in the same order (same hit/miss counts).
+  SimDisk disk2;
+  SsdModel ssd2;
+  PageCache pc2(&disk2, &ssd2, PageCacheOptions{});
+  MemCgroup* cg2 = pc2.CreateCgroup("/fio", 64 * kPageSize);
+  auto fio2 = FioRandRead::Create(&pc2, config);
+  ASSERT_TRUE(fio2.ok());
+  Lane lane2(0, TaskContext{1, 1}, 1);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(fio2->Step(lane2, cg2).ok());
+  }
+  EXPECT_EQ(cg->stat_hits.load(), cg2->stat_hits.load());
+  EXPECT_EQ(cg->stat_misses.load(), cg2->stat_misses.load());
+}
+
+}  // namespace
+}  // namespace cache_ext::workloads

@@ -1,0 +1,199 @@
+// Unit + property tests for the XArray (page-cache index structure).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/mm/xarray.h"
+#include "src/util/rng.h"
+
+namespace cache_ext {
+namespace {
+
+TEST(XEntryTest, EmptyEntry) {
+  XEntry e;
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_FALSE(e.IsValue());
+  EXPECT_FALSE(e.IsPointer());
+}
+
+TEST(XEntryTest, PointerEntry) {
+  int x = 5;
+  XEntry e = XEntry::FromPointer(&x);
+  EXPECT_TRUE(e.IsPointer());
+  EXPECT_FALSE(e.IsValue());
+  EXPECT_EQ(e.AsPointer<int>(), &x);
+}
+
+TEST(XEntryTest, ValueEntryTagging) {
+  XEntry e = XEntry::FromValue(12345);
+  EXPECT_TRUE(e.IsValue());
+  EXPECT_FALSE(e.IsPointer());
+  EXPECT_EQ(e.AsValue(), 12345u);
+  EXPECT_EQ(e.AsPointer<int>(), nullptr);
+}
+
+TEST(XEntryTest, ValueEntryMaxPayload) {
+  const uint64_t max_payload = (1ULL << 63) - 1;
+  XEntry e = XEntry::FromValue(max_payload);
+  EXPECT_EQ(e.AsValue(), max_payload);
+}
+
+TEST(XArrayTest, EmptyLoad) {
+  XArray xa;
+  EXPECT_TRUE(xa.Load(0).IsEmpty());
+  EXPECT_TRUE(xa.Load(UINT64_MAX).IsEmpty());
+  EXPECT_EQ(xa.Count(), 0u);
+}
+
+TEST(XArrayTest, StoreAndLoad) {
+  XArray xa;
+  int x = 1;
+  xa.Store(5, XEntry::FromPointer(&x));
+  EXPECT_EQ(xa.Load(5).AsPointer<int>(), &x);
+  EXPECT_TRUE(xa.Load(4).IsEmpty());
+  EXPECT_TRUE(xa.Load(6).IsEmpty());
+  EXPECT_EQ(xa.Count(), 1u);
+}
+
+TEST(XArrayTest, StoreReturnsPrevious) {
+  XArray xa;
+  EXPECT_TRUE(xa.Store(9, XEntry::FromValue(1)).IsEmpty());
+  const XEntry old = xa.Store(9, XEntry::FromValue(2));
+  EXPECT_TRUE(old.IsValue());
+  EXPECT_EQ(old.AsValue(), 1u);
+  EXPECT_EQ(xa.Count(), 1u);
+}
+
+TEST(XArrayTest, EraseRemoves) {
+  XArray xa;
+  xa.Store(100, XEntry::FromValue(7));
+  const XEntry old = xa.Erase(100);
+  EXPECT_EQ(old.AsValue(), 7u);
+  EXPECT_TRUE(xa.Load(100).IsEmpty());
+  EXPECT_EQ(xa.Count(), 0u);
+}
+
+TEST(XArrayTest, EraseMissingIsNoop) {
+  XArray xa;
+  EXPECT_TRUE(xa.Erase(12345).IsEmpty());
+  xa.Store(1, XEntry::FromValue(1));
+  EXPECT_TRUE(xa.Erase(2).IsEmpty());
+  EXPECT_EQ(xa.Count(), 1u);
+}
+
+TEST(XArrayTest, SparseHugeIndices) {
+  XArray xa;
+  const uint64_t indices[] = {0, 63, 64, 4095, 4096, 1ULL << 30, 1ULL << 50,
+                              UINT64_MAX};
+  uint64_t payload = 1;
+  for (const uint64_t idx : indices) {
+    xa.Store(idx, XEntry::FromValue(payload++));
+  }
+  payload = 1;
+  for (const uint64_t idx : indices) {
+    EXPECT_EQ(xa.Load(idx).AsValue(), payload++) << "index " << idx;
+  }
+  EXPECT_EQ(xa.Count(), std::size(indices));
+}
+
+TEST(XArrayTest, GrowPreservesExistingEntries) {
+  XArray xa;
+  xa.Store(1, XEntry::FromValue(11));  // small tree
+  xa.Store(1ULL << 40, XEntry::FromValue(22));  // forces growth
+  EXPECT_EQ(xa.Load(1).AsValue(), 11u);
+  EXPECT_EQ(xa.Load(1ULL << 40).AsValue(), 22u);
+}
+
+TEST(XArrayTest, ForEachInOrder) {
+  XArray xa;
+  const uint64_t indices[] = {500, 3, 70, 12, 100000};
+  for (const uint64_t idx : indices) {
+    xa.Store(idx, XEntry::FromValue(idx));
+  }
+  std::vector<uint64_t> seen;
+  xa.ForEach([&seen](uint64_t idx, XEntry entry) {
+    EXPECT_EQ(entry.AsValue(), idx);
+    seen.push_back(idx);
+  });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{3, 12, 70, 500, 100000}));
+}
+
+TEST(XArrayTest, ForEachInRangeBounds) {
+  XArray xa;
+  for (uint64_t i = 0; i < 100; ++i) {
+    xa.Store(i * 10, XEntry::FromValue(i));
+  }
+  std::vector<uint64_t> seen;
+  xa.ForEachInRange(95, 205, [&seen](uint64_t idx, XEntry) {
+    seen.push_back(idx);
+  });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{100, 110, 120, 130, 140, 150, 160,
+                                         170, 180, 190, 200}));
+}
+
+TEST(XArrayTest, ForEachEmptyRange) {
+  XArray xa;
+  xa.Store(10, XEntry::FromValue(1));
+  int count = 0;
+  xa.ForEachInRange(20, 5, [&count](uint64_t, XEntry) { ++count; });
+  EXPECT_EQ(count, 0);
+  xa.ForEachInRange(11, 100, [&count](uint64_t, XEntry) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+// Property test: random Store/Erase/Load against std::map, multiple seeds.
+class XArrayPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XArrayPropertyTest, MatchesReferenceModel) {
+  XArray xa;
+  std::map<uint64_t, uint64_t> reference;
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 20000; ++step) {
+    // Mixture of dense low indices and sparse high ones.
+    const uint64_t index = rng.NextBool(0.7)
+                               ? rng.NextU64Below(512)
+                               : rng.NextU64() >> (rng.NextU64Below(40));
+    const int action = static_cast<int>(rng.NextU64Below(3));
+    if (action == 0) {
+      const uint64_t payload = rng.NextU64() >> 1;
+      xa.Store(index, XEntry::FromValue(payload));
+      reference[index] = payload;
+    } else if (action == 1) {
+      xa.Erase(index);
+      reference.erase(index);
+    } else {
+      const XEntry entry = xa.Load(index);
+      auto it = reference.find(index);
+      if (it == reference.end()) {
+        EXPECT_TRUE(entry.IsEmpty()) << "index " << index;
+      } else {
+        ASSERT_TRUE(entry.IsValue()) << "index " << index;
+        EXPECT_EQ(entry.AsValue(), it->second);
+      }
+    }
+    if (step % 4096 == 0) {
+      EXPECT_EQ(xa.Count(), reference.size());
+    }
+  }
+
+  // Final sweep: ForEach must visit exactly the reference contents in order.
+  std::vector<std::pair<uint64_t, uint64_t>> seen;
+  xa.ForEach([&seen](uint64_t idx, XEntry entry) {
+    seen.emplace_back(idx, entry.AsValue());
+  });
+  ASSERT_EQ(seen.size(), reference.size());
+  auto ref_it = reference.begin();
+  for (const auto& [idx, payload] : seen) {
+    EXPECT_EQ(idx, ref_it->first);
+    EXPECT_EQ(payload, ref_it->second);
+    ++ref_it;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XArrayPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace cache_ext
