@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_admission_filter.dir/bench_admission_filter.cc.o"
+  "CMakeFiles/bench_admission_filter.dir/bench_admission_filter.cc.o.d"
+  "bench_admission_filter"
+  "bench_admission_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_admission_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_userspace_dispatch.dir/bench_table1_userspace_dispatch.cc.o"
+  "CMakeFiles/bench_table1_userspace_dispatch.dir/bench_table1_userspace_dispatch.cc.o.d"
+  "bench_table1_userspace_dispatch"
+  "bench_table1_userspace_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_userspace_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

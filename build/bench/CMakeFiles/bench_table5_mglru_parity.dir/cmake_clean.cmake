@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_mglru_parity.dir/bench_table5_mglru_parity.cc.o"
+  "CMakeFiles/bench_table5_mglru_parity.dir/bench_table5_mglru_parity.cc.o.d"
+  "bench_table5_mglru_parity"
+  "bench_table5_mglru_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_mglru_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_ext_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/cache_ext_bench_common.dir/bench_common.cc.o.d"
+  "libcache_ext_bench_common.a"
+  "libcache_ext_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_ext_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

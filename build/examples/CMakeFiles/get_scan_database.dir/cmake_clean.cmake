@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/get_scan_database.dir/get_scan_database.cpp.o"
+  "CMakeFiles/get_scan_database.dir/get_scan_database.cpp.o.d"
+  "get_scan_database"
+  "get_scan_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/get_scan_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for get_scan_database.
+# This may be replaced when dependencies are built.

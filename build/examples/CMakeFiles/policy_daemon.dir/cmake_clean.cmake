@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_daemon.dir/policy_daemon.cpp.o"
+  "CMakeFiles/policy_daemon.dir/policy_daemon.cpp.o.d"
+  "policy_daemon"
+  "policy_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("mm")
+subdirs("cgroup")
+subdirs("bpf")
+subdirs("pagecache")
+subdirs("cache_ext")
+subdirs("policies")
+subdirs("lsm")
+subdirs("search")
+subdirs("workloads")
+subdirs("harness")

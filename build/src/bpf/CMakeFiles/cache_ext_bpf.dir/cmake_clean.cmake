@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_ext_bpf.dir/prog.cc.o"
+  "CMakeFiles/cache_ext_bpf.dir/prog.cc.o.d"
+  "CMakeFiles/cache_ext_bpf.dir/ringbuf.cc.o"
+  "CMakeFiles/cache_ext_bpf.dir/ringbuf.cc.o.d"
+  "libcache_ext_bpf.a"
+  "libcache_ext_bpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_ext_bpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache_ext/eviction_list.cc" "src/cache_ext/CMakeFiles/cache_ext_core.dir/eviction_list.cc.o" "gcc" "src/cache_ext/CMakeFiles/cache_ext_core.dir/eviction_list.cc.o.d"
+  "/root/repo/src/cache_ext/framework.cc" "src/cache_ext/CMakeFiles/cache_ext_core.dir/framework.cc.o" "gcc" "src/cache_ext/CMakeFiles/cache_ext_core.dir/framework.cc.o.d"
+  "/root/repo/src/cache_ext/loader.cc" "src/cache_ext/CMakeFiles/cache_ext_core.dir/loader.cc.o" "gcc" "src/cache_ext/CMakeFiles/cache_ext_core.dir/loader.cc.o.d"
+  "/root/repo/src/cache_ext/registry.cc" "src/cache_ext/CMakeFiles/cache_ext_core.dir/registry.cc.o" "gcc" "src/cache_ext/CMakeFiles/cache_ext_core.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bpf/CMakeFiles/cache_ext_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagecache/CMakeFiles/cache_ext_pagecache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/cache_ext_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cache_ext_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cache_ext_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

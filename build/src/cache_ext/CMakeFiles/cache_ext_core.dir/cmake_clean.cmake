@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_ext_core.dir/eviction_list.cc.o"
+  "CMakeFiles/cache_ext_core.dir/eviction_list.cc.o.d"
+  "CMakeFiles/cache_ext_core.dir/framework.cc.o"
+  "CMakeFiles/cache_ext_core.dir/framework.cc.o.d"
+  "CMakeFiles/cache_ext_core.dir/loader.cc.o"
+  "CMakeFiles/cache_ext_core.dir/loader.cc.o.d"
+  "CMakeFiles/cache_ext_core.dir/registry.cc.o"
+  "CMakeFiles/cache_ext_core.dir/registry.cc.o.d"
+  "libcache_ext_core.a"
+  "libcache_ext_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_ext_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

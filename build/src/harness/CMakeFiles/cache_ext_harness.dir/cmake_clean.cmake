@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_ext_harness.dir/belady.cc.o"
+  "CMakeFiles/cache_ext_harness.dir/belady.cc.o.d"
+  "CMakeFiles/cache_ext_harness.dir/env.cc.o"
+  "CMakeFiles/cache_ext_harness.dir/env.cc.o.d"
+  "CMakeFiles/cache_ext_harness.dir/reporter.cc.o"
+  "CMakeFiles/cache_ext_harness.dir/reporter.cc.o.d"
+  "CMakeFiles/cache_ext_harness.dir/runner.cc.o"
+  "CMakeFiles/cache_ext_harness.dir/runner.cc.o.d"
+  "libcache_ext_harness.a"
+  "libcache_ext_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_ext_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_ext_lsm.dir/db.cc.o"
+  "CMakeFiles/cache_ext_lsm.dir/db.cc.o.d"
+  "CMakeFiles/cache_ext_lsm.dir/sstable.cc.o"
+  "CMakeFiles/cache_ext_lsm.dir/sstable.cc.o.d"
+  "libcache_ext_lsm.a"
+  "libcache_ext_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_ext_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_ext_mm.dir/xarray.cc.o"
+  "CMakeFiles/cache_ext_mm.dir/xarray.cc.o.d"
+  "libcache_ext_mm.a"
+  "libcache_ext_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_ext_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

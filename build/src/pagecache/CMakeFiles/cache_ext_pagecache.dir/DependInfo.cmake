@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pagecache/current_task.cc" "src/pagecache/CMakeFiles/cache_ext_pagecache.dir/current_task.cc.o" "gcc" "src/pagecache/CMakeFiles/cache_ext_pagecache.dir/current_task.cc.o.d"
+  "/root/repo/src/pagecache/default_lru.cc" "src/pagecache/CMakeFiles/cache_ext_pagecache.dir/default_lru.cc.o" "gcc" "src/pagecache/CMakeFiles/cache_ext_pagecache.dir/default_lru.cc.o.d"
+  "/root/repo/src/pagecache/mglru.cc" "src/pagecache/CMakeFiles/cache_ext_pagecache.dir/mglru.cc.o" "gcc" "src/pagecache/CMakeFiles/cache_ext_pagecache.dir/mglru.cc.o.d"
+  "/root/repo/src/pagecache/page_cache.cc" "src/pagecache/CMakeFiles/cache_ext_pagecache.dir/page_cache.cc.o" "gcc" "src/pagecache/CMakeFiles/cache_ext_pagecache.dir/page_cache.cc.o.d"
+  "/root/repo/src/pagecache/workingset.cc" "src/pagecache/CMakeFiles/cache_ext_pagecache.dir/workingset.cc.o" "gcc" "src/pagecache/CMakeFiles/cache_ext_pagecache.dir/workingset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mm/CMakeFiles/cache_ext_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cache_ext_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cache_ext_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_ext_pagecache.dir/current_task.cc.o"
+  "CMakeFiles/cache_ext_pagecache.dir/current_task.cc.o.d"
+  "CMakeFiles/cache_ext_pagecache.dir/default_lru.cc.o"
+  "CMakeFiles/cache_ext_pagecache.dir/default_lru.cc.o.d"
+  "CMakeFiles/cache_ext_pagecache.dir/mglru.cc.o"
+  "CMakeFiles/cache_ext_pagecache.dir/mglru.cc.o.d"
+  "CMakeFiles/cache_ext_pagecache.dir/page_cache.cc.o"
+  "CMakeFiles/cache_ext_pagecache.dir/page_cache.cc.o.d"
+  "CMakeFiles/cache_ext_pagecache.dir/workingset.cc.o"
+  "CMakeFiles/cache_ext_pagecache.dir/workingset.cc.o.d"
+  "libcache_ext_pagecache.a"
+  "libcache_ext_pagecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_ext_pagecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcache_ext_pagecache.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/application_informed.cc" "src/policies/CMakeFiles/cache_ext_policies.dir/application_informed.cc.o" "gcc" "src/policies/CMakeFiles/cache_ext_policies.dir/application_informed.cc.o.d"
+  "/root/repo/src/policies/classic.cc" "src/policies/CMakeFiles/cache_ext_policies.dir/classic.cc.o" "gcc" "src/policies/CMakeFiles/cache_ext_policies.dir/classic.cc.o.d"
+  "/root/repo/src/policies/lhd.cc" "src/policies/CMakeFiles/cache_ext_policies.dir/lhd.cc.o" "gcc" "src/policies/CMakeFiles/cache_ext_policies.dir/lhd.cc.o.d"
+  "/root/repo/src/policies/mglru_ext.cc" "src/policies/CMakeFiles/cache_ext_policies.dir/mglru_ext.cc.o" "gcc" "src/policies/CMakeFiles/cache_ext_policies.dir/mglru_ext.cc.o.d"
+  "/root/repo/src/policies/policy_factory.cc" "src/policies/CMakeFiles/cache_ext_policies.dir/policy_factory.cc.o" "gcc" "src/policies/CMakeFiles/cache_ext_policies.dir/policy_factory.cc.o.d"
+  "/root/repo/src/policies/policy_manager.cc" "src/policies/CMakeFiles/cache_ext_policies.dir/policy_manager.cc.o" "gcc" "src/policies/CMakeFiles/cache_ext_policies.dir/policy_manager.cc.o.d"
+  "/root/repo/src/policies/prefetch.cc" "src/policies/CMakeFiles/cache_ext_policies.dir/prefetch.cc.o" "gcc" "src/policies/CMakeFiles/cache_ext_policies.dir/prefetch.cc.o.d"
+  "/root/repo/src/policies/s3fifo.cc" "src/policies/CMakeFiles/cache_ext_policies.dir/s3fifo.cc.o" "gcc" "src/policies/CMakeFiles/cache_ext_policies.dir/s3fifo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache_ext/CMakeFiles/cache_ext_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpf/CMakeFiles/cache_ext_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagecache/CMakeFiles/cache_ext_pagecache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/cache_ext_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cache_ext_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cache_ext_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_ext_policies.dir/application_informed.cc.o"
+  "CMakeFiles/cache_ext_policies.dir/application_informed.cc.o.d"
+  "CMakeFiles/cache_ext_policies.dir/classic.cc.o"
+  "CMakeFiles/cache_ext_policies.dir/classic.cc.o.d"
+  "CMakeFiles/cache_ext_policies.dir/lhd.cc.o"
+  "CMakeFiles/cache_ext_policies.dir/lhd.cc.o.d"
+  "CMakeFiles/cache_ext_policies.dir/mglru_ext.cc.o"
+  "CMakeFiles/cache_ext_policies.dir/mglru_ext.cc.o.d"
+  "CMakeFiles/cache_ext_policies.dir/policy_factory.cc.o"
+  "CMakeFiles/cache_ext_policies.dir/policy_factory.cc.o.d"
+  "CMakeFiles/cache_ext_policies.dir/policy_manager.cc.o"
+  "CMakeFiles/cache_ext_policies.dir/policy_manager.cc.o.d"
+  "CMakeFiles/cache_ext_policies.dir/prefetch.cc.o"
+  "CMakeFiles/cache_ext_policies.dir/prefetch.cc.o.d"
+  "CMakeFiles/cache_ext_policies.dir/s3fifo.cc.o"
+  "CMakeFiles/cache_ext_policies.dir/s3fifo.cc.o.d"
+  "libcache_ext_policies.a"
+  "libcache_ext_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_ext_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_ext_search.dir/corpus.cc.o"
+  "CMakeFiles/cache_ext_search.dir/corpus.cc.o.d"
+  "CMakeFiles/cache_ext_search.dir/searcher.cc.o"
+  "CMakeFiles/cache_ext_search.dir/searcher.cc.o.d"
+  "libcache_ext_search.a"
+  "libcache_ext_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_ext_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

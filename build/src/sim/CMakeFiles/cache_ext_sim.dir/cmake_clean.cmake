@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_ext_sim.dir/sim_disk.cc.o"
+  "CMakeFiles/cache_ext_sim.dir/sim_disk.cc.o.d"
+  "CMakeFiles/cache_ext_sim.dir/ssd_model.cc.o"
+  "CMakeFiles/cache_ext_sim.dir/ssd_model.cc.o.d"
+  "libcache_ext_sim.a"
+  "libcache_ext_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_ext_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

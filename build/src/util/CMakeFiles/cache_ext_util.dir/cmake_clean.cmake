@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_ext_util.dir/histogram.cc.o"
+  "CMakeFiles/cache_ext_util.dir/histogram.cc.o.d"
+  "CMakeFiles/cache_ext_util.dir/logging.cc.o"
+  "CMakeFiles/cache_ext_util.dir/logging.cc.o.d"
+  "CMakeFiles/cache_ext_util.dir/status.cc.o"
+  "CMakeFiles/cache_ext_util.dir/status.cc.o.d"
+  "libcache_ext_util.a"
+  "libcache_ext_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_ext_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

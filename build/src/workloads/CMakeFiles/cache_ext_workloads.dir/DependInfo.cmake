@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/fio.cc" "src/workloads/CMakeFiles/cache_ext_workloads.dir/fio.cc.o" "gcc" "src/workloads/CMakeFiles/cache_ext_workloads.dir/fio.cc.o.d"
+  "/root/repo/src/workloads/kv_workload.cc" "src/workloads/CMakeFiles/cache_ext_workloads.dir/kv_workload.cc.o" "gcc" "src/workloads/CMakeFiles/cache_ext_workloads.dir/kv_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cache_ext_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagecache/CMakeFiles/cache_ext_pagecache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/cache_ext_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cache_ext_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_ext_workloads.dir/fio.cc.o"
+  "CMakeFiles/cache_ext_workloads.dir/fio.cc.o.d"
+  "CMakeFiles/cache_ext_workloads.dir/kv_workload.cc.o"
+  "CMakeFiles/cache_ext_workloads.dir/kv_workload.cc.o.d"
+  "libcache_ext_workloads.a"
+  "libcache_ext_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_ext_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

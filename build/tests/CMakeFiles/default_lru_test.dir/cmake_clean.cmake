@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/default_lru_test.dir/default_lru_test.cc.o"
+  "CMakeFiles/default_lru_test.dir/default_lru_test.cc.o.d"
+  "default_lru_test"
+  "default_lru_test.pdb"
+  "default_lru_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/default_lru_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eviction_list_test.dir/eviction_list_test.cc.o"
+  "CMakeFiles/eviction_list_test.dir/eviction_list_test.cc.o.d"
+  "eviction_list_test"
+  "eviction_list_test.pdb"
+  "eviction_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eviction_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/cache_ext_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/cache_ext_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache_ext/CMakeFiles/cache_ext_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpf/CMakeFiles/cache_ext_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/cache_ext_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/cache_ext_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cache_ext_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagecache/CMakeFiles/cache_ext_pagecache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/cache_ext_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cache_ext_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cache_ext_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mglru_test.dir/mglru_test.cc.o"
+  "CMakeFiles/mglru_test.dir/mglru_test.cc.o.d"
+  "mglru_test"
+  "mglru_test.pdb"
+  "mglru_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mglru_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

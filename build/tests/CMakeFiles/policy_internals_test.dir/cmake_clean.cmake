@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_internals_test.dir/policy_internals_test.cc.o"
+  "CMakeFiles/policy_internals_test.dir/policy_internals_test.cc.o.d"
+  "policy_internals_test"
+  "policy_internals_test.pdb"
+  "policy_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

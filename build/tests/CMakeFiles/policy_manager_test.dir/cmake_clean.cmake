@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_manager_test.dir/policy_manager_test.cc.o"
+  "CMakeFiles/policy_manager_test.dir/policy_manager_test.cc.o.d"
+  "policy_manager_test"
+  "policy_manager_test.pdb"
+  "policy_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workingset_test.dir/workingset_test.cc.o"
+  "CMakeFiles/workingset_test.dir/workingset_test.cc.o.d"
+  "workingset_test"
+  "workingset_test.pdb"
+  "workingset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workingset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xarray_test.dir/xarray_test.cc.o"
+  "CMakeFiles/xarray_test.dir/xarray_test.cc.o.d"
+  "xarray_test"
+  "xarray_test.pdb"
+  "xarray_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xarray_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

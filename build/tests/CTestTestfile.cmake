@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/xarray_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/bpf_test[1]_include.cmake")
+include("/root/repo/build/tests/default_lru_test[1]_include.cmake")
+include("/root/repo/build/tests/mglru_test[1]_include.cmake")
+include("/root/repo/build/tests/workingset_test[1]_include.cmake")
+include("/root/repo/build/tests/page_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/registry_test[1]_include.cmake")
+include("/root/repo/build/tests/eviction_list_test[1]_include.cmake")
+include("/root/repo/build/tests/framework_test[1]_include.cmake")
+include("/root/repo/build/tests/policies_test[1]_include.cmake")
+include("/root/repo/build/tests/lsm_test[1]_include.cmake")
+include("/root/repo/build/tests/search_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/prefetch_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_internals_test[1]_include.cmake")
+include("/root/repo/build/tests/belady_test[1]_include.cmake")
