@@ -1,0 +1,112 @@
+// What the load-time verifier catches: a deliberately broken policy.
+//
+// "clock_broken" looks plausible — one CLOCK-style list, a declared
+// ProgramSpec, all five required programs — but it has two real bugs of the
+// kind the kernel eBPF verifier exists to stop:
+//
+//   1. An unbounded eviction loop: evict_folios spins on cache_ext_list_size
+//      far past its declared worst case, exhausting the helper budget (the
+//      userspace analogue of a program the verifier cannot prove terminates).
+//      The spin also calls a kfunc the spec never declared.
+//
+//   2. A leaked folio pointer: folio_removed stashes the raw folio pointer
+//      in policy state, and a later evict_folios proposes it as an eviction
+//      candidate — a use-after-remove the kernel verifier's reference
+//      tracking would reject at load time.
+//
+// The loader's Verify() must refuse to load this policy, and the VerifierLog
+// names each failing check with the kfunc trace that triggered it. This
+// example prints that report; it exits 0 iff the policy was rejected.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/cache_ext/eviction_list.h"
+#include "src/cache_ext/loader.h"
+
+namespace {
+
+using namespace cache_ext;  // example code: keep the tutorial readable
+using bpf::verifier::Hook;
+using bpf::verifier::Kfunc;
+
+Ops MakeBrokenClockOps() {
+  struct State {
+    uint64_t list = 0;
+    Folio* last_removed = nullptr;  // BUG 2: raw pointer kept across hooks
+  };
+  auto st = std::make_shared<State>();
+
+  Ops ops;
+  ops.name = "clock_broken";
+  ops.helper_budget = 128;  // small enough for the spin below to exhaust
+
+  ops.policy_init = [st](CacheExtApi& api, MemCgroup*) -> int32_t {
+    auto list = api.ListCreate();
+    if (!list.ok()) {
+      return -1;
+    }
+    st->list = *list;
+    return 0;
+  };
+  ops.folio_added = [st](CacheExtApi& api, Folio* folio) {
+    (void)api.ListAdd(st->list, folio, /*tail=*/true);
+  };
+  ops.folio_accessed = [](CacheExtApi&, Folio*) {};
+  ops.folio_removed = [st](CacheExtApi&, Folio* folio) {
+    st->last_removed = folio;  // BUG 2: the folio is about to be freed
+  };
+  ops.evict_folios = [st](CacheExtApi& api, EvictionCtx* ctx, MemCgroup*) {
+    // BUG 2 (continued): propose the stale pointer from the last removal.
+    if (st->last_removed != nullptr) {
+      ctx->Propose(st->last_removed);
+    }
+    // BUG 1: "wait for the list to drain" — a spin that burns one helper
+    // call per probe and never converges within the budget. Also calls
+    // cache_ext_list_size, which the spec below never declared.
+    for (int spin = 0; spin < 4096; ++spin) {
+      auto size = api.ListSize(st->list);
+      if (!size.ok() || *size == 0) {
+        break;
+      }
+    }
+    IterOpts opts;
+    opts.nr_scan = 2 * ctx->nr_candidates_requested;
+    (void)api.ListIterate(st->list, opts, ctx,
+                          [](Folio*) { return IterVerdict::kEvict; });
+  };
+
+  // The declaration itself is coherent (pass 1 accepts it) — the bugs only
+  // show up when the dry run compares observed behaviour against it.
+  ops.spec.DeclareLists(1)
+      .DeclareCandidates(kMaxEvictionBatch)
+      .DeclareHook(Hook::kPolicyInit, 1, {Kfunc::kListCreate})
+      .DeclareHook(Hook::kFolioAdded, 1, {Kfunc::kListAdd})
+      .DeclareHook(Hook::kFolioAccessed, 0)
+      .DeclareHook(Hook::kFolioRemoved, 0)
+      .DeclareHook(Hook::kEvictFolios, 1 + 2 * kMaxEvictionBatch,
+                   {Kfunc::kListIterate},
+                   /*max_loop_iters=*/2 * kMaxEvictionBatch);
+  return ops;
+}
+
+}  // namespace
+
+int main() {
+  Ops ops = MakeBrokenClockOps();
+
+  bpf::verifier::VerifierLog log;
+  const Status verdict = CacheExtLoader::Verify(ops, &log);
+
+  std::printf("== verifier report for '%s' ==\n%s\n", ops.name.c_str(),
+              log.ToString().c_str());
+
+  if (verdict.ok()) {
+    std::printf("ERROR: the verifier accepted a policy that leaks folio "
+                "pointers and overruns its helper budget\n");
+    return 1;
+  }
+  std::printf("policy rejected as expected:\n  %s\n",
+              verdict.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "src/bpf/verifier/log.h"
+
+namespace cache_ext::bpf::verifier {
+
+const char* CheckName(Check check) {
+  switch (check) {
+    case Check::kName:
+      return "name";
+    case Check::kRequiredPrograms:
+      return "required_programs";
+    case Check::kHelperBudget:
+      return "helper_budget";
+    case Check::kSpecCoverage:
+      return "spec_coverage";
+    case Check::kSpecBudgetFit:
+      return "spec_budget_fit";
+    case Check::kSpecLoopBound:
+      return "spec_loop_bound";
+    case Check::kSpecMapCapacity:
+      return "spec_map_capacity";
+    case Check::kSpecCandidateBound:
+      return "spec_candidate_bound";
+    case Check::kSpecKfuncs:
+      return "spec_kfuncs";
+    case Check::kDryRunInit:
+      return "dry_run_init";
+    case Check::kDryRunTermination:
+      return "dry_run_termination";
+    case Check::kDryRunHelperTrace:
+      return "dry_run_helper_trace";
+    case Check::kDryRunLoopBound:
+      return "dry_run_loop_bound";
+    case Check::kDryRunListOps:
+      return "dry_run_list_ops";
+    case Check::kDryRunCandidates:
+      return "dry_run_candidates";
+    case Check::kDryRunFolioLeak:
+      return "dry_run_folio_leak";
+  }
+  return "?";
+}
+
+void VerifierLog::Pass(Check check, std::string hook, std::string message) {
+  findings_.push_back(Finding{check, /*passed=*/true, std::move(hook),
+                              std::move(message), {}});
+}
+
+void VerifierLog::Fail(Check check, std::string hook, std::string message,
+                       std::vector<std::string> trace) {
+  findings_.push_back(Finding{check, /*passed=*/false, std::move(hook),
+                              std::move(message), std::move(trace)});
+  ++failures_;
+}
+
+const Finding* VerifierLog::FirstFailure() const {
+  for (const Finding& finding : findings_) {
+    if (!finding.passed) {
+      return &finding;
+    }
+  }
+  return nullptr;
+}
+
+std::string VerifierLog::ToString() const {
+  std::string out;
+  for (const Finding& finding : findings_) {
+    out += finding.passed ? "PASS " : "FAIL ";
+    out += CheckName(finding.check);
+    out += " [";
+    out += finding.hook.empty() ? "policy" : finding.hook;
+    out += "] ";
+    out += finding.message;
+    out += '\n';
+    for (const std::string& line : finding.trace) {
+      out += "    trace: ";
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string VerifierLog::FailureSummary() const {
+  const Finding* failure = FirstFailure();
+  if (failure == nullptr) {
+    return "";
+  }
+  std::string out = CheckName(failure->check);
+  out += " failed in ";
+  out += failure->hook.empty() ? "policy" : failure->hook;
+  out += ": ";
+  out += failure->message;
+  return out;
+}
+
+}  // namespace cache_ext::bpf::verifier

@@ -1,0 +1,83 @@
+// VerifierLog: the structured result of a load-time verification run.
+//
+// Mirrors the kernel verifier's log buffer, but typed: one finding per
+// (check, hook) the verifier evaluated, pass or fail, with a counterexample
+// trace for dry-run failures (the sequence of kfunc calls that led to the
+// violation). CacheExtLoader::Verify surfaces the first failure through
+// Status; callers that want the full report pass a log and render it with
+// ToString().
+
+#ifndef SRC_BPF_VERIFIER_LOG_H_
+#define SRC_BPF_VERIFIER_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/bpf/verifier/spec.h"
+
+namespace cache_ext::bpf::verifier {
+
+// Every property the verifier proves. kSpec* checks are pass 1 (static
+// proofs over the declared ProgramSpec); kDryRun* checks are pass 2 (the
+// instrumented symbolic dry run).
+enum class Check : uint8_t {
+  // Pass 1 — spec checking.
+  kName = 0,           // ops.name: kernel BPF object-name charset + length
+  kRequiredPrograms,   // the five mandatory hooks are present
+  kHelperBudget,       // ops.helper_budget is positive
+  kSpecCoverage,       // every present hook has a HookSpec and vice versa
+  kSpecBudgetFit,      // declared worst-case helper calls fit helper_budget
+  kSpecLoopBound,      // declared loop bounds are finite and budget-covered
+  kSpecMapCapacity,    // declared worst-case map occupancy fits max_entries
+  kSpecCandidateBound, // declared candidates fit the candidate buffer
+  kSpecKfuncs,         // kfunc reachability/consistency over declarations
+  // Pass 2 — symbolic dry run.
+  kDryRunInit,          // policy_init returns 0 under budget
+  kDryRunTermination,   // no hook exhausts its helper budget
+  kDryRunHelperTrace,   // observed kfunc trace stays within declarations
+  kDryRunLoopBound,     // observed list-walk iterations within declarations
+  kDryRunListOps,       // no out-of-bounds / invalid eviction-list ops
+  kDryRunCandidates,    // candidate count and registry membership respected
+  kDryRunFolioLeak,     // no removed (poisoned) folio pointer re-proposed
+};
+
+const char* CheckName(Check check);
+
+struct Finding {
+  Check check;
+  bool passed = false;
+  // Hook the finding anchors to; nullptr-equivalent "" means policy-wide.
+  std::string hook;
+  std::string message;
+  // Counterexample: the recorded kfunc trace that violated the check.
+  std::vector<std::string> trace;
+};
+
+class VerifierLog {
+ public:
+  void Pass(Check check, std::string hook, std::string message);
+  void Fail(Check check, std::string hook, std::string message,
+            std::vector<std::string> trace = {});
+
+  bool ok() const { return failures_ == 0; }
+  size_t failures() const { return failures_; }
+  const std::vector<Finding>& findings() const { return findings_; }
+  const Finding* FirstFailure() const;
+
+  // Human-readable report, one line per finding plus counterexample traces:
+  //   PASS spec_budget_fit    [evict_folios] declared 1041 <= budget 65536
+  //   FAIL dry_run_folio_leak [evict_folios] removed folio 0x... proposed
+  std::string ToString() const;
+
+  // "<check> failed in <hook>: <message>" for the first failure; "" if ok.
+  std::string FailureSummary() const;
+
+ private:
+  std::vector<Finding> findings_;
+  size_t failures_ = 0;
+};
+
+}  // namespace cache_ext::bpf::verifier
+
+#endif  // SRC_BPF_VERIFIER_LOG_H_

@@ -28,6 +28,13 @@ CacheExtApi::~CacheExtApi() {
   }
 }
 
+void CacheExtApi::Notify(bpf::verifier::Kfunc kfunc, ErrorCode code,
+                         uint64_t list_id, uint64_t iterations) const {
+  if (observer_ != nullptr) {
+    observer_->OnKfunc(KfuncEvent{kfunc, code, list_id, iterations});
+  }
+}
+
 CacheExtApi::ExtList* CacheExtApi::FindList(uint64_t list_id) {
   auto it = lists_.find(list_id);
   return it == lists_.end() ? nullptr : it->second.get();
@@ -69,105 +76,129 @@ void CacheExtApi::UnlinkNode(ExtList* list, ExtListNode* node) {
 
 Expected<uint64_t> CacheExtApi::ListCreate() {
   if (!bpf::ChargeHelperCall()) {
+    Notify(bpf::verifier::Kfunc::kListCreate, ErrorCode::kResourceExhausted,
+           0);
     return ResourceExhausted("program helper budget exhausted");
   }
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t id = next_list_id_++;
   lists_[id] = std::make_unique<ExtList>();
+  Notify(bpf::verifier::Kfunc::kListCreate, ErrorCode::kOk, id);
   return id;
 }
 
 Status CacheExtApi::ListAdd(uint64_t list_id, Folio* folio, bool tail) {
-  if (!bpf::ChargeHelperCall()) {
-    return ResourceExhausted("program helper budget exhausted");
-  }
-  ExtListNode* node = registry_->Find(folio);
-  if (node == nullptr) {
-    return InvalidArgument("folio not registered");
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  ExtList* list = FindList(list_id);
-  if (list == nullptr) {
-    return NotFound("bad list id");
-  }
-  if (node->OnList()) {
-    return FailedPrecondition("folio already on a list (use list_move)");
-  }
-  LinkNode(list, list_id, node, tail);
-  return OkStatus();
+  const Status st = [&]() -> Status {
+    if (!bpf::ChargeHelperCall()) {
+      return ResourceExhausted("program helper budget exhausted");
+    }
+    ExtListNode* node = registry_->Find(folio);
+    if (node == nullptr) {
+      return InvalidArgument("folio not registered");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ExtList* list = FindList(list_id);
+    if (list == nullptr) {
+      return NotFound("bad list id");
+    }
+    if (node->OnList()) {
+      return FailedPrecondition("folio already on a list (use list_move)");
+    }
+    LinkNode(list, list_id, node, tail);
+    return OkStatus();
+  }();
+  Notify(bpf::verifier::Kfunc::kListAdd, st.code(), list_id);
+  return st;
 }
 
 Status CacheExtApi::ListMove(uint64_t list_id, Folio* folio, bool tail) {
-  if (!bpf::ChargeHelperCall()) {
-    return ResourceExhausted("program helper budget exhausted");
-  }
-  ExtListNode* node = registry_->Find(folio);
-  if (node == nullptr) {
-    return InvalidArgument("folio not registered");
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  ExtList* dst = FindList(list_id);
-  if (dst == nullptr) {
-    return NotFound("bad list id");
-  }
-  if (node->OnList()) {
-    ExtList* src = FindList(node->list_id);
-    CHECK_NOTNULL(src);
-    UnlinkNode(src, node);
-  }
-  LinkNode(dst, list_id, node, tail);
-  return OkStatus();
+  const Status st = [&]() -> Status {
+    if (!bpf::ChargeHelperCall()) {
+      return ResourceExhausted("program helper budget exhausted");
+    }
+    ExtListNode* node = registry_->Find(folio);
+    if (node == nullptr) {
+      return InvalidArgument("folio not registered");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ExtList* dst = FindList(list_id);
+    if (dst == nullptr) {
+      return NotFound("bad list id");
+    }
+    if (node->OnList()) {
+      ExtList* src = FindList(node->list_id);
+      CHECK_NOTNULL(src);
+      UnlinkNode(src, node);
+    }
+    LinkNode(dst, list_id, node, tail);
+    return OkStatus();
+  }();
+  Notify(bpf::verifier::Kfunc::kListMove, st.code(), list_id);
+  return st;
 }
 
 Status CacheExtApi::ListDel(Folio* folio) {
-  if (!bpf::ChargeHelperCall()) {
-    return ResourceExhausted("program helper budget exhausted");
-  }
-  ExtListNode* node = registry_->Find(folio);
-  if (node == nullptr) {
-    return InvalidArgument("folio not registered");
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!node->OnList()) {
-    return FailedPrecondition("folio not on a list");
-  }
-  ExtList* list = FindList(node->list_id);
-  CHECK_NOTNULL(list);
-  UnlinkNode(list, node);
-  return OkStatus();
+  const Status st = [&]() -> Status {
+    if (!bpf::ChargeHelperCall()) {
+      return ResourceExhausted("program helper budget exhausted");
+    }
+    ExtListNode* node = registry_->Find(folio);
+    if (node == nullptr) {
+      return InvalidArgument("folio not registered");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!node->OnList()) {
+      return FailedPrecondition("folio not on a list");
+    }
+    ExtList* list = FindList(node->list_id);
+    CHECK_NOTNULL(list);
+    UnlinkNode(list, node);
+    return OkStatus();
+  }();
+  Notify(bpf::verifier::Kfunc::kListDel, st.code(), 0);
+  return st;
 }
 
 Expected<uint64_t> CacheExtApi::ListSize(uint64_t list_id) const {
   if (!bpf::ChargeHelperCall()) {
+    Notify(bpf::verifier::Kfunc::kListSize, ErrorCode::kResourceExhausted,
+           list_id);
     return ResourceExhausted("program helper budget exhausted");
   }
   std::lock_guard<std::mutex> lock(mu_);
   const ExtList* list = FindList(list_id);
   if (list == nullptr) {
+    Notify(bpf::verifier::Kfunc::kListSize, ErrorCode::kNotFound, list_id);
     return NotFound("bad list id");
   }
+  Notify(bpf::verifier::Kfunc::kListSize, ErrorCode::kOk, list_id);
   return list->size;
 }
 
 Expected<uint64_t> CacheExtApi::ListIdOf(const Folio* folio) const {
   if (!bpf::ChargeHelperCall()) {
+    Notify(bpf::verifier::Kfunc::kListIdOf, ErrorCode::kResourceExhausted, 0);
     return ResourceExhausted("program helper budget exhausted");
   }
   ExtListNode* node = registry_->Find(folio);
   if (node == nullptr) {
+    Notify(bpf::verifier::Kfunc::kListIdOf, ErrorCode::kInvalidArgument, 0);
     return InvalidArgument("folio not registered");
   }
   std::lock_guard<std::mutex> lock(mu_);
+  Notify(bpf::verifier::Kfunc::kListIdOf, ErrorCode::kOk, node->list_id);
   return node->list_id;
 }
 
 int32_t CacheExtApi::CurrentPid() const {
   bpf::ChargeHelperCall();
+  Notify(bpf::verifier::Kfunc::kCurrentTask, ErrorCode::kOk, 0);
   return GetCurrentTask().pid;
 }
 
 int32_t CacheExtApi::CurrentTid() const {
   bpf::ChargeHelperCall();
+  Notify(bpf::verifier::Kfunc::kCurrentTask, ErrorCode::kOk, 0);
   return GetCurrentTask().tid;
 }
 
@@ -212,102 +243,115 @@ void CacheExtApi::Place(ExtList* list, uint64_t list_id, ExtListNode* node,
 
 Status CacheExtApi::ListIterate(uint64_t list_id, const IterOpts& opts,
                                 EvictionCtx* ctx, const IterateFn& fn) {
-  if (!bpf::ChargeHelperCall()) {
-    return ResourceExhausted("program helper budget exhausted");
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  ExtList* list = FindList(list_id);
-  if (list == nullptr) {
-    return NotFound("bad list id");
-  }
-  // Examine at most min(nr_scan, initial size) folios: every examined node
-  // is either left behind the cursor, rotated to the tail, or moved to
-  // another list, so no node is seen twice in one call.
-  uint64_t bound = std::min<uint64_t>(opts.nr_scan, list->size);
-  ExtListNode* node = list->head.next;
-  while (bound-- > 0 && node != &list->head) {
-    ExtListNode* next = node->next;
-    // Each callback invocation charges the program budget (enforced loop
-    // termination, §4.4).
+  uint64_t examined = 0;
+  const Status st = [&]() -> Status {
     if (!bpf::ChargeHelperCall()) {
       return ResourceExhausted("program helper budget exhausted");
     }
-    const IterVerdict verdict = fn(node->folio);
-    if (verdict == IterVerdict::kStop) {
-      break;
+    std::lock_guard<std::mutex> lock(mu_);
+    ExtList* list = FindList(list_id);
+    if (list == nullptr) {
+      return NotFound("bad list id");
     }
-    if (verdict == IterVerdict::kEvict) {
-      if (ctx != nullptr) {
-        ctx->Propose(node->folio);
+    // Examine at most min(nr_scan, initial size) folios: every examined node
+    // is either left behind the cursor, rotated to the tail, or moved to
+    // another list, so no node is seen twice in one call.
+    uint64_t bound = std::min<uint64_t>(opts.nr_scan, list->size);
+    ExtListNode* node = list->head.next;
+    while (bound-- > 0 && node != &list->head) {
+      ExtListNode* next = node->next;
+      // Each callback invocation charges the program budget (enforced loop
+      // termination, §4.4).
+      if (!bpf::ChargeHelperCall()) {
+        return ResourceExhausted("program helper budget exhausted");
       }
-      Place(list, list_id, node, opts.on_evict, opts.dst_list_evict);
-      if (ctx != nullptr && ctx->Full()) {
+      ++examined;
+      const IterVerdict verdict = fn(node->folio);
+      if (verdict == IterVerdict::kStop) {
         break;
       }
-    } else {
-      Place(list, list_id, node, opts.on_skip, opts.dst_list_skip);
+      if (verdict == IterVerdict::kEvict) {
+        if (ctx != nullptr) {
+          ctx->Propose(node->folio);
+        }
+        Place(list, list_id, node, opts.on_evict, opts.dst_list_evict);
+        if (ctx != nullptr && ctx->Full()) {
+          break;
+        }
+      } else {
+        Place(list, list_id, node, opts.on_skip, opts.dst_list_skip);
+      }
+      node = next;
     }
-    node = next;
-  }
-  return OkStatus();
+    return OkStatus();
+  }();
+  Notify(bpf::verifier::Kfunc::kListIterate, st.code(), list_id, examined);
+  return st;
 }
 
 Status CacheExtApi::ListIterateScore(uint64_t list_id, const IterOpts& opts,
                                      EvictionCtx* ctx, const ScoreFn& fn) {
-  if (!bpf::ChargeHelperCall()) {
-    return ResourceExhausted("program helper budget exhausted");
-  }
-  if (ctx == nullptr) {
-    return InvalidArgument("batch scoring requires an eviction ctx");
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  ExtList* list = FindList(list_id);
-  if (list == nullptr) {
-    return NotFound("bad list id");
-  }
-
-  // Phase 1: score the first N folios.
-  struct Scored {
-    int64_t score;
-    ExtListNode* node;
-  };
-  std::vector<Scored> scored;
-  const uint64_t bound = std::min<uint64_t>(opts.nr_scan, list->size);
-  scored.reserve(bound);
-  ExtListNode* node = list->head.next;
-  for (uint64_t i = 0; i < bound && node != &list->head; ++i) {
+  uint64_t examined = 0;
+  const Status st = [&]() -> Status {
     if (!bpf::ChargeHelperCall()) {
       return ResourceExhausted("program helper budget exhausted");
     }
-    scored.push_back(Scored{fn(node->folio), node});
-    node = node->next;
-  }
-
-  // Phase 2: select the C lowest-scored folios (§4.2.3).
-  const uint64_t remaining =
-      ctx->nr_candidates_requested > ctx->nr_candidates_proposed
-          ? ctx->nr_candidates_requested - ctx->nr_candidates_proposed
-          : 0;
-  const uint64_t c = std::min<uint64_t>(remaining, scored.size());
-  if (c > 0 && c < scored.size()) {
-    std::nth_element(scored.begin(), scored.begin() + (c - 1), scored.end(),
-                     [](const Scored& a, const Scored& b) {
-                       return a.score < b.score;
-                     });
-  }
-
-  // Phase 3: propose the selected, apply placements. The first c entries of
-  // `scored` are the selected ones after nth_element.
-  for (uint64_t i = 0; i < scored.size(); ++i) {
-    ExtListNode* n = scored[i].node;
-    if (i < c) {
-      ctx->Propose(n->folio);
-      Place(list, list_id, n, opts.on_evict, opts.dst_list_evict);
-    } else {
-      Place(list, list_id, n, opts.on_skip, opts.dst_list_skip);
+    if (ctx == nullptr) {
+      return InvalidArgument("batch scoring requires an eviction ctx");
     }
-  }
-  return OkStatus();
+    std::lock_guard<std::mutex> lock(mu_);
+    ExtList* list = FindList(list_id);
+    if (list == nullptr) {
+      return NotFound("bad list id");
+    }
+
+    // Phase 1: score the first N folios.
+    struct Scored {
+      int64_t score;
+      ExtListNode* node;
+    };
+    std::vector<Scored> scored;
+    const uint64_t bound = std::min<uint64_t>(opts.nr_scan, list->size);
+    scored.reserve(bound);
+    ExtListNode* node = list->head.next;
+    for (uint64_t i = 0; i < bound && node != &list->head; ++i) {
+      if (!bpf::ChargeHelperCall()) {
+        return ResourceExhausted("program helper budget exhausted");
+      }
+      ++examined;
+      scored.push_back(Scored{fn(node->folio), node});
+      node = node->next;
+    }
+
+    // Phase 2: select the C lowest-scored folios (§4.2.3).
+    const uint64_t remaining =
+        ctx->nr_candidates_requested > ctx->nr_candidates_proposed
+            ? ctx->nr_candidates_requested - ctx->nr_candidates_proposed
+            : 0;
+    const uint64_t c = std::min<uint64_t>(remaining, scored.size());
+    if (c > 0 && c < scored.size()) {
+      std::nth_element(scored.begin(), scored.begin() + (c - 1), scored.end(),
+                       [](const Scored& a, const Scored& b) {
+                         return a.score < b.score;
+                       });
+    }
+
+    // Phase 3: propose the selected, apply placements. The first c entries
+    // of `scored` are the selected ones after nth_element.
+    for (uint64_t i = 0; i < scored.size(); ++i) {
+      ExtListNode* n = scored[i].node;
+      if (i < c) {
+        ctx->Propose(n->folio);
+        Place(list, list_id, n, opts.on_evict, opts.dst_list_evict);
+      } else {
+        Place(list, list_id, n, opts.on_skip, opts.dst_list_skip);
+      }
+    }
+    return OkStatus();
+  }();
+  Notify(bpf::verifier::Kfunc::kListIterateScore, st.code(), list_id,
+         examined);
+  return st;
 }
 
 }  // namespace cache_ext

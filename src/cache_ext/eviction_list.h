@@ -19,11 +19,29 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "src/bpf/verifier/spec.h"
 #include "src/cache_ext/registry.h"
 #include "src/pagecache/eviction.h"
 #include "src/util/status.h"
 
 namespace cache_ext {
+
+// Recorded outcome of one kfunc invocation. The load-time verifier attaches
+// an observer during its dry run to capture the helper trace (which kfuncs a
+// hook actually called, against which lists, with what result) — the
+// userspace analogue of the kernel verifier walking every instruction.
+struct KfuncEvent {
+  bpf::verifier::Kfunc kfunc;
+  ErrorCode code = ErrorCode::kOk;
+  uint64_t list_id = 0;    // 0 when the kfunc takes no list id
+  uint64_t iterations = 0; // folios examined (iterate kfuncs only)
+};
+
+class ApiObserver {
+ public:
+  virtual ~ApiObserver() = default;
+  virtual void OnKfunc(const KfuncEvent& event) = 0;
+};
 
 // What list_iterate() does with an examined folio (§4.2.3: "they can be
 // left in place, moved to the tail of the list, or moved to a different
@@ -96,10 +114,14 @@ class CacheExtApi {
                           EvictionCtx* ctx, const ScoreFn& fn);
 
   // Framework-internal (not a kfunc): unlink a folio during removal cleanup
-  // without charging any program budget.
+  // without charging any program budget. Not observed.
   void UnlinkForRemoval(Folio* folio);
 
   uint64_t nr_lists() const;
+
+  // Instrument every kfunc with `observer` (nullptr to detach). Used by the
+  // load-time verifier's dry run; production attachments run unobserved.
+  void set_observer(ApiObserver* observer) { observer_ = observer; }
 
  private:
   struct ExtList {
@@ -122,7 +144,12 @@ class CacheExtApi {
   void Place(ExtList* list, uint64_t list_id, ExtListNode* node,
              IterPlacement placement, uint64_t dst_list_id);
 
+  // Report a kfunc outcome to the attached observer, if any.
+  void Notify(bpf::verifier::Kfunc kfunc, ErrorCode code, uint64_t list_id,
+              uint64_t iterations = 0) const;
+
   FolioRegistry* registry_;
+  ApiObserver* observer_ = nullptr;
   mutable std::mutex mu_;  // guards lists_ and all node linkage
   uint64_t next_list_id_ = 1;
   std::unordered_map<uint64_t, std::unique_ptr<ExtList>> lists_;

@@ -1,36 +1,15 @@
 #include "src/cache_ext/loader.h"
 
-#include <cctype>
 #include <memory>
+#include <utility>
+
+#include "src/bpf/verifier/verifier.h"
 
 namespace cache_ext {
 
-Status CacheExtLoader::Verify(const Ops& ops) {
-  if (ops.name.empty()) {
-    return InvalidArgument("ops.name must not be empty");
-  }
-  if (ops.name.size() >= kCacheExtOpsNameLen) {
-    return InvalidArgument("ops.name exceeds CACHE_EXT_OPS_NAME_LEN");
-  }
-  for (const char c : ops.name) {
-    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
-        c != '-') {
-      return InvalidArgument("ops.name contains invalid characters");
-    }
-  }
-  if (!ops.policy_init) {
-    return InvalidArgument("policy_init program is required");
-  }
-  if (!ops.evict_folios) {
-    return InvalidArgument("evict_folios program is required");
-  }
-  if (!ops.folio_added || !ops.folio_accessed || !ops.folio_removed) {
-    return InvalidArgument("folio event programs are required");
-  }
-  if (ops.helper_budget == 0) {
-    return InvalidArgument("helper budget must be positive");
-  }
-  return OkStatus();
+Status CacheExtLoader::Verify(const Ops& ops, bpf::verifier::VerifierLog* log) {
+  bpf::verifier::VerifierLog local;
+  return bpf::verifier::VerifyPolicy(ops, log != nullptr ? log : &local);
 }
 
 Expected<CacheExtPolicy*> CacheExtLoader::Attach(MemCgroup* cg, Ops ops,
@@ -38,7 +17,12 @@ Expected<CacheExtPolicy*> CacheExtLoader::Attach(MemCgroup* cg, Ops ops,
   if (cg == nullptr) {
     return InvalidArgument("null cgroup");
   }
-  CACHE_EXT_RETURN_IF_ERROR(Verify(ops));
+  bpf::verifier::VerifierLog log;
+  const Status verdict = Verify(ops, &log);
+  if (!verdict.ok()) {
+    page_cache_->RecordLoadRejection(cg);
+    return verdict;
+  }
   if (page_cache_->ext_policy(cg) != nullptr) {
     return AlreadyExists("cgroup already has a cache_ext policy");
   }

@@ -1,21 +1,39 @@
-// Userspace loader library (§4.3, §6.1.6).
+// Userspace loader library (§4.3, §4.4, §6.1.6).
 //
-// Loading a cache_ext policy is a two-step protocol, mirroring the paper's
+// Loading a cache_ext policy is a two-step protocol, mirroring the kernel's
 // per-cgroup struct_ops extension:
-//   1. Verify(): the "verifier" — static checks on the ops struct (required
-//      programs present, name constraints, sane budget). The dynamic half of
-//      verification (helper budgets, candidate validation, watchdog) runs at
-//      execution time.
-//   2. Attach(): build the framework adapter for the target cgroup, run
-//      policy_init, and install it — the cgroup's eviction is now driven by
-//      the policy, with the default policy as fallback.
+//
+//   1. Verify(): the load-time verifier. Delegates to
+//      bpf::verifier::VerifyPolicy (src/bpf/verifier/), which runs two
+//      passes: static proofs over the policy's declared ProgramSpec (worst
+//      -case helper calls fit the budget, loop bounds are finite, map
+//      occupancy fits capacity, candidate counts fit the eviction buffer,
+//      candidate-producing kfuncs are reachable from evict_folios), then an
+//      instrumented symbolic dry run of every hook against poisoned folios
+//      that catches termination failures, helper-trace divergence, invalid
+//      list operations, and folio-pointer leaks across hook boundaries.
+//      Policies without a declared spec only get the legacy presence/name/
+//      budget checks; the dynamic guards (RunContext budgets, candidate
+//      registry validation, the watchdog) still apply to them at run time.
+//      Callers may pass a VerifierLog to receive the full structured report
+//      — every check evaluated, pass or fail, with counterexample traces.
+//
+//   2. Attach(): re-verify, build the framework adapter for the target
+//      cgroup, run policy_init, and install it — the cgroup's eviction is
+//      now driven by the policy, with the default policy as fallback. A
+//      rejection at this point is recorded in the cgroup's watchdog stats
+//      (rejected_at_load) so operators can distinguish "never loaded" from
+//      "unloaded by the watchdog".
 //
 // This is the in-process analogue of the paper's libbpf extension that adds
-// a cgroup file descriptor to struct_ops loading.
+// a cgroup file descriptor to struct_ops loading, with the verifier standing
+// in for the kernel eBPF verifier's proof obligations.
 
 #ifndef SRC_CACHE_EXT_LOADER_H_
 #define SRC_CACHE_EXT_LOADER_H_
 
+#include "src/bpf/verifier/log.h"
+#include "src/bpf/verifier/verifier.h"
 #include "src/cache_ext/framework.h"
 #include "src/cache_ext/ops.h"
 #include "src/pagecache/page_cache.h"
@@ -28,12 +46,15 @@ class CacheExtLoader {
   explicit CacheExtLoader(PageCache* page_cache)
       : page_cache_(page_cache) {}
 
-  // Static validation of a policy's ops struct.
-  static Status Verify(const Ops& ops);
+  // Load-time verification of a policy's ops struct (both passes; see the
+  // file comment). When `log` is non-null it receives the full report —
+  // every finding, not just the first failure the Status carries.
+  static Status Verify(const Ops& ops, bpf::verifier::VerifierLog* log = nullptr);
 
   // Verify + instantiate + policy_init + install for `cg`. On success the
   // returned adapter is owned by the page cache; it stays valid until
-  // Detach. Fails if the cgroup already has a policy attached.
+  // Detach. Fails if the cgroup already has a policy attached. Verifier
+  // rejections are counted in the cgroup's watchdog stats.
   Expected<CacheExtPolicy*> Attach(MemCgroup* cg, Ops ops,
                                    const CpuCostModel& costs = {});
 

@@ -16,6 +16,7 @@
 #include <functional>
 #include <string>
 
+#include "src/bpf/verifier/spec.h"
 #include "src/cgroup/memcg.h"
 #include "src/mm/folio.h"
 #include "src/pagecache/eviction.h"
@@ -57,6 +58,13 @@ struct Ops {
   // Helper-call budget per program invocation (runtime stand-in for the
   // verifier's instruction limit).
   uint64_t helper_budget = 1 << 16;
+
+  // Declarative safety contract: worst-case helper calls, loop bounds, map
+  // occupancy, and kfunc usage per hook. Policies that declare a spec get
+  // the full load-time verifier (static proofs + instrumented dry run);
+  // undeclared policies only receive the legacy presence/name checks. See
+  // src/bpf/verifier/spec.h.
+  bpf::verifier::ProgramSpec spec;
 
   // Declared per-hook CPU cost charged to the acting lane on top of the
   // framework's dispatch/registry overhead (see src/sim/cpu_cost.h).

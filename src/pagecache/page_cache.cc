@@ -147,6 +147,14 @@ ReclaimPolicy* PageCache::ext_policy(MemCgroup* cg) {
   return st == nullptr ? nullptr : st->ext.get();
 }
 
+void PageCache::RecordLoadRejection(MemCgroup* cg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CgroupState* st = StateFor(cg);
+  if (st != nullptr) {
+    ++st->stats.rejected_at_load;
+  }
+}
+
 ReclaimPolicy* PageCache::base_policy(MemCgroup* cg) {
   std::lock_guard<std::mutex> lock(mu_);
   CgroupState* st = StateFor(cg);

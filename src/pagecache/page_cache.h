@@ -88,6 +88,9 @@ struct CgroupCacheStats {
   uint64_t readahead_pages = 0;
   uint64_t writeback_pages = 0;
   uint64_t invalidations = 0;  // removals circumventing eviction
+  // Policies rejected by the load-time verifier before they ever attached
+  // (the static half of §4.4; ext_violations counts the runtime half).
+  uint64_t rejected_at_load = 0;
   bool ext_detached_by_watchdog = false;
   bool oom_killed = false;
 };
@@ -116,6 +119,9 @@ class PageCache {
   Status AttachExtPolicy(MemCgroup* cg, std::unique_ptr<ReclaimPolicy> policy);
   Status DetachExtPolicy(MemCgroup* cg);
   ReclaimPolicy* ext_policy(MemCgroup* cg);
+  // Count a policy the load-time verifier rejected before attach; shows up
+  // as rejected_at_load in StatsFor(cg).
+  void RecordLoadRejection(MemCgroup* cg);
   ReclaimPolicy* base_policy(MemCgroup* cg);
 
   void SetTracer(PageCacheTracer* tracer) { tracer_ = tracer; }

@@ -82,6 +82,27 @@ Ops MakeGetScanOps(const GetScanParams& params) {
   ops.folio_removed = [st](CacheExtApi&, Folio* folio) {
     st->freq.Delete(folio);
   };
+  {
+    using bpf::verifier::Hook;
+    using bpf::verifier::Kfunc;
+    const uint64_t scan = 4 * kMaxEvictionBatch;
+    ops.spec.DeclareLists(2)
+        .DeclareCandidates(kMaxEvictionBatch)
+        .DeclareMap("get_scan_pids",
+                    params.scan_pids.empty() ? 1 : params.scan_pids.size(),
+                    params.scan_pids.size())
+        .DeclareMap("get_scan_freq", 2 * params.capacity_pages + 16,
+                    params.capacity_pages)
+        .DeclareHook(Hook::kPolicyInit, 2, {Kfunc::kListCreate})
+        // folio_added consults bpf_get_current_pid_tgid() to pick a list.
+        .DeclareHook(Hook::kFolioAdded, 2,
+                     {Kfunc::kCurrentTask, Kfunc::kListAdd})
+        .DeclareHook(Hook::kFolioAccessed, 0)
+        .DeclareHook(Hook::kFolioRemoved, 0)
+        .DeclareHook(Hook::kEvictFolios, (1 + scan) + (1 + params.nr_scan),
+                     {Kfunc::kListIterate, Kfunc::kListIterateScore},
+                     /*max_loop_iters=*/scan + params.nr_scan);
+  }
   return ops;
 }
 
@@ -115,6 +136,20 @@ Ops MakeAdmissionFilterOps(const AdmissionFilterParams& params) {
     }
     return st->tids.Lookup(ctx.tid) == nullptr;
   };
+  {
+    using bpf::verifier::Hook;
+    ops.spec
+        .DeclareMap("admission_filter_tids",
+                    params.filtered_tids.empty() ? 1
+                                                 : params.filtered_tids.size(),
+                    params.filtered_tids.size())
+        .DeclareHook(Hook::kPolicyInit, 0)
+        .DeclareHook(Hook::kEvictFolios, 0)
+        .DeclareHook(Hook::kFolioAdded, 0)
+        .DeclareHook(Hook::kFolioAccessed, 0)
+        .DeclareHook(Hook::kFolioRemoved, 0)
+        .DeclareHook(Hook::kAdmitFolio, 0);
+  }
   return ops;
 }
 

@@ -7,6 +7,9 @@
 
 namespace cache_ext::policies {
 
+using bpf::verifier::Hook;
+using bpf::verifier::Kfunc;
+
 Ops MakeNoopOps() {
   Ops ops;
   ops.name = "noop";
@@ -17,6 +20,11 @@ Ops MakeNoopOps() {
   ops.folio_removed = [](CacheExtApi&, Folio*) {};
   // Propose nothing: the kernel's fallback evicts via the default policy.
   ops.evict_folios = [](CacheExtApi&, EvictionCtx*, MemCgroup*) {};
+  ops.spec.DeclareHook(Hook::kPolicyInit, 0)
+      .DeclareHook(Hook::kEvictFolios, 0)
+      .DeclareHook(Hook::kFolioAdded, 0)
+      .DeclareHook(Hook::kFolioAccessed, 0)
+      .DeclareHook(Hook::kFolioRemoved, 0);
   return ops;
 }
 
@@ -51,6 +59,17 @@ Ops MakeFifoOps() {
     (void)api.ListIterate(st->list, opts, ctx,
                           [](Folio*) { return IterVerdict::kEvict; });
   };
+  // Worst-case eviction scan: 4x a full batch; iterate charges one helper
+  // call per examined folio plus one for the call itself.
+  ops.spec.DeclareLists(1)
+      .DeclareCandidates(kMaxEvictionBatch)
+      .DeclareHook(Hook::kPolicyInit, 1, {Kfunc::kListCreate})
+      .DeclareHook(Hook::kFolioAdded, 1, {Kfunc::kListAdd})
+      .DeclareHook(Hook::kFolioAccessed, 0)
+      .DeclareHook(Hook::kFolioRemoved, 0)
+      .DeclareHook(Hook::kEvictFolios, 1 + 4 * kMaxEvictionBatch,
+                   {Kfunc::kListIterate},
+                   /*max_loop_iters=*/4 * kMaxEvictionBatch);
   return ops;
 }
 
@@ -93,6 +112,15 @@ Ops MakeMruOps(const MruParams& params) {
                                      : IterVerdict::kEvict;
     });
   };
+  const uint64_t scan = params.skip_fresh + 4 * kMaxEvictionBatch;
+  ops.spec.DeclareLists(1)
+      .DeclareCandidates(kMaxEvictionBatch)
+      .DeclareHook(Hook::kPolicyInit, 1, {Kfunc::kListCreate})
+      .DeclareHook(Hook::kFolioAdded, 1, {Kfunc::kListAdd})
+      .DeclareHook(Hook::kFolioAccessed, 1, {Kfunc::kListMove})
+      .DeclareHook(Hook::kFolioRemoved, 0)
+      .DeclareHook(Hook::kEvictFolios, 1 + scan, {Kfunc::kListIterate},
+                   /*max_loop_iters=*/scan);
   return ops;
 }
 
@@ -143,6 +171,17 @@ Ops MakeLfuOps(const LfuParams& params) {
   ops.folio_removed = [st](CacheExtApi&, Folio* folio) {
     st->freq.Delete(folio);
   };
+  // freq holds one entry per resident folio; capacity-bounded by the map.
+  ops.spec.DeclareLists(1)
+      .DeclareCandidates(kMaxEvictionBatch)
+      .DeclareMap("lfu_freq", params.max_folios, params.max_folios)
+      .DeclareHook(Hook::kPolicyInit, 1, {Kfunc::kListCreate})
+      .DeclareHook(Hook::kFolioAdded, 1, {Kfunc::kListAdd})
+      .DeclareHook(Hook::kFolioAccessed, 0)
+      .DeclareHook(Hook::kFolioRemoved, 0)
+      .DeclareHook(Hook::kEvictFolios, 1 + params.nr_scan,
+                   {Kfunc::kListIterateScore},
+                   /*max_loop_iters=*/params.nr_scan);
   return ops;
 }
 

@@ -221,6 +221,23 @@ LhdBundle MakeLhdPolicy(const LhdParams& params) {
         [st](Folio* folio) -> int64_t { return st->Score(folio); });
   };
 
+  {
+    using bpf::verifier::Hook;
+    using bpf::verifier::Kfunc;
+    ops.spec.DeclareLists(1)
+        .DeclareCandidates(kMaxEvictionBatch)
+        .DeclareMap("lhd_meta", 2 * params.capacity_pages + 16,
+                    params.capacity_pages)
+        .DeclareMap("lhd_reconfig_ringbuf", 4096, 4096)
+        .DeclareHook(Hook::kPolicyInit, 1, {Kfunc::kListCreate})
+        .DeclareHook(Hook::kFolioAdded, 1, {Kfunc::kListAdd})
+        .DeclareHook(Hook::kFolioAccessed, 0)
+        .DeclareHook(Hook::kFolioRemoved, 0)
+        .DeclareHook(Hook::kEvictFolios, 1 + params.nr_scan,
+                     {Kfunc::kListIterateScore},
+                     /*max_loop_iters=*/params.nr_scan);
+  }
+
   LhdBundle bundle;
   bundle.ops = std::move(ops);
   bundle.agent = std::make_shared<LhdAgent>(st);

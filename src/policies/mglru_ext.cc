@@ -172,6 +172,26 @@ Ops MakeMglruExtOps(const MglruExtParams& params) {
       st->TryAge();
     }
   };
+  {
+    using bpf::verifier::Hook;
+    using bpf::verifier::Kfunc;
+    // Worst-case eviction: scan_budget examined folios across generations,
+    // plus ListSize probes (<= 2 retire loops of kMaxGens-1 each and one per
+    // generation walked).
+    ops.spec.DeclareLists(kMaxGens)
+        .DeclareCandidates(kMaxEvictionBatch)
+        .DeclareMap("mglru_meta", 2 * params.capacity_pages + 16,
+                    params.capacity_pages)
+        .DeclareMap("mglru_ghost", params.capacity_pages + 16,
+                    params.capacity_pages + 16)
+        .DeclareHook(Hook::kPolicyInit, kMaxGens, {Kfunc::kListCreate})
+        .DeclareHook(Hook::kFolioAdded, 1, {Kfunc::kListAdd})
+        .DeclareHook(Hook::kFolioAccessed, 0)
+        .DeclareHook(Hook::kFolioRemoved, 0)
+        .DeclareHook(Hook::kEvictFolios, params.scan_budget + 16,
+                     {Kfunc::kListSize, Kfunc::kListIterate},
+                     /*max_loop_iters=*/params.scan_budget);
+  }
   return ops;
 }
 

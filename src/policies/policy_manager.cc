@@ -51,7 +51,12 @@ Status PolicyManager::Request(MemCgroup* cg, std::string_view policy_name,
   CACHE_EXT_RETURN_IF_ERROR(bundle.status());
   auto attached = loader_.Attach(cg, std::move(bundle->ops),
                                  page_cache_->options().costs);
-  CACHE_EXT_RETURN_IF_ERROR(attached.status());
+  if (!attached.ok()) {
+    // Most failures here are load-time verifier rejections; put the
+    // verifier's first failing check in the audit trail.
+    Record(EventKind::kDenied, cg, policy_name, attached.status().message());
+    return attached.status();
+  }
 
   attachments_[cg] = Attachment{std::string(policy_name), bundle->agent};
   Record(EventKind::kAttached, cg, policy_name, "");

@@ -60,6 +60,18 @@ Ops MakeStridePrefetcherOps(const PrefetchParams& params) {
     // Unconfirmed/random: no speculative reads at all.
     return 0;
   };
+  {
+    using bpf::verifier::Hook;
+    ops.spec
+        .DeclareMap("prefetch_streams", params.max_streams,
+                    params.max_streams)
+        .DeclareHook(Hook::kPolicyInit, 0)
+        .DeclareHook(Hook::kEvictFolios, 0)
+        .DeclareHook(Hook::kFolioAdded, 0)
+        .DeclareHook(Hook::kFolioAccessed, 0)
+        .DeclareHook(Hook::kFolioRemoved, 0)
+        .DeclareHook(Hook::kRequestPrefetch, 0);
+  }
   return ops;
 }
 

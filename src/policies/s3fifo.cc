@@ -133,6 +133,26 @@ Ops MakeS3FifoOps(const S3FifoParams& params) {
     }
     st->freq.Delete(folio);
   };
+  {
+    using bpf::verifier::Hook;
+    using bpf::verifier::Kfunc;
+    // Worst-case eviction: two ListSize probes plus a full 8x-batch scan of
+    // each FIFO (each examined folio charges one helper call).
+    const uint64_t scan = 8 * kMaxEvictionBatch;
+    ops.spec.DeclareLists(2)
+        .DeclareCandidates(kMaxEvictionBatch)
+        .DeclareMap("s3fifo_freq", 2 * params.capacity_pages + 16,
+                    params.capacity_pages)
+        .DeclareMap("s3fifo_ghost", params.capacity_pages + 16,
+                    params.capacity_pages + 16)
+        .DeclareHook(Hook::kPolicyInit, 2, {Kfunc::kListCreate})
+        .DeclareHook(Hook::kFolioAdded, 1, {Kfunc::kListAdd})
+        .DeclareHook(Hook::kFolioAccessed, 0)
+        .DeclareHook(Hook::kFolioRemoved, 1, {Kfunc::kListIdOf})
+        .DeclareHook(Hook::kEvictFolios, 2 + 2 * (1 + scan),
+                     {Kfunc::kListSize, Kfunc::kListIterate},
+                     /*max_loop_iters=*/2 * scan);
+  }
   return ops;
 }
 

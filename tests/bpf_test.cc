@@ -328,5 +328,52 @@ TEST(RunContextTest, CountsCalls) {
   EXPECT_EQ(ctx.helper_calls(), 2u);
 }
 
+TEST(RunContextTest, AbortStopsCounting) {
+  // After the budget trips, aborted() latches and helper_calls() freezes:
+  // every further charge is refused without advancing the counter, so the
+  // recorded count is the exact point of first overrun.
+  RunContext ctx(2);
+  EXPECT_TRUE(ChargeHelperCall());
+  EXPECT_TRUE(ChargeHelperCall());
+  EXPECT_FALSE(ChargeHelperCall());
+  const uint64_t at_abort = ctx.helper_calls();
+  EXPECT_TRUE(ctx.aborted());
+  EXPECT_FALSE(ChargeHelperCall());
+  EXPECT_FALSE(ChargeHelperCall());
+  EXPECT_EQ(ctx.helper_calls(), at_abort);
+}
+
+TEST(RunContextTest, ZeroBudgetAbortsImmediately) {
+  RunContext ctx(0);
+  EXPECT_FALSE(ctx.aborted());  // not aborted until a call is attempted
+  EXPECT_FALSE(ChargeHelperCall());
+  EXPECT_TRUE(ctx.aborted());
+}
+
+TEST(RunContextTest, NestedAbortDoesNotPoisonParent) {
+  RunContext outer(2);
+  EXPECT_TRUE(ChargeHelperCall());  // outer: 1 of 2
+  {
+    RunContext inner(1);
+    EXPECT_TRUE(ChargeHelperCall());
+    EXPECT_FALSE(ChargeHelperCall());  // inner aborts
+    EXPECT_TRUE(inner.aborted());
+  }
+  // The inner abort must not leak into the parent's budget or flag.
+  EXPECT_EQ(RunContext::Current(), &outer);
+  EXPECT_FALSE(outer.aborted());
+  EXPECT_EQ(outer.helper_calls(), 1u);
+  EXPECT_TRUE(ChargeHelperCall());  // outer: 2 of 2 still available
+}
+
+TEST(RunContextTest, UnrestrictedAgainAfterAllContextsExit) {
+  {
+    RunContext ctx(0);
+    EXPECT_FALSE(ChargeHelperCall());
+  }
+  EXPECT_EQ(RunContext::Current(), nullptr);
+  EXPECT_TRUE(ChargeHelperCall());  // no context: unrestricted again
+}
+
 }  // namespace
 }  // namespace cache_ext::bpf

@@ -45,7 +45,9 @@ TEST(LoaderVerifyTest, RejectsOverlongName) {
 TEST(LoaderVerifyTest, RejectsBadCharacters) {
   EXPECT_FALSE(CacheExtLoader::Verify(MinimalOps("bad name")).ok());
   EXPECT_FALSE(CacheExtLoader::Verify(MinimalOps("bad/name")).ok());
-  EXPECT_TRUE(CacheExtLoader::Verify(MinimalOps("good_name-2")).ok());
+  // Hyphens are not valid in kernel struct_ops names: [A-Za-z0-9_] only.
+  EXPECT_FALSE(CacheExtLoader::Verify(MinimalOps("good_name-2")).ok());
+  EXPECT_TRUE(CacheExtLoader::Verify(MinimalOps("good_name_2")).ok());
 }
 
 TEST(LoaderVerifyTest, RejectsMissingPrograms) {

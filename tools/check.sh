@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full test suite.
+#
+#   tools/check.sh              # build + ctest in ./build
+#   tools/check.sh --sanitize   # additionally build + ctest under ASan+UBSan
+#
+# Exits non-zero on the first failing step, so it is safe for CI and for
+# pre-commit use.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+sanitize=0
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) sanitize=1 ;;
+    *) echo "usage: tools/check.sh [--sanitize]" >&2; exit 2 ;;
+  esac
+done
+
+run_suite() {
+  local dir=$1
+  shift
+  cmake -B "$dir" "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" -j "$jobs" --output-on-failure
+}
+
+echo "== tier-1: build + ctest (build/) =="
+run_suite build
+
+if [[ "$sanitize" == 1 ]]; then
+  echo "== sanitizers: ASan + UBSan (build-asan/) =="
+  run_suite build-asan -DCACHE_EXT_SANITIZE=address,undefined
+fi
+
+echo "== check.sh: all green =="
