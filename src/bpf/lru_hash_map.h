@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/fault/fault_injector.h"
 #include "src/util/logging.h"
 
 namespace cache_ext::bpf {
@@ -30,6 +31,18 @@ class LruHashMap {
 
   // Insert/update; evicts the LRU entry if the map is full. Never fails.
   void Update(const K& key, const V& value) {
+    // Injected eviction storm: the kernel's per-CPU LRU freelists can run
+    // dry and reap batches of entries well before max_entries; policies
+    // (ghost FIFOs) must tolerate entries vanishing early.
+    uint64_t storm = 0;
+    if (fault::InjectFault(fault::points::kBpfLruEvictStorm, &storm)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      uint64_t reap = storm != 0 ? storm : (max_entries_ + 3) / 4;
+      while (reap-- > 0 && !entries_.empty()) {
+        index_.erase(entries_.back().first);
+        entries_.pop_back();
+      }
+    }
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/util/logging.h"
 
 namespace cache_ext::bpf {
@@ -40,6 +41,9 @@ class HashMap {
   // Returns false on failure (map full, or flags violated).
   bool Update(const K& key, const V& value,
               MapUpdateFlags flags = MapUpdateFlags::kAny) {
+    if (fault::InjectFault(fault::points::kBpfMapUpdate)) {
+      return false;  // injected -ENOMEM/-E2BIG
+    }
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
@@ -62,6 +66,9 @@ class HashMap {
   // Pointer into the map (stable until the element is deleted), or nullptr.
   // Mirrors bpf_map_lookup_elem returning a PTR_TO_MAP_VALUE.
   V* Lookup(const K& key) {
+    if (fault::InjectFault(fault::points::kBpfMapLookup)) {
+      return nullptr;  // injected lookup miss
+    }
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     return it == map_.end() ? nullptr : &it->second;

@@ -1,6 +1,9 @@
 #include "src/bpf/ringbuf.h"
 
+#include <algorithm>
 #include <bit>
+
+#include "src/fault/fault_injector.h"
 
 namespace cache_ext::bpf {
 
@@ -18,6 +21,13 @@ bool RingBuf::Output(std::span<const uint8_t> data) {
   const uint32_t record_size =
       kHeaderSize + ((static_cast<uint32_t>(data.size()) + 7) & ~7u);
   std::lock_guard<std::mutex> lock(mu_);
+  // Injected reservation failure: bpf_ringbuf_reserve() returning NULL
+  // (consumer stalled / memory pressure). Counted as a drop like a real
+  // overflow — producers must already handle that path.
+  if (fault::InjectFault(fault::points::kBpfRingbufReserve)) {
+    ++dropped_;
+    return false;
+  }
   if (record_size > size_ || head_ - tail_ + record_size > size_) {
     ++dropped_;
     return false;
@@ -33,7 +43,20 @@ bool RingBuf::Output(std::span<const uint8_t> data) {
   }
   head_ += record_size;
   ++produced_;
+  peak_pending_ =
+      std::max(peak_pending_, static_cast<uint32_t>(head_ - tail_));
   return true;
+}
+
+RingBuf::Stats RingBuf::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.produced = produced_;
+  s.dropped = dropped_;
+  s.consumed = consumed_;
+  s.bytes_pending = static_cast<uint32_t>(head_ - tail_);
+  s.peak_bytes_pending = peak_pending_;
+  return s;
 }
 
 uint64_t RingBuf::Consume(
@@ -54,6 +77,7 @@ uint64_t RingBuf::Consume(
       scratch[i] = data_[(tail_ + kHeaderSize + i) & mask_];
     }
     tail_ += kHeaderSize + ((len + 7) & ~7u);
+    ++consumed_;
     lock.unlock();
     fn(std::span<const uint8_t>(scratch.data(), scratch.size()));
     ++consumed;

@@ -23,6 +23,18 @@ namespace cache_ext::bpf {
 
 class RingBuf {
  public:
+  // Overflow/drop accounting, snapshotted under the ring lock. A full ring
+  // *drops* reservations — it never blocks the producer (a policy program)
+  // and never corrupts in-flight records; these counters are how operators
+  // observe that degradation.
+  struct Stats {
+    uint64_t produced = 0;       // records committed
+    uint64_t dropped = 0;        // reservations refused (ring full/injected)
+    uint64_t consumed = 0;       // records drained by the consumer
+    uint32_t bytes_pending = 0;  // currently unconsumed bytes
+    uint32_t peak_bytes_pending = 0;  // high-water mark of bytes_pending
+  };
+
   // size_bytes is rounded up to a power of two.
   explicit RingBuf(uint32_t size_bytes);
   RingBuf(const RingBuf&) = delete;
@@ -55,6 +67,7 @@ class RingBuf {
     std::lock_guard<std::mutex> lock(mu_);
     return static_cast<uint32_t>(head_ - tail_);
   }
+  Stats stats() const;
 
  private:
   // Each record: u32 length header, then payload, padded to 8 bytes.
@@ -69,6 +82,8 @@ class RingBuf {
   uint64_t tail_ = 0;  // consumer position
   uint64_t produced_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t consumed_ = 0;
+  uint32_t peak_pending_ = 0;
 };
 
 }  // namespace cache_ext::bpf

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/bpf/prog.h"
+#include "src/fault/fault_injector.h"
 #include "src/pagecache/current_task.h"
 #include "src/util/logging.h"
 
@@ -92,6 +93,12 @@ Status CacheExtApi::ListAdd(uint64_t list_id, Folio* folio, bool tail) {
     if (!bpf::ChargeHelperCall()) {
       return ResourceExhausted("program helper budget exhausted");
     }
+    // Injected list misuse: the kfunc refuses the operation, as if the
+    // policy passed a bad list id or an unregistered folio. The folio ends
+    // up on no list — it must still be evictable via the fallback path.
+    if (fault::InjectFault(fault::points::kListOp)) {
+      return InvalidArgument("injected eviction-list misuse");
+    }
     ExtListNode* node = registry_->Find(folio);
     if (node == nullptr) {
       return InvalidArgument("folio not registered");
@@ -115,6 +122,9 @@ Status CacheExtApi::ListMove(uint64_t list_id, Folio* folio, bool tail) {
   const Status st = [&]() -> Status {
     if (!bpf::ChargeHelperCall()) {
       return ResourceExhausted("program helper budget exhausted");
+    }
+    if (fault::InjectFault(fault::points::kListOp)) {
+      return InvalidArgument("injected eviction-list misuse");
     }
     ExtListNode* node = registry_->Find(folio);
     if (node == nullptr) {

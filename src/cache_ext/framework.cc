@@ -1,9 +1,19 @@
 #include "src/cache_ext/framework.h"
 
 #include "src/bpf/prog.h"
+#include "src/fault/fault_injector.h"
 #include "src/util/logging.h"
 
 namespace cache_ext {
+
+namespace {
+// Garbage candidate pointer planted by the kCandidateCorrupt fault. Never
+// dereferenced: the registry membership check must reject it before the
+// page cache touches it (that rejection is the property under test).
+Folio* PoisonCandidate() {
+  return reinterpret_cast<Folio*>(static_cast<uintptr_t>(0x5ca1ab1edeadULL));
+}
+}  // namespace
 
 CacheExtPolicy::CacheExtPolicy(Ops ops, MemCgroup* cg,
                                const CpuCostModel& costs)
@@ -13,18 +23,28 @@ CacheExtPolicy::CacheExtPolicy(Ops ops, MemCgroup* cg,
       registry_(cg->limit_pages()),
       api_(&registry_),
       per_event_cost_ns_(costs.hook_dispatch_ns + costs.registry_op_ns +
-                         ops_.program_cost_ns) {}
+                         ops_.program_cost_ns),
+      breaker_(ops_.breaker) {}
 
 template <typename Fn>
-void CacheExtPolicy::RunProgram(Fn&& fn) {
+void CacheExtPolicy::RunProgram(PolicyHook hook, Fn&& fn) {
   bpf::RunContext run(ops_.helper_budget);
   fn();
-  if (run.aborted()) {
+  const bool aborted = run.aborted();
+  if (aborted) {
     aborted_programs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (breaker_.Record(hook, aborted)) {
+    LOG_WARNING << "cache_ext breaker: policy '" << ops_.name << "' hook '"
+                << PolicyHookName(hook)
+                << "' tripped; degrading this hook to default behaviour";
   }
 }
 
 Status CacheExtPolicy::Init() {
+  if (fault::InjectFault(fault::points::kPolicyInit)) {
+    return FailedPrecondition("policy_init failed (injected)");
+  }
   int32_t rc = 0;
   bpf::RunContext run(ops_.helper_budget);
   rc = ops_.policy_init(api_, cg_);
@@ -38,20 +58,27 @@ Status CacheExtPolicy::Init() {
 }
 
 void CacheExtPolicy::FolioAdded(Folio* folio) {
-  // Register first: the program's list_add() needs the registry entry.
+  // Register first: the program's list_add() needs the registry entry. The
+  // registry insert is a kernel obligation and runs even when the hook is
+  // degraded — candidate validation depends on it.
   registry_.Insert(folio);
-  RunProgram([&] { ops_.folio_added(api_, folio); });
+  if (Degraded(PolicyHook::kAdded)) {
+    return;
+  }
+  RunProgram(PolicyHook::kAdded, [&] { ops_.folio_added(api_, folio); });
 }
 
 void CacheExtPolicy::FolioAccessed(Folio* folio) {
   if (!registry_.Contains(folio)) {
     // Should not happen (attach introduces resident folios), but a policy
     // must never observe unregistered folios.
-    registry_.Insert(folio);
-    RunProgram([&] { ops_.folio_added(api_, folio); });
+    FolioAdded(folio);
     return;
   }
-  RunProgram([&] { ops_.folio_accessed(api_, folio); });
+  if (Degraded(PolicyHook::kAccess)) {
+    return;
+  }
+  RunProgram(PolicyHook::kAccess, [&] { ops_.folio_accessed(api_, folio); });
 }
 
 void CacheExtPolicy::FolioRemoved(Folio* folio) {
@@ -60,44 +87,74 @@ void CacheExtPolicy::FolioRemoved(Folio* folio) {
   }
   // Tell the policy first (it cleans its maps while the folio is still
   // registered), then enforce cleanup regardless of what the program did:
-  // unlink from any eviction list and drop the registry entry (§4.4).
-  RunProgram([&] { ops_.folio_removed(api_, folio); });
+  // unlink from any eviction list and drop the registry entry (§4.4). A
+  // degraded hook skips only the program — cleanup is unconditional.
+  if (!Degraded(PolicyHook::kRemoved)) {
+    RunProgram(PolicyHook::kRemoved, [&] { ops_.folio_removed(api_, folio); });
+  }
   api_.UnlinkForRemoval(folio);
   registry_.Remove(folio);
 }
 
 void CacheExtPolicy::EvictFolios(EvictionCtx* ctx, MemCgroup* memcg) {
-  RunProgram([&] { ops_.evict_folios(api_, ctx, memcg); });
+  if (Degraded(PolicyHook::kEvict)) {
+    // Propose nothing: the page cache's under-proposal fallback (§4.4)
+    // evicts via the default policy for the remainder of the batch.
+    return;
+  }
+  RunProgram(PolicyHook::kEvict,
+             [&] { ops_.evict_folios(api_, ctx, memcg); });
+  // Injected corruption: overwrite one proposed candidate with a garbage
+  // pointer, as if the policy returned a stale/forged folio. Validation
+  // must reject it (feeding this hook's breaker) without dereferencing.
+  if (ctx->nr_candidates_proposed > 0 &&
+      fault::InjectFault(fault::points::kCandidateCorrupt)) {
+    ctx->candidates[ctx->nr_candidates_proposed - 1] = PoisonCandidate();
+  }
 }
 
 bool CacheExtPolicy::AdmitFolio(const AdmissionCtx& ctx) {
-  if (!ops_.admit_folio) {
+  if (!ops_.admit_folio || Degraded(PolicyHook::kAdmit)) {
+    // Default kernel behaviour: admit everything.
     return true;
   }
   bool admit = true;
-  RunProgram([&] { admit = ops_.admit_folio(api_, ctx); });
+  RunProgram(PolicyHook::kAdmit,
+             [&] { admit = ops_.admit_folio(api_, ctx); });
   return admit;
 }
 
 int64_t CacheExtPolicy::RequestPrefetch(const PrefetchCtx& ctx) {
-  if (!ops_.request_prefetch) {
-    return -1;
+  if (!ops_.request_prefetch || Degraded(PolicyHook::kPrefetch)) {
+    return -1;  // defer to the kernel readahead heuristic
   }
   int64_t window = -1;
-  RunProgram([&] { window = ops_.request_prefetch(api_, ctx); });
+  RunProgram(PolicyHook::kPrefetch,
+             [&] { window = ops_.request_prefetch(api_, ctx); });
   return window;
 }
 
 void CacheExtPolicy::FolioRefaulted(Folio* folio, uint32_t tier) {
-  if (!ops_.folio_refaulted) {
+  if (!ops_.folio_refaulted || Degraded(PolicyHook::kRefault)) {
     return;
   }
-  RunProgram([&] { ops_.folio_refaulted(api_, folio, tier); });
+  RunProgram(PolicyHook::kRefault,
+             [&] { ops_.folio_refaulted(api_, folio, tier); });
 }
 
 bool CacheExtPolicy::ValidateCandidate(Folio* folio) {
   // Membership check only — the pointer is NOT dereferenced (§4.4).
-  return registry_.Contains(folio);
+  const bool valid = registry_.Contains(folio);
+  if (!valid) {
+    // An invalid candidate is an eviction-hook violation: it feeds the same
+    // breaker as a program abort, so a policy spewing garbage pointers
+    // degrades its evict hook before the global watchdog limit is reached.
+    if (breaker_.Record(PolicyHook::kEvict, true)) {
+      LOG_WARNING << "cache_ext breaker: policy '" << ops_.name
+                  << "' evict hook tripped on invalid candidates";
+    }
+  }
+  return valid;
 }
 
 }  // namespace cache_ext

@@ -10,7 +10,12 @@
 //  - guarantee cleanup: on removal the folio is unlinked from any eviction
 //    list and dropped from the registry even if the policy's program
 //    misbehaves ("the kernel ensures that it is removed from any eviction
-//    lists", §4.4).
+//    lists", §4.4);
+//  - contain per-hook failures: every program outcome feeds a per-hook
+//    circuit breaker, and a tripped hook is degraded to the default kernel
+//    behaviour (registry bookkeeping still runs) while healthy hooks keep
+//    dispatching. Escalation is reported through WantsDetach() and finished
+//    by the page-cache watchdog.
 
 #ifndef SRC_CACHE_EXT_FRAMEWORK_H_
 #define SRC_CACHE_EXT_FRAMEWORK_H_
@@ -19,6 +24,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "src/cache_ext/circuit_breaker.h"
 #include "src/cache_ext/eviction_list.h"
 #include "src/cache_ext/ops.h"
 #include "src/cache_ext/registry.h"
@@ -47,24 +53,34 @@ class CacheExtPolicy : public ReclaimPolicy {
   void FolioRefaulted(Folio* folio, uint32_t tier) override;
   bool ValidateCandidate(Folio* folio) override;
   uint64_t PerEventCostNs() const override { return per_event_cost_ns_; }
+  PolicyHookHealth HookHealth() const override { return breaker_.Health(); }
+  bool WantsDetach() const override { return breaker_.escalated(); }
 
   // Introspection ------------------------------------------------------------
   CacheExtApi& api() { return api_; }
   FolioRegistry& registry() { return registry_; }
   MemCgroup* cgroup() { return cg_; }
+  const HookCircuitBreaker& breaker() const { return breaker_; }
   uint64_t aborted_programs() const {
     return aborted_programs_.load(std::memory_order_relaxed);
   }
 
  private:
+  // Run one program under a RunContext, feeding the hook's breaker with the
+  // outcome (abort = violation).
   template <typename Fn>
-  void RunProgram(Fn&& fn);
+  void RunProgram(PolicyHook hook, Fn&& fn);
+
+  // True when the hook is degraded: the program is skipped and the caller
+  // applies the default kernel behaviour instead.
+  bool Degraded(PolicyHook hook) const { return breaker_.Degraded(hook); }
 
   Ops ops_;
   MemCgroup* cg_;
   FolioRegistry registry_;
   CacheExtApi api_;
   uint64_t per_event_cost_ns_;
+  HookCircuitBreaker breaker_;
   std::atomic<uint64_t> aborted_programs_{0};
 };
 

@@ -23,6 +23,49 @@ class AddressSpace;
 
 inline constexpr uint64_t kMaxEvictionBatch = 32;
 
+// The dispatchable hooks of a loaded policy, as failure domains: the
+// cache_ext framework tracks violations per hook so a policy with one
+// broken program degrades only that hook to default behaviour while the
+// rest keep running (§4.4 hardening).
+enum class PolicyHook : uint32_t {
+  kEvict = 0,
+  kAdmit,
+  kAccess,
+  kAdded,
+  kRemoved,
+  kPrefetch,
+  kRefault,
+};
+inline constexpr uint32_t kNumPolicyHooks = 7;
+
+constexpr std::string_view PolicyHookName(PolicyHook hook) {
+  switch (hook) {
+    case PolicyHook::kEvict:    return "evict";
+    case PolicyHook::kAdmit:    return "admit";
+    case PolicyHook::kAccess:   return "access";
+    case PolicyHook::kAdded:    return "added";
+    case PolicyHook::kRemoved:  return "removed";
+    case PolicyHook::kPrefetch: return "prefetch";
+    case PolicyHook::kRefault:  return "refault";
+  }
+  return "?";
+}
+
+constexpr uint32_t PolicyHookBit(PolicyHook hook) {
+  return 1u << static_cast<uint32_t>(hook);
+}
+
+// Per-hook health snapshot surfaced through CgroupCacheStats. `trips[i]` is
+// how many times hook i tripped its circuit breaker (0/1 per attachment),
+// `degraded_mask` the currently-degraded hooks as PolicyHookBit()s.
+struct PolicyHookHealth {
+  uint32_t degraded_mask = 0;
+  std::array<uint64_t, kNumPolicyHooks> trips{};
+  std::array<uint64_t, kNumPolicyHooks> violations{};
+  std::array<uint64_t, kNumPolicyHooks> invocations{};
+  bool escalate_detach = false;
+};
+
 struct EvictionCtx {
   uint64_t nr_candidates_requested = 0;  // input
   uint64_t nr_candidates_proposed = 0;   // output
@@ -127,6 +170,15 @@ class ReclaimPolicy {
   // with the valid-folio registry membership check (§4.4); native policies
   // produce trusted pointers from their own lists.
   virtual bool ValidateCandidate(Folio* folio) { return folio != nullptr; }
+
+  // Per-hook circuit-breaker health. Native policies are trusted and report
+  // nothing; the cache_ext adapter reports its breaker state.
+  virtual PolicyHookHealth HookHealth() const { return {}; }
+
+  // True when the policy's own containment has escalated (multiple hooks
+  // tripped, or a persistently high violation rate) and the page cache
+  // should stop consulting it entirely — the watchdog finishes the job.
+  virtual bool WantsDetach() const { return false; }
 
   // Approximate CPU cost of one hook invocation, charged to the acting
   // lane's virtual clock (see src/sim/cpu_cost.h).

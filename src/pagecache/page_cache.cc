@@ -137,6 +137,12 @@ Status PageCache::DetachExtPolicy(MemCgroup* cg) {
   if (st->ext == nullptr) {
     return FailedPrecondition("no ext policy attached");
   }
+  // Fold the departing attachment's breaker trips into the cgroup's
+  // cumulative counters so post-mortem stats survive the detach.
+  const PolicyHookHealth health = st->ext->HookHealth();
+  for (uint32_t i = 0; i < kNumPolicyHooks; ++i) {
+    st->stats.ext_hook_trip_counts[i] += health.trips[i];
+  }
   st->ext.reset();
   return OkStatus();
 }
@@ -155,6 +161,34 @@ void PageCache::RecordLoadRejection(MemCgroup* cg) {
   }
 }
 
+void PageCache::SetQuarantineInfo(MemCgroup* cg, bool quarantined, bool banned,
+                                  uint32_t reattach_attempts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CgroupState* st = StateFor(cg);
+  if (st == nullptr) {
+    return;
+  }
+  st->stats.ext_quarantined = quarantined;
+  st->stats.ext_banned = banned;
+  st->stats.ext_reattach_attempts = reattach_attempts;
+}
+
+bool PageCache::ExtActive(CgroupState& st) {
+  if (st.ext == nullptr || st.stats.ext_detached_by_watchdog) {
+    return false;
+  }
+  if (st.ext->WantsDetach()) {
+    // Breaker escalation: latch the watchdog flag so every dispatch site
+    // stops consulting the policy; the manager's Poll() finishes the job.
+    LOG_WARNING << "cache_ext watchdog: policy '" << st.ext->name()
+                << "' on cgroup '" << st.cg->name()
+                << "' escalated by its circuit breaker; detaching";
+    st.stats.ext_detached_by_watchdog = true;
+    return false;
+  }
+  return true;
+}
+
 ReclaimPolicy* PageCache::base_policy(MemCgroup* cg) {
   std::lock_guard<std::mutex> lock(mu_);
   CgroupState* st = StateFor(cg);
@@ -164,7 +198,7 @@ ReclaimPolicy* PageCache::base_policy(MemCgroup* cg) {
 void PageCache::DispatchAdded(Lane& lane, CgroupState& st, Folio* folio) {
   st.base->FolioAdded(folio);
   lane.Charge(st.base->PerEventCostNs());
-  if (st.ext != nullptr) {
+  if (ExtActive(st)) {
     st.ext->FolioAdded(folio);
     lane.Charge(st.ext->PerEventCostNs());
   }
@@ -176,7 +210,7 @@ void PageCache::DispatchAdded(Lane& lane, CgroupState& st, Folio* folio) {
 void PageCache::DispatchAccessed(Lane& lane, CgroupState& st, Folio* folio) {
   st.base->FolioAccessed(folio);
   lane.Charge(st.base->PerEventCostNs());
-  if (st.ext != nullptr) {
+  if (ExtActive(st)) {
     st.ext->FolioAccessed(folio);
     lane.Charge(st.ext->PerEventCostNs());
   }
@@ -187,7 +221,7 @@ void PageCache::DispatchAccessed(Lane& lane, CgroupState& st, Folio* folio) {
 
 void PageCache::DispatchRemoved(Lane& lane, CgroupState& st, Folio* folio) {
   // Ext first so it can clean map state while the folio is still registered.
-  if (st.ext != nullptr) {
+  if (ExtActive(st)) {
     st.ext->FolioRemoved(folio);
     lane.Charge(st.ext->PerEventCostNs());
   }
@@ -203,8 +237,9 @@ Folio* PageCache::InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
                               bool via_readahead) {
   MemCgroup* cg = st.cg.get();
 
-  // Admission filter (§5.6): only consulted for folios not yet present.
-  if (st.ext != nullptr) {
+  // Admission filter (§5.6): only consulted for folios not yet present, and
+  // never for a watchdog-detached policy (it must not veto admissions).
+  if (ExtActive(st)) {
     AdmissionCtx actx;
     actx.mapping = as;
     actx.index = index;
@@ -250,7 +285,7 @@ Folio* PageCache::InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
 
   if (refault.is_refault) {
     st.base->FolioRefaulted(folio, refault.tier);
-    if (st.ext != nullptr) {
+    if (ExtActive(st)) {
       st.ext->FolioRefaulted(folio, refault.tier);
     }
   }
@@ -335,8 +370,7 @@ void PageCache::ReclaimIfNeeded(Lane& lane, CgroupState& st) {
     ctx.nr_candidates_requested =
         std::min<uint64_t>(kMaxEvictionBatch, cg->ExcessPages() + slack);
 
-    const bool use_ext =
-        st.ext != nullptr && !st.stats.ext_detached_by_watchdog;
+    const bool use_ext = ExtActive(st);
     if (use_ext) {
       st.ext->EvictFolios(&ctx, cg);
     } else {
@@ -425,7 +459,7 @@ uint32_t PageCache::ReadaheadWindow(Lane& lane, CgroupState& st,
 
   // Prefetch-policy extension (§7): an attached policy may override the
   // heuristic; the answer is clamped to a sane ceiling.
-  if (st.ext != nullptr && !st.stats.ext_detached_by_watchdog) {
+  if (ExtActive(st)) {
     PrefetchCtx ctx;
     ctx.mapping = as;
     ctx.index = index;
@@ -773,7 +807,23 @@ Status PageCache::DeleteFile(Lane& lane, AddressSpace* as) {
 CgroupCacheStats PageCache::StatsFor(MemCgroup* cg) {
   std::lock_guard<std::mutex> lock(mu_);
   CgroupState* st = StateFor(cg);
-  return st == nullptr ? CgroupCacheStats{} : st->stats;
+  if (st == nullptr) {
+    return CgroupCacheStats{};
+  }
+  // Latch a pending breaker escalation even if no cache event has run since
+  // the trip — the policy manager polls these stats to drive its revert.
+  (void)ExtActive(*st);
+  CgroupCacheStats stats = st->stats;
+  if (st->ext != nullptr) {
+    // Overlay the live attachment's breaker state: current degraded mask,
+    // plus its trips on top of the cumulative per-cgroup counters.
+    const PolicyHookHealth health = st->ext->HookHealth();
+    stats.ext_degraded_hook_mask = health.degraded_mask;
+    for (uint32_t i = 0; i < kNumPolicyHooks; ++i) {
+      stats.ext_hook_trip_counts[i] += health.trips[i];
+    }
+  }
+  return stats;
 }
 
 uint64_t PageCache::TotalResidentPages() const {

@@ -21,6 +21,7 @@
 #ifndef SRC_PAGECACHE_PAGE_CACHE_H_
 #define SRC_PAGECACHE_PAGE_CACHE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -93,6 +94,17 @@ struct CgroupCacheStats {
   uint64_t rejected_at_load = 0;
   bool ext_detached_by_watchdog = false;
   bool oom_killed = false;
+  // Per-hook circuit-breaker state (§4.4 hardening). The mask covers the
+  // CURRENT attachment (PolicyHookBit per degraded hook); trip counts
+  // accumulate across attachments of this cgroup.
+  uint32_t ext_degraded_hook_mask = 0;
+  std::array<uint64_t, kNumPolicyHooks> ext_hook_trip_counts{};
+  // Quarantine state published by the policy manager: the cgroup's last
+  // managed policy was watchdog-reverted and is awaiting (or banned from)
+  // backoff re-attach.
+  bool ext_quarantined = false;
+  bool ext_banned = false;
+  uint32_t ext_reattach_attempts = 0;
 };
 
 class PageCache {
@@ -122,6 +134,10 @@ class PageCache {
   // Count a policy the load-time verifier rejected before attach; shows up
   // as rejected_at_load in StatsFor(cg).
   void RecordLoadRejection(MemCgroup* cg);
+  // Published by the policy manager so quarantine/backoff state shows up in
+  // StatsFor(cg) next to the watchdog counters it reacts to.
+  void SetQuarantineInfo(MemCgroup* cg, bool quarantined, bool banned,
+                         uint32_t reattach_attempts);
   ReclaimPolicy* base_policy(MemCgroup* cg);
 
   void SetTracer(PageCacheTracer* tracer) { tracer_ = tracer; }
@@ -160,6 +176,13 @@ class PageCache {
   };
 
   CgroupState* StateFor(MemCgroup* cg);
+
+  // True when the cgroup's ext policy should still be consulted. False once
+  // the watchdog flagged it — EVERY dispatch site must check this, so a
+  // "detached" policy's programs never run and its per-event cost is never
+  // charged — and latches the flag when the policy's own circuit breaker
+  // escalates (multiple hooks tripped / persistently high violation rate).
+  bool ExtActive(CgroupState& st);
 
   // Hook dispatch helpers; all charge the lane per-event CPU cost.
   void DispatchAdded(Lane& lane, CgroupState& st, Folio* folio);

@@ -22,6 +22,25 @@ void PolicyManager::Record(EventKind kind, MemCgroup* cg,
                            std::string_view policy, std::string detail) {
   audit_.push_back(AuditEvent{kind, cg != nullptr ? cg->name() : "?",
                               std::string(policy), std::move(detail)});
+  while (audit_.size() > options_.audit_capacity) {
+    audit_.pop_front();
+    ++audit_dropped_;
+  }
+}
+
+void PolicyManager::PublishQuarantine(MemCgroup* cg) {
+  auto it = quarantine_.find(cg);
+  if (it == quarantine_.end()) {
+    page_cache_->SetQuarantineInfo(cg, /*quarantined=*/false, /*banned=*/false,
+                                   /*reattach_attempts=*/0);
+    return;
+  }
+  page_cache_->SetQuarantineInfo(cg, /*quarantined=*/true, it->second.banned,
+                                 it->second.reattach_attempts);
+}
+
+uint32_t& PolicyManager::StrikesFor(MemCgroup* cg, const std::string& policy) {
+  return strikes_[std::make_pair(cg, policy)];
 }
 
 Status PolicyManager::Request(MemCgroup* cg, std::string_view policy_name,
@@ -34,6 +53,15 @@ Status PolicyManager::Request(MemCgroup* cg, std::string_view policy_name,
     Record(EventKind::kDenied, cg, policy_name, "not in allowlist");
     return PermissionDenied("policy not in the manager's allowlist: " +
                             std::string(policy_name));
+  }
+  auto strike_it = strikes_.find(std::make_pair(cg, std::string(policy_name)));
+  if (strike_it != strikes_.end() &&
+      strike_it->second >= options_.quarantine_strike_limit) {
+    Record(EventKind::kDenied, cg, policy_name,
+           "banned after repeated watchdog trips");
+    return PermissionDenied("policy is banned for this cgroup after " +
+                            std::to_string(strike_it->second) +
+                            " watchdog strikes");
   }
   if (attachments_.size() >= options_.max_attached) {
     Record(EventKind::kDenied, cg, policy_name, "quota exceeded");
@@ -58,7 +86,13 @@ Status PolicyManager::Request(MemCgroup* cg, std::string_view policy_name,
     return attached.status();
   }
 
-  attachments_[cg] = Attachment{std::string(policy_name), bundle->agent};
+  // An explicit Request is a manual override: it clears any pending
+  // quarantine for the cgroup (the operator decided to run something).
+  if (quarantine_.erase(cg) > 0) {
+    PublishQuarantine(cg);
+  }
+  attachments_[cg] = Attachment{std::string(policy_name), bundle->agent,
+                                params};
   Record(EventKind::kAttached, cg, policy_name, "");
   return OkStatus();
 }
@@ -67,6 +101,15 @@ Status PolicyManager::Release(MemCgroup* cg) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = attachments_.find(cg);
   if (it == attachments_.end()) {
+    // Releasing a quarantined cgroup cancels the pending re-attach.
+    auto qit = quarantine_.find(cg);
+    if (qit != quarantine_.end()) {
+      const std::string name = qit->second.policy_name;
+      quarantine_.erase(qit);
+      PublishQuarantine(cg);
+      Record(EventKind::kDetached, cg, name, "released from quarantine");
+      return OkStatus();
+    }
     return NotFound("no managed policy for this cgroup");
   }
   const std::string name = it->second.policy_name;
@@ -80,8 +123,89 @@ Status PolicyManager::Release(MemCgroup* cg) {
   return OkStatus();
 }
 
+void PolicyManager::Quarantine(MemCgroup* cg, Attachment attachment) {
+  uint32_t& strikes = StrikesFor(cg, attachment.policy_name);
+  ++strikes;
+  if (strikes >= options_.quarantine_strike_limit) {
+    quarantine_[cg] = QuarantineEntry{attachment.policy_name,
+                                      attachment.params,
+                                      /*backoff_polls=*/0,
+                                      /*polls_remaining=*/0,
+                                      /*reattach_attempts=*/0,
+                                      /*banned=*/true};
+    Record(EventKind::kBanned, cg, attachment.policy_name,
+           "strike " + std::to_string(strikes) + " of " +
+               std::to_string(options_.quarantine_strike_limit) +
+               "; permanently banned");
+  } else {
+    const uint32_t backoff =
+        std::min(options_.quarantine_backoff_cap,
+                 options_.quarantine_backoff_initial << (strikes - 1));
+    quarantine_[cg] = QuarantineEntry{attachment.policy_name,
+                                      attachment.params, backoff, backoff,
+                                      /*reattach_attempts=*/0,
+                                      /*banned=*/false};
+    Record(EventKind::kQuarantined, cg, attachment.policy_name,
+           "strike " + std::to_string(strikes) + "; re-attach in " +
+               std::to_string(backoff) + " poll cycles");
+  }
+  PublishQuarantine(cg);
+}
+
+bool PolicyManager::TickQuarantine(MemCgroup* cg, QuarantineEntry& entry) {
+  if (entry.banned || !options_.reattach_after_quarantine) {
+    return false;
+  }
+  if (entry.polls_remaining > 1) {
+    --entry.polls_remaining;
+    return false;
+  }
+  entry.polls_remaining = 0;
+  ++entry.reattach_attempts;
+  std::string failure;
+  if (attachments_.size() >= options_.max_attached) {
+    failure = "quota exceeded";
+  } else {
+    PolicyParams sized = entry.params;
+    sized.capacity_pages = cg->limit_pages();
+    auto bundle = MakePolicy(entry.policy_name, sized);
+    if (!bundle.ok()) {
+      failure = bundle.status().message();
+    } else {
+      auto attached = loader_.Attach(cg, std::move(bundle->ops),
+                                     page_cache_->options().costs);
+      if (attached.ok()) {
+        attachments_[cg] = Attachment{entry.policy_name, bundle->agent,
+                                      entry.params};
+        Record(EventKind::kReattached, cg, entry.policy_name,
+               "attempt " + std::to_string(entry.reattach_attempts));
+        return true;
+      }
+      failure = attached.status().message();
+    }
+  }
+  // Re-attach failed: double the backoff (capped) and try again later.
+  entry.backoff_polls =
+      std::min(options_.quarantine_backoff_cap,
+               std::max<uint32_t>(1, entry.backoff_polls * 2));
+  entry.polls_remaining = entry.backoff_polls;
+  Record(EventKind::kReattachFailed, cg, entry.policy_name,
+         "attempt " + std::to_string(entry.reattach_attempts) + ": " +
+             failure + "; next in " + std::to_string(entry.backoff_polls) +
+             " poll cycles");
+  PublishQuarantine(cg);
+  return false;
+}
+
 void PolicyManager::Poll() {
   std::lock_guard<std::mutex> lock(mu_);
+  // Snapshot first: cgroups quarantined during THIS poll wait their full
+  // backoff starting from the next cycle.
+  std::vector<MemCgroup*> pending;
+  pending.reserve(quarantine_.size());
+  for (const auto& [cg, entry] : quarantine_) {
+    pending.push_back(cg);
+  }
   std::vector<MemCgroup*> reverted;
   for (auto& [cg, attachment] : attachments_) {
     if (attachment.agent != nullptr) {
@@ -98,13 +222,31 @@ void PolicyManager::Poll() {
     }
   }
   for (MemCgroup* cg : reverted) {
+    Attachment attachment = std::move(attachments_[cg]);
     attachments_.erase(cg);
+    Quarantine(cg, std::move(attachment));
+  }
+  // Drive backoff countdowns and re-attach attempts.
+  for (MemCgroup* cg : pending) {
+    auto it = quarantine_.find(cg);
+    if (it == quarantine_.end()) {
+      continue;
+    }
+    if (TickQuarantine(cg, it->second)) {
+      quarantine_.erase(it);
+      PublishQuarantine(cg);
+    }
   }
 }
 
 std::vector<PolicyManager::AuditEvent> PolicyManager::audit_log() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return audit_;
+  return std::vector<AuditEvent>(audit_.begin(), audit_.end());
+}
+
+uint64_t PolicyManager::audit_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return audit_dropped_;
 }
 
 size_t PolicyManager::attached_count() const {
@@ -116,6 +258,25 @@ std::string PolicyManager::PolicyFor(MemCgroup* cg) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = attachments_.find(cg);
   return it == attachments_.end() ? "" : it->second.policy_name;
+}
+
+PolicyManager::QuarantineStatus PolicyManager::QuarantineFor(
+    MemCgroup* cg) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QuarantineStatus status;
+  auto it = quarantine_.find(cg);
+  if (it != quarantine_.end()) {
+    status.quarantined = true;
+    status.banned = it->second.banned;
+    status.reattach_attempts = it->second.reattach_attempts;
+    status.polls_remaining = it->second.polls_remaining;
+  }
+  for (const auto& [key, strikes] : strikes_) {
+    if (key.first == cg) {
+      status.strikes = std::max(status.strikes, strikes);
+    }
+  }
+  return status;
 }
 
 }  // namespace cache_ext::policies

@@ -6,21 +6,24 @@
 // The manager is the single privileged component that owns the loader.
 // Unprivileged tenants request policies *by name* from an allowlisted
 // catalog — they never hand executable code to the kernel themselves. The
-// manager enforces a per-system policy quota, keeps an audit log of every
-// attach/detach/watchdog event, polls userspace agents (LHD reconfiguration)
-// on behalf of tenants, and can automatically revert a cgroup to the default
-// policy when the kernel watchdog unloads a misbehaving one.
+// manager enforces a per-system policy quota, keeps a bounded audit log of
+// every attach/detach/watchdog event, polls userspace agents (LHD
+// reconfiguration) on behalf of tenants, and runs the supervision loop for
+// watchdog-unloaded policies: revert → quarantine with exponential-backoff
+// re-attach → permanent ban after repeated strikes.
 
 #ifndef SRC_POLICIES_POLICY_MANAGER_H_
 #define SRC_POLICIES_POLICY_MANAGER_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/cache_ext/loader.h"
@@ -37,6 +40,17 @@ struct PolicyManagerOptions {
   // On watchdog detach, remove the broken policy so the cgroup reverts
   // cleanly to the default (and record the event).
   bool revert_on_watchdog = true;
+  // Audit-log ring capacity; older events are dropped (and counted) once the
+  // log is full, so a flapping policy cannot grow the manager unboundedly.
+  size_t audit_capacity = 1024;
+  // Quarantine: after a watchdog revert the (cgroup, policy) pair waits
+  // `initial << (strike-1)` poll cycles (capped) before a re-attach attempt;
+  // after `strike_limit` watchdog trips the pair is banned permanently
+  // (until a manual Request overrides it for a different policy).
+  bool reattach_after_quarantine = true;
+  uint32_t quarantine_backoff_initial = 1;
+  uint32_t quarantine_backoff_cap = 16;
+  uint32_t quarantine_strike_limit = 3;
 };
 
 class PolicyManager {
@@ -46,6 +60,10 @@ class PolicyManager {
     kDetached,
     kDenied,
     kWatchdogReverted,
+    kQuarantined,
+    kReattached,
+    kReattachFailed,
+    kBanned,
   };
 
   struct AuditEvent {
@@ -55,40 +73,79 @@ class PolicyManager {
     std::string detail;
   };
 
+  // Snapshot of a cgroup's supervision state (mirrors what the manager
+  // publishes into CgroupCacheStats via SetQuarantineInfo).
+  struct QuarantineStatus {
+    bool quarantined = false;
+    bool banned = false;
+    uint32_t strikes = 0;
+    uint32_t reattach_attempts = 0;
+    uint32_t polls_remaining = 0;
+  };
+
   PolicyManager(PageCache* page_cache, PolicyManagerOptions options = {});
 
   // Tenant API: request a catalog policy for a cgroup. Applies the
-  // allowlist, the quota, and sizes the policy to the cgroup.
+  // allowlist, the quota, and sizes the policy to the cgroup. An explicit
+  // Request overrides an active quarantine (manual operator intervention),
+  // but a banned (cgroup, policy) pair stays denied.
   Status Request(MemCgroup* cg, std::string_view policy_name,
                  const PolicyParams& params = {});
   Status Release(MemCgroup* cg);
 
-  // Housekeeping: polls userspace agents and audits watchdog state; call
-  // periodically (a daemon loop / systemd timer stand-in).
+  // Housekeeping: polls userspace agents, audits watchdog state, and drives
+  // the quarantine/backoff re-attach state machine; call periodically (a
+  // daemon loop / systemd timer stand-in).
   void Poll();
 
   // Introspection.
   std::vector<AuditEvent> audit_log() const;
+  uint64_t audit_dropped() const;
   size_t attached_count() const;
   // The policy currently managed for `cg`, or "" if none.
   std::string PolicyFor(MemCgroup* cg) const;
+  QuarantineStatus QuarantineFor(MemCgroup* cg) const;
 
  private:
   struct Attachment {
     std::string policy_name;
     std::shared_ptr<UserspaceAgent> agent;
+    // Kept so a quarantined policy can be re-attached with the tenant's
+    // original parameters.
+    PolicyParams params;
+  };
+
+  struct QuarantineEntry {
+    std::string policy_name;
+    PolicyParams params;
+    uint32_t backoff_polls = 1;
+    uint32_t polls_remaining = 1;
+    uint32_t reattach_attempts = 0;
+    bool banned = false;
   };
 
   bool Allowed(std::string_view name) const;
   void Record(EventKind kind, MemCgroup* cg, std::string_view policy,
               std::string detail);
+  void PublishQuarantine(MemCgroup* cg);
+  uint32_t& StrikesFor(MemCgroup* cg, const std::string& policy);
+  // Moves a watchdog-reverted attachment into quarantine (or bans it).
+  void Quarantine(MemCgroup* cg, Attachment attachment);
+  // One backoff countdown step + re-attach attempt for a quarantined cgroup.
+  // Returns true when the entry should be erased (re-attach succeeded).
+  bool TickQuarantine(MemCgroup* cg, QuarantineEntry& entry);
 
   PageCache* page_cache_;
   CacheExtLoader loader_;
   PolicyManagerOptions options_;
   mutable std::mutex mu_;
   std::map<MemCgroup*, Attachment> attachments_;
-  std::vector<AuditEvent> audit_;
+  std::map<MemCgroup*, QuarantineEntry> quarantine_;
+  // Watchdog strikes per (cgroup, policy); persists across quarantine
+  // round-trips so repeat offenders eventually get banned.
+  std::map<std::pair<MemCgroup*, std::string>, uint32_t> strikes_;
+  std::deque<AuditEvent> audit_;
+  uint64_t audit_dropped_ = 0;
 };
 
 }  // namespace cache_ext::policies

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/fault/fault_injector.h"
+
 namespace cache_ext {
 
 Expected<FileId> SimDisk::Create(std::string_view name) {
@@ -60,6 +62,9 @@ uint64_t SimDisk::SizeOf(FileId id) const {
 
 Status SimDisk::ReadAt(FileId id, uint64_t offset,
                        std::span<uint8_t> out) const {
+  if (fault::InjectFault(fault::points::kDiskRead)) {
+    return IoError("injected disk read error (media failure)");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   const File* f = FindFile(id);
   if (f == nullptr) {
@@ -80,6 +85,9 @@ Status SimDisk::ReadAt(FileId id, uint64_t offset,
 
 Status SimDisk::WriteAt(FileId id, uint64_t offset,
                         std::span<const uint8_t> data) {
+  if (fault::InjectFault(fault::points::kDiskWrite)) {
+    return IoError("injected disk write error (media failure)");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   File* f = FindFile(id);
   if (f == nullptr) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/fault/fault_injector.h"
 #include "src/util/logging.h"
 
 namespace cache_ext {
@@ -14,10 +15,24 @@ SsdModel::SsdModel(const SsdModelOptions& options) : options_(options) {
 
 uint64_t SsdModel::Submit(uint64_t now_ns, uint64_t bytes,
                           uint64_t base_latency_ns) {
+  // Injected device pathologies. A latency spike multiplies this request's
+  // base latency (GC pause / internal retry); degradation divides the
+  // transfer rate for every request while armed (a device limping along at
+  // reduced bandwidth). Both only stretch the timeline — completion always
+  // arrives, so callers need no new error handling.
+  uint64_t magnitude = 0;
+  if (fault::InjectFault(fault::points::kSsdLatencySpike, &magnitude)) {
+    base_latency_ns *= magnitude != 0 ? magnitude : 20;
+  }
+  uint64_t slowdown = 1;
+  uint64_t degrade = 0;
+  if (fault::InjectFault(fault::points::kSsdDegrade, &degrade)) {
+    slowdown = degrade != 0 ? degrade : 4;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = std::min_element(channel_free_at_.begin(), channel_free_at_.end());
   const uint64_t start = std::max(now_ns, *it);
-  const uint64_t transfer_ns = bytes * 1000 / options_.bytes_per_us;
+  const uint64_t transfer_ns = bytes * 1000 * slowdown / options_.bytes_per_us;
   const uint64_t completion = start + base_latency_ns + transfer_ns;
   *it = completion;
   return completion;

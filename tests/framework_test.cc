@@ -256,7 +256,10 @@ TEST_F(FrameworkTest, InvalidCandidatesRejectedAndCounted) {
   EXPECT_LE(cg_->charged_pages(), cg_->limit_pages());
 }
 
-TEST_F(FrameworkTest, WatchdogDetachesPersistentOffender) {
+TEST_F(FrameworkTest, BreakerDegradesEvictHookOfPersistentOffender) {
+  // A policy that only spews garbage candidates trips its evict-hook
+  // circuit breaker: that hook degrades to the default-policy fallback while
+  // the policy as a whole stays attached (single-hook failure domain).
   Folio decoy;
   Ops ops = MinimalOps("offender");
   ops.evict_folios = [&decoy](CacheExtApi&, EvictionCtx* ctx, MemCgroup*) {
@@ -271,8 +274,50 @@ TEST_F(FrameworkTest, WatchdogDetachesPersistentOffender) {
   ASSERT_TRUE(disk_.Truncate((*as)->file(), 512 * kPageSize).ok());
   TouchPages(lane, *as, 0, 256);  // heavy pressure, many violations
   const CgroupCacheStats stats = pc_->StatsFor(cg_);
+  // The breaker cut the violation stream off long before the global
+  // watchdog limit (50 in this fixture) was reached.
+  EXPECT_GT(stats.ext_violations, 0u);
+  EXPECT_LT(stats.ext_violations, 50u);
+  EXPECT_FALSE(stats.ext_detached_by_watchdog);
+  EXPECT_NE(stats.ext_degraded_hook_mask & PolicyHookBit(PolicyHook::kEvict),
+            0u);
+  EXPECT_GE(stats.ext_hook_trip_counts[static_cast<size_t>(PolicyHook::kEvict)],
+            1u);
+  // With the evict hook degraded the base policy drives eviction directly.
+  EXPECT_LE(cg_->charged_pages(), cg_->limit_pages());
+  EXPECT_GT(stats.fallback_evictions, 0u);
+}
+
+TEST_F(FrameworkTest, WatchdogDetachesMultiHookOffender) {
+  // Broken on two fronts — garbage eviction candidates AND a folio_added
+  // program that always exhausts its helper budget. Two tripped hooks
+  // escalate to a full watchdog detach (§4.4).
+  Folio decoy;
+  Ops ops = MinimalOps("multi_offender");
+  ops.helper_budget = 2;
+  ops.evict_folios = [&decoy](CacheExtApi&, EvictionCtx* ctx, MemCgroup*) {
+    for (int i = 0; i < 8; ++i) {
+      ctx->Propose(&decoy);
+    }
+  };
+  ops.folio_added = [](CacheExtApi& api, Folio*) {
+    for (int i = 0; i < 4; ++i) {
+      (void)api.ListCreate();  // blows the 2-call budget: program aborts
+    }
+  };
+  ASSERT_TRUE(loader_->Attach(cg_, std::move(ops)).ok());
+  Lane lane = MakeLane();
+  auto as = pc_->OpenFile("/f");
+  ASSERT_TRUE(as.ok());
+  ASSERT_TRUE(disk_.Truncate((*as)->file(), 512 * kPageSize).ok());
+  TouchPages(lane, *as, 0, 256);
+  const CgroupCacheStats stats = pc_->StatsFor(cg_);
   EXPECT_TRUE(stats.ext_detached_by_watchdog);
-  EXPECT_GT(stats.ext_violations, 50u);
+  // Both hooks show in the trip counts.
+  EXPECT_GE(stats.ext_hook_trip_counts[static_cast<size_t>(PolicyHook::kEvict)],
+            1u);
+  EXPECT_GE(stats.ext_hook_trip_counts[static_cast<size_t>(PolicyHook::kAdded)],
+            1u);
   // After the watchdog fires, the base policy drives eviction directly.
   EXPECT_LE(cg_->charged_pages(), cg_->limit_pages());
 }

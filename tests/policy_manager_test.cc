@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/policies/policy_manager.h"
 
 namespace cache_ext::policies {
@@ -21,6 +22,42 @@ class PolicyManagerTest : public ::testing::Test {
     options.watchdog_violation_limit = 20;
     pc_ = std::make_unique<PageCache>(&disk_, ssd_.get(), options);
     cg_ = pc_->CreateCgroup("/tenant1", 32 * kPageSize);
+  }
+
+  void TearDown() override { fault::FaultInjector::Global().DisarmAll(); }
+
+  // Trips the attached policy's breaker on multiple hooks (every program
+  // invocation aborts via an injected fault) until the page cache latches
+  // the watchdog flag for `cg_`.
+  void EscalateWatchdog() {
+    fault::FaultSchedule abort_all;
+    abort_all.every_kth = 1;
+    fault::FaultInjector::Global().Arm(fault::points::kBpfRunAbort,
+                                       abort_all);
+    Lane lane(0, TaskContext{1, 1}, 3);
+    auto as = pc_->OpenFile("/pressure");
+    ASSERT_TRUE(as.ok());
+    ASSERT_TRUE(disk_.Truncate((*as)->file(), 256 * kPageSize).ok());
+    std::vector<uint8_t> buf(64);
+    for (int round = 0; round < 12; ++round) {
+      // Misses (folio_added samples) plus re-hits of a small resident
+      // window (folio_accessed samples) plus reclaim (evict samples).
+      for (uint64_t i = 0; i < 48; ++i) {
+        ASSERT_TRUE(
+            pc_->Read(lane, *as, cg_, i * kPageSize, std::span<uint8_t>(buf))
+                .ok());
+        if (i < 8) {
+          ASSERT_TRUE(pc_->Read(lane, *as, cg_, i * kPageSize,
+                                std::span<uint8_t>(buf))
+                          .ok());
+        }
+      }
+      if (pc_->StatsFor(cg_).ext_detached_by_watchdog) {
+        break;
+      }
+    }
+    fault::FaultInjector::Global().Disarm(fault::points::kBpfRunAbort);
+    ASSERT_TRUE(pc_->StatsFor(cg_).ext_detached_by_watchdog);
   }
 
   SimDisk disk_;
@@ -115,8 +152,15 @@ TEST_F(PolicyManagerTest, PollRevertsWatchdoggedPolicy) {
   Folio decoy;
   Ops ops;
   ops.name = "rogue";
+  ops.helper_budget = 2;
   ops.policy_init = [](CacheExtApi&, MemCgroup*) -> int32_t { return 0; };
-  ops.folio_added = [](CacheExtApi&, Folio*) {};
+  // Broken on two fronts so the breaker escalates to a full watchdog
+  // detach: budget-blowing folio_added plus garbage eviction candidates.
+  ops.folio_added = [](CacheExtApi& api, Folio*) {
+    for (int i = 0; i < 4; ++i) {
+      (void)api.ListCreate();
+    }
+  };
   ops.folio_accessed = [](CacheExtApi&, Folio*) {};
   ops.folio_removed = [](CacheExtApi&, Folio*) {};
   ops.evict_folios = [&decoy](CacheExtApi&, EvictionCtx* ctx, MemCgroup*) {
@@ -174,8 +218,13 @@ TEST_F(PolicyManagerTest, WatchdogRevertAuditedForManagedPolicy) {
   Folio decoy;
   Ops ops;
   ops.name = "rogue2";
+  ops.helper_budget = 2;
   ops.policy_init = [](CacheExtApi&, MemCgroup*) -> int32_t { return 0; };
-  ops.folio_added = [](CacheExtApi&, Folio*) {};
+  ops.folio_added = [](CacheExtApi& api, Folio*) {
+    for (int i = 0; i < 4; ++i) {
+      (void)api.ListCreate();
+    }
+  };
   ops.folio_accessed = [](CacheExtApi&, Folio*) {};
   ops.folio_removed = [](CacheExtApi&, Folio*) {};
   ops.evict_folios = [&decoy](CacheExtApi&, EvictionCtx* ctx, MemCgroup*) {
@@ -200,8 +249,119 @@ TEST_F(PolicyManagerTest, WatchdogRevertAuditedForManagedPolicy) {
   manager.Poll();
   EXPECT_EQ(manager.attached_count(), 0u);
   const auto log = manager.audit_log();
+  // The revert is audited, immediately followed by the quarantine decision.
+  ASSERT_GE(log.size(), 2u);
+  EXPECT_EQ(log[log.size() - 2].kind,
+            PolicyManager::EventKind::kWatchdogReverted);
+  EXPECT_EQ(log.back().kind, PolicyManager::EventKind::kQuarantined);
+  const auto q = manager.QuarantineFor(cg_);
+  EXPECT_TRUE(q.quarantined);
+  EXPECT_FALSE(q.banned);
+  EXPECT_EQ(q.strikes, 1u);
+}
+
+TEST_F(PolicyManagerTest, QuarantineBackoffThenReattach) {
+  PolicyManagerOptions options;
+  options.quarantine_backoff_initial = 1;
+  PolicyManager manager(pc_.get(), options);
+  ASSERT_TRUE(manager.Request(cg_, "fifo").ok());
+  EscalateWatchdog();
+
+  // Poll 1: watchdog revert + quarantine (strike 1, backoff 1 cycle).
+  manager.Poll();
+  EXPECT_EQ(manager.PolicyFor(cg_), "");
+  auto q = manager.QuarantineFor(cg_);
+  EXPECT_TRUE(q.quarantined);
+  EXPECT_EQ(q.strikes, 1u);
+  EXPECT_TRUE(pc_->StatsFor(cg_).ext_quarantined);
+
+  // Poll 2: first re-attach attempt — deterministically failed by an
+  // injected policy_init fault; backoff doubles to 2 cycles.
+  fault::FaultSchedule init_fail;
+  init_fail.every_kth = 1;
+  fault::FaultInjector::Global().Arm(fault::points::kPolicyInit, init_fail);
+  manager.Poll();
+  fault::FaultInjector::Global().Disarm(fault::points::kPolicyInit);
+  q = manager.QuarantineFor(cg_);
+  EXPECT_TRUE(q.quarantined);
+  EXPECT_EQ(q.reattach_attempts, 1u);
+  EXPECT_EQ(q.polls_remaining, 2u);
+  EXPECT_EQ(pc_->StatsFor(cg_).ext_reattach_attempts, 1u);
+  {
+    const auto log = manager.audit_log();
+    ASSERT_FALSE(log.empty());
+    EXPECT_EQ(log.back().kind, PolicyManager::EventKind::kReattachFailed);
+  }
+
+  // Polls 3-4: backoff countdown, then the re-attach succeeds.
+  manager.Poll();
+  EXPECT_EQ(manager.PolicyFor(cg_), "");
+  manager.Poll();
+  EXPECT_EQ(manager.PolicyFor(cg_), "fifo");
+  EXPECT_FALSE(manager.QuarantineFor(cg_).quarantined);
+  const CgroupCacheStats stats = pc_->StatsFor(cg_);
+  EXPECT_FALSE(stats.ext_quarantined);
+  EXPECT_FALSE(stats.ext_detached_by_watchdog);
+  const auto log = manager.audit_log();
   ASSERT_FALSE(log.empty());
-  EXPECT_EQ(log.back().kind, PolicyManager::EventKind::kWatchdogReverted);
+  EXPECT_EQ(log.back().kind, PolicyManager::EventKind::kReattached);
+}
+
+TEST_F(PolicyManagerTest, RepeatOffenderBannedAfterStrikeLimit) {
+  PolicyManagerOptions options;
+  options.quarantine_backoff_initial = 1;
+  options.quarantine_strike_limit = 2;
+  PolicyManager manager(pc_.get(), options);
+  ASSERT_TRUE(manager.Request(cg_, "fifo").ok());
+
+  // Strike 1: quarantine, then a clean re-attach.
+  EscalateWatchdog();
+  manager.Poll();
+  EXPECT_EQ(manager.QuarantineFor(cg_).strikes, 1u);
+  manager.Poll();  // re-attach
+  ASSERT_EQ(manager.PolicyFor(cg_), "fifo");
+
+  // Strike 2: over the limit — permanently banned.
+  EscalateWatchdog();
+  manager.Poll();
+  auto q = manager.QuarantineFor(cg_);
+  EXPECT_TRUE(q.banned);
+  EXPECT_EQ(q.strikes, 2u);
+  EXPECT_TRUE(pc_->StatsFor(cg_).ext_banned);
+  {
+    const auto log = manager.audit_log();
+    ASSERT_FALSE(log.empty());
+    EXPECT_EQ(log.back().kind, PolicyManager::EventKind::kBanned);
+  }
+
+  // No more re-attach attempts, ever.
+  manager.Poll();
+  manager.Poll();
+  EXPECT_EQ(manager.PolicyFor(cg_), "");
+  EXPECT_EQ(manager.QuarantineFor(cg_).reattach_attempts, 0u);
+  // The banned pair is refused even on explicit request...
+  EXPECT_EQ(manager.Request(cg_, "fifo").code(),
+            ErrorCode::kPermissionDenied);
+  // ...but the operator may still run a DIFFERENT policy on the cgroup,
+  // which clears the quarantine state.
+  ASSERT_TRUE(manager.Request(cg_, "mru").ok());
+  EXPECT_EQ(manager.PolicyFor(cg_), "mru");
+  EXPECT_FALSE(pc_->StatsFor(cg_).ext_banned);
+}
+
+TEST_F(PolicyManagerTest, AuditLogIsBoundedRing) {
+  PolicyManagerOptions options;
+  options.audit_capacity = 8;
+  PolicyManager manager(pc_.get(), options);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_FALSE(manager.Request(cg_, "belady_oracle").ok());
+  }
+  const auto log = manager.audit_log();
+  EXPECT_EQ(log.size(), 8u);
+  EXPECT_EQ(manager.audit_dropped(), 4u);
+  for (const auto& event : log) {
+    EXPECT_EQ(event.kind, PolicyManager::EventKind::kDenied);
+  }
 }
 
 }  // namespace

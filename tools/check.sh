@@ -3,6 +3,8 @@
 #
 #   tools/check.sh              # build + ctest in ./build
 #   tools/check.sh --sanitize   # additionally build + ctest under ASan+UBSan
+#   tools/check.sh --chaos      # ASan build, chaos-labelled tests + the
+#                               # bench_chaos fault-storm soak
 #
 # Exits non-zero on the first failing step, so it is safe for CI and for
 # pre-commit use.
@@ -13,10 +15,12 @@ cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 sanitize=0
+chaos=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
-    *) echo "usage: tools/check.sh [--sanitize]" >&2; exit 2 ;;
+    --chaos) chaos=1 ;;
+    *) echo "usage: tools/check.sh [--sanitize] [--chaos]" >&2; exit 2 ;;
   esac
 done
 
@@ -27,6 +31,19 @@ run_suite() {
   cmake --build "$dir" -j "$jobs"
   ctest --test-dir "$dir" -j "$jobs" --output-on-failure
 }
+
+if [[ "$chaos" == 1 ]]; then
+  # Chaos harness under AddressSanitizer: fault storms must be memory-clean
+  # (no invalid folio pointer is ever dereferenced, §4.4).
+  echo "== chaos: ASan build + chaos-labelled tests (build-asan/) =="
+  cmake -B build-asan -DCACHE_EXT_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$jobs"
+  ctest --test-dir build-asan -L chaos -j "$jobs" --output-on-failure
+  echo "== chaos: bench_chaos fault-storm soak =="
+  ./build-asan/bench/bench_chaos
+  echo "== check.sh --chaos: all green =="
+  exit 0
+fi
 
 echo "== tier-1: build + ctest (build/) =="
 run_suite build
