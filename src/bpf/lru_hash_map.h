@@ -5,115 +5,173 @@
 // FIFOs (§5.1): "the map then automatically removes entries from the ghost
 // FIFO in LRU order when it hits capacity". Lookups refresh recency, like
 // the kernel implementation.
+//
+// Concurrency: lock-striped like bpf::HashMap, but each shard carries its
+// own LRU clock (list + index) and its own slice of max_entries, so a full
+// shard evicts its local LRU without a global ordering structure. That makes
+// LRU order approximate across shards — exactly the trade the kernel makes
+// with per-CPU LRU freelists in bpf_lru_list.c. Small maps (< 4096 entries:
+// every deterministic test and the benchmark ghost FIFOs today) get a single
+// shard and therefore exact global LRU order.
 
 #ifndef SRC_BPF_LRU_HASH_MAP_H_
 #define SRC_BPF_LRU_HASH_MAP_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
+#include "src/bpf/map.h"
 #include "src/fault/fault_injector.h"
 #include "src/util/logging.h"
+#include "src/util/thread_annotations.h"
 
 namespace cache_ext::bpf {
+
+namespace detail {
+
+inline uint32_t LruShardCountFor(uint32_t max_entries) {
+  return max_entries >= 4096 ? 8 : 1;
+}
+
+}  // namespace detail
 
 template <typename K, typename V>
 class LruHashMap {
  public:
-  explicit LruHashMap(uint32_t max_entries) : max_entries_(max_entries) {
+  explicit LruHashMap(uint32_t max_entries)
+      : max_entries_(max_entries),
+        shard_mask_(detail::LruShardCountFor(max_entries) - 1),
+        shards_(detail::LruShardCountFor(max_entries)) {
     CHECK_GT(max_entries, 0u);
+    // Split capacity across shards; remainder pages go to the low shards so
+    // the slices always sum to max_entries.
+    const uint32_t n = static_cast<uint32_t>(shards_.size());
+    for (uint32_t i = 0; i < n; ++i) {
+      shards_[i].capacity = max_entries / n + (i < max_entries % n ? 1 : 0);
+    }
   }
   LruHashMap(const LruHashMap&) = delete;
   LruHashMap& operator=(const LruHashMap&) = delete;
 
-  // Insert/update; evicts the LRU entry if the map is full. Never fails.
+  // Insert/update; evicts the shard's LRU entry if its slice is full. Never
+  // fails.
   void Update(const K& key, const V& value) {
+    Shard& shard = ShardFor(key);
     // Injected eviction storm: the kernel's per-CPU LRU freelists can run
     // dry and reap batches of entries well before max_entries; policies
     // (ghost FIFOs) must tolerate entries vanishing early.
     uint64_t storm = 0;
     if (fault::InjectFault(fault::points::kBpfLruEvictStorm, &storm)) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(shard.mu);
       uint64_t reap = storm != 0 ? storm : (max_entries_ + 3) / 4;
-      while (reap-- > 0 && !entries_.empty()) {
-        index_.erase(entries_.back().first);
-        entries_.pop_back();
+      while (reap-- > 0 && !shard.entries.empty()) {
+        EvictBackLocked(shard);
       }
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
+    MutexLock lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
       it->second->second = value;
-      Touch(it->second);
+      Touch(shard, it->second);
       return;
     }
-    if (entries_.size() >= max_entries_) {
-      // Evict least-recently-used (back of the list).
-      index_.erase(entries_.back().first);
-      entries_.pop_back();
+    if (shard.entries.size() >= shard.capacity) {
+      // Evict this shard's least-recently-used (back of its list).
+      EvictBackLocked(shard);
     }
-    entries_.emplace_front(key, value);
-    index_[key] = entries_.begin();
+    shard.entries.emplace_front(key, value);
+    shard.index[key] = shard.entries.begin();
+    size_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Lookup copies the value out (no stable pointers: eviction can happen on
   // any concurrent update). Refreshes recency on hit.
   bool Lookup(const K& key, V* out) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(key);
-    if (it == index_.end()) {
+    Shard& shard = ShardFor(key);
+    MutexLock lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
       return false;
     }
-    Touch(it->second);
+    Touch(shard, it->second);
     if (out != nullptr) {
-      *out = entries_.front().second;
+      *out = shard.entries.front().second;
     }
     return true;
   }
 
   bool Contains(const K& key) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return index_.count(key) > 0;
+    Shard& shard = const_cast<LruHashMap*>(this)->ShardFor(key);
+    MutexLock lock(shard.mu);
+    return shard.index.count(key) > 0;
   }
 
   bool Delete(const K& key) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(key);
-    if (it == index_.end()) {
+    Shard& shard = ShardFor(key);
+    MutexLock lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
       return false;
     }
-    entries_.erase(it->second);
-    index_.erase(it);
+    shard.entries.erase(it->second);
+    shard.index.erase(it);
+    size_.fetch_sub(1, std::memory_order_relaxed);
     return true;
   }
 
-  uint32_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return static_cast<uint32_t>(entries_.size());
-  }
+  uint32_t Size() const { return size_.load(std::memory_order_relaxed); }
   uint32_t max_entries() const { return max_entries_; }
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
-    entries_.clear();
-    index_.clear();
+    for (Shard& shard : shards_) {
+      MutexLock lock(shard.mu);
+      size_.fetch_sub(static_cast<uint32_t>(shard.entries.size()),
+                      std::memory_order_relaxed);
+      shard.entries.clear();
+      shard.index.clear();
+    }
   }
 
  private:
   using Entry = std::pair<K, V>;
   using EntryList = std::list<Entry>;
 
-  void Touch(typename EntryList::iterator it) {
-    entries_.splice(entries_.begin(), entries_, it);
+  struct Shard {
+    mutable Mutex mu;
+    uint32_t capacity = 0;  // this shard's slice of max_entries
+    EntryList entries CACHE_EXT_GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<K, typename EntryList::iterator> index
+        CACHE_EXT_GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(const K& key) {
+    const uint64_t h = detail::MixHash(std::hash<K>{}(key));
+    return shards_[h & shard_mask_];
+  }
+
+  void Touch(Shard& shard, typename EntryList::iterator it)
+      CACHE_EXT_REQUIRES(shard.mu) {
+    shard.entries.splice(shard.entries.begin(), shard.entries, it);
+  }
+
+  void EvictBackLocked(Shard& shard) CACHE_EXT_REQUIRES(shard.mu) {
+    shard.index.erase(shard.entries.back().first);
+    shard.entries.pop_back();
+    size_.fetch_sub(1, std::memory_order_relaxed);
   }
 
   const uint32_t max_entries_;
-  mutable std::mutex mu_;
-  EntryList entries_;  // front = most recently used
-  std::unordered_map<K, typename EntryList::iterator> index_;
+  const uint64_t shard_mask_;
+  std::atomic<uint32_t> size_{0};
+  std::vector<Shard> shards_;
 };
 
 }  // namespace cache_ext::bpf

@@ -6,18 +6,28 @@
 // in the kernel; policies must handle it), lookups return pointers into the
 // map whose pointees may be updated atomically, and all operations are
 // thread-safe, as kernel eBPF maps are.
+//
+// Concurrency: HashMap is lock-striped into power-of-two bucket shards, each
+// with its own mutex, mirroring the kernel's per-bucket raw_spin_lock in
+// kernel/bpf/hashtab.c. max_entries stays an exact global bound (the kernel
+// tracks this with a percpu elem counter; we use one atomic with
+// reserve/rollback). ArrayMap is lock-free: the value array is preallocated
+// and never moves, and Read/Store/FetchAdd use std::atomic_ref so concurrent
+// lanes race benignly, like kernel array maps.
 
 #ifndef SRC_BPF_MAP_H_
 #define SRC_BPF_MAP_H_
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <functional>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
 #include "src/fault/fault_injector.h"
 #include "src/util/logging.h"
+#include "src/util/thread_annotations.h"
 
 namespace cache_ext::bpf {
 
@@ -27,39 +37,72 @@ enum class MapUpdateFlags {
   kExist,    // BPF_EXIST: update only
 };
 
+namespace detail {
+
+// Shard count scales with capacity: tiny maps (counters, a handful of
+// streams) get one shard; big per-folio metadata maps get 16-way striping.
+// Always a power of two so shard selection is a mask.
+inline uint32_t ShardCountFor(uint32_t max_entries) {
+  if (max_entries >= 128) return 16;
+  if (max_entries >= 16) return 4;
+  return 1;
+}
+
+// Finalizer mix (murmur3) so pointer-ish hashes with aligned low bits still
+// spread across shards.
+inline uint64_t MixHash(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace detail
+
 // bpf_map_update_elem/bpf_map_lookup_elem/bpf_map_delete_elem semantics.
 template <typename K, typename V>
 class HashMap {
  public:
-  explicit HashMap(uint32_t max_entries) : max_entries_(max_entries) {
+  explicit HashMap(uint32_t max_entries)
+      : max_entries_(max_entries),
+        shard_mask_(detail::ShardCountFor(max_entries) - 1),
+        shards_(detail::ShardCountFor(max_entries)) {
     CHECK_GT(max_entries, 0u);
-    map_.reserve(max_entries);
+    for (Shard& s : shards_) {
+      s.map.reserve(max_entries / shards_.size() + 1);
+    }
   }
   HashMap(const HashMap&) = delete;
   HashMap& operator=(const HashMap&) = delete;
 
-  // Returns false on failure (map full, or flags violated).
+  // Returns false on failure (map full, or flags violated). Single hash
+  // probe: try_emplace either lands the new element or hands back the
+  // existing one; a capacity overflow rolls the insert back.
   bool Update(const K& key, const V& value,
               MapUpdateFlags flags = MapUpdateFlags::kAny) {
     if (fault::InjectFault(fault::points::kBpfMapUpdate)) {
       return false;  // injected -ENOMEM/-E2BIG
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(key);
-    if (it != map_.end()) {
+    Shard& shard = ShardFor(key);
+    MutexLock lock(shard.mu);
+    auto [it, inserted] = shard.map.try_emplace(key, value);
+    if (!inserted) {
       if (flags == MapUpdateFlags::kNoExist) {
         return false;
       }
       it->second = value;
       return true;
     }
-    if (flags == MapUpdateFlags::kExist) {
+    if (flags == MapUpdateFlags::kExist ||
+        size_.fetch_add(1, std::memory_order_relaxed) >= max_entries_) {
+      if (flags != MapUpdateFlags::kExist) {
+        size_.fetch_sub(1, std::memory_order_relaxed);  // -E2BIG: roll back
+      }
+      shard.map.erase(it);
       return false;
     }
-    if (map_.size() >= max_entries_) {
-      return false;  // -E2BIG
-    }
-    map_.emplace(key, value);
     return true;
   }
 
@@ -69,46 +112,93 @@ class HashMap {
     if (fault::InjectFault(fault::points::kBpfMapLookup)) {
       return nullptr;  // injected lookup miss
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(key);
-    return it == map_.end() ? nullptr : &it->second;
+    Shard& shard = ShardFor(key);
+    MutexLock lock(shard.mu);
+    auto it = shard.map.find(key);
+    return it == shard.map.end() ? nullptr : &it->second;
   }
 
   bool Delete(const K& key) {
-    std::lock_guard<std::mutex> lock(mu_);
-    return map_.erase(key) > 0;
+    Shard& shard = ShardFor(key);
+    MutexLock lock(shard.mu);
+    if (shard.map.erase(key) == 0) {
+      return false;
+    }
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
   }
 
-  uint32_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return static_cast<uint32_t>(map_.size());
-  }
+  uint32_t Size() const { return size_.load(std::memory_order_relaxed); }
   uint32_t max_entries() const { return max_entries_; }
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
 
   // bpf_for_each_map_elem equivalent; fn(key, value&) -> bool keep_going.
+  // Locks one shard at a time, so concurrent mutators only stall on the
+  // shard currently being walked.
   template <typename Fn>
   void ForEach(Fn&& fn) {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [key, value] : map_) {
+    for (Shard& shard : shards_) {
+      MutexLock lock(shard.mu);
+      for (auto& [key, value] : shard.map) {
+        if (!fn(key, value)) {
+          return;
+        }
+      }
+    }
+  }
+
+  // Visits only shard `shard_index` (< num_shards()). Batched consumers —
+  // e.g. a drain that ages one stripe of per-folio metadata per reclaim
+  // round — use this to bound lock hold time instead of walking the whole
+  // map under ForEach. fn(key, value&) -> bool keep_going.
+  template <typename Fn>
+  void ForEachShard(uint32_t shard_index, Fn&& fn) {
+    CHECK(shard_index < shards_.size());
+    Shard& shard = shards_[shard_index];
+    MutexLock lock(shard.mu);
+    for (auto& [key, value] : shard.map) {
       if (!fn(key, value)) {
-        break;
+        return;
       }
     }
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
-    map_.clear();
+    for (Shard& shard : shards_) {
+      MutexLock lock(shard.mu);
+      size_.fetch_sub(static_cast<uint32_t>(shard.map.size()),
+                      std::memory_order_relaxed);
+      shard.map.clear();
+    }
   }
 
  private:
+  struct Shard {
+    Mutex mu;
+    std::unordered_map<K, V> map CACHE_EXT_GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(const K& key) {
+    const uint64_t h = detail::MixHash(std::hash<K>{}(key));
+    return shards_[h & shard_mask_];
+  }
+
   const uint32_t max_entries_;
-  mutable std::mutex mu_;
-  std::unordered_map<K, V> map_;
+  const uint64_t shard_mask_;
+  // Committed element count across all shards; exact (reserve/rollback), so
+  // max_entries keeps kernel -E2BIG semantics under concurrency.
+  std::atomic<uint32_t> size_{0};
+  std::vector<Shard> shards_;
 };
 
 // BPF_MAP_TYPE_ARRAY: fixed-size array of values, indexed by u32. Lookups of
-// out-of-range indices fail (return nullptr), as in the kernel.
+// out-of-range indices fail (return nullptr), as in the kernel. The backing
+// store is preallocated and never reallocates, so Lookup pointers stay valid
+// for the map's lifetime; Read/Store/FetchAdd give lock-free atomic access
+// for trivially copyable V (kernel array-map values are plain memory that
+// programs access with atomic ops when they race).
 template <typename V>
 class ArrayMap {
  public:
@@ -128,8 +218,36 @@ class ArrayMap {
     if (index >= values_.size()) {
       return false;
     }
-    values_[index] = value;
+    if constexpr (std::is_trivially_copyable_v<V>) {
+      std::atomic_ref<V>(values_[index]).store(value,
+                                               std::memory_order_relaxed);
+    } else {
+      values_[index] = value;
+    }
     return true;
+  }
+
+  // Lock-free atomic read; returns false for out-of-range indices.
+  bool Read(uint32_t index, V* out) const {
+    static_assert(std::is_trivially_copyable_v<V>,
+                  "atomic ArrayMap::Read requires trivially copyable V");
+    if (index >= values_.size()) {
+      return false;
+    }
+    *out = std::atomic_ref<V>(values_[index]).load(std::memory_order_relaxed);
+    return true;
+  }
+
+  // Lock-free atomic add for counter-style values (e.g. per-tier hit
+  // counters); returns the previous value, or 0 for out-of-range indices.
+  template <typename U = V,
+            typename = std::enable_if_t<std::is_integral_v<U>>>
+  V FetchAdd(uint32_t index, V delta) {
+    if (index >= values_.size()) {
+      return V{};
+    }
+    return std::atomic_ref<V>(values_[index])
+        .fetch_add(delta, std::memory_order_relaxed);
   }
 
   uint32_t max_entries() const {
@@ -137,7 +255,7 @@ class ArrayMap {
   }
 
  private:
-  std::vector<V> values_;
+  mutable std::vector<V> values_;
 };
 
 }  // namespace cache_ext::bpf

@@ -54,6 +54,12 @@ class MemCgroup {
     return nonresident_age_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Opaque back-pointer for the page cache's per-cgroup state, like the
+  // kernel's mem_cgroup -> lruvec link. Lets the hot path reach its
+  // CgroupState in O(1) without a registry scan (and without racing one).
+  void set_priv(void* p) { priv_.store(p, std::memory_order_release); }
+  void* priv() const { return priv_.load(std::memory_order_acquire); }
+
   // Statistics.
   std::atomic<uint64_t> stat_insertions{0};
   std::atomic<uint64_t> stat_hits{0};
@@ -86,6 +92,7 @@ class MemCgroup {
   uint64_t limit_pages_;
   std::atomic<uint64_t> charged_pages_{0};
   std::atomic<uint64_t> nonresident_age_{0};
+  std::atomic<void*> priv_{nullptr};
 };
 
 }  // namespace cache_ext

@@ -1,6 +1,9 @@
 #include "src/harness/runner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "src/util/logging.h"
 
@@ -138,6 +141,99 @@ Expected<RunResult> RunKvWorkload(lsm::LsmDb* db, MemCgroup* cg,
   result.mean_ns = point_latency.Mean();
   result.scan_p99_ns = scan_latency.P99();
   result.hit_rate = cg->HitRate();
+  return result;
+}
+
+Expected<MtRunResult> RunKvWorkloadThreads(std::vector<ThreadSpec> specs,
+                                           uint64_t base_time_ns) {
+  if (specs.empty()) {
+    return InvalidArgument("need at least one thread");
+  }
+  for (const ThreadSpec& spec : specs) {
+    if (spec.db == nullptr || spec.cg == nullptr ||
+        spec.generator == nullptr) {
+      return InvalidArgument("thread spec missing db/cgroup/generator");
+    }
+    spec.cg->ResetStats();
+  }
+
+  Histogram latency;  // lock-free: shared across worker threads
+  std::atomic<uint64_t> ops_completed{0};
+  std::atomic<uint64_t> max_lane_ns{0};
+  std::atomic<bool> any_oom{false};
+  std::atomic<bool> abort{false};
+  std::vector<Status> errors(specs.size(), OkStatus());
+
+  auto worker = [&](size_t i) {
+    ThreadSpec& spec = specs[i];
+    Lane lane(static_cast<uint32_t>(i), spec.task,
+              0x9e3779b97f4a7c15ULL + i * 0x1234567ULL);
+    lane.AdvanceTo(base_time_ns);
+    const uint32_t value_size = spec.generator->value_size();
+    uint64_t lane_end = base_time_ns;
+    for (uint64_t op_idx = 0; op_idx < spec.ops; ++op_idx) {
+      if (abort.load(std::memory_order_relaxed)) {
+        break;
+      }
+      const workloads::KvOp op = spec.generator->Next(lane.rng());
+      const uint64_t t0 = lane.now_ns();
+      const Status status = ExecuteOp(spec.db, lane, op, value_size);
+      if (IsOom(status)) {
+        any_oom.store(true, std::memory_order_relaxed);
+        break;  // this cgroup died; the other threads keep going
+      }
+      if (!status.ok()) {
+        errors[i] = status;
+        abort.store(true, std::memory_order_relaxed);
+        break;
+      }
+      latency.Record(lane.now_ns() - t0);
+      ops_completed.fetch_add(1, std::memory_order_relaxed);
+      lane_end = lane.now_ns();
+    }
+    uint64_t seen = max_lane_ns.load(std::memory_order_relaxed);
+    while (lane_end > seen &&
+           !max_lane_ns.compare_exchange_weak(seen, lane_end,
+                                              std::memory_order_relaxed)) {
+    }
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    workers.emplace_back(worker, i);
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  for (const Status& status : errors) {
+    CACHE_EXT_RETURN_IF_ERROR(status);
+  }
+
+  MtRunResult result;
+  result.ops_completed = ops_completed.load(std::memory_order_relaxed);
+  result.wall_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (result.wall_s > 0) {
+    result.wall_throughput_ops =
+        static_cast<double>(result.ops_completed) / result.wall_s;
+  }
+  const uint64_t max_ns = max_lane_ns.load(std::memory_order_relaxed);
+  result.duration_s =
+      max_ns > base_time_ns
+          ? static_cast<double>(max_ns - base_time_ns) / 1e9
+          : 0;
+  if (result.duration_s > 0) {
+    result.throughput_ops =
+        static_cast<double>(result.ops_completed) / result.duration_s;
+  }
+  result.p50_ns = latency.P50();
+  result.p99_ns = latency.P99();
+  result.mean_ns = latency.Mean();
+  result.oom = any_oom.load(std::memory_order_relaxed);
   return result;
 }
 

@@ -61,6 +61,47 @@ Expected<RunResult> RunKvWorkload(lsm::LsmDb* db, MemCgroup* cg,
                                   std::vector<LaneSpec> lanes,
                                   const KvRunnerOptions& options = {});
 
+// --- Multithreaded (wall-clock) runner -------------------------------------
+//
+// Unlike the virtual-clock runners above (which interleave lanes on one OS
+// thread to make results deterministic), this runner drives each lane from
+// its own std::thread so the page cache's lock sharding is actually
+// exercised and measured. Throughput is wall-clock ops/s; latency
+// percentiles are still virtual-time (per-op simulated cost), merged across
+// threads via the lock-free histogram.
+
+struct ThreadSpec {
+  lsm::LsmDb* db = nullptr;                     // this thread's DB
+  MemCgroup* cg = nullptr;                      // this thread's cgroup
+  workloads::KvGenerator* generator = nullptr;  // op stream (not shared)
+  TaskContext task;
+  uint64_t ops = 0;
+};
+
+struct MtRunResult {
+  uint64_t ops_completed = 0;
+  double wall_s = 0;               // elapsed wall-clock time
+  double wall_throughput_ops = 0;  // completed ops per wall-clock second
+  // Aggregate virtual throughput: completed ops / slowest lane's virtual
+  // duration — the same metric the single-threaded runners report, so the
+  // scaling curve is meaningful even on boxes with fewer cores than lanes
+  // (wall-clock throughput cannot exceed 1x on a single-CPU machine no
+  // matter how well the cache shards its locks).
+  double duration_s = 0;
+  double throughput_ops = 0;
+  uint64_t p50_ns = 0;  // virtual op latency, merged across threads
+  uint64_t p99_ns = 0;
+  double mean_ns = 0;
+  bool oom = false;  // any thread's cgroup OOMed (its lane stops early)
+};
+
+// Runs each spec on its own OS thread until its op budget is done. An OOM
+// stops only the affected thread; any other error aborts the run. Pass the
+// SSD frontier as `base_time_ns` when the device already served a load
+// phase, exactly like KvRunnerOptions::base_time_ns.
+Expected<MtRunResult> RunKvWorkloadThreads(std::vector<ThreadSpec> threads,
+                                           uint64_t base_time_ns = 0);
+
 struct SearchRunResult {
   uint64_t matches = 0;
   uint64_t passes = 0;

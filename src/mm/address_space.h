@@ -8,6 +8,7 @@
 #ifndef SRC_MM_ADDRESS_SPACE_H_
 #define SRC_MM_ADDRESS_SPACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -36,11 +37,18 @@ class AddressSpace {
     return pages_.Load(index).AsPointer<Folio>();
   }
 
-  uint64_t nr_resident() const { return nr_resident_; }
-  void IncResident() { ++nr_resident_; }
-  void DecResident() { --nr_resident_; }
+  // Resident count is read lock-free by stats paths, so it is atomic; it is
+  // only mutated under this mapping's stripe lock (see PageCache).
+  uint64_t nr_resident() const {
+    return nr_resident_.load(std::memory_order_relaxed);
+  }
+  void IncResident() { nr_resident_.fetch_add(1, std::memory_order_relaxed); }
+  void DecResident() { nr_resident_.fetch_sub(1, std::memory_order_relaxed); }
 
-  // Readahead state: last sequentially-read index + current window.
+  // Readahead state: last sequentially-read index + current window. Like
+  // `pages_`, these fields are guarded by the PageCache's per-mapping stripe
+  // lock (the analogue of the kernel's i_pages xa_lock); they are never
+  // touched without it.
   uint64_t ra_prev_index = UINT64_MAX;
   uint32_t ra_window = 0;
   bool ra_sequential_hint = false;  // FADV_SEQUENTIAL
@@ -52,7 +60,7 @@ class AddressSpace {
   FileId file_;
   std::string name_;
   XArray pages_;
-  uint64_t nr_resident_ = 0;
+  std::atomic<uint64_t> nr_resident_{0};
 };
 
 }  // namespace cache_ext

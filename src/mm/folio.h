@@ -8,6 +8,7 @@
 #ifndef SRC_MM_FOLIO_H_
 #define SRC_MM_FOLIO_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/util/intrusive_list.h"
@@ -33,10 +34,14 @@ struct Folio {
   uint64_t index = 0;  // page index within the mapping
   MemCgroup* memcg = nullptr;
 
-  uint32_t flags = 0;
+  // Flags and the pin count are accessed from concurrent lanes: the hit path
+  // sets kFolioReferenced under the mapping stripe lock while reclaim clears
+  // it under the owning cgroup lock, so both are atomic (relaxed — each bit
+  // is an independent hint, like the kernel's folio page-flag bitops).
+  std::atomic<uint32_t> flags{0};
   // Pin count: >0 means the kernel is using the folio (in-flight I/O,
   // mapped buffers); pinned folios are not evictable (§4.2.3).
-  uint32_t pins = 0;
+  std::atomic<uint32_t> pins{0};
 
   // Linkage on the *base* (native) policy's lists. cache_ext eviction lists
   // keep their own nodes in the registry, per §4.2.2.
@@ -46,22 +51,29 @@ struct Folio {
   uint32_t gen = 0;        // generation sequence number this folio belongs to
   uint32_t accesses = 0;   // access count feeding the tier computation
 
-  bool TestFlag(FolioFlag f) const { return (flags & f) != 0; }
-  void SetFlag(FolioFlag f) { flags |= f; }
-  void ClearFlag(FolioFlag f) { flags &= ~f; }
-
-  // Atomically "test and clear" referenced, like folio_test_clear_referenced.
-  bool TestClearReferenced() {
-    const bool was = TestFlag(kFolioReferenced);
-    ClearFlag(kFolioReferenced);
-    return was;
+  bool TestFlag(FolioFlag f) const {
+    return (flags.load(std::memory_order_relaxed) & f) != 0;
+  }
+  void SetFlag(FolioFlag f) { flags.fetch_or(f, std::memory_order_relaxed); }
+  void ClearFlag(FolioFlag f) {
+    flags.fetch_and(~static_cast<uint32_t>(f), std::memory_order_relaxed);
+  }
+  // Atomically "test and clear" a flag, like folio_test_clear_*.
+  bool TestClearFlag(FolioFlag f) {
+    const uint32_t old =
+        flags.fetch_and(~static_cast<uint32_t>(f), std::memory_order_relaxed);
+    return (old & f) != 0;
   }
 
-  bool pinned() const { return pins > 0; }
-  void Pin() { ++pins; }
+  // Atomically "test and clear" referenced, like folio_test_clear_referenced.
+  bool TestClearReferenced() { return TestClearFlag(kFolioReferenced); }
+
+  bool pinned() const { return pins.load(std::memory_order_relaxed) > 0; }
+  void Pin() { pins.fetch_add(1, std::memory_order_relaxed); }
   void Unpin() {
-    DCHECK(pins > 0);
-    --pins;
+    const uint32_t old = pins.fetch_sub(1, std::memory_order_relaxed);
+    DCHECK(old > 0);
+    (void)old;
   }
 };
 

@@ -31,6 +31,16 @@ void DefaultLruPolicy::FolioAccessed(Folio* folio) {
     // FADV_NOREUSE semantics: the access does not contribute to promotion.
     return;
   }
+  if (!folio->lru.IsLinked()) {
+    // The folio's own FolioAdded notification is still buffered in another
+    // lane's dispatch ring: it is already visible in the xarray (so
+    // cross-cgroup readers can hit it first), but not yet on any list.
+    // Record the reference only; the pending FolioAdded places it. Kernel
+    // analogue: folio_mark_accessed() on a folio still sitting in a per-CPU
+    // folio batch before lru_add drains it to the real LRU.
+    folio->SetFlag(kFolioReferenced);
+    return;
+  }
   if (!folio->TestFlag(kFolioActive)) {
     if (folio->TestFlag(kFolioReferenced)) {
       // Second access while inactive: promote (folio_mark_accessed()).

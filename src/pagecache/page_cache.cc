@@ -1,6 +1,7 @@
 #include "src/pagecache/page_cache.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "src/pagecache/current_task.h"
 #include "src/pagecache/default_lru.h"
@@ -29,10 +30,12 @@ PageCache::PageCache(SimDisk* disk, SsdModel* ssd, PageCacheOptions options)
     : disk_(disk), ssd_(ssd), options_(options) {
   CHECK_NOTNULL(disk_);
   CHECK_NOTNULL(ssd_);
+  options_.hook_batch_size = std::clamp<uint32_t>(
+      options_.hook_batch_size, 1, static_cast<uint32_t>(kMaxEvictionBatch));
 }
 
-PageCache::~PageCache() {
-  // Free all resident folios.
+PageCache::~PageCache() CACHE_EXT_NO_TSA {
+  // Free all resident folios. No locks: destruction requires quiescence.
   for (auto& [name, as] : files_) {
     std::vector<Folio*> folios;
     as->pages().ForEach([&folios](uint64_t, XEntry entry) {
@@ -48,19 +51,21 @@ PageCache::~PageCache() {
 
 MemCgroup* PageCache::CreateCgroup(std::string_view name, uint64_t limit_bytes,
                                    BasePolicyKind base) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(registry_mu_);
   auto state = std::make_unique<CgroupState>();
   const uint64_t limit_pages = std::max<uint64_t>(1, limit_bytes / kPageSize);
   state->cg = std::make_unique<MemCgroup>(next_cgroup_id_++, std::string(name),
                                           limit_pages);
   state->base = MakeBasePolicy(base, options_.costs);
+  state->base_event_cost_ns = state->base->PerEventCostNs();
+  state->cg->set_priv(state.get());
   MemCgroup* cg = state->cg.get();
   cgroups_.push_back(std::move(state));
   return cg;
 }
 
 MemCgroup* PageCache::FindCgroup(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(registry_mu_);
   for (auto& st : cgroups_) {
     if (st->cg->name() == name) {
       return st->cg.get();
@@ -69,17 +74,8 @@ MemCgroup* PageCache::FindCgroup(std::string_view name) {
   return nullptr;
 }
 
-PageCache::CgroupState* PageCache::StateFor(MemCgroup* cg) {
-  for (auto& st : cgroups_) {
-    if (st->cg.get() == cg) {
-      return st.get();
-    }
-  }
-  return nullptr;
-}
-
 Expected<AddressSpace*> PageCache::OpenFile(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(registry_mu_);
   auto it = files_.find(std::string(name));
   if (it != files_.end()) {
     return it->second.get();
@@ -103,37 +99,49 @@ Expected<AddressSpace*> PageCache::OpenFile(std::string_view name) {
 
 Status PageCache::AttachExtPolicy(MemCgroup* cg,
                                   std::unique_ptr<ReclaimPolicy> policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock reg(registry_mu_);
   CgroupState* st = StateFor(cg);
   if (st == nullptr) {
     return NotFound("unknown cgroup");
   }
+  MutexLock lock(st->mu);
   if (st->ext != nullptr) {
     return AlreadyExists("cgroup already has an ext policy attached");
   }
   st->ext = std::move(policy);
-  st->stats.ext_violations = 0;
-  st->stats.ext_detached_by_watchdog = false;
+  st->stats.ext_violations.store(0, std::memory_order_relaxed);
+  st->watchdog_detached.store(false, std::memory_order_relaxed);
+  st->ext_event_cost_ns.store(st->ext->PerEventCostNs(),
+                              std::memory_order_relaxed);
+  st->ext_active_hint.store(true, std::memory_order_release);
   // Introduce currently-resident folios so the policy has a complete view
   // (folios inserted before attach would otherwise be invisible to it and
-  // unevictable through its lists).
+  // unevictable through its lists). Holding st->mu keeps this cgroup's
+  // folios from being removed while we walk; the stripe guards each walk.
   for (auto& [name, as] : files_) {
-    as->pages().ForEach([&](uint64_t, XEntry entry) {
-      Folio* folio = entry.AsPointer<Folio>();
-      if (folio != nullptr && folio->memcg == cg) {
-        st->ext->FolioAdded(folio);
-      }
-    });
+    std::vector<Folio*> own;
+    {
+      MutexLock stripe(StripeFor(as.get()));
+      as->pages().ForEach([&](uint64_t, XEntry entry) {
+        Folio* folio = entry.AsPointer<Folio>();
+        if (folio != nullptr && folio->memcg == cg) {
+          own.push_back(folio);
+        }
+      });
+    }
+    for (Folio* folio : own) {
+      st->ext->FolioAdded(folio);
+    }
   }
   return OkStatus();
 }
 
 Status PageCache::DetachExtPolicy(MemCgroup* cg) {
-  std::lock_guard<std::mutex> lock(mu_);
   CgroupState* st = StateFor(cg);
   if (st == nullptr) {
     return NotFound("unknown cgroup");
   }
+  MutexLock lock(st->mu);
   if (st->ext == nullptr) {
     return FailedPrecondition("no ext policy attached");
   }
@@ -141,40 +149,44 @@ Status PageCache::DetachExtPolicy(MemCgroup* cg) {
   // cumulative counters so post-mortem stats survive the detach.
   const PolicyHookHealth health = st->ext->HookHealth();
   for (uint32_t i = 0; i < kNumPolicyHooks; ++i) {
-    st->stats.ext_hook_trip_counts[i] += health.trips[i];
+    st->stats.ext_hook_trip_counts[i].fetch_add(health.trips[i],
+                                                std::memory_order_relaxed);
   }
+  st->ext_active_hint.store(false, std::memory_order_release);
   st->ext.reset();
   return OkStatus();
 }
 
 ReclaimPolicy* PageCache::ext_policy(MemCgroup* cg) {
-  std::lock_guard<std::mutex> lock(mu_);
   CgroupState* st = StateFor(cg);
-  return st == nullptr ? nullptr : st->ext.get();
+  if (st == nullptr) {
+    return nullptr;
+  }
+  MutexLock lock(st->mu);
+  return st->ext.get();
 }
 
 void PageCache::RecordLoadRejection(MemCgroup* cg) {
-  std::lock_guard<std::mutex> lock(mu_);
   CgroupState* st = StateFor(cg);
   if (st != nullptr) {
-    ++st->stats.rejected_at_load;
+    st->stats.rejected_at_load.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void PageCache::SetQuarantineInfo(MemCgroup* cg, bool quarantined, bool banned,
                                   uint32_t reattach_attempts) {
-  std::lock_guard<std::mutex> lock(mu_);
   CgroupState* st = StateFor(cg);
   if (st == nullptr) {
     return;
   }
-  st->stats.ext_quarantined = quarantined;
-  st->stats.ext_banned = banned;
-  st->stats.ext_reattach_attempts = reattach_attempts;
+  st->stats.ext_quarantined.store(quarantined, std::memory_order_relaxed);
+  st->stats.ext_banned.store(banned, std::memory_order_relaxed);
+  st->stats.ext_reattach_attempts.store(reattach_attempts,
+                                        std::memory_order_relaxed);
 }
 
 bool PageCache::ExtActive(CgroupState& st) {
-  if (st.ext == nullptr || st.stats.ext_detached_by_watchdog) {
+  if (st.ext == nullptr || st.watchdog_detached.load(std::memory_order_relaxed)) {
     return false;
   }
   if (st.ext->WantsDetach()) {
@@ -183,40 +195,101 @@ bool PageCache::ExtActive(CgroupState& st) {
     LOG_WARNING << "cache_ext watchdog: policy '" << st.ext->name()
                 << "' on cgroup '" << st.cg->name()
                 << "' escalated by its circuit breaker; detaching";
-    st.stats.ext_detached_by_watchdog = true;
+    st.watchdog_detached.store(true, std::memory_order_relaxed);
+    st.ext_active_hint.store(false, std::memory_order_release);
     return false;
   }
   return true;
 }
 
 ReclaimPolicy* PageCache::base_policy(MemCgroup* cg) {
-  std::lock_guard<std::mutex> lock(mu_);
   CgroupState* st = StateFor(cg);
-  return st == nullptr ? nullptr : st->base.get();
+  if (st == nullptr) {
+    return nullptr;
+  }
+  MutexLock lock(st->mu);
+  return st->base.get();
 }
 
-void PageCache::DispatchAdded(Lane& lane, CgroupState& st, Folio* folio) {
-  st.base->FolioAdded(folio);
-  lane.Charge(st.base->PerEventCostNs());
-  if (ExtActive(st)) {
-    st.ext->FolioAdded(folio);
-    lane.Charge(st.ext->PerEventCostNs());
+// --- Batched hook dispatch -------------------------------------------------
+
+void PageCache::Append(Lane& lane, DispatchBatch& batch, CgroupState* owner,
+                       Folio* folio, HookEvent event, CgroupState* locked) {
+  CHECK(batch.size < batch.entries.size());
+  // The ring owns one pin: the folio cannot be freed before dispatch.
+  folio->Pin();
+  // Per-event policy cost is charged at append time (the event happened
+  // now in virtual time); only the dispatch trampoline is amortized.
+  lane.Charge(owner->base_event_cost_ns);
+  if (owner->ext_active_hint.load(std::memory_order_relaxed)) {
+    lane.Charge(owner->ext_event_cost_ns.load(std::memory_order_relaxed));
   }
-  if (tracer_ != nullptr) {
-    tracer_->OnFolioAdded(lane, *folio);
+  if (PageCacheTracer* tracer = tracer_.load(std::memory_order_relaxed)) {
+    if (event == HookEvent::kAdded) {
+      tracer->OnFolioAdded(lane, *folio);
+    } else {
+      tracer->OnFolioAccessed(lane, *folio);
+    }
+  }
+  batch.entries[batch.size++] = PendingHook{folio, owner, event};
+  if (batch.size >= options_.hook_batch_size) {
+    if (locked != nullptr) {
+      DrainLocked(lane, batch, *locked);
+    } else {
+      Drain(lane, batch);
+    }
   }
 }
 
-void PageCache::DispatchAccessed(Lane& lane, CgroupState& st, Folio* folio) {
-  st.base->FolioAccessed(folio);
-  lane.Charge(st.base->PerEventCostNs());
-  if (ExtActive(st)) {
-    st.ext->FolioAccessed(folio);
-    lane.Charge(st.ext->PerEventCostNs());
+void PageCache::DispatchLocked(Lane& lane, const PendingHook& entry,
+                               CgroupState& st) {
+  (void)lane;
+  if (entry.event == HookEvent::kAdded) {
+    st.base->FolioAdded(entry.folio);
+    if (ExtActive(st)) {
+      st.ext->FolioAdded(entry.folio);
+    }
+  } else {
+    st.base->FolioAccessed(entry.folio);
+    if (ExtActive(st)) {
+      st.ext->FolioAccessed(entry.folio);
+    }
   }
-  if (tracer_ != nullptr) {
-    tracer_->OnFolioAccessed(lane, *folio);
+  entry.folio->Unpin();
+}
+
+void PageCache::Drain(Lane& lane, DispatchBatch& batch) {
+  uint32_t i = 0;
+  while (i < batch.size) {
+    CgroupState* owner = batch.entries[i].owner;
+    MutexLock lock(owner->mu);
+    // One amortized dispatch cost per locked run of events (the paper's
+    // batch-dispatch argument, §4.2.3).
+    lane.Charge(options_.costs.hook_dispatch_ns);
+    while (i < batch.size && batch.entries[i].owner == owner) {
+      DispatchLocked(lane, batch.entries[i], *owner);
+      ++i;
+    }
   }
+  batch.size = 0;
+}
+
+void PageCache::DrainLocked(Lane& lane, DispatchBatch& batch, CgroupState& st) {
+  uint32_t kept = 0;
+  bool charged = false;
+  for (uint32_t i = 0; i < batch.size; ++i) {
+    PendingHook& entry = batch.entries[i];
+    if (entry.owner == &st) {
+      if (!charged) {
+        lane.Charge(options_.costs.hook_dispatch_ns);
+        charged = true;
+      }
+      DispatchLocked(lane, entry, st);
+    } else {
+      batch.entries[kept++] = entry;
+    }
+  }
+  batch.size = kept;
 }
 
 void PageCache::DispatchRemoved(Lane& lane, CgroupState& st, Folio* folio) {
@@ -227,15 +300,28 @@ void PageCache::DispatchRemoved(Lane& lane, CgroupState& st, Folio* folio) {
   }
   st.base->FolioRemoved(folio);
   lane.Charge(st.base->PerEventCostNs());
-  if (tracer_ != nullptr) {
-    tracer_->OnFolioEvicted(lane, *folio);
+  if (PageCacheTracer* tracer = tracer_.load(std::memory_order_relaxed)) {
+    tracer->OnFolioEvicted(lane, *folio);
   }
 }
 
+// --- Folio lifetime --------------------------------------------------------
+
 Folio* PageCache::InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
-                              uint64_t index, bool is_write,
-                              bool via_readahead) {
+                              uint64_t index, bool is_write, bool via_readahead,
+                              DispatchBatch& batch, bool* already_present) {
+  *already_present = false;
   MemCgroup* cg = st.cg.get();
+  Mutex& stripe = StripeFor(as);
+
+  {
+    MutexLock s(stripe);
+    if (Folio* existing = as->FindFolio(index); existing != nullptr) {
+      existing->Pin();
+      *already_present = true;
+      return existing;
+    }
+  }
 
   // Admission filter (§5.6): only consulted for folios not yet present, and
   // never for a watchdog-detached policy (it must not veto admissions).
@@ -255,32 +341,47 @@ Folio* PageCache::InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
 
   lane.Charge(options_.costs.miss_setup_ns);
 
-  // Refault detection against a shadow entry left by a prior eviction.
-  const XEntry old_entry = as->pages().Load(index);
+  Folio* folio = nullptr;
   RefaultDecision refault;
-  if (old_entry.IsValue()) {
-    refault = WorkingsetRefault(cg, old_entry, cg->limit_pages());
+  {
+    MutexLock s(stripe);
+    // Another lane (a different cgroup sharing the file) may have populated
+    // the index while admission ran; the xarray re-check under the stripe
+    // is authoritative.
+    if (Folio* existing = as->FindFolio(index); existing != nullptr) {
+      existing->Pin();
+      *already_present = true;
+      return existing;
+    }
+
+    // Refault detection against a shadow entry left by a prior eviction.
+    const XEntry old_entry = as->pages().Load(index);
+    if (old_entry.IsValue()) {
+      refault = WorkingsetRefault(cg, old_entry, cg->limit_pages());
+    }
+
+    folio = new Folio();
+    folio->mapping = as;
+    folio->index = index;
+    folio->memcg = cg;
+    folio->SetFlag(kFolioUptodate);
+    if (refault.activate) {
+      folio->SetFlag(kFolioWorkingset);
+    }
+    if (as->noreuse_hint) {
+      folio->SetFlag(kFolioDropBehind);
+    }
+    folio->Pin();  // returned pinned; the caller unpins
+
+    as->pages().Store(index, XEntry::FromPointer(folio));
+    as->IncResident();
+    total_resident_.fetch_add(1, std::memory_order_relaxed);
+    cg->ChargePage();
+    cg->stat_insertions.fetch_add(1, std::memory_order_relaxed);
   }
 
-  auto* folio = new Folio();
-  folio->mapping = as;
-  folio->index = index;
-  folio->memcg = cg;
-  folio->SetFlag(kFolioUptodate);
-  if (refault.activate) {
-    folio->SetFlag(kFolioWorkingset);
-  }
-  if (as->noreuse_hint) {
-    folio->SetFlag(kFolioDropBehind);
-  }
-
-  as->pages().Store(index, XEntry::FromPointer(folio));
-  as->IncResident();
-  ++total_resident_;
-  cg->ChargePage();
-  cg->stat_insertions.fetch_add(1, std::memory_order_relaxed);
   if (via_readahead) {
-    ++st.stats.readahead_pages;
+    st.stats.readahead_pages.fetch_add(1, std::memory_order_relaxed);
   }
 
   if (refault.is_refault) {
@@ -289,43 +390,58 @@ Folio* PageCache::InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
       st.ext->FolioRefaulted(folio, refault.tier);
     }
   }
-  DispatchAdded(lane, st, folio);
+  Append(lane, batch, &st, folio, HookEvent::kAdded, &st);
   return folio;
 }
 
-bool PageCache::RemoveFolio(Lane& lane, Folio* folio, RemovalKind kind) {
-  if (folio->pinned()) {
-    return false;
-  }
-  AddressSpace* as = folio->mapping;
-  MemCgroup* cg = folio->memcg;
-  CgroupState* st = StateFor(cg);
-  CHECK_NOTNULL(st);
+bool PageCache::RemoveFolio(Lane& lane, CgroupState& st, AddressSpace* as,
+                            uint64_t index, Folio* expected, RemovalKind kind,
+                            bool skip_writeback) {
+  MemCgroup* cg = st.cg.get();
+  Mutex& stripe = StripeFor(as);
+  Folio* folio = nullptr;
+  {
+    MutexLock s(stripe);
+    folio = as->FindFolio(index);
+    // Authoritative re-checks: the index must still map the folio we were
+    // asked about, it must belong to this cgroup (we hold its lock, so it
+    // cannot be concurrently freed), and it must be unpinned (a pin means
+    // another lane has it in flight — hit dispatch or device I/O).
+    if (folio == nullptr || (expected != nullptr && folio != expected) ||
+        folio->memcg != cg || folio->pinned()) {
+      return false;
+    }
 
-  if (folio->TestFlag(kFolioDirty)) {
-    // Writeback: the device write occupies a channel but the reclaiming
-    // lane does not wait for it (async flush).
-    ssd_->SubmitWrite(lane.now_ns(), kPageSize);
-    lane.Charge(options_.costs.writeback_page_ns);
-    folio->ClearFlag(kFolioDirty);
-    ++st->stats.writeback_pages;
+    if (skip_writeback) {
+      folio->ClearFlag(kFolioDirty);
+    } else if (folio->TestClearFlag(kFolioDirty)) {
+      // Writeback: the device write occupies a channel but the reclaiming
+      // lane does not wait for it (async flush).
+      ssd_->SubmitWrite(lane.now_ns(), kPageSize);
+      lane.Charge(options_.costs.writeback_page_ns);
+      st.stats.writeback_pages.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    XEntry shadow = XEntry::Empty();
+    if (kind == RemovalKind::kEvict) {
+      const uint32_t tier = st.base->EvictionTier(folio);
+      shadow = WorkingsetEviction(cg, tier);
+      cg->stat_evictions.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      st.stats.invalidations.fetch_add(1, std::memory_order_relaxed);
+    }
+    as->pages().Store(index, shadow);
+    as->DecResident();
+    const uint64_t prev =
+        total_resident_.fetch_sub(1, std::memory_order_relaxed);
+    DCHECK(prev > 0);
+    (void)prev;
+    cg->UnchargePage();
   }
 
-  XEntry shadow = XEntry::Empty();
-  if (kind == RemovalKind::kEvict) {
-    const uint32_t tier = st->base->EvictionTier(folio);
-    shadow = WorkingsetEviction(cg, tier);
-    cg->stat_evictions.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    ++st->stats.invalidations;
-  }
-  as->pages().Store(folio->index, shadow);
-  as->DecResident();
-  DCHECK(total_resident_ > 0);
-  --total_resident_;
-  cg->UnchargePage();
-
-  DispatchRemoved(lane, *st, folio);
+  // The folio is unmapped and unpinned: no other lane can reach it anymore
+  // (policy lists and the registry are behind st.mu, which we hold).
+  DispatchRemoved(lane, st, folio);
   delete folio;
   return true;
 }
@@ -347,20 +463,20 @@ bool PageCache::CandidateValid(CgroupState& st, Folio* folio, bool from_ext,
       return false;
     }
   }
-  if (folio->mapping == nullptr || folio->memcg != st.cg.get()) {
-    return false;
-  }
-  if (folio->mapping->FindFolio(folio->index) != folio) {
-    return false;
-  }
-  return !folio->pinned();
+  // Residency and pin state are re-checked under the stripe in RemoveFolio;
+  // here we only reject candidates that obviously belong elsewhere.
+  return folio->mapping != nullptr && folio->memcg == st.cg.get();
 }
 
-void PageCache::ReclaimIfNeeded(Lane& lane, CgroupState& st) {
+void PageCache::ReclaimIfNeeded(Lane& lane, CgroupState& st,
+                                DispatchBatch& batch) {
   MemCgroup* cg = st.cg.get();
-  if (!cg->OverLimit() || st.stats.oom_killed) {
+  if (!cg->OverLimit() || st.oom_killed.load(std::memory_order_relaxed)) {
     return;
   }
+  // The policy must see every buffered notification for this cgroup before
+  // proposing victims (batching bounds staleness at the batch size).
+  DrainLocked(lane, batch, st);
   const uint64_t slack = std::min<uint64_t>(cg->limit_pages() / 8,
                                             kMaxEvictionBatch - 1);
   int zero_progress_rounds = 0;
@@ -383,11 +499,12 @@ void PageCache::ReclaimIfNeeded(Lane& lane, CgroupState& st) {
       bool violation = false;
       if (!CandidateValid(st, folio, use_ext, &violation)) {
         if (violation) {
-          ++st.stats.ext_violations;
+          st.stats.ext_violations.fetch_add(1, std::memory_order_relaxed);
         }
         continue;
       }
-      if (RemoveFolio(lane, folio, RemovalKind::kEvict)) {
+      if (RemoveFolio(lane, st, folio->mapping, folio->index, folio,
+                      RemovalKind::kEvict)) {
         ++evicted;
         lane.Charge(options_.costs.reclaim_per_folio_ns);
       }
@@ -406,27 +523,30 @@ void PageCache::ReclaimIfNeeded(Lane& lane, CgroupState& st) {
         if (!CandidateValid(st, folio, /*from_ext=*/false, &violation)) {
           continue;
         }
-        if (RemoveFolio(lane, folio, RemovalKind::kEvict)) {
+        if (RemoveFolio(lane, st, folio->mapping, folio->index, folio,
+                        RemovalKind::kEvict)) {
           ++evicted;
-          ++st.stats.fallback_evictions;
+          st.stats.fallback_evictions.fetch_add(1, std::memory_order_relaxed);
           lane.Charge(options_.costs.reclaim_per_folio_ns);
         }
       }
     }
 
     // Watchdog (§4.4): forcibly unload a persistently misbehaving policy.
-    if (use_ext &&
-        st.stats.ext_violations > options_.watchdog_violation_limit) {
+    if (use_ext && st.stats.ext_violations.load(std::memory_order_relaxed) >
+                       options_.watchdog_violation_limit) {
       LOG_WARNING << "cache_ext watchdog: detaching policy '"
                   << st.ext->name() << "' from cgroup '" << cg->name()
-                  << "' after " << st.stats.ext_violations
+                  << "' after "
+                  << st.stats.ext_violations.load(std::memory_order_relaxed)
                   << " invalid candidates";
-      st.stats.ext_detached_by_watchdog = true;
+      st.watchdog_detached.store(true, std::memory_order_relaxed);
+      st.ext_active_hint.store(false, std::memory_order_release);
     }
 
     if (evicted == 0) {
       if (++zero_progress_rounds >= options_.max_reclaim_retries) {
-        st.stats.oom_killed = true;
+        st.oom_killed.store(true, std::memory_order_relaxed);
         cg->stat_oom_events.fetch_add(1, std::memory_order_relaxed);
         LOG_WARNING << "memcg OOM: cgroup '" << cg->name()
                     << "' could not reclaim below its limit (policy "
@@ -442,19 +562,24 @@ void PageCache::ReclaimIfNeeded(Lane& lane, CgroupState& st) {
 uint32_t PageCache::ReadaheadWindow(Lane& lane, CgroupState& st,
                                     AddressSpace* as, uint64_t index) {
   uint32_t heuristic = 0;
-  if (!as->ra_random_hint) {
-    const uint32_t max_window =
-        as->ra_sequential_hint ? 2 * options_.max_readahead_pages
-                               : options_.max_readahead_pages;
-    if (as->ra_prev_index != UINT64_MAX && index == as->ra_prev_index + 1) {
-      // Sequential pattern: grow the window (ondemand_readahead-style).
-      as->ra_window = std::min(max_window, as->ra_window == 0
-                                               ? 4
-                                               : as->ra_window * 2);
-    } else {
-      as->ra_window = 0;
+  uint64_t prev_index = UINT64_MAX;
+  {
+    MutexLock s(StripeFor(as));
+    prev_index = as->ra_prev_index;
+    if (!as->ra_random_hint) {
+      const uint32_t max_window =
+          as->ra_sequential_hint ? 2 * options_.max_readahead_pages
+                                 : options_.max_readahead_pages;
+      if (as->ra_prev_index != UINT64_MAX && index == as->ra_prev_index + 1) {
+        // Sequential pattern: grow the window (ondemand_readahead-style).
+        as->ra_window = std::min(max_window, as->ra_window == 0
+                                                 ? 4
+                                                 : as->ra_window * 2);
+      } else {
+        as->ra_window = 0;
+      }
+      heuristic = as->ra_window;
     }
-    heuristic = as->ra_window;
   }
 
   // Prefetch-policy extension (§7): an attached policy may override the
@@ -463,7 +588,7 @@ uint32_t PageCache::ReadaheadWindow(Lane& lane, CgroupState& st,
     PrefetchCtx ctx;
     ctx.mapping = as;
     ctx.index = index;
-    ctx.prev_index = as->ra_prev_index;
+    ctx.prev_index = prev_index;
     ctx.default_window = heuristic;
     ctx.pid = lane.task().pid;
     ctx.tid = lane.task().tid;
@@ -478,15 +603,19 @@ uint32_t PageCache::ReadaheadWindow(Lane& lane, CgroupState& st,
 }
 
 void PageCache::Prefetch(Lane& lane, AddressSpace* as, CgroupState& st,
-                         uint64_t first_index, uint32_t nr_pages) {
+                         uint64_t first_index, uint32_t nr_pages,
+                         DispatchBatch& batch) {
   uint64_t run_bytes = 0;
   for (uint32_t i = 0; i < nr_pages; ++i) {
     const uint64_t index = first_index + i;
-    if (as->FindFolio(index) != nullptr) {
-      continue;
+    bool already = false;
+    Folio* inserted = InsertFolio(lane, as, st, index, /*is_write=*/false,
+                                  /*via_readahead=*/true, batch, &already);
+    if (inserted == nullptr) {
+      continue;  // admission denied
     }
-    if (InsertFolio(lane, as, st, index, /*is_write=*/false,
-                    /*via_readahead=*/true) != nullptr) {
+    inserted->Unpin();
+    if (!already) {
       run_bytes += kPageSize;
     }
   }
@@ -494,13 +623,14 @@ void PageCache::Prefetch(Lane& lane, AddressSpace* as, CgroupState& st,
     // The device read happens asynchronously: it occupies a channel but the
     // triggering lane does not wait (readahead runs ahead of the reader).
     ssd_->SubmitRead(lane.now_ns(), run_bytes);
-    ReclaimIfNeeded(lane, st);
+    ReclaimIfNeeded(lane, st, batch);
   }
 }
 
+// --- Data path -------------------------------------------------------------
+
 Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
                        uint64_t offset, std::span<uint8_t> out) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (as == nullptr || cg == nullptr) {
     return InvalidArgument("null mapping or cgroup");
   }
@@ -508,7 +638,7 @@ Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
   if (st == nullptr) {
     return NotFound("unknown cgroup");
   }
-  if (st->stats.oom_killed) {
+  if (st->oom_killed.load(std::memory_order_relaxed)) {
     return ResourceExhausted("cgroup was OOM-killed");
   }
   if (out.empty()) {
@@ -519,91 +649,128 @@ Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
 
   const uint64_t first = offset / kPageSize;
   const uint64_t last = (offset + out.size() - 1) / kPageSize;
+  DispatchBatch batch;
   std::vector<Folio*> run_pins;
+  Mutex& stripe = StripeFor(as);
 
   uint64_t index = first;
   while (index <= last) {
-    Folio* folio = as->FindFolio(index);
-    if (folio != nullptr) {
+    Folio* hit = nullptr;
+    {
+      MutexLock s(stripe);
+      hit = as->FindFolio(index);
+      if (hit != nullptr) {
+        hit->Pin();  // guard across the stripe release, until the ring pins
+        as->ra_prev_index = index;
+      }
+    }
+    if (hit != nullptr) {
       // Hit. Metadata updates go to the *owning* cgroup's policy, which may
-      // differ from the reader's cgroup (§2.1 cross-cgroup semantics).
-      CgroupState* owner = StateFor(folio->memcg);
+      // differ from the reader's cgroup (§2.1 cross-cgroup semantics); the
+      // notification is buffered and dispatched under the owner's lock at
+      // the next drain.
+      CgroupState* owner = StateFor(hit->memcg);
       CHECK_NOTNULL(owner);
-      folio->memcg->stat_hits.fetch_add(1, std::memory_order_relaxed);
+      hit->memcg->stat_hits.fetch_add(1, std::memory_order_relaxed);
       lane.Charge(options_.costs.hit_ns);
-      DispatchAccessed(lane, *owner, folio);
-      as->ra_prev_index = index;
+      Append(lane, batch, owner, hit, HookEvent::kAccessed, nullptr);
+      hit->Unpin();
       ++index;
       continue;
     }
 
     // Miss: gather the contiguous run of missing pages within the request.
     uint64_t run_end = index;
-    while (run_end + 1 <= last && as->FindFolio(run_end + 1) == nullptr) {
-      ++run_end;
-    }
-    const uint64_t run_pages = run_end - index + 1;
-    cg->stat_misses.fetch_add(run_pages, std::memory_order_relaxed);
-
-    const uint32_t ra_window = ReadaheadWindow(lane, *st, as, index);
-
-    // Pin the folios of this run while its device read is "in flight" and
-    // its charges are reclaimed, then release them; pins must never cover
-    // more than one run or a large read could pin the whole cgroup.
-    uint64_t cached_pages = 0;
-    run_pins.clear();
-    for (uint64_t i = index; i <= run_end; ++i) {
-      Folio* inserted =
-          InsertFolio(lane, as, *st, i, /*is_write=*/false,
-                      /*via_readahead=*/false);
-      if (inserted != nullptr) {
-        ++cached_pages;
-        inserted->Pin();
-        run_pins.push_back(inserted);
-        DispatchAccessed(lane, *st, inserted);
-      } else {
-        ++st->stats.direct_reads;
+    {
+      MutexLock s(stripe);
+      while (run_end + 1 <= last && as->FindFolio(run_end + 1) == nullptr) {
+        ++run_end;
       }
-      // Very long runs (whole-file reads): cap concurrent pins at the
-      // device queue granularity, releasing the oldest.
-      if (run_pins.size() > kMaxEvictionBatch) {
-        run_pins.front()->Unpin();
-        run_pins.erase(run_pins.begin());
-        ReclaimIfNeeded(lane, *st);
-        if (st->stats.oom_killed) {
-          for (Folio* pinned : run_pins) {
-            pinned->Unpin();
+    }
+
+    // Flush buffered events before taking our cgroup lock: while it is
+    // held, the ring must only accumulate our own cgroup's events.
+    Drain(lane, batch);
+
+    bool oom = false;
+    {
+      MutexLock cg_lock(st->mu);
+      const uint32_t ra_window = ReadaheadWindow(lane, *st, as, index);
+
+      // Pin the folios of this run while its device read is "in flight" and
+      // its charges are reclaimed, then release them; pins must never cover
+      // more than one run or a large read could pin the whole cgroup.
+      uint64_t cached_pages = 0;
+      run_pins.clear();
+      uint64_t next_index = index;
+      while (next_index <= run_end) {
+        bool already = false;
+        Folio* inserted =
+            InsertFolio(lane, as, *st, next_index, /*is_write=*/false,
+                        /*via_readahead=*/false, batch, &already);
+        if (already) {
+          // Another lane populated the page; reprocess it as a hit outside
+          // our cgroup lock (its owner may differ).
+          inserted->Unpin();
+          break;
+        }
+        cg->stat_misses.fetch_add(1, std::memory_order_relaxed);
+        ++next_index;
+        if (inserted == nullptr) {
+          st->stats.direct_reads.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        ++cached_pages;
+        run_pins.push_back(inserted);  // carries the InsertFolio pin
+        Append(lane, batch, st, inserted, HookEvent::kAccessed, st);
+        // Very long runs (whole-file reads): cap concurrent pins at the
+        // device queue granularity, releasing the oldest.
+        if (run_pins.size() > kMaxEvictionBatch) {
+          run_pins.front()->Unpin();
+          run_pins.erase(run_pins.begin());
+          ReclaimIfNeeded(lane, *st, batch);
+          if (st->oom_killed.load(std::memory_order_relaxed)) {
+            oom = true;
+            break;
           }
-          return ResourceExhausted("cgroup was OOM-killed");
         }
       }
-    }
 
-    // One device read covers the whole run (block-layer merging); the lane
-    // waits for it.
-    const uint64_t completion =
-        ssd_->SubmitRead(lane.now_ns(), run_pages * kPageSize);
-    lane.AdvanceTo(completion);
-    as->ra_prev_index = run_end;
+      const uint64_t run_pages = next_index - index;
+      if (!oom && run_pages > 0) {
+        // One device read covers the whole run (block-layer merging); the
+        // lane waits for it.
+        const uint64_t completion =
+            ssd_->SubmitRead(lane.now_ns(), run_pages * kPageSize);
+        lane.AdvanceTo(completion);
+        MutexLock s(stripe);
+        as->ra_prev_index = next_index - 1;
+      }
 
-    if (cached_pages > 0) {
-      ReclaimIfNeeded(lane, *st);
+      if (!oom && cached_pages > 0) {
+        ReclaimIfNeeded(lane, *st, batch);
+      }
+      for (Folio* pinned : run_pins) {
+        pinned->Unpin();
+      }
+      run_pins.clear();
+      if (st->oom_killed.load(std::memory_order_relaxed)) {
+        oom = true;
+      }
+
+      // Readahead past the end of the request.
+      if (!oom && ra_window > 0 && run_pages > 0 && next_index - 1 == last) {
+        Prefetch(lane, as, *st, last + 1, ra_window, batch);
+      }
+      index = next_index;
     }
-    for (Folio* pinned : run_pins) {
-      pinned->Unpin();
-    }
-    run_pins.clear();
-    if (st->stats.oom_killed) {
+    if (oom) {
+      Drain(lane, batch);
       return ResourceExhausted("cgroup was OOM-killed");
     }
-
-    // Readahead past the end of the request.
-    if (ra_window > 0 && run_end == last) {
-      Prefetch(lane, as, *st, last + 1, ra_window);
-    }
-    index = run_end + 1;
   }
 
+  Drain(lane, batch);
   // Copy the data out. SimDisk holds canonical bytes (dirty pages write
   // through for *contents*; only the device *timing* is deferred to
   // writeback), so a single disk read covers hits and misses alike.
@@ -612,7 +779,6 @@ Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
 
 Status PageCache::Write(Lane& lane, AddressSpace* as, MemCgroup* cg,
                         uint64_t offset, std::span<const uint8_t> data) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (as == nullptr || cg == nullptr) {
     return InvalidArgument("null mapping or cgroup");
   }
@@ -620,7 +786,7 @@ Status PageCache::Write(Lane& lane, AddressSpace* as, MemCgroup* cg,
   if (st == nullptr) {
     return NotFound("unknown cgroup");
   }
-  if (st->stats.oom_killed) {
+  if (st->oom_killed.load(std::memory_order_relaxed)) {
     return ResourceExhausted("cgroup was OOM-killed");
   }
   if (data.empty()) {
@@ -635,67 +801,113 @@ Status PageCache::Write(Lane& lane, AddressSpace* as, MemCgroup* cg,
 
   const uint64_t first = offset / kPageSize;
   const uint64_t last = (offset + data.size() - 1) / kPageSize;
+  DispatchBatch batch;
+  Mutex& stripe = StripeFor(as);
 
-  for (uint64_t index = first; index <= last; ++index) {
-    Folio* folio = as->FindFolio(index);
-    if (folio != nullptr) {
-      CgroupState* owner = StateFor(folio->memcg);
+  uint64_t index = first;
+  while (index <= last) {
+    Folio* hit = nullptr;
+    {
+      MutexLock s(stripe);
+      hit = as->FindFolio(index);
+      if (hit != nullptr) {
+        hit->Pin();
+      }
+    }
+    if (hit != nullptr) {
+      CgroupState* owner = StateFor(hit->memcg);
       CHECK_NOTNULL(owner);
-      folio->memcg->stat_hits.fetch_add(1, std::memory_order_relaxed);
-      folio->SetFlag(kFolioDirty);
+      hit->memcg->stat_hits.fetch_add(1, std::memory_order_relaxed);
+      hit->SetFlag(kFolioDirty);
       lane.Charge(options_.costs.write_page_ns);
-      DispatchAccessed(lane, *owner, folio);
+      Append(lane, batch, owner, hit, HookEvent::kAccessed, nullptr);
+      hit->Unpin();
+      ++index;
       continue;
     }
-    cg->stat_misses.fetch_add(1, std::memory_order_relaxed);
-    Folio* inserted = InsertFolio(lane, as, *st, index, /*is_write=*/true,
-                                  /*via_readahead=*/false);
-    if (inserted == nullptr) {
-      // Admission denied: service like direct I/O — the lane waits for the
-      // device write.
-      ++st->stats.direct_writes;
-      const uint64_t completion = ssd_->SubmitWrite(lane.now_ns(), kPageSize);
-      lane.AdvanceTo(completion);
-      continue;
+
+    Drain(lane, batch);
+    bool oom = false;
+    {
+      MutexLock cg_lock(st->mu);
+      while (index <= last) {
+        bool already = false;
+        Folio* inserted =
+            InsertFolio(lane, as, *st, index, /*is_write=*/true,
+                        /*via_readahead=*/false, batch, &already);
+        if (already) {
+          inserted->Unpin();  // reprocess as a hit outside our lock
+          break;
+        }
+        cg->stat_misses.fetch_add(1, std::memory_order_relaxed);
+        if (inserted == nullptr) {
+          // Admission denied: service like direct I/O — the lane waits for
+          // the device write.
+          st->stats.direct_writes.fetch_add(1, std::memory_order_relaxed);
+          const uint64_t completion =
+              ssd_->SubmitWrite(lane.now_ns(), kPageSize);
+          lane.AdvanceTo(completion);
+        } else {
+          inserted->SetFlag(kFolioDirty);
+          lane.Charge(options_.costs.write_page_ns);
+          Append(lane, batch, st, inserted, HookEvent::kAccessed, st);
+          // The InsertFolio pin covers this page's own charge being
+          // reclaimed (the kernel holds one locked page at a time in the
+          // buffered-write loop; a single huge write must not pin more
+          // pages than the cgroup can hold).
+          ReclaimIfNeeded(lane, *st, batch);
+          inserted->Unpin();
+          if (st->oom_killed.load(std::memory_order_relaxed)) {
+            oom = true;
+            break;
+          }
+        }
+        ++index;
+        if (index > last) {
+          break;
+        }
+        bool next_missing = false;
+        {
+          MutexLock s(stripe);
+          next_missing = as->FindFolio(index) == nullptr;
+        }
+        if (!next_missing) {
+          break;  // leave the miss streak; the outer loop handles the hit
+        }
+      }
     }
-    inserted->SetFlag(kFolioDirty);
-    lane.Charge(options_.costs.write_page_ns);
-    DispatchAccessed(lane, *st, inserted);
-    // Pin only while this page's own charge is being reclaimed (the kernel
-    // holds one locked page at a time in the buffered-write loop; a single
-    // huge write must not pin more pages than the cgroup can hold).
-    inserted->Pin();
-    ReclaimIfNeeded(lane, *st);
-    inserted->Unpin();
-    if (st->stats.oom_killed) {
+    if (oom) {
+      Drain(lane, batch);
       return ResourceExhausted("cgroup was OOM-killed");
     }
   }
+  Drain(lane, batch);
   return OkStatus();
 }
 
 Status PageCache::SyncFile(Lane& lane, AddressSpace* as) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (as == nullptr) {
     return InvalidArgument("null mapping");
   }
   uint64_t dirty_pages = 0;
-  uint64_t last_completion = 0;
-  as->pages().ForEach([&](uint64_t, XEntry entry) {
-    Folio* folio = entry.AsPointer<Folio>();
-    if (folio == nullptr || !folio->TestFlag(kFolioDirty)) {
-      return;
-    }
-    folio->ClearFlag(kFolioDirty);
-    ++dirty_pages;
-    lane.Charge(options_.costs.writeback_page_ns);
-    CgroupState* st = StateFor(folio->memcg);
-    if (st != nullptr) {
-      ++st->stats.writeback_pages;
-    }
-  });
+  {
+    MutexLock s(StripeFor(as));
+    as->pages().ForEach([&](uint64_t, XEntry entry) {
+      Folio* folio = entry.AsPointer<Folio>();
+      if (folio == nullptr || !folio->TestClearFlag(kFolioDirty)) {
+        return;
+      }
+      ++dirty_pages;
+      lane.Charge(options_.costs.writeback_page_ns);
+      CgroupState* owner = StateFor(folio->memcg);
+      if (owner != nullptr) {
+        owner->stats.writeback_pages.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
   if (dirty_pages > 0) {
-    last_completion = ssd_->SubmitWrite(lane.now_ns(), dirty_pages * kPageSize);
+    const uint64_t last_completion =
+        ssd_->SubmitWrite(lane.now_ns(), dirty_pages * kPageSize);
     lane.AdvanceTo(last_completion);  // fsync waits
   }
   return OkStatus();
@@ -703,7 +915,6 @@ Status PageCache::SyncFile(Lane& lane, AddressSpace* as) {
 
 Status PageCache::FadviseRange(Lane& lane, AddressSpace* as, MemCgroup* cg,
                                Fadvise advice, uint64_t offset, uint64_t len) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (as == nullptr) {
     return InvalidArgument("null mapping");
   }
@@ -711,22 +922,29 @@ Status PageCache::FadviseRange(Lane& lane, AddressSpace* as, MemCgroup* cg,
   const uint64_t last = len == 0 ? UINT64_MAX
                                  : (offset + len - 1) / kPageSize;
   switch (advice) {
-    case Fadvise::kNormal:
+    case Fadvise::kNormal: {
+      MutexLock s(StripeFor(as));
       as->ra_sequential_hint = false;
       as->ra_random_hint = false;
       as->noreuse_hint = false;
       return OkStatus();
-    case Fadvise::kSequential:
+    }
+    case Fadvise::kSequential: {
+      MutexLock s(StripeFor(as));
       as->ra_sequential_hint = true;
       as->ra_random_hint = false;
       return OkStatus();
-    case Fadvise::kRandom:
+    }
+    case Fadvise::kRandom: {
+      MutexLock s(StripeFor(as));
       as->ra_random_hint = true;
       as->ra_sequential_hint = false;
       return OkStatus();
+    }
     case Fadvise::kNoReuse: {
       // v6.6 semantics: accesses to these folios do not feed promotion. The
       // folios still enter and occupy the cache.
+      MutexLock s(StripeFor(as));
       as->noreuse_hint = true;
       as->pages().ForEachInRange(first, last, [](uint64_t, XEntry entry) {
         if (Folio* folio = entry.AsPointer<Folio>(); folio != nullptr) {
@@ -738,14 +956,30 @@ Status PageCache::FadviseRange(Lane& lane, AddressSpace* as, MemCgroup* cg,
     case Fadvise::kDontNeed: {
       // Invalidate clean + dirty folios in range (after writeback). This is
       // a removal in circumvention of the eviction path: no shadow entries.
-      std::vector<Folio*> victims;
-      as->pages().ForEachInRange(first, last, [&](uint64_t, XEntry entry) {
-        if (Folio* folio = entry.AsPointer<Folio>(); folio != nullptr) {
-          victims.push_back(folio);
+      // Victims are recorded as (index, owner) — not folio pointers — and
+      // re-validated under the owner lock + stripe; pinned folios (in use
+      // by another lane) survive, like the kernel's invalidate path.
+      struct Victim {
+        uint64_t index;
+        CgroupState* owner;
+      };
+      std::vector<Victim> victims;
+      {
+        MutexLock s(StripeFor(as));
+        as->pages().ForEachInRange(first, last, [&](uint64_t idx,
+                                                    XEntry entry) {
+          if (Folio* folio = entry.AsPointer<Folio>(); folio != nullptr) {
+            victims.push_back(Victim{idx, StateFor(folio->memcg)});
+          }
+        });
+      }
+      for (const Victim& v : victims) {
+        if (v.owner == nullptr) {
+          continue;
         }
-      });
-      for (Folio* folio : victims) {
-        RemoveFolio(lane, folio, RemovalKind::kInvalidate);
+        MutexLock lock(v.owner->mu);
+        RemoveFolio(lane, *v.owner, as, v.index, /*expected=*/nullptr,
+                    RemovalKind::kInvalidate);
       }
       return OkStatus();
     }
@@ -765,7 +999,13 @@ Status PageCache::FadviseRange(Lane& lane, AddressSpace* as, MemCgroup* cg,
       const uint64_t count =
           end >= first ? std::min<uint64_t>(end - first + 1, kWillNeedCap) : 0;
       if (count > 0) {
-        Prefetch(lane, as, *st, first, static_cast<uint32_t>(count));
+        DispatchBatch batch;
+        {
+          MutexLock lock(st->mu);
+          Prefetch(lane, as, *st, first, static_cast<uint32_t>(count), batch);
+          DrainLocked(lane, batch, *st);
+        }
+        Drain(lane, batch);
       }
       return OkStatus();
     }
@@ -774,61 +1014,110 @@ Status PageCache::FadviseRange(Lane& lane, AddressSpace* as, MemCgroup* cg,
 }
 
 Status PageCache::DeleteFile(Lane& lane, AddressSpace* as) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (as == nullptr) {
     return InvalidArgument("null mapping");
   }
-  std::vector<Folio*> victims;
-  as->pages().ForEach([&](uint64_t, XEntry entry) {
-    if (Folio* folio = entry.AsPointer<Folio>(); folio != nullptr) {
-      victims.push_back(folio);
+  // Outermost lock held for the whole operation: no new opens of this name,
+  // and consistent registry <-> cgroup lock ordering. The hot path never
+  // takes registry_mu_, so lanes holding pins on this file's folios can
+  // still drain and unpin, which the retry loop below waits for.
+  MutexLock reg(registry_mu_);
+  struct Victim {
+    uint64_t index;
+    CgroupState* owner;
+  };
+  for (;;) {
+    std::vector<Victim> victims;
+    {
+      MutexLock s(StripeFor(as));
+      as->pages().ForEach([&](uint64_t idx, XEntry entry) {
+        if (Folio* folio = entry.AsPointer<Folio>(); folio != nullptr) {
+          victims.push_back(Victim{idx, StateFor(folio->memcg)});
+        }
+      });
     }
-  });
-  for (Folio* folio : victims) {
-    // Deleted files are not written back and leave no shadows.
-    folio->ClearFlag(kFolioDirty);
-    RemoveFolio(lane, folio, RemovalKind::kInvalidate);
-  }
-  // Clear any remaining shadow entries.
-  std::vector<uint64_t> shadows;
-  as->pages().ForEach([&shadows](uint64_t index, XEntry entry) {
-    if (entry.IsValue()) {
-      shadows.push_back(index);
+    if (victims.empty()) {
+      break;
     }
-  });
-  for (uint64_t index : shadows) {
-    as->pages().Erase(index);
+    bool all_removed = true;
+    for (const Victim& v : victims) {
+      if (v.owner == nullptr) {
+        continue;
+      }
+      MutexLock lock(v.owner->mu);
+      // Deleted files are not written back and leave no shadows.
+      if (!RemoveFolio(lane, *v.owner, as, v.index, /*expected=*/nullptr,
+                       RemovalKind::kInvalidate, /*skip_writeback=*/true)) {
+        all_removed = false;
+      }
+    }
+    if (!all_removed) {
+      std::this_thread::yield();  // a pinned folio: its lane will unpin soon
+    }
   }
-  CACHE_EXT_RETURN_IF_ERROR(disk_->Delete(as->name()));
-  files_.erase(as->name());  // destroys `as`
+  {
+    // Clear any remaining shadow entries.
+    MutexLock s(StripeFor(as));
+    std::vector<uint64_t> shadows;
+    as->pages().ForEach([&shadows](uint64_t index, XEntry entry) {
+      if (entry.IsValue()) {
+        shadows.push_back(index);
+      }
+    });
+    for (uint64_t index : shadows) {
+      as->pages().Erase(index);
+    }
+  }
+  const std::string name = as->name();
+  CACHE_EXT_RETURN_IF_ERROR(disk_->Delete(name));
+  files_.erase(name);  // destroys `as`
   return OkStatus();
 }
 
 CgroupCacheStats PageCache::StatsFor(MemCgroup* cg) {
-  std::lock_guard<std::mutex> lock(mu_);
   CgroupState* st = StateFor(cg);
   if (st == nullptr) {
     return CgroupCacheStats{};
   }
+  MutexLock lock(st->mu);
+  return SnapshotStats(*st);
+}
+
+CgroupCacheStats PageCache::SnapshotStats(CgroupState& st) {
   // Latch a pending breaker escalation even if no cache event has run since
   // the trip — the policy manager polls these stats to drive its revert.
-  (void)ExtActive(*st);
-  CgroupCacheStats stats = st->stats;
-  if (st->ext != nullptr) {
+  (void)ExtActive(st);
+  const auto& a = st.stats;
+  CgroupCacheStats stats;
+  stats.fallback_evictions = a.fallback_evictions.load(std::memory_order_relaxed);
+  stats.ext_violations = a.ext_violations.load(std::memory_order_relaxed);
+  stats.direct_reads = a.direct_reads.load(std::memory_order_relaxed);
+  stats.direct_writes = a.direct_writes.load(std::memory_order_relaxed);
+  stats.readahead_pages = a.readahead_pages.load(std::memory_order_relaxed);
+  stats.writeback_pages = a.writeback_pages.load(std::memory_order_relaxed);
+  stats.invalidations = a.invalidations.load(std::memory_order_relaxed);
+  stats.rejected_at_load = a.rejected_at_load.load(std::memory_order_relaxed);
+  stats.ext_detached_by_watchdog =
+      st.watchdog_detached.load(std::memory_order_relaxed);
+  stats.oom_killed = st.oom_killed.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < kNumPolicyHooks; ++i) {
+    stats.ext_hook_trip_counts[i] =
+        a.ext_hook_trip_counts[i].load(std::memory_order_relaxed);
+  }
+  stats.ext_quarantined = a.ext_quarantined.load(std::memory_order_relaxed);
+  stats.ext_banned = a.ext_banned.load(std::memory_order_relaxed);
+  stats.ext_reattach_attempts =
+      a.ext_reattach_attempts.load(std::memory_order_relaxed);
+  if (st.ext != nullptr) {
     // Overlay the live attachment's breaker state: current degraded mask,
     // plus its trips on top of the cumulative per-cgroup counters.
-    const PolicyHookHealth health = st->ext->HookHealth();
+    const PolicyHookHealth health = st.ext->HookHealth();
     stats.ext_degraded_hook_mask = health.degraded_mask;
     for (uint32_t i = 0; i < kNumPolicyHooks; ++i) {
       stats.ext_hook_trip_counts[i] += health.trips[i];
     }
   }
   return stats;
-}
-
-uint64_t PageCache::TotalResidentPages() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_resident_;
 }
 
 }  // namespace cache_ext

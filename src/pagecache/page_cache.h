@@ -17,14 +17,30 @@
 //
 // Timing: operations charge CPU costs and SSD time to the acting Lane's
 // virtual clock (see src/sim/cpu_cost.h and DESIGN.md §4).
+//
+// Concurrency (DESIGN.md "Concurrency model"): the cache is sharded the way
+// the kernel shards, so lanes in different cgroups / on different files run
+// in parallel. Three lock levels, always acquired top-down:
+//
+//   registry_mu_          cgroup/file creation, attach/detach, DeleteFile
+//   CgroupState::mu       per-cgroup: policies + reclaim (per-memcg lru_lock)
+//   mapping stripes       per-file index: xarray + folio lifetime + ra_*
+//                         state (i_pages xa_lock; striped, not per-file, to
+//                         bound memory)
+//
+// Invariants: never two cgroup locks at once, never two stripes at once,
+// stripe is only ever taken *inside* a cgroup lock (never the reverse).
+// Folio lifetime: a folio is only freed by its owning cgroup's RemoveFolio,
+// which re-checks "still mapped and unpinned" under the stripe; any path
+// that uses a folio outside the stripe pins it first (under the stripe).
 
 #ifndef SRC_PAGECACHE_PAGE_CACHE_H_
 #define SRC_PAGECACHE_PAGE_CACHE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -40,6 +56,7 @@
 #include "src/sim/sim_disk.h"
 #include "src/sim/ssd_model.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace cache_ext {
 
@@ -59,6 +76,7 @@ enum class Fadvise {
 
 // Observation hook for page-cache events; used by the Table 1 bench to model
 // a userspace-dispatch architecture (every event posted to a ring buffer).
+// Called concurrently from all lanes; implementations must be thread-safe.
 class PageCacheTracer {
  public:
   virtual ~PageCacheTracer() = default;
@@ -77,6 +95,12 @@ struct PageCacheOptions {
   uint64_t watchdog_violation_limit = 128;
   // Readahead cap in pages (doubled by FADV_SEQUENTIAL).
   uint32_t max_readahead_pages = 8;
+  // folio_added/folio_accessed notifications are buffered per operation and
+  // dispatched to the owning cgroup's policies in batches of up to this many
+  // events (drained at reclaim boundaries and operation end), charging one
+  // amortized hook-dispatch cost per batch — the hot-path analogue of the
+  // batch-scoring mode in eviction_list (§4.2.3).
+  uint32_t hook_batch_size = 16;
 };
 
 // Per-cgroup snapshot of counters that live inside the page cache (the
@@ -143,6 +167,11 @@ class PageCache {
   void SetTracer(PageCacheTracer* tracer) { tracer_ = tracer; }
 
   // --- Data path ----------------------------------------------------------
+  //
+  // Thread-safe: concurrent calls from different lanes proceed in parallel
+  // when they touch different cgroups/files. Callers must not race a
+  // DeleteFile against other operations on the same AddressSpace (the
+  // kernel equivalent: an open fd holds the inode alive).
 
   // pread()-style read through the cache; out.size() bytes from `offset`.
   Status Read(Lane& lane, AddressSpace* as, MemCgroup* cg, uint64_t offset,
@@ -161,69 +190,172 @@ class PageCache {
   // --- Introspection -------------------------------------------------------
 
   CgroupCacheStats StatsFor(MemCgroup* cg);
-  uint64_t TotalResidentPages() const;
+  uint64_t TotalResidentPages() const {
+    return total_resident_.load(std::memory_order_relaxed);
+  }
   uint64_t FileSize(AddressSpace* as) const { return disk_->SizeOf(as->file()); }
   SimDisk* disk() { return disk_; }
   SsdModel* ssd() { return ssd_; }
   const PageCacheOptions& options() const { return options_; }
 
  private:
-  struct CgroupState {
-    std::unique_ptr<MemCgroup> cg;
-    std::unique_ptr<ReclaimPolicy> base;
-    std::unique_ptr<ReclaimPolicy> ext;
-    CgroupCacheStats stats;
+  // Internal mirror of CgroupCacheStats with relaxed atomics: counters are
+  // bumped from whichever lock (cgroup or stripe) the path holds; StatsFor
+  // takes the cgroup lock and loads a coherent snapshot.
+  struct AtomicCgroupStats {
+    std::atomic<uint64_t> fallback_evictions{0};
+    std::atomic<uint64_t> ext_violations{0};
+    std::atomic<uint64_t> direct_reads{0};
+    std::atomic<uint64_t> direct_writes{0};
+    std::atomic<uint64_t> readahead_pages{0};
+    std::atomic<uint64_t> writeback_pages{0};
+    std::atomic<uint64_t> invalidations{0};
+    std::atomic<uint64_t> rejected_at_load{0};
+    std::array<std::atomic<uint64_t>, kNumPolicyHooks> ext_hook_trip_counts{};
+    std::atomic<bool> ext_quarantined{false};
+    std::atomic<bool> ext_banned{false};
+    std::atomic<uint32_t> ext_reattach_attempts{0};
   };
 
-  CgroupState* StateFor(MemCgroup* cg);
+  struct CgroupState {
+    std::unique_ptr<MemCgroup> cg;
+    // Per-cgroup lock: the analogue of the kernel's per-memcg lru_lock.
+    // Guards both policies' internal state and serializes this cgroup's
+    // reclaim; folio removal always happens under the OWNER's lock.
+    Mutex mu;
+    std::unique_ptr<ReclaimPolicy> base CACHE_EXT_GUARDED_BY(mu);
+    std::unique_ptr<ReclaimPolicy> ext CACHE_EXT_GUARDED_BY(mu);
+    AtomicCgroupStats stats;
+    std::atomic<bool> oom_killed{false};
+    std::atomic<bool> watchdog_detached{false};
+    // Lock-free hints for the hit path's append-time cost accounting: the
+    // authoritative ext state lives behind mu, but charging an event's
+    // dispatch cost must not take the owner's lock on every hit.
+    std::atomic<bool> ext_active_hint{false};
+    std::atomic<uint64_t> ext_event_cost_ns{0};
+    uint64_t base_event_cost_ns = 0;  // immutable after CreateCgroup
+  };
+
+  // One buffered folio_added/folio_accessed notification. The ring holds a
+  // pin on the folio, so it cannot be freed before dispatch.
+  enum class HookEvent : uint8_t { kAdded, kAccessed };
+  struct PendingHook {
+    Folio* folio;
+    CgroupState* owner;
+    HookEvent event;
+  };
+  // Operation-local dispatch ring. Capacity leaves slack above the largest
+  // configurable drain threshold (kMaxEvictionBatch) because a locked drain
+  // can only retire the locked cgroup's entries and must keep the rest.
+  struct DispatchBatch {
+    std::array<PendingHook, 2 * kMaxEvictionBatch> entries;
+    uint32_t size = 0;
+  };
+
+  // O(1), lock-free: CgroupStates are never destroyed before the cache.
+  // Null for a null cgroup or one not created by this cache.
+  CgroupState* StateFor(MemCgroup* cg) {
+    return cg == nullptr ? nullptr : static_cast<CgroupState*>(cg->priv());
+  }
+
+  Mutex& StripeFor(const AddressSpace* as) {
+    return stripes_[as->id() & (kNumStripes - 1)].mu;
+  }
 
   // True when the cgroup's ext policy should still be consulted. False once
   // the watchdog flagged it — EVERY dispatch site must check this, so a
   // "detached" policy's programs never run and its per-event cost is never
   // charged — and latches the flag when the policy's own circuit breaker
   // escalates (multiple hooks tripped / persistently high violation rate).
-  bool ExtActive(CgroupState& st);
+  bool ExtActive(CgroupState& st) CACHE_EXT_REQUIRES(st.mu);
 
-  // Hook dispatch helpers; all charge the lane per-event CPU cost.
-  void DispatchAdded(Lane& lane, CgroupState& st, Folio* folio);
-  void DispatchAccessed(Lane& lane, CgroupState& st, Folio* folio);
-  void DispatchRemoved(Lane& lane, CgroupState& st, Folio* folio);
+  // --- Batched hook dispatch ---------------------------------------------
+  //
+  // Append charges the per-event policy costs (using the lock-free hints)
+  // and runs the tracer inline; the policy calls themselves are deferred.
+  // `locked` is the cgroup lock the caller currently holds (nullptr if
+  // none): a full ring drains through DrainLocked for that cgroup instead
+  // of Drain, which would self-deadlock.
+  void Append(Lane& lane, DispatchBatch& batch, CgroupState* owner,
+              Folio* folio, HookEvent event, CgroupState* locked);
+  // Dispatch every buffered event, taking each owner's lock in turn (the
+  // caller must hold no cgroup lock). Charges one amortized dispatch cost
+  // per locked run of events.
+  void Drain(Lane& lane, DispatchBatch& batch);
+  // Dispatch the buffered events owned by `st` (whose lock the caller
+  // holds); events for other cgroups are kept. Called at reclaim entry so
+  // the policy sees all pending notifications before proposing victims.
+  void DrainLocked(Lane& lane, DispatchBatch& batch, CgroupState& st)
+      CACHE_EXT_REQUIRES(st.mu);
+  void DispatchLocked(Lane& lane, const PendingHook& entry,
+                      CgroupState& st) CACHE_EXT_REQUIRES(st.mu);
 
-  // Insert a folio for (as, index), charged to cg. Returns nullptr when the
-  // ext admission filter rejected it (caller services the I/O directly).
+  void DispatchRemoved(Lane& lane, CgroupState& st, Folio* folio)
+      CACHE_EXT_REQUIRES(st.mu);
+
+  // Insert a folio for (as, index), charged to st's cgroup. Returns the
+  // folio PINNED (caller unpins), or nullptr when the ext admission filter
+  // rejected it (caller services the I/O directly). If another lane
+  // populated the index concurrently, returns that folio pinned with
+  // *already_present = true (its owner may differ from st).
   Folio* InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
-                     uint64_t index, bool is_write, bool via_readahead);
+                     uint64_t index, bool is_write, bool via_readahead,
+                     DispatchBatch& batch, bool* already_present)
+      CACHE_EXT_REQUIRES(st.mu);
 
-  // Writeback (if dirty) and remove `folio`. kEvict stores a shadow entry;
-  // kInvalidate does not. Returns false if the folio is pinned.
+  // Writeback (if dirty) and remove the folio at (as, index), which must be
+  // owned by st's cgroup. kEvict stores a shadow entry; kInvalidate does
+  // not. Re-checks under the stripe that the index still maps `expected`
+  // (when non-null) and that the folio is unpinned; returns false (no
+  // removal) otherwise.
   enum class RemovalKind { kEvict, kInvalidate };
-  bool RemoveFolio(Lane& lane, Folio* folio, RemovalKind kind);
+  bool RemoveFolio(Lane& lane, CgroupState& st, AddressSpace* as,
+                   uint64_t index, Folio* expected, RemovalKind kind,
+                   bool skip_writeback = false) CACHE_EXT_REQUIRES(st.mu);
 
-  // Bring `cg` back under its limit; may OOM-kill the cgroup.
-  void ReclaimIfNeeded(Lane& lane, CgroupState& st);
+  // Bring the cgroup back under its limit; may OOM-kill it. Drains the
+  // cgroup's buffered events first.
+  void ReclaimIfNeeded(Lane& lane, CgroupState& st, DispatchBatch& batch)
+      CACHE_EXT_REQUIRES(st.mu);
 
   // Readahead: called on a miss at `index`; returns how many extra pages to
   // prefetch after `last_requested`. Consults the ext policy's prefetch
   // hook (§7 extension) when one is attached.
   uint32_t ReadaheadWindow(Lane& lane, CgroupState& st, AddressSpace* as,
-                           uint64_t index);
+                           uint64_t index) CACHE_EXT_REQUIRES(st.mu);
   void Prefetch(Lane& lane, AddressSpace* as, CgroupState& st,
-                uint64_t first_index, uint32_t nr_pages);
+                uint64_t first_index, uint32_t nr_pages, DispatchBatch& batch)
+      CACHE_EXT_REQUIRES(st.mu);
 
   bool CandidateValid(CgroupState& st, Folio* folio, bool from_ext,
-                      bool* violation);
+                      bool* violation) CACHE_EXT_REQUIRES(st.mu);
+
+  CgroupCacheStats SnapshotStats(CgroupState& st) CACHE_EXT_REQUIRES(st.mu);
 
   SimDisk* disk_;
   SsdModel* ssd_;
   PageCacheOptions options_;
-  PageCacheTracer* tracer_ = nullptr;
+  std::atomic<PageCacheTracer*> tracer_{nullptr};
 
-  mutable std::mutex mu_;
-  uint64_t next_cgroup_id_ = 1;
-  uint64_t next_mapping_id_ = 1;
-  std::vector<std::unique_ptr<CgroupState>> cgroups_;
-  std::unordered_map<std::string, std::unique_ptr<AddressSpace>> files_;
-  uint64_t total_resident_ = 0;
+  // Striped per-mapping locks (cache-line padded): the analogue of the
+  // kernel's per-mapping i_pages xa_lock, striped by mapping id.
+  static constexpr uint64_t kNumStripes = 64;
+  struct alignas(64) Stripe {
+    Mutex mu;
+  };
+  std::array<Stripe, kNumStripes> stripes_;
+
+  // Registry lock (outermost): cgroup/file creation and lookup, DeleteFile.
+  // The data path never takes it — lanes reach their CgroupState through
+  // MemCgroup::priv() and carry AddressSpace pointers.
+  Mutex registry_mu_;
+  uint64_t next_cgroup_id_ CACHE_EXT_GUARDED_BY(registry_mu_) = 1;
+  uint64_t next_mapping_id_ CACHE_EXT_GUARDED_BY(registry_mu_) = 1;
+  std::vector<std::unique_ptr<CgroupState>> cgroups_
+      CACHE_EXT_GUARDED_BY(registry_mu_);
+  std::unordered_map<std::string, std::unique_ptr<AddressSpace>> files_
+      CACHE_EXT_GUARDED_BY(registry_mu_);
+  std::atomic<uint64_t> total_resident_{0};
 };
 
 }  // namespace cache_ext

@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 
 #include "src/fault/fault_injector.h"
 
 namespace cache_ext {
 
 Expected<FileId> SimDisk::Create(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::string key(name);
   if (by_name_.count(key) != 0) {
     return AlreadyExists("file exists: " + key);
@@ -20,7 +22,7 @@ Expected<FileId> SimDisk::Create(std::string_view name) {
 }
 
 Expected<FileId> SimDisk::Open(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = by_name_.find(std::string(name));
   if (it == by_name_.end()) {
     return NotFound("no such file: " + std::string(name));
@@ -29,7 +31,7 @@ Expected<FileId> SimDisk::Open(std::string_view name) const {
 }
 
 Status SimDisk::Delete(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = by_name_.find(std::string(name));
   if (it == by_name_.end()) {
     return NotFound("no such file: " + std::string(name));
@@ -40,7 +42,7 @@ Status SimDisk::Delete(std::string_view name) {
 }
 
 bool SimDisk::Exists(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return by_name_.count(std::string(name)) != 0;
 }
 
@@ -55,7 +57,7 @@ SimDisk::File* SimDisk::FindFile(FileId id) {
 }
 
 uint64_t SimDisk::SizeOf(FileId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const File* f = FindFile(id);
   return f == nullptr ? 0 : f->data.size();
 }
@@ -65,7 +67,7 @@ Status SimDisk::ReadAt(FileId id, uint64_t offset,
   if (fault::InjectFault(fault::points::kDiskRead)) {
     return IoError("injected disk read error (media failure)");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const File* f = FindFile(id);
   if (f == nullptr) {
     return NotFound("bad file id");
@@ -88,7 +90,7 @@ Status SimDisk::WriteAt(FileId id, uint64_t offset,
   if (fault::InjectFault(fault::points::kDiskWrite)) {
     return IoError("injected disk write error (media failure)");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   File* f = FindFile(id);
   if (f == nullptr) {
     return NotFound("bad file id");
@@ -102,7 +104,7 @@ Status SimDisk::WriteAt(FileId id, uint64_t offset,
 }
 
 Status SimDisk::Truncate(FileId id, uint64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   File* f = FindFile(id);
   if (f == nullptr) {
     return NotFound("bad file id");
@@ -114,7 +116,7 @@ Status SimDisk::Truncate(FileId id, uint64_t size) {
 }
 
 std::vector<std::string> SimDisk::ListFiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(by_name_.size());
   for (const auto& [name, id] : by_name_) {
@@ -125,7 +127,7 @@ std::vector<std::string> SimDisk::ListFiles() const {
 }
 
 uint64_t SimDisk::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [id, f] : files_) {
     total += f.data.size();

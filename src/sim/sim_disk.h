@@ -10,7 +10,7 @@
 #define SRC_SIM_SIM_DISK_H_
 
 #include <cstdint>
-#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -60,7 +60,10 @@ class SimDisk {
   const File* FindFile(FileId id) const;
   File* FindFile(FileId id);
 
-  mutable std::mutex mu_;
+  // Reader/writer lock: the page-cache hit path never touches SimDisk, but
+  // concurrent misses all copy canonical bytes out via ReadAt — those take
+  // the lock shared so miss-heavy lanes don't serialize on the "device".
+  mutable std::shared_mutex mu_;
   FileId next_id_ = 1;
   std::unordered_map<FileId, File> files_;
   std::unordered_map<std::string, FileId> by_name_;

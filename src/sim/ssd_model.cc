@@ -30,11 +30,36 @@ uint64_t SsdModel::Submit(uint64_t now_ns, uint64_t bytes,
     slowdown = degrade != 0 ? degrade : 4;
   }
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = std::min_element(channel_free_at_.begin(), channel_free_at_.end());
-  const uint64_t start = std::max(now_ns, *it);
+  // Channel choice: among channels idle at `now_ns`, reuse the one freed
+  // most recently (best fit) rather than the globally least-loaded one.
+  // For time-ordered arrivals the completion times are identical either way
+  // (an idle channel serves at `now_ns`; with none idle, both pick the
+  // earliest free). The difference matters when concurrent lanes run ahead
+  // of each other in virtual time: least-loaded would rotate a fast lane's
+  // bookings across ALL channels, dragging every channel's free time up to
+  // that lane's clock so a lane whose clock is behind finds the whole
+  // device booked "in its future" and stalls on it. Best fit keeps the
+  // other channels free in the past, preserving the device's idle capacity
+  // for requests with earlier timestamps.
+  size_t pick = channel_free_at_.size();
+  for (size_t i = 0; i < channel_free_at_.size(); ++i) {
+    if (channel_free_at_[i] <= now_ns &&
+        (pick == channel_free_at_.size() ||
+         channel_free_at_[i] > channel_free_at_[pick])) {
+      pick = i;
+    }
+  }
+  uint64_t start = now_ns;
+  if (pick == channel_free_at_.size()) {
+    // All channels busy past `now_ns`: queue on the earliest to free.
+    auto it =
+        std::min_element(channel_free_at_.begin(), channel_free_at_.end());
+    pick = static_cast<size_t>(it - channel_free_at_.begin());
+    start = *it;
+  }
   const uint64_t transfer_ns = bytes * 1000 * slowdown / options_.bytes_per_us;
   const uint64_t completion = start + base_latency_ns + transfer_ns;
-  *it = completion;
+  channel_free_at_[pick] = completion;
   return completion;
 }
 

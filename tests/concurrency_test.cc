@@ -1,0 +1,423 @@
+// Multithreaded stress tests for the concurrent page cache and the sharded
+// bpf maps (PR: per-cgroup/striped locking + batched hook dispatch). These
+// run real std::threads — unlike the deterministic virtual-clock tests —
+// and are meant to be exercised under TSan (tools/check.sh --tsan) as well
+// as under the chaos label's ASan run. Assertions are therefore about
+// invariants that hold on every interleaving: exact map capacity, value
+// integrity, correct page contents, and stats that add up.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/bpf/lru_hash_map.h"
+#include "src/bpf/map.h"
+#include "src/cache_ext/loader.h"
+#include "src/fault/fault_injector.h"
+#include "src/pagecache/page_cache.h"
+#include "src/policies/policy_factory.h"
+
+namespace cache_ext {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultSchedule;
+
+uint64_t ValueFor(uint64_t key) { return key * 2654435761ULL + 7; }
+
+// --- bpf map shards --------------------------------------------------------
+
+TEST(ConcurrencyTest, HashMapKeepsExactCapacityUnderContention) {
+  constexpr uint32_t kMax = 512;  // >= 128, so 16 shards
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeysPerThread = 400;  // 1600 attempts > 512 slots
+  bpf::HashMap<uint64_t, uint64_t> map(kMax);
+  ASSERT_EQ(map.num_shards(), 16u);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&map, t] {
+      for (uint64_t i = 0; i < kKeysPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t) * 1000000 + i;
+        map.Update(key, ValueFor(key));  // may fail with -E2BIG: fine
+        // Interleave lookups and deletes so reserve/rollback races with
+        // both paths, not just other inserts.
+        if (i % 3 == 0) {
+          uint64_t* v = map.Lookup(key);
+          if (v != nullptr) {
+            EXPECT_EQ(*v, ValueFor(key));
+          }
+        }
+        if (i % 7 == 0) {
+          map.Delete(key);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // The committed count must be exact: never above max_entries, and equal
+  // to what a full walk observes.
+  EXPECT_LE(map.Size(), kMax);
+  uint64_t walked = 0;
+  map.ForEach([&](uint64_t key, uint64_t& value) {
+    EXPECT_EQ(value, ValueFor(key));
+    ++walked;
+    return true;
+  });
+  EXPECT_EQ(walked, map.Size());
+
+  // Per-shard walks cover the same elements exactly once.
+  uint64_t sharded = 0;
+  for (uint32_t s = 0; s < map.num_shards(); ++s) {
+    map.ForEachShard(s, [&](uint64_t, uint64_t&) {
+      ++sharded;
+      return true;
+    });
+  }
+  EXPECT_EQ(sharded, walked);
+}
+
+TEST(ConcurrencyTest, LruHashMapShardedEvictionUnderContention) {
+  constexpr uint32_t kMax = 8192;  // >= 4096, so 8 shards
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeysPerThread = 4000;  // 16000 inserts into 8192 slots
+  bpf::LruHashMap<uint64_t, uint64_t> map(kMax);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&map, t] {
+      for (uint64_t i = 0; i < kKeysPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t) * 1000000 + i;
+        map.Update(key, ValueFor(key));
+        const uint64_t probe = key - (i % 5);  // mix hits and misses
+        uint64_t v = 0;
+        if (map.Lookup(probe, &v)) {
+          EXPECT_EQ(v, ValueFor(probe));
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Inserts never fail; capacity is enforced by per-shard LRU eviction, and
+  // the committed count reflects it exactly after the storm.
+  EXPECT_GT(map.Size(), 0u);
+  EXPECT_LE(map.Size(), kMax);
+  // Surviving entries still carry their writer's value: each thread's most
+  // recent key is either evicted or intact, never torn.
+  for (int t = 0; t < kThreads; ++t) {
+    const uint64_t key =
+        static_cast<uint64_t>(t) * 1000000 + (kKeysPerThread - 1);
+    uint64_t v = 0;
+    if (map.Lookup(key, &v)) {
+      EXPECT_EQ(v, ValueFor(key));
+    }
+  }
+}
+
+TEST(ConcurrencyTest, ArrayMapCountersAreLockFreeAndExact) {
+  constexpr uint32_t kSlots = 64;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kAddsPerThread = 10000;
+  bpf::ArrayMap<uint64_t> map(kSlots);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&map, t] {
+      uint64_t state = 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(t);
+      for (uint64_t i = 0; i < kAddsPerThread; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        map.FetchAdd(static_cast<uint32_t>(state >> 33) % kSlots, 1);
+        uint64_t snap = 0;
+        EXPECT_TRUE(map.Read(static_cast<uint32_t>(state >> 11) % kSlots,
+                             &snap));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < kSlots; ++i) {
+    uint64_t v = 0;
+    ASSERT_TRUE(map.Read(i, &v));
+    total += v;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+// --- page cache ------------------------------------------------------------
+
+constexpr uint64_t kFilePages = 128;
+constexpr uint64_t kCgroupPages = 48;
+
+uint8_t PatternByte(uint64_t file, uint64_t page) {
+  return static_cast<uint8_t>((file * 131 + page * 37 + 11) & 0xFF);
+}
+
+struct MtRig {
+  SimDisk disk;
+  std::unique_ptr<SsdModel> ssd;
+  std::unique_ptr<PageCache> pc;
+  std::unique_ptr<CacheExtLoader> loader;
+  std::vector<MemCgroup*> cgs;
+  std::vector<AddressSpace*> files;  // files[i] owned by cgs[i]
+  AddressSpace* shared = nullptr;    // read by every thread
+
+  void AddFile(uint64_t file_id, std::string_view name) {
+    auto as = pc->OpenFile(name);
+    CHECK(as.ok());
+    CHECK(disk.Truncate((*as)->file(), kFilePages * kPageSize).ok());
+    std::vector<uint8_t> page(kPageSize);
+    for (uint64_t p = 0; p < kFilePages; ++p) {
+      std::fill(page.begin(), page.end(), PatternByte(file_id, p));
+      CHECK(disk
+                .WriteAt((*as)->file(), p * kPageSize,
+                         std::span<const uint8_t>(page))
+                .ok());
+    }
+    if (name == "/shared") {
+      shared = *as;
+    } else {
+      files.push_back(*as);
+    }
+  }
+
+  void AttachTo(MemCgroup* cg, std::string_view policy_name) {
+    policies::PolicyParams params;
+    params.capacity_pages = cg->limit_pages();
+    auto bundle = policies::MakePolicy(policy_name, params);
+    CHECK(bundle.ok());
+    CHECK(loader->Attach(cg, std::move(bundle->ops), pc->options().costs)
+              .ok());
+  }
+};
+
+std::unique_ptr<MtRig> MakeMtRig(int nr_threads, std::string_view policy) {
+  auto rig = std::make_unique<MtRig>();
+  SsdModelOptions ssd_options;
+  ssd_options.read_latency_ns = 1000;
+  ssd_options.write_latency_ns = 1000;
+  rig->ssd = std::make_unique<SsdModel>(ssd_options);
+  rig->pc = std::make_unique<PageCache>(&rig->disk, rig->ssd.get());
+  rig->loader = std::make_unique<CacheExtLoader>(rig->pc.get());
+  for (int t = 0; t < nr_threads; ++t) {
+    MemCgroup* cg = rig->pc->CreateCgroup("/mt" + std::to_string(t),
+                                          kCgroupPages * kPageSize);
+    rig->cgs.push_back(cg);
+    rig->AddFile(static_cast<uint64_t>(t),
+                 "/data" + std::to_string(t));
+    if (!policy.empty()) {
+      rig->AttachTo(cg, policy);
+    }
+  }
+  rig->AddFile(99, "/shared");
+  return rig;
+}
+
+// Reads one page through the cache into `buf` and checks the pattern.
+void ReadAndCheck(MtRig& rig, Lane& lane, AddressSpace* as, MemCgroup* cg,
+                  uint64_t file_id, uint64_t page,
+                  std::vector<uint8_t>& buf) {
+  ASSERT_TRUE(rig.pc
+                  ->Read(lane, as, cg, page * kPageSize,
+                         std::span<uint8_t>(buf))
+                  .ok());
+  EXPECT_EQ(buf[0], PatternByte(file_id, page));
+  EXPECT_EQ(buf[kPageSize - 1], PatternByte(file_id, page));
+}
+
+TEST(ConcurrencyTest, ParallelReadersAcrossCgroupsAndSharedFile) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kOps = 3000;
+  auto rig = MakeMtRig(kThreads, "s3fifo");
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&rig, t] {
+      Lane lane(static_cast<uint32_t>(t),
+                TaskContext{100 + t, 100 + t},
+                17 + static_cast<uint64_t>(t));
+      std::vector<uint8_t> buf(kPageSize);
+      uint64_t state = 0xabcdef12345 + static_cast<uint64_t>(t);
+      for (uint64_t i = 0; i < kOps; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const uint64_t page = (state >> 33) % kFilePages;
+        if (i % 8 == 0) {
+          // Cross-cgroup pressure on the shared file: folios are charged to
+          // whichever cgroup faulted them in first, so every reader hits
+          // folios owned by other cgroups.
+          ReadAndCheck(*rig, lane, rig->shared, rig->cgs[t], 99, page, buf);
+        } else {
+          ReadAndCheck(*rig, lane, rig->files[t], rig->cgs[t],
+                       static_cast<uint64_t>(t), page, buf);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Per-cgroup stats add up: every op either hit or missed, none OOMed,
+  // and reclaim held every cgroup to its charge limit.
+  for (int t = 0; t < kThreads; ++t) {
+    const CgroupCacheStats stats = rig->pc->StatsFor(rig->cgs[t]);
+    EXPECT_FALSE(stats.oom_killed);
+    EXPECT_GT(rig->cgs[t]->stat_hits.load() + rig->cgs[t]->stat_misses.load(),
+              0u);
+    EXPECT_LE(rig->cgs[t]->charged_pages(), kCgroupPages);
+  }
+  EXPECT_LE(rig->pc->TotalResidentPages(),
+            static_cast<uint64_t>(kThreads) * kCgroupPages);
+}
+
+TEST(ConcurrencyTest, BreakerCountersSurviveConcurrentHookAborts) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kOps = 2000;
+  auto rig = MakeMtRig(kThreads, "s3fifo");
+
+  // Abort every 5th hook run: breaker trip counters and quarantine state
+  // are bumped from all lanes at once.
+  FaultSchedule aborts;
+  aborts.probability = 0.2;
+  aborts.seed = 42;
+  FaultInjector::Global().Arm(fault::points::kBpfRunAbort, aborts);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&rig, t] {
+      Lane lane(static_cast<uint32_t>(t),
+                TaskContext{200 + t, 200 + t},
+                23 + static_cast<uint64_t>(t));
+      std::vector<uint8_t> buf(kPageSize);
+      uint64_t state = 0x5eed + static_cast<uint64_t>(t);
+      for (uint64_t i = 0; i < kOps; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        ReadAndCheck(*rig, lane, rig->files[t], rig->cgs[t],
+                     static_cast<uint64_t>(t), (state >> 33) % kFilePages,
+                     buf);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  FaultInjector::Global().DisarmAll();
+
+  // Reads must all have succeeded (checked inline). The breaker machinery
+  // observed aborts from several threads; whatever it decided, the counters
+  // and flags must be coherent and the caches still serve correct bytes.
+  for (int t = 0; t < kThreads; ++t) {
+    const CgroupCacheStats stats = rig->pc->StatsFor(rig->cgs[t]);
+    EXPECT_FALSE(stats.oom_killed);
+    uint64_t trips = 0;
+    for (uint64_t c : stats.ext_hook_trip_counts) trips += c;
+    // Degraded hooks imply recorded trips, never the other way without.
+    if (stats.ext_degraded_hook_mask != 0) {
+      EXPECT_GT(trips, 0u);
+    }
+  }
+}
+
+TEST(ConcurrencyTest, WritebackAndInvalidateVsReadStress) {
+  auto rig = MakeMtRig(2, "");  // base LRU only; stresses the native path
+
+  std::atomic<bool> stop{false};
+
+  // Thread A: read loop over file 0.
+  std::thread reader([&rig, &stop] {
+    Lane lane(0, TaskContext{300, 300}, 31);
+    std::vector<uint8_t> buf(kPageSize);
+    uint64_t state = 0xfeed;
+    while (!stop.load(std::memory_order_relaxed)) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      ReadAndCheck(*rig, lane, rig->files[0], rig->cgs[0], 0,
+                   (state >> 33) % kFilePages, buf);
+    }
+  });
+
+  // Thread B: dirty pages, fsync them, then drop clean ranges — the
+  // writeback and invalidation paths take the same stripe + cgroup locks
+  // the reader is contending on.
+  std::thread syncer([&rig, &stop] {
+    Lane lane(1, TaskContext{301, 301}, 37);
+    std::vector<uint8_t> page(kPageSize);
+    for (int round = 0; round < 60; ++round) {
+      const uint64_t p = static_cast<uint64_t>(round) % kFilePages;
+      std::fill(page.begin(), page.end(), PatternByte(0, p));
+      ASSERT_TRUE(rig->pc
+                      ->Write(lane, rig->files[0], rig->cgs[0],
+                              p * kPageSize, std::span<const uint8_t>(page))
+                      .ok());
+      ASSERT_TRUE(rig->pc->SyncFile(lane, rig->files[0]).ok());
+      ASSERT_TRUE(rig->pc
+                      ->FadviseRange(lane, rig->files[0], rig->cgs[0],
+                                     Fadvise::kDontNeed, p * kPageSize,
+                                     kPageSize)
+                      .ok());
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+
+  syncer.join();
+  reader.join();
+
+  const CgroupCacheStats stats = rig->pc->StatsFor(rig->cgs[0]);
+  EXPECT_GT(stats.writeback_pages, 0u);
+  EXPECT_GT(stats.invalidations, 0u);
+  EXPECT_FALSE(stats.oom_killed);
+
+  // After the dust settles the disk and cache agree on every page.
+  Lane lane(2, TaskContext{302, 302}, 41);
+  std::vector<uint8_t> buf(kPageSize);
+  for (uint64_t p = 0; p < kFilePages; ++p) {
+    ReadAndCheck(*rig, lane, rig->files[0], rig->cgs[0], 0, p, buf);
+  }
+}
+
+TEST(ConcurrencyTest, AttachDetachRacesWithReaders) {
+  constexpr int kThreads = 3;
+  auto rig = MakeMtRig(kThreads, "");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&rig, &stop, t] {
+      Lane lane(static_cast<uint32_t>(t),
+                TaskContext{400 + t, 400 + t},
+                43 + static_cast<uint64_t>(t));
+      std::vector<uint8_t> buf(kPageSize);
+      uint64_t state = 0x1234 + static_cast<uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        ReadAndCheck(*rig, lane, rig->files[t], rig->cgs[t],
+                     static_cast<uint64_t>(t), (state >> 33) % kFilePages,
+                     buf);
+      }
+    });
+  }
+
+  // Attach and detach an ext policy on every cgroup while the readers run:
+  // dispatch sites observe the policy appearing and disappearing mid-op.
+  for (int round = 0; round < 10; ++round) {
+    for (int t = 0; t < kThreads; ++t) {
+      rig->AttachTo(rig->cgs[t], round % 2 == 0 ? "s3fifo" : "lfu");
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      ASSERT_TRUE(rig->pc->DetachExtPolicy(rig->cgs[t]).ok());
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : readers) w.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    const CgroupCacheStats stats = rig->pc->StatsFor(rig->cgs[t]);
+    EXPECT_FALSE(stats.oom_killed);
+    EXPECT_LE(rig->cgs[t]->charged_pages(), kCgroupPages);
+  }
+}
+
+}  // namespace
+}  // namespace cache_ext

@@ -5,6 +5,9 @@
 #   tools/check.sh --sanitize   # additionally build + ctest under ASan+UBSan
 #   tools/check.sh --chaos      # ASan build, chaos-labelled tests + the
 #                               # bench_chaos fault-storm soak
+#   tools/check.sh --tsan       # ThreadSanitizer build, MT stress tests +
+#                               # a bench_mt_scaling run (refreshes
+#                               # bench/baselines/BENCH_mt_scaling.json)
 #
 # Exits non-zero on the first failing step, so it is safe for CI and for
 # pre-commit use.
@@ -16,11 +19,13 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 sanitize=0
 chaos=0
+tsan=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
     --chaos) chaos=1 ;;
-    *) echo "usage: tools/check.sh [--sanitize] [--chaos]" >&2; exit 2 ;;
+    --tsan) tsan=1 ;;
+    *) echo "usage: tools/check.sh [--sanitize] [--chaos] [--tsan]" >&2; exit 2 ;;
   esac
 done
 
@@ -42,6 +47,23 @@ if [[ "$chaos" == 1 ]]; then
   echo "== chaos: bench_chaos fault-storm soak =="
   ./build-asan/bench/bench_chaos
   echo "== check.sh --chaos: all green =="
+  exit 0
+fi
+
+if [[ "$tsan" == 1 ]]; then
+  # The concurrent page cache / sharded bpf maps under ThreadSanitizer: the
+  # real-thread stress tests (tests/concurrency_test.cc) must be race-free.
+  # Everything else in the suite is single-threaded, so only the MT tests
+  # run here; halt_on_error makes any report fail the gate.
+  echo "== tsan: ThreadSanitizer build + MT stress tests (build-tsan/) =="
+  cmake -B build-tsan -DCACHE_EXT_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs" --target concurrency_test bench_mt_scaling
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
+  echo "== tsan: MT scaling run (regular build, baseline refresh) =="
+  cmake -B build >/dev/null
+  cmake --build build -j "$jobs" --target bench_mt_scaling
+  ./build/bench/bench_mt_scaling --out bench/baselines/BENCH_mt_scaling.json
+  echo "== check.sh --tsan: all green =="
   exit 0
 fi
 
