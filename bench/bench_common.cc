@@ -1,7 +1,11 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 
 namespace cache_ext::bench {
 
@@ -57,7 +61,151 @@ ArmResult RunYcsbArm(std::string_view policy,
   arm.disk_read_bytes = env.ssd().total_read_bytes() - reads_before;
   arm.disk_write_bytes = env.ssd().total_write_bytes() - writes_before;
   arm.cache_stats = env.cache().StatsFor(cg);
+  arm.total_ops =
+      static_cast<uint64_t>(config.lanes) * config.ops_per_lane;
+
+  // Steady-state probe: the cache is at capacity now, so further reclaim
+  // must reuse the eviction arena. Any alloc-bytes growth across this
+  // burst is a steady-state heap allocation.
+  const uint64_t alloc_before = arm.cache_stats.ext_evict_alloc_bytes;
+  std::vector<harness::LaneSpec> probe_lanes;
+  probe_lanes.push_back(harness::LaneSpec{
+      &gen, TaskContext{100, 100 + config.lanes},
+      std::max<uint64_t>(config.ops_per_lane / 10, 500)});
+  auto probe = harness::RunKvWorkload(db->get(), cg, probe_lanes, options);
+  if (probe.ok()) {
+    const CgroupCacheStats after = env.cache().StatsFor(cg);
+    arm.steady_state_evict_alloc_bytes =
+        after.ext_evict_alloc_bytes - alloc_before;
+    arm.cache_stats = after;
+  }
   return arm;
+}
+
+void PrintExtCounters(
+    const std::string& title,
+    const std::vector<std::pair<std::string, ArmResult>>& arms) {
+  harness::Table table(title,
+                       {"policy", "map lookups", "local-storage hits",
+                        "slot hit rate", "evict alloc", "arena reuses",
+                        "steady-state alloc"});
+  for (const auto& [label, arm] : arms) {
+    const CgroupCacheStats& st = arm.cache_stats;
+    const uint64_t resolutions =
+        st.ext_map_lookups + st.ext_local_storage_hits;
+    const double hit_rate =
+        resolutions == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(st.ext_local_storage_hits) /
+                  static_cast<double>(resolutions);
+    table.AddRow({label, harness::FormatCount(st.ext_map_lookups),
+                  harness::FormatCount(st.ext_local_storage_hits),
+                  harness::FormatDouble(hit_rate, 1) + "%",
+                  harness::FormatBytes(st.ext_evict_alloc_bytes),
+                  harness::FormatCount(st.ext_evict_arena_reuses),
+                  harness::FormatBytes(arm.steady_state_evict_alloc_bytes)});
+  }
+  table.Print();
+}
+
+bool WriteBenchJson(const std::string& path, const std::string& bench,
+                    const std::vector<BenchPoint>& points) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": \"" << bench << "\",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", points[i].ns_per_op);
+    out << "    {\"name\": \"" << points[i].name << "\", \"ns_per_op\": "
+        << buf << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+namespace {
+
+// Pulls {"name": ..., "ns_per_op": ...} pairs out of our own fixed JSON
+// format (WriteBenchJson above) — not a general JSON parser.
+std::vector<BenchPoint> ReadBenchJson(const std::string& path) {
+  std::vector<BenchPoint> points;
+  std::ifstream in(path);
+  if (!in) {
+    return points;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  size_t pos = 0;
+  while ((pos = text.find("\"name\"", pos)) != std::string::npos) {
+    const size_t open = text.find('"', text.find(':', pos) + 1);
+    if (open == std::string::npos) {
+      break;
+    }
+    const size_t close = text.find('"', open + 1);
+    const size_t value_key = text.find("\"ns_per_op\"", close);
+    if (close == std::string::npos || value_key == std::string::npos) {
+      break;
+    }
+    const size_t colon = text.find(':', value_key);
+    BenchPoint point;
+    point.name = text.substr(open + 1, close - open - 1);
+    point.ns_per_op = std::strtod(text.c_str() + colon + 1, nullptr);
+    points.push_back(std::move(point));
+    pos = colon;
+  }
+  return points;
+}
+
+}  // namespace
+
+int CompareWithBaseline(const std::string& baseline_path,
+                        const std::vector<BenchPoint>& points,
+                        double threshold) {
+  const std::vector<BenchPoint> baseline = ReadBenchJson(baseline_path);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "bench: no baseline points in %s\n",
+                 baseline_path.c_str());
+    return -1;
+  }
+  int regressions = 0;
+  int matched = 0;
+  for (const BenchPoint& point : points) {
+    const BenchPoint* base = nullptr;
+    for (const BenchPoint& candidate : baseline) {
+      if (candidate.name == point.name) {
+        base = &candidate;
+        break;
+      }
+    }
+    if (base == nullptr) {
+      std::printf("  %-24s %10.1f ns/op  (no baseline point)\n",
+                  point.name.c_str(), point.ns_per_op);
+      continue;
+    }
+    ++matched;
+    const double delta_pct =
+        base->ns_per_op == 0.0
+            ? 0.0
+            : (point.ns_per_op - base->ns_per_op) / base->ns_per_op * 100.0;
+    const bool regressed =
+        point.ns_per_op > base->ns_per_op * (1.0 + threshold);
+    if (regressed) {
+      ++regressions;
+    }
+    std::printf("  %-24s %10.1f ns/op  vs baseline %10.1f  (%+6.1f%%)  %s\n",
+                point.name.c_str(), point.ns_per_op, base->ns_per_op,
+                delta_pct, regressed ? "REGRESSED" : "ok");
+  }
+  if (matched == 0) {
+    std::fprintf(stderr, "bench: baseline %s matches no current points\n",
+                 baseline_path.c_str());
+    return -1;
+  }
+  return regressions;
 }
 
 }  // namespace cache_ext::bench

@@ -49,6 +49,11 @@ struct ArmResult {
   uint64_t disk_read_bytes = 0;
   uint64_t disk_write_bytes = 0;
   CgroupCacheStats cache_stats;
+  // Eviction-arena growth observed during a short probe run issued after
+  // the main workload (the cache is at capacity by then): 0 means
+  // steady-state reclaim allocated nothing.
+  uint64_t steady_state_evict_alloc_bytes = 0;
+  uint64_t total_ops = 0;
 };
 
 // Runs one policy arm of a KV workload in a fresh environment (the paper
@@ -56,6 +61,33 @@ struct ArmResult {
 ArmResult RunYcsbArm(std::string_view policy,
                      workloads::YcsbWorkload workload,
                      const YcsbBenchConfig& config = {});
+
+// Prints the per-policy hot-path counters (map lookups vs folio-local
+// storage hits, eviction-arena traffic) as a harness::Table.
+void PrintExtCounters(
+    const std::string& title,
+    const std::vector<std::pair<std::string, ArmResult>>& arms);
+
+// --- bench-smoke baseline plumbing (tools/check.sh --bench-smoke) ---
+
+// One measured scalar, keyed by a stable name ("8192_lfu", "slot_lookup").
+struct BenchPoint {
+  std::string name;
+  double ns_per_op = 0.0;
+};
+
+// Writes `{"bench": ..., "points": [{"name": ..., "ns_per_op": ...}]}`.
+// Returns false (with a message on stderr) if the file cannot be written.
+bool WriteBenchJson(const std::string& path, const std::string& bench,
+                    const std::vector<BenchPoint>& points);
+
+// Compares `points` against a baseline previously written by WriteBenchJson.
+// A point regresses when ns_per_op exceeds baseline * (1 + threshold).
+// Prints one line per point; returns the number of regressions, or -1 if
+// the baseline cannot be read or holds no matching points.
+int CompareWithBaseline(const std::string& baseline_path,
+                        const std::vector<BenchPoint>& points,
+                        double threshold);
 
 // The policy sets used across figures.
 inline std::vector<std::string_view> Fig6Policies() {

@@ -1,0 +1,255 @@
+// Folio-local storage vs hash map: per-event cost of the policy hot path.
+//
+// Every cache_ext policy resolves per-folio state on every folio_added /
+// folio_accessed / folio_removed event and once per scanned folio during
+// eviction. This bench measures that resolution three ways:
+//
+//   slot      FolioLocalStorage in slot mode — one indexed load off the
+//             folio (the kernel bpf_local_storage analogue)
+//   fallback  FolioLocalStorage forced into its hash fallback (what the
+//             map degrades to when all folio slots are taken)
+//   hash      a plain bpf::HashMap<const Folio*, T> — the pre-PR layout
+//
+// Acceptance gate: slot lookup must be >= 2x faster than the hash lookup
+// (the bench exits 1 otherwise).
+//
+// Flags: --quick / --out PATH / --baseline PATH / --threshold F, as in
+// bench_table4_noop_overhead.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/bpf/folio_local_storage.h"
+#include "src/bpf/map.h"
+#include "src/mm/folio.h"
+#include "src/mm/folio_storage.h"
+
+namespace cache_ext::bench {
+namespace {
+
+struct Options {
+  bool quick = false;
+  const char* out = nullptr;
+  const char* baseline = nullptr;
+  double threshold = 0.15;
+};
+
+constexpr uint32_t kFolios = 8192;
+
+// Deterministic access order touching every folio with no stride pattern
+// the prefetcher can ride (xorshift64, fixed seed).
+std::vector<uint32_t> AccessOrder(size_t events) {
+  std::vector<uint32_t> order(events);
+  uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (size_t i = 0; i < events; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    order[i] = static_cast<uint32_t>(x % kFolios);
+  }
+  return order;
+}
+
+double NsPerOp(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end, size_t events) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                 .count()) /
+         static_cast<double>(events);
+}
+
+// Per-event lookup-and-bump through a FolioLocalStorage map (slot or
+// fallback mode, depending on the directory's disable flag at map
+// construction).
+double MeasureLocalStorageLookup(std::vector<Folio>& folios,
+                                 const std::vector<uint32_t>& order,
+                                 bpf::FolioLocalStorageStats* stats_out) {
+  bpf::FolioLocalStorage<uint64_t> map(kFolios + 16);
+  for (Folio& folio : folios) {
+    uint64_t* v = map.GetOrCreate(&folio);
+    CHECK(v != nullptr);
+    *v = 1;
+  }
+  uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (const uint32_t idx : order) {
+    uint64_t* v = map.Lookup(&folios[idx]);
+    if (v != nullptr) {
+      sink += ++*v;
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  if (stats_out != nullptr) {
+    *stats_out = map.Stats();
+  }
+  // Keep the loop observable.
+  if (sink == 0) {
+    std::printf("(unreachable sink)\n");
+  }
+  return NsPerOp(start, end, order.size());
+}
+
+// The pre-PR layout: plain hash map keyed by folio pointer.
+double MeasureHashLookup(std::vector<Folio>& folios,
+                         const std::vector<uint32_t>& order) {
+  bpf::HashMap<const Folio*, uint64_t> map(kFolios + 16);
+  for (Folio& folio : folios) {
+    CHECK(map.Update(&folio, 1));
+  }
+  uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (const uint32_t idx : order) {
+    uint64_t* v = map.Lookup(&folios[idx]);
+    if (v != nullptr) {
+      sink += ++*v;
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  if (sink == 0) {
+    std::printf("(unreachable sink)\n");
+  }
+  return NsPerOp(start, end, order.size());
+}
+
+// GetOrCreate + Delete churn: the folio_added/folio_removed path.
+double MeasureLocalStorageCycle(std::vector<Folio>& folios, size_t events) {
+  bpf::FolioLocalStorage<uint64_t> map(kFolios + 16);
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < events; ++i) {
+    Folio* folio = &folios[i % kFolios];
+    uint64_t* v = map.GetOrCreate(folio);
+    if (v != nullptr) {
+      *v = i;
+    }
+    map.Delete(folio);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return NsPerOp(start, end, events);
+}
+
+double MeasureHashCycle(std::vector<Folio>& folios, size_t events) {
+  bpf::HashMap<const Folio*, uint64_t> map(kFolios + 16);
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < events; ++i) {
+    const Folio* folio = &folios[i % kFolios];
+    map.Update(folio, i, bpf::MapUpdateFlags::kNoExist);
+    map.Delete(folio);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return NsPerOp(start, end, events);
+}
+
+int Run(const Options& opts) {
+  const size_t events = opts.quick ? 1u << 20 : 1u << 23;
+  const std::vector<uint32_t> order = AccessOrder(events);
+  auto folios = std::make_unique<std::vector<Folio>>(kFolios);
+
+  auto& dir = FolioStorageDirectory::Instance();
+
+  bpf::FolioLocalStorageStats slot_stats;
+  const double slot_ns =
+      MeasureLocalStorageLookup(*folios, order, &slot_stats);
+  CHECK(slot_stats.using_slot);
+
+  dir.SetSlotsDisabledForTesting(true);
+  bpf::FolioLocalStorageStats fallback_stats;
+  const double fallback_ns =
+      MeasureLocalStorageLookup(*folios, order, &fallback_stats);
+  CHECK(!fallback_stats.using_slot);
+  dir.SetSlotsDisabledForTesting(false);
+
+  const double hash_ns = MeasureHashLookup(*folios, order);
+  const double slot_cycle_ns = MeasureLocalStorageCycle(*folios, events / 4);
+  dir.SetSlotsDisabledForTesting(true);
+  const double fallback_cycle_ns =
+      MeasureLocalStorageCycle(*folios, events / 4);
+  dir.SetSlotsDisabledForTesting(false);
+  const double hash_cycle_ns = MeasureHashCycle(*folios, events / 4);
+
+  harness::Table table("Per-event map cost (" + std::to_string(events) +
+                           " events, " + std::to_string(kFolios) + " folios)",
+                       {"path", "lookup+bump", "create+delete cycle",
+                        "vs hash lookup"});
+  table.AddRow({"folio-local slot", harness::FormatDouble(slot_ns, 2) + " ns",
+                harness::FormatDouble(slot_cycle_ns, 2) + " ns",
+                harness::FormatDouble(hash_ns / slot_ns, 2) + "x faster"});
+  table.AddRow({"hash fallback",
+                harness::FormatDouble(fallback_ns, 2) + " ns",
+                harness::FormatDouble(fallback_cycle_ns, 2) + " ns",
+                harness::FormatDouble(hash_ns / fallback_ns, 2) + "x"});
+  table.AddRow({"bpf::HashMap", harness::FormatDouble(hash_ns, 2) + " ns",
+                harness::FormatDouble(hash_cycle_ns, 2) + " ns", "1.00x"});
+  table.Print();
+  std::printf("slot mode: %llu slot hits, %llu fallback lookups\n",
+              static_cast<unsigned long long>(slot_stats.slot_hits),
+              static_cast<unsigned long long>(slot_stats.fallback_lookups));
+
+  std::vector<BenchPoint> points = {
+      {"slot_lookup", slot_ns},       {"fallback_lookup", fallback_ns},
+      {"hash_lookup", hash_ns},       {"slot_cycle", slot_cycle_ns},
+      {"fallback_cycle", fallback_cycle_ns},
+      {"hash_cycle", hash_cycle_ns},
+  };
+  int rc = 0;
+  if (opts.out != nullptr) {
+    if (!WriteBenchJson(opts.out, "local_storage", points)) {
+      rc = 1;
+    } else {
+      std::printf("wrote %zu points to %s\n", points.size(), opts.out);
+    }
+  }
+  if (opts.baseline != nullptr) {
+    std::printf("comparing against %s (threshold +%.0f%%):\n", opts.baseline,
+                opts.threshold * 100.0);
+    const int regressions =
+        CompareWithBaseline(opts.baseline, points, opts.threshold);
+    if (regressions != 0) {
+      std::fprintf(stderr, "bench_local_storage: %d regression(s)\n",
+                   regressions);
+      rc = 1;
+    }
+  }
+  // Acceptance gate: the whole point of the slot path.
+  if (hash_ns < 2.0 * slot_ns) {
+    std::fprintf(stderr,
+                 "bench_local_storage: FAIL — slot lookup %.2f ns is not "
+                 ">=2x faster than hash lookup %.2f ns\n",
+                 slot_ns, hash_ns);
+    rc = 1;
+  } else {
+    std::printf("acceptance: slot lookup is %.2fx faster than hash (>=2x)\n",
+                hash_ns / slot_ns);
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace cache_ext::bench
+
+int main(int argc, char** argv) {
+  cache_ext::bench::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opts.quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opts.out = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      opts.baseline = argv[++i];
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      opts.threshold = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out PATH] [--baseline PATH] "
+                   "[--threshold F]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return cache_ext::bench::Run(opts);
+}

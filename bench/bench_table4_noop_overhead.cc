@@ -1,35 +1,62 @@
 // Table 4: baseline CPU overhead of the cache_ext framework — fio-style
-// randread with a NO-OP cache_ext policy vs the default Linux policy.
+// randread with a NO-OP cache_ext policy vs the default Linux policy —
+// plus the real-policy hot-path cost (lfu/lhd/s3fifo), which is what the
+// folio-local-storage work moves.
 //
 // Unlike the macro benches (virtual time), this is a real CPU
 // microbenchmark: we measure actual wall-clock CPU per page-cache read op
-// with and without the no-op policy attached. The no-op policy maintains
-// all cache_ext data structures (registry inserts/removals, hook dispatch,
-// program invocation) but defers every decision to the default policy,
-// isolating framework overhead exactly as §6.3.2 does.
+// with each policy attached. The no-op policy maintains all cache_ext
+// data structures (registry inserts/removals, hook dispatch, program
+// invocation) but defers every decision to the default policy, isolating
+// framework overhead exactly as §6.3.2 does.
 //
 // Paper rows (µCPU per I/O): 5 GiB 234.80 -> 236.51 (+0.72%), 10 GiB
 // 217.48 -> 221.14 (+1.66%), 30 GiB 197.67 -> 198.01 (+0.17%).
+//
+// Flags:
+//   --quick               one trial, fewer ops, middle row only
+//   --out PATH            write measured points as baseline JSON
+//   --baseline PATH       compare against a baseline; exit 1 on regression
+//   --threshold F         regression threshold (default 0.15 = +15%)
+//   --no-local-storage    force folio-local-storage maps into their hash
+//                         fallback (the pre-local-storage hot path); use
+//                         this to generate "before" baselines
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "src/mm/folio_storage.h"
 #include "src/workloads/fio.h"
 
 namespace cache_ext::bench {
 namespace {
 
-// One row: randread over a file 3x the cgroup size, 8 lanes, measuring real
-// ns of CPU per operation. Median of three trials (wall-clock measurements
-// share the machine with whatever else runs).
-double MeasureOnce(uint64_t cgroup_pages, bool with_noop) {
+struct Options {
+  bool quick = false;
+  const char* out = nullptr;
+  const char* baseline = nullptr;
+  double threshold = 0.15;
+  bool no_local_storage = false;
+};
+
+// One trial: randread over a file 3x the cgroup size, 8 lanes, measuring
+// real ns of CPU per operation with `policy` attached ("default" = no ext
+// policy). Fills `stats_out` with the cgroup's counters after the run.
+double MeasureOnce(uint64_t cgroup_pages, const std::string& policy,
+                   uint64_t measure_ops, CgroupCacheStats* stats_out) {
   harness::Env env;
   MemCgroup* cg = env.CreateCgroup("/fio", cgroup_pages * kPageSize);
-  if (with_noop) {
-    auto agent = env.AttachPolicy(cg, "noop", {});
-    CHECK(agent.ok());
+  std::shared_ptr<policies::UserspaceAgent> agent;
+  if (!harness::IsBaselinePolicy(policy)) {
+    auto attached = env.AttachPolicy(cg, policy, {});
+    CHECK(attached.ok());
+    agent = *attached;
   }
   workloads::FioConfig fio_config;
   fio_config.file_pages = cgroup_pages * 3;
@@ -43,71 +70,162 @@ double MeasureOnce(uint64_t cgroup_pages, bool with_noop) {
                        0xF10 + static_cast<uint64_t>(i));
   }
 
+  const auto step = [&](uint64_t i) {
+    CHECK(fio->Step(lanes[i % kLanes], cg).ok());
+    if (agent != nullptr && (i & 0xFFF) == 0) {
+      agent->Poll();  // LHD reconfigures from userspace
+    }
+  };
+
   // Warm up: populate the cache to steady state.
   const uint64_t warmup_ops = cgroup_pages * 2;
   for (uint64_t i = 0; i < warmup_ops; ++i) {
-    CHECK(fio->Step(lanes[i % kLanes], cg).ok());
+    step(i);
   }
 
-  const uint64_t measure_ops = 200000;
   const auto start = std::chrono::steady_clock::now();
   for (uint64_t i = 0; i < measure_ops; ++i) {
-    CHECK(fio->Step(lanes[i % kLanes], cg).ok());
+    step(i);
   }
   const auto end = std::chrono::steady_clock::now();
+  if (stats_out != nullptr) {
+    *stats_out = env.cache().StatsFor(cg);
+  }
   return static_cast<double>(
              std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
                  .count()) /
          static_cast<double>(measure_ops);
 }
 
-double MeasureNsPerOp(uint64_t cgroup_pages, bool with_noop) {
-  double trials[3];
-  for (double& trial : trials) {
-    trial = MeasureOnce(cgroup_pages, with_noop);
+double MeasureNsPerOp(uint64_t cgroup_pages, const std::string& policy,
+                      const Options& opts, CgroupCacheStats* stats_out) {
+  const uint64_t measure_ops = opts.quick ? 60000 : 200000;
+  const int trials = opts.quick ? 1 : 3;
+  std::vector<double> samples(static_cast<size_t>(trials));
+  for (double& trial : samples) {
+    trial = MeasureOnce(cgroup_pages, policy, measure_ops, stats_out);
   }
-  std::sort(trials, trials + 3);
-  return trials[1];
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
 }
 
-void RunTable4() {
-  std::printf("Table 4: no-op cache_ext CPU overhead, fio-style randread\n");
+int RunTable4(const Options& opts) {
+  if (opts.no_local_storage) {
+    FolioStorageDirectory::Instance().SetSlotsDisabledForTesting(true);
+    std::printf("[folio-local storage DISABLED: hash-fallback hot path]\n");
+  }
+  std::printf("Table 4: cache_ext CPU overhead, fio-style randread\n");
   std::printf("(REAL wall-clock CPU per op; paper reports 0.17%%-1.66%%)\n");
-  harness::Table table("Table 4 — CPU per I/O operation",
-                       {"cgroup size", "default", "cache_ext no-op",
-                        "added", "vs sim path", "vs kernel path"});
   // Paper: 5/10/30 GiB cgroups; scaled by the same 1/320 factor as the
   // other benches: 16 MiB / 32 MiB / 96 MiB.
-  const struct {
+  struct Row {
     const char* label;
     uint64_t pages;
-  } rows[] = {{"16 MiB (5 GiB / 320)", 4096},
-              {"32 MiB (10 GiB / 320)", 8192},
-              {"96 MiB (30 GiB / 320)", 24576}};
+  };
+  std::vector<Row> rows;
+  if (opts.quick) {
+    rows.push_back({"32 MiB (10 GiB / 320)", 8192});
+  } else {
+    rows.push_back({"16 MiB (5 GiB / 320)", 4096});
+    rows.push_back({"32 MiB (10 GiB / 320)", 8192});
+    rows.push_back({"96 MiB (30 GiB / 320)", 24576});
+  }
+  const std::vector<std::string> policies = {"default", "noop", "lfu", "lhd",
+                                            "s3fifo"};
+
+  std::vector<BenchPoint> points;
+  std::vector<std::pair<std::string, ArmResult>> counter_rows;
+  harness::Table policy_table(
+      "CPU per I/O operation, by policy",
+      {"cgroup size", "default", "noop", "lfu", "lhd", "s3fifo"});
+  harness::Table overhead_table(
+      "Table 4 — no-op overhead vs default",
+      {"cgroup size", "default", "cache_ext no-op", "added", "vs sim path",
+       "vs kernel path"});
   // Our simulated read hot path costs well under 1 us of real CPU; the
   // kernel's buffered-read path (syscall, VFS, filemap, locking, copyout)
   // costs an order of magnitude more, which is the denominator the paper's
   // 0.17-1.66% rows are measured against. We report the absolute added
   // cost and both relative views.
   constexpr double kKernelReadPathNs = 10000.0;
-  for (const auto& row : rows) {
-    const double base = MeasureNsPerOp(row.pages, false);
-    const double noop = MeasureNsPerOp(row.pages, true);
-    const double added = noop - base;
-    table.AddRow({row.label, harness::FormatDouble(base, 1) + " ns/op",
-                  harness::FormatDouble(noop, 1) + " ns/op",
-                  harness::FormatDouble(added, 1) + " ns",
-                  harness::FormatDouble(added / base * 100, 2) + "%",
-                  harness::FormatDouble(added / kKernelReadPathNs * 100, 2) +
-                      "%"});
+
+  for (const Row& row : rows) {
+    std::vector<std::string> cells = {row.label};
+    double base_ns = 0.0;
+    double noop_ns = 0.0;
+    for (const std::string& policy : policies) {
+      CgroupCacheStats stats;
+      const double ns = MeasureNsPerOp(row.pages, policy, opts, &stats);
+      cells.push_back(harness::FormatDouble(ns, 1) + " ns/op");
+      points.push_back(
+          {std::to_string(row.pages) + "_" + policy, ns});
+      if (policy == "default") {
+        base_ns = ns;
+      } else if (policy == "noop") {
+        noop_ns = ns;
+      }
+      if (!harness::IsBaselinePolicy(policy) && policy != "noop") {
+        ArmResult arm;
+        arm.cache_stats = stats;
+        counter_rows.emplace_back(
+            policy + " @" + std::to_string(row.pages) + "p", arm);
+      }
+    }
+    policy_table.AddRow(cells);
+    const double added = noop_ns - base_ns;
+    overhead_table.AddRow(
+        {row.label, harness::FormatDouble(base_ns, 1) + " ns/op",
+         harness::FormatDouble(noop_ns, 1) + " ns/op",
+         harness::FormatDouble(added, 1) + " ns",
+         harness::FormatDouble(added / base_ns * 100, 2) + "%",
+         harness::FormatDouble(added / kKernelReadPathNs * 100, 2) + "%"});
   }
-  table.Print();
+  overhead_table.Print();
+  policy_table.Print();
+  PrintExtCounters("Policy hot-path counters (measured phase)", counter_rows);
+
+  if (opts.out != nullptr) {
+    if (!WriteBenchJson(opts.out, "table4_noop_overhead", points)) {
+      return 1;
+    }
+    std::printf("wrote %zu points to %s\n", points.size(), opts.out);
+  }
+  if (opts.baseline != nullptr) {
+    std::printf("comparing against %s (threshold +%.0f%%):\n", opts.baseline,
+                opts.threshold * 100.0);
+    const int regressions =
+        CompareWithBaseline(opts.baseline, points, opts.threshold);
+    if (regressions != 0) {
+      std::fprintf(stderr, "bench_table4: %d regression(s)\n", regressions);
+      return 1;
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace cache_ext::bench
 
-int main() {
-  cache_ext::bench::RunTable4();
-  return 0;
+int main(int argc, char** argv) {
+  cache_ext::bench::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opts.quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opts.out = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      opts.baseline = argv[++i];
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      opts.threshold = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-local-storage") == 0) {
+      opts.no_local_storage = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out PATH] [--baseline PATH] "
+                   "[--threshold F] [--no-local-storage]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return cache_ext::bench::RunTable4(opts);
 }

@@ -1,0 +1,297 @@
+// BPF_MAP_TYPE_FOLIO_STORAGE: folio-local storage, modelled on the
+// kernel's bpf_local_storage family (task/inode/sk/cgroup storage,
+// kernel/bpf/bpf_local_storage.c).
+//
+// A conventional bpf::HashMap keyed by Folio* pays a hash, a probe and
+// a shard lock on every page-cache event. Local storage instead hangs
+// the element off the owning object: at map construction the map claims
+// one of the kFolioLocalStorageSlots slots embedded in every Folio (the
+// analogue of bpf_local_storage_cache_idx_get() assigning a cache index
+// at map alloc), and Lookup becomes a single indexed atomic load:
+//
+//   folio->bpf_storage[slot]  ->  Elem{folio, value}  ->  &value
+//
+// Semantics mirrored from the kernel:
+//   * GetOrCreate == bpf_*_storage_get(BPF_LOCAL_STORAGE_GET_F_CREATE):
+//     returns existing storage or transparently allocates it, nullptr
+//     when the map is at max_entries (-E2BIG; policies must handle it,
+//     as with HashMap::Update).
+//   * Owner lifetime: when a folio is freed on ANY path — eviction,
+//     truncation, cache teardown, verifier dry-run teardown — ~Folio
+//     hands the element back via FolioStorageDirectory::OnFolioFree,
+//     like bpf_local_storage_destroy on task/inode death. Policies
+//     cannot leak per-folio state even when folio_removed never fires.
+//   * Elements live in a pool preallocated at construction, so the
+//     steady state allocates nothing (the kernel allocates per-elem
+//     from slab; we trade that for strict max_entries preallocation,
+//     which every other map in this layer already does).
+//
+// Fallback: when all folio slots are taken (more live local-storage
+// maps than slots, or slot mode disabled for ablation), the map
+// degrades to an internal lock-striped HashMap with identical
+// semantics. The verifier budgets this path too — a local-storage map
+// declares the same max_entries either way (DeclareLocalStorageMap).
+//
+// Concurrency: Lookup is lock-free (one acquire load). GetOrCreate and
+// Delete serialize on one map mutex — creates/deletes are orders of
+// magnitude rarer than lookups (folio add/remove vs every access).
+// Folio-free vs map-destroy races are settled by an atomic exchange on
+// the folio slot: whoever detaches the element recycles it (see
+// FolioStorageDirectory::OnFolioFree). Lock order: directory -> map.
+
+#ifndef SRC_BPF_FOLIO_LOCAL_STORAGE_H_
+#define SRC_BPF_FOLIO_LOCAL_STORAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/bpf/map.h"
+#include "src/mm/folio.h"
+#include "src/mm/folio_storage.h"
+#include "src/util/logging.h"
+#include "src/util/thread_annotations.h"
+
+namespace cache_ext::bpf {
+
+// Counter snapshot for observability (CgroupCacheStats ext_* fields).
+struct FolioLocalStorageStats {
+  uint64_t lookups = 0;        // resolutions (slot_hits + fallback_lookups)
+  uint64_t slot_hits = 0;      //   ... resolved via the folio slot
+  uint64_t fallback_lookups = 0;  // ... resolved via the hash fallback
+  uint64_t creates = 0;
+  uint64_t deletes = 0;           // explicit Delete() calls
+  uint64_t owner_frees = 0;       // elements reclaimed by folio free
+  bool using_slot = false;
+  int32_t slot = -1;
+};
+
+template <typename T>
+class FolioLocalStorage final : public FolioStorageOwner {
+  static_assert(std::is_default_constructible_v<T>,
+                "local storage values are zero-initialized on create");
+
+ public:
+  explicit FolioLocalStorage(uint32_t max_entries)
+      : max_entries_(max_entries) {
+    CHECK_GT(max_entries, 0u);
+    slot_ = FolioStorageDirectory::Instance().AcquireSlot(this);
+    if (slot_ >= 0) {
+      pool_ = std::make_unique<Elem[]>(max_entries_);
+      for (uint32_t i = 0; i < max_entries_; ++i) {
+        pool_[i].next_free = i + 1 < max_entries_ ? i + 1 : kNil;
+      }
+      free_head_ = 0;
+    } else {
+      fallback_ = std::make_unique<HashMap<const Folio*, T>>(max_entries_);
+      FolioStorageDirectory::Instance().RegisterFallback(this);
+    }
+  }
+
+  ~FolioLocalStorage() override {
+    if (slot_ >= 0) {
+      // Detach surviving elements from their folios first (a policy
+      // detached with folios still resident leaves live storage), then
+      // release the slot — ReleaseSlot's writer lock waits out any
+      // in-flight folio free that already holds an element pointer, so
+      // the pool outlives every FreeFolioElem call.
+      {
+        MutexLock lock(mu_);
+        for (uint32_t i = 0; i < max_entries_; ++i) {
+          Elem& elem = pool_[i];
+          Folio* folio = elem.folio;
+          if (folio == nullptr) {
+            continue;
+          }
+          if (folio->bpf_storage[slot_].exchange(
+                  nullptr, std::memory_order_acq_rel) != nullptr) {
+            elem.folio = nullptr;  // we won the detach; recycle in place
+          }
+        }
+      }
+      FolioStorageDirectory::Instance().ReleaseSlot(slot_, this);
+    } else {
+      FolioStorageDirectory::Instance().UnregisterFallback(this);
+    }
+  }
+
+  FolioLocalStorage(const FolioLocalStorage&) = delete;
+  FolioLocalStorage& operator=(const FolioLocalStorage&) = delete;
+
+  // bpf_*_storage_get(..., 0): existing storage or nullptr. The hot
+  // path — one atomic load off the folio, no hash, no lock.
+  T* Lookup(const Folio* folio) {
+    if (slot_ >= 0) {
+      void* p = folio->bpf_storage[slot_].load(std::memory_order_acquire);
+      if (p == nullptr) {
+        return nullptr;
+      }
+      Bump(slot_hits_);
+      return &static_cast<Elem*>(p)->value;
+    }
+    Bump(fallback_lookups_);
+    return fallback_->Lookup(folio);
+  }
+
+  // bpf_*_storage_get(..., BPF_LOCAL_STORAGE_GET_F_CREATE): existing
+  // storage, or a zero-initialized element; nullptr when the map is
+  // full (-E2BIG).
+  T* GetOrCreate(Folio* folio) {
+    if (slot_ < 0) {
+      Bump(fallback_lookups_);
+      if (T* existing = fallback_->Lookup(folio)) {
+        return existing;
+      }
+      if (fallback_->Update(folio, T{}, MapUpdateFlags::kNoExist)) {
+        creates_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return fallback_->Lookup(folio);  // ours, a racing create, or full
+    }
+    if (void* p = folio->bpf_storage[slot_].load(std::memory_order_acquire)) {
+      Bump(slot_hits_);
+      return &static_cast<Elem*>(p)->value;
+    }
+    MutexLock lock(mu_);
+    // Re-check under the map lock: a racing lane may have installed
+    // storage between the load above and here.
+    if (void* p = folio->bpf_storage[slot_].load(std::memory_order_acquire)) {
+      Bump(slot_hits_);
+      return &static_cast<Elem*>(p)->value;
+    }
+    if (free_head_ == kNil) {
+      return nullptr;  // -E2BIG
+    }
+    Elem& elem = pool_[free_head_];
+    free_head_ = elem.next_free;
+    elem.folio = folio;
+    elem.value = T{};
+    folio->bpf_storage[slot_].store(&elem, std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    creates_.fetch_add(1, std::memory_order_relaxed);
+    return &elem.value;
+  }
+
+  // bpf_*_storage_delete. Returns false when the folio had no storage.
+  bool Delete(Folio* folio) {
+    if (slot_ < 0) {
+      if (!fallback_->Delete(folio)) {
+        return false;
+      }
+      deletes_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    MutexLock lock(mu_);
+    void* p = folio->bpf_storage[slot_].exchange(nullptr,
+                                                 std::memory_order_acq_rel);
+    if (p == nullptr) {
+      return false;
+    }
+    Recycle(static_cast<Elem*>(p));
+    deletes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // bpf_for_each_map_elem equivalent; fn(Folio*, T&) -> bool keep_going.
+  // Slot mode walks the pool under the map lock (creates/deletes stall,
+  // lock-free lookups do not).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    if (slot_ < 0) {
+      fallback_->ForEach([&fn](const Folio* folio, T& value) {
+        return fn(const_cast<Folio*>(folio), value);
+      });
+      return;
+    }
+    MutexLock lock(mu_);
+    for (uint32_t i = 0; i < max_entries_; ++i) {
+      Elem& elem = pool_[i];
+      if (elem.folio != nullptr && !fn(elem.folio, elem.value)) {
+        return;
+      }
+    }
+  }
+
+  uint32_t Size() const {
+    return slot_ >= 0 ? size_.load(std::memory_order_relaxed)
+                      : fallback_->Size();
+  }
+  uint32_t max_entries() const { return max_entries_; }
+  bool using_slot() const { return slot_ >= 0; }
+  int32_t slot() const { return slot_; }
+
+  FolioLocalStorageStats Stats() const {
+    FolioLocalStorageStats s;
+    s.slot_hits = slot_hits_.load(std::memory_order_relaxed);
+    s.fallback_lookups = fallback_lookups_.load(std::memory_order_relaxed);
+    s.lookups = s.slot_hits + s.fallback_lookups;
+    s.creates = creates_.load(std::memory_order_relaxed);
+    s.deletes = deletes_.load(std::memory_order_relaxed);
+    s.owner_frees = owner_frees_.load(std::memory_order_relaxed);
+    s.using_slot = slot_ >= 0;
+    s.slot = slot_;
+    return s;
+  }
+
+  // FolioStorageOwner: the folio-free path detached `elem` from the
+  // dying folio and hands it back (directory lock held shared; the
+  // map cannot be destroyed concurrently — see ~FolioLocalStorage).
+  void FreeFolioElem(Folio* folio, void* elem) override {
+    (void)folio;
+    MutexLock lock(mu_);
+    Recycle(static_cast<Elem*>(elem));
+    owner_frees_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void DropFolio(Folio* folio) override {
+    if (fallback_->Delete(folio)) {
+      owner_frees_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Elem {
+    Folio* folio = nullptr;   // non-null iff in use
+    uint32_t next_free = 0;   // freelist link while free
+    T value{};
+  };
+
+  static constexpr uint32_t kNil = ~0u;
+
+  // Statistical counter bump: a relaxed load+store instead of an atomic
+  // RMW. Concurrent bumps may drop increments — observability counters
+  // tolerate that — and the per-event path sheds the locked RMW, which
+  // costs more than the storage lookup itself.
+  static void Bump(std::atomic<uint64_t>& counter) {
+    counter.store(counter.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+  }
+
+  void Recycle(Elem* elem) CACHE_EXT_REQUIRES(mu_) {
+    elem->folio = nullptr;
+    elem->next_free = free_head_;
+    free_head_ = static_cast<uint32_t>(elem - pool_.get());
+    size_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  const uint32_t max_entries_;
+  int32_t slot_ = -1;
+
+  // Slot mode: preallocated element pool + freelist.
+  Mutex mu_;
+  std::unique_ptr<Elem[]> pool_;
+  uint32_t free_head_ CACHE_EXT_GUARDED_BY(mu_) = kNil;
+  std::atomic<uint32_t> size_{0};
+
+  // Fallback mode: the conventional lock-striped map.
+  std::unique_ptr<HashMap<const Folio*, T>> fallback_;
+
+  std::atomic<uint64_t> slot_hits_{0};
+  std::atomic<uint64_t> fallback_lookups_{0};
+  std::atomic<uint64_t> creates_{0};
+  std::atomic<uint64_t> deletes_{0};
+  std::atomic<uint64_t> owner_frees_{0};
+};
+
+}  // namespace cache_ext::bpf
+
+#endif  // SRC_BPF_FOLIO_LOCAL_STORAGE_H_

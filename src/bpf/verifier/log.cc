@@ -22,6 +22,8 @@ const char* CheckName(Check check) {
       return "spec_candidate_bound";
     case Check::kSpecKfuncs:
       return "spec_kfuncs";
+    case Check::kSpecLocalStorage:
+      return "spec_local_storage";
     case Check::kDryRunInit:
       return "dry_run_init";
     case Check::kDryRunTermination:

@@ -32,6 +32,7 @@ enum class Check : uint8_t {
   kSpecMapCapacity,    // declared worst-case map occupancy fits max_entries
   kSpecCandidateBound, // declared candidates fit the candidate buffer
   kSpecKfuncs,         // kfunc reachability/consistency over declarations
+  kSpecLocalStorage,   // local-storage maps fit the per-folio slot array
   // Pass 2 — symbolic dry run.
   kDryRunInit,          // policy_init returns 0 under budget
   kDryRunTermination,   // no hook exhausts its helper budget

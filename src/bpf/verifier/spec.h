@@ -163,6 +163,17 @@ struct HookSpec {
   KfuncSet kfuncs;
 };
 
+// Map flavors the verifier reasons about. Local-storage maps resolve
+// per-folio state through a folio-embedded slot (O(1), no hashing), but
+// degrade to a hash map when the process runs out of folio slots — so
+// the verifier budgets them like hash maps (same max_entries bound on
+// both paths) AND proves the declared slot demand fits the per-folio
+// slot array.
+enum class MapKind : uint8_t {
+  kHash = 0,          // bpf::HashMap / bpf::LruHashMap / ArrayMap / RingBuf
+  kFolioLocalStorage, // bpf::FolioLocalStorage
+};
+
 // A map the policy allocates, with its declared worst-case occupancy.
 struct MapSpec {
   std::string name;
@@ -171,6 +182,7 @@ struct MapSpec {
   // Worst-case live entries the policy needs (e.g. one per resident folio
   // plus one per ghost). Must fit max_entries.
   uint64_t worst_case_entries = 0;
+  MapKind kind = MapKind::kHash;
 };
 
 struct ProgramSpec {
@@ -206,10 +218,21 @@ struct ProgramSpec {
   }
 
   ProgramSpec& DeclareMap(std::string name, uint64_t max_entries,
-                          uint64_t worst_case_entries) {
+                          uint64_t worst_case_entries,
+                          MapKind kind = MapKind::kHash) {
     declared = true;
-    maps.push_back(MapSpec{std::move(name), max_entries, worst_case_entries});
+    maps.push_back(
+        MapSpec{std::move(name), max_entries, worst_case_entries, kind});
     return *this;
+  }
+
+  // A bpf::FolioLocalStorage map. Budgeted like a hash map (the
+  // fallback path shares max_entries) plus the slot-demand proof
+  // (Check::kSpecLocalStorage).
+  ProgramSpec& DeclareLocalStorageMap(std::string name, uint64_t max_entries,
+                                      uint64_t worst_case_entries) {
+    return DeclareMap(std::move(name), max_entries, worst_case_entries,
+                      MapKind::kFolioLocalStorage);
   }
 
   ProgramSpec& DeclareLists(uint64_t nr_lists) {

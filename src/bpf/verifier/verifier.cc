@@ -210,6 +210,31 @@ bool CheckSpec(const cache_ext::Ops& ops, VerifierLog* log,
   }
   ok = ok && maps_ok;
 
+  // Local storage: declared folio-local maps must fit the per-folio
+  // slot array. Slot demand above the array would silently push maps
+  // onto their hash fallback, so the load is rejected instead — the
+  // policy author either drops a map or accepts explicit hash maps.
+  uint64_t nr_local_storage = 0;
+  for (const MapSpec& map : spec.maps) {
+    if (map.kind == MapKind::kFolioLocalStorage) {
+      ++nr_local_storage;
+    }
+  }
+  if (nr_local_storage > kFolioLocalStorageSlots) {
+    log->Fail(Check::kSpecLocalStorage, "",
+              U64(nr_local_storage) +
+                  " folio-local storage map(s) declared, but folios carry "
+                  "only " +
+                  U64(kFolioLocalStorageSlots) + " storage slots");
+    ok = false;
+  } else if (nr_local_storage > 0) {
+    log->Pass(Check::kSpecLocalStorage, "",
+              U64(nr_local_storage) + " local-storage map(s) fit the " +
+                  U64(kFolioLocalStorageSlots) +
+                  "-slot folio array (hash fallback budgeted at the same "
+                  "max_entries)");
+  }
+
   // Candidate bound: the declared batch must fit the candidate buffer.
   if (spec.max_candidates_per_evict > opts.candidate_cap) {
     log->Fail(Check::kSpecCandidateBound, HookName(Hook::kEvictFolios),

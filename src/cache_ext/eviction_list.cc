@@ -1,6 +1,7 @@
 #include "src/cache_ext/eviction_list.h"
 
 #include <algorithm>
+#include <new>
 #include <vector>
 
 #include "src/bpf/prog.h"
@@ -315,21 +316,25 @@ Status CacheExtApi::ListIterateScore(uint64_t list_id, const IterOpts& opts,
       return NotFound("bad list id");
     }
 
-    // Phase 1: score the first N folios.
+    // Phase 1: score the first N folios. The batch lives in the
+    // per-policy arena (not a fresh std::vector), so steady-state
+    // reclaim performs zero heap allocations once the arena has grown
+    // to the policy's batch size.
     struct Scored {
       int64_t score;
       ExtListNode* node;
     };
-    std::vector<Scored> scored;
     const uint64_t bound = std::min<uint64_t>(opts.nr_scan, list->size);
-    scored.reserve(bound);
+    Scored* scored =
+        static_cast<Scored*>(arena_.Reserve(bound * sizeof(Scored)));
+    uint64_t nr_scored = 0;
     ExtListNode* node = list->head.next;
     for (uint64_t i = 0; i < bound && node != &list->head; ++i) {
       if (!bpf::ChargeHelperCall()) {
         return ResourceExhausted("program helper budget exhausted");
       }
       ++examined;
-      scored.push_back(Scored{fn(node->folio), node});
+      new (&scored[nr_scored++]) Scored{fn(node->folio), node};
       node = node->next;
     }
 
@@ -338,9 +343,9 @@ Status CacheExtApi::ListIterateScore(uint64_t list_id, const IterOpts& opts,
         ctx->nr_candidates_requested > ctx->nr_candidates_proposed
             ? ctx->nr_candidates_requested - ctx->nr_candidates_proposed
             : 0;
-    const uint64_t c = std::min<uint64_t>(remaining, scored.size());
-    if (c > 0 && c < scored.size()) {
-      std::nth_element(scored.begin(), scored.begin() + (c - 1), scored.end(),
+    const uint64_t c = std::min<uint64_t>(remaining, nr_scored);
+    if (c > 0 && c < nr_scored) {
+      std::nth_element(scored, scored + (c - 1), scored + nr_scored,
                        [](const Scored& a, const Scored& b) {
                          return a.score < b.score;
                        });
@@ -348,7 +353,7 @@ Status CacheExtApi::ListIterateScore(uint64_t list_id, const IterOpts& opts,
 
     // Phase 3: propose the selected, apply placements. The first c entries
     // of `scored` are the selected ones after nth_element.
-    for (uint64_t i = 0; i < scored.size(); ++i) {
+    for (uint64_t i = 0; i < nr_scored; ++i) {
       ExtListNode* n = scored[i].node;
       if (i < c) {
         ctx->Propose(n->folio);

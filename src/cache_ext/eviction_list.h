@@ -13,6 +13,8 @@
 #ifndef SRC_CACHE_EXT_EVICTION_LIST_H_
 #define SRC_CACHE_EXT_EVICTION_LIST_H_
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -76,6 +78,56 @@ using IterateFn = std::function<IterVerdict(Folio*)>;
 // first N folios are selected (§4.2.3).
 using ScoreFn = std::function<int64_t(Folio*)>;
 
+// Observability snapshot of an EvictionArena (CgroupCacheStats
+// ext_evict_alloc_bytes / ext_evict_arena_reuses).
+struct EvictionArenaStats {
+  uint64_t alloc_bytes = 0;  // cumulative heap bytes the arena allocated
+  uint64_t reuses = 0;       // Reserve() calls served without allocating
+  uint64_t capacity = 0;     // current buffer size
+};
+
+// Per-cgroup scratch buffer for evict_folios score batches. Before the
+// arena, every ListIterateScore call allocated (and freed) a
+// std::vector for the batch — a heap round-trip on the reclaim hot
+// path, per pass. The arena keeps one grow-only buffer per attached
+// policy: after the first reclaim at a given batch size, steady-state
+// eviction allocates nothing (asserted by the alloc_bytes counter in
+// tests and reported per-op by the benches).
+class EvictionArena {
+ public:
+  // Scratch of at least `bytes` bytes, valid until the next Reserve.
+  // Callers serialize through the owning CacheExtApi's lock; the
+  // counters are atomic only so stats snapshots need no lock.
+  void* Reserve(size_t bytes) {
+    if (bytes <= cap_) {
+      reuses_.fetch_add(1, std::memory_order_relaxed);
+      return buf_.get();
+    }
+    size_t cap = cap_ < 2048 ? 2048 : cap_;
+    while (cap < bytes) {
+      cap *= 2;
+    }
+    buf_ = std::make_unique<std::byte[]>(cap);
+    cap_ = cap;
+    alloc_bytes_.fetch_add(cap, std::memory_order_relaxed);
+    return buf_.get();
+  }
+
+  EvictionArenaStats Stats() const {
+    EvictionArenaStats s;
+    s.alloc_bytes = alloc_bytes_.load(std::memory_order_relaxed);
+    s.reuses = reuses_.load(std::memory_order_relaxed);
+    s.capacity = cap_;
+    return s;
+  }
+
+ private:
+  std::unique_ptr<std::byte[]> buf_;
+  size_t cap_ = 0;
+  std::atomic<uint64_t> alloc_bytes_{0};
+  std::atomic<uint64_t> reuses_{0};
+};
+
 // The kfunc surface handed to policy programs. One instance per loaded
 // policy (lists are per-policy, §4.2.2's "registry" of lists).
 class CacheExtApi {
@@ -119,6 +171,9 @@ class CacheExtApi {
 
   uint64_t nr_lists() const;
 
+  // Scratch-arena counters for this policy's eviction path.
+  EvictionArenaStats ArenaStats() const { return arena_.Stats(); }
+
   // Instrument every kfunc with `observer` (nullptr to detach). Used by the
   // load-time verifier's dry run; production attachments run unobserved.
   void set_observer(ApiObserver* observer) { observer_ = observer; }
@@ -150,9 +205,10 @@ class CacheExtApi {
 
   FolioRegistry* registry_;
   ApiObserver* observer_ = nullptr;
-  mutable std::mutex mu_;  // guards lists_ and all node linkage
+  mutable std::mutex mu_;  // guards lists_, all node linkage, and arena_
   uint64_t next_list_id_ = 1;
   std::unordered_map<uint64_t, std::unique_ptr<ExtList>> lists_;
+  EvictionArena arena_;  // score-batch scratch, reused across reclaim passes
 };
 
 }  // namespace cache_ext

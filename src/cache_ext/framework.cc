@@ -142,6 +142,17 @@ void CacheExtPolicy::FolioRefaulted(Folio* folio, uint32_t tier) {
              [&] { ops_.folio_refaulted(api_, folio, tier); });
 }
 
+PolicyRuntimeCounters CacheExtPolicy::RuntimeCounters() const {
+  PolicyRuntimeCounters counters;
+  if (ops_.collect_counters) {
+    ops_.collect_counters(&counters);
+  }
+  const EvictionArenaStats arena = api_.ArenaStats();
+  counters.evict_alloc_bytes = arena.alloc_bytes;
+  counters.evict_arena_reuses = arena.reuses;
+  return counters;
+}
+
 bool CacheExtPolicy::ValidateCandidate(Folio* folio) {
   // Membership check only — the pointer is NOT dereferenced (§4.4).
   const bool valid = registry_.Contains(folio);

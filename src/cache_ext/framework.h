@@ -55,6 +55,7 @@ class CacheExtPolicy : public ReclaimPolicy {
   uint64_t PerEventCostNs() const override { return per_event_cost_ns_; }
   PolicyHookHealth HookHealth() const override { return breaker_.Health(); }
   bool WantsDetach() const override { return breaker_.escalated(); }
+  PolicyRuntimeCounters RuntimeCounters() const override;
 
   // Introspection ------------------------------------------------------------
   CacheExtApi& api() { return api_; }

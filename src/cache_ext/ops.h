@@ -56,6 +56,13 @@ struct Ops {
   // a miss; negative = defer to the kernel readahead heuristic.
   std::function<int64_t(CacheExtApi&, const PrefetchCtx&)> request_prefetch;
 
+  // Optional: add this policy's map counters (hash probes vs folio-local
+  // storage hits) into `counters`. Policies wire this to the Stats() of
+  // their bpf::FolioLocalStorage/bpf::HashMap instances; the framework
+  // adds the eviction-arena counters itself. Not a program hook — no
+  // RunContext, no budget, may be called concurrently with programs.
+  std::function<void(PolicyRuntimeCounters*)> collect_counters;
+
   // Helper-call budget per program invocation (runtime stand-in for the
   // verifier's instruction limit).
   uint64_t helper_budget = 1 << 16;

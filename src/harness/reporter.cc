@@ -47,6 +47,20 @@ std::string FormatOps(double ops_per_sec) {
   return buf;
 }
 
+std::string FormatCount(uint64_t count) {
+  char buf[64];
+  const double v = static_cast<double>(count);
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(count));
+  }
+  return buf;
+}
+
 std::string FormatNs(uint64_t ns) {
   char buf[64];
   if (ns >= 1000000) {

@@ -29,6 +29,7 @@ class Table {
 
 // "82808 op/s"-style formatting helpers.
 std::string FormatOps(double ops_per_sec);
+std::string FormatCount(uint64_t count);  // plain magnitude: "2.52M", "42"
 std::string FormatNs(uint64_t ns);      // latency: us/ms with 2 decimals
 std::string FormatBytes(uint64_t bytes);
 std::string FormatPercent(double fraction);  // 0.37 -> "37.0%"

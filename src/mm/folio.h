@@ -8,9 +8,11 @@
 #ifndef SRC_MM_FOLIO_H_
 #define SRC_MM_FOLIO_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 
+#include "src/mm/folio_storage.h"
 #include "src/util/intrusive_list.h"
 
 namespace cache_ext {
@@ -50,6 +52,16 @@ struct Folio {
   // MGLRU bookkeeping (native implementation).
   uint32_t gen = 0;        // generation sequence number this folio belongs to
   uint32_t accesses = 0;   // access count feeding the tier computation
+
+  // BPF folio-local storage slots, one per attached FolioLocalStorage
+  // map (the folio-owner analogue of task/inode bpf_local_storage). A
+  // slot holds the map's element for this folio; policies reach their
+  // per-folio state with one indexed load instead of a hash probe. Set
+  // with a CAS by the owning map, detached on every free path by
+  // ~Folio via FolioStorageDirectory::OnFolioFree.
+  std::array<std::atomic<void*>, kFolioLocalStorageSlots> bpf_storage = {};
+
+  ~Folio() { FolioStorageDirectory::Instance().OnFolioFree(this); }
 
   bool TestFlag(FolioFlag f) const {
     return (flags.load(std::memory_order_relaxed) & f) != 0;

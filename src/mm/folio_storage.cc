@@ -1,0 +1,97 @@
+#include "src/mm/folio_storage.h"
+
+#include <algorithm>
+
+#include "src/mm/folio.h"
+#include "src/util/logging.h"
+
+namespace cache_ext {
+
+FolioStorageDirectory& FolioStorageDirectory::Instance() {
+  static FolioStorageDirectory* directory = new FolioStorageDirectory();
+  return *directory;
+}
+
+int32_t FolioStorageDirectory::AcquireSlot(FolioStorageOwner* owner) {
+  if (slots_disabled_.load(std::memory_order_relaxed)) {
+    return -1;
+  }
+  WriterMutexLock lock(mu_);
+  for (uint32_t i = 0; i < kFolioLocalStorageSlots; ++i) {
+    if (slots_[i] == nullptr) {
+      slots_[i] = owner;
+      slots_in_use_.fetch_add(1, std::memory_order_relaxed);
+      return static_cast<int32_t>(i);
+    }
+  }
+  return -1;
+}
+
+void FolioStorageDirectory::ReleaseSlot(int32_t slot,
+                                        FolioStorageOwner* owner) {
+  WriterMutexLock lock(mu_);
+  CHECK(slot >= 0 && slot < static_cast<int32_t>(kFolioLocalStorageSlots));
+  CHECK(slots_[slot] == owner);
+  slots_[slot] = nullptr;
+  slots_in_use_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FolioStorageDirectory::RegisterFallback(FolioStorageOwner* owner) {
+  WriterMutexLock lock(mu_);
+  fallbacks_.push_back(owner);
+  nr_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FolioStorageDirectory::UnregisterFallback(FolioStorageOwner* owner) {
+  WriterMutexLock lock(mu_);
+  auto it = std::find(fallbacks_.begin(), fallbacks_.end(), owner);
+  CHECK(it != fallbacks_.end());
+  fallbacks_.erase(it);
+  nr_fallbacks_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FolioStorageDirectory::OnFolioFree(Folio* folio) {
+  // Fast path: no element was ever published into this folio and no
+  // fallback map is alive — the common case when no cache_ext policy is
+  // attached — so the free path costs a few loads, no lock. The slot
+  // loads must be acquire: when a map's destructor sweep detached this
+  // folio's element, reading that nullptr here is what orders the
+  // sweep's writes into the folio before the folio's memory is freed.
+  bool any = nr_fallbacks_.load(std::memory_order_relaxed) != 0;
+  if (!any) {
+    for (const auto& slot : folio->bpf_storage) {
+      if (slot.load(std::memory_order_acquire) != nullptr) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      return;
+    }
+  }
+
+  ReaderMutexLock lock(mu_);
+  for (uint32_t i = 0; i < kFolioLocalStorageSlots; ++i) {
+    void* elem = folio->bpf_storage[i].exchange(nullptr,
+                                                std::memory_order_acq_rel);
+    if (elem == nullptr) {
+      continue;
+    }
+    // The exchange is the ownership handoff: whoever detaches the
+    // element (this free path, or the map's destructor sweep) recycles
+    // it, so a map teardown racing a folio free settles without a
+    // double-free. A detached element with no registered owner cannot
+    // happen — the destructor sweeps every folio slot before
+    // ReleaseSlot — but stay defensive in release builds.
+    FolioStorageOwner* owner = slots_[i];
+    DCHECK(owner != nullptr);
+    if (owner != nullptr) {
+      owner->FreeFolioElem(folio, elem);
+    }
+  }
+  for (FolioStorageOwner* owner : fallbacks_) {
+    owner->DropFolio(folio);
+  }
+}
+
+}  // namespace cache_ext

@@ -66,6 +66,21 @@ struct PolicyHookHealth {
   bool escalate_detach = false;
 };
 
+// Hot-path observability counters a policy reports through
+// ReclaimPolicy::RuntimeCounters(), surfaced as the ext_* fields of
+// CgroupCacheStats. `map_lookups` is per-folio metadata resolutions that
+// paid a hash probe (explicit hash maps, or the local-storage fallback
+// path); `local_storage_hits` is resolutions served by a folio-embedded
+// storage slot (one indexed load, see src/bpf/folio_local_storage.h);
+// `evict_alloc_bytes` is cumulative heap bytes the eviction scoring path
+// allocated (zero growth in steady state once the arena has warmed up).
+struct PolicyRuntimeCounters {
+  uint64_t map_lookups = 0;
+  uint64_t local_storage_hits = 0;
+  uint64_t evict_alloc_bytes = 0;
+  uint64_t evict_arena_reuses = 0;
+};
+
 struct EvictionCtx {
   uint64_t nr_candidates_requested = 0;  // input
   uint64_t nr_candidates_proposed = 0;   // output
@@ -179,6 +194,11 @@ class ReclaimPolicy {
   // tripped, or a persistently high violation rate) and the page cache
   // should stop consulting it entirely — the watchdog finishes the job.
   virtual bool WantsDetach() const { return false; }
+
+  // Hot-path counters (map probes vs local-storage hits, eviction-path
+  // allocations). Native policies keep no per-folio maps and report
+  // nothing; the cache_ext adapter aggregates its maps and arena.
+  virtual PolicyRuntimeCounters RuntimeCounters() const { return {}; }
 
   // Approximate CPU cost of one hook invocation, charged to the acting
   // lane's virtual clock (see src/sim/cpu_cost.h).

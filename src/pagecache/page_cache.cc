@@ -152,6 +152,18 @@ Status PageCache::DetachExtPolicy(MemCgroup* cg) {
     st->stats.ext_hook_trip_counts[i].fetch_add(health.trips[i],
                                                 std::memory_order_relaxed);
   }
+  // Same for the hot-path counters (map probes, local-storage hits,
+  // eviction-arena bytes): fold the attachment's totals so StatsFor
+  // keeps reporting them after the policy is gone.
+  const PolicyRuntimeCounters counters = st->ext->RuntimeCounters();
+  st->stats.ext_map_lookups.fetch_add(counters.map_lookups,
+                                      std::memory_order_relaxed);
+  st->stats.ext_local_storage_hits.fetch_add(counters.local_storage_hits,
+                                             std::memory_order_relaxed);
+  st->stats.ext_evict_alloc_bytes.fetch_add(counters.evict_alloc_bytes,
+                                            std::memory_order_relaxed);
+  st->stats.ext_evict_arena_reuses.fetch_add(counters.evict_arena_reuses,
+                                             std::memory_order_relaxed);
   st->ext_active_hint.store(false, std::memory_order_release);
   st->ext.reset();
   return OkStatus();
@@ -1108,6 +1120,13 @@ CgroupCacheStats PageCache::SnapshotStats(CgroupState& st) {
   stats.ext_banned = a.ext_banned.load(std::memory_order_relaxed);
   stats.ext_reattach_attempts =
       a.ext_reattach_attempts.load(std::memory_order_relaxed);
+  stats.ext_map_lookups = a.ext_map_lookups.load(std::memory_order_relaxed);
+  stats.ext_local_storage_hits =
+      a.ext_local_storage_hits.load(std::memory_order_relaxed);
+  stats.ext_evict_alloc_bytes =
+      a.ext_evict_alloc_bytes.load(std::memory_order_relaxed);
+  stats.ext_evict_arena_reuses =
+      a.ext_evict_arena_reuses.load(std::memory_order_relaxed);
   if (st.ext != nullptr) {
     // Overlay the live attachment's breaker state: current degraded mask,
     // plus its trips on top of the cumulative per-cgroup counters.
@@ -1116,6 +1135,12 @@ CgroupCacheStats PageCache::SnapshotStats(CgroupState& st) {
     for (uint32_t i = 0; i < kNumPolicyHooks; ++i) {
       stats.ext_hook_trip_counts[i] += health.trips[i];
     }
+    // ... and its hot-path counters on top of the folded history.
+    const PolicyRuntimeCounters counters = st.ext->RuntimeCounters();
+    stats.ext_map_lookups += counters.map_lookups;
+    stats.ext_local_storage_hits += counters.local_storage_hits;
+    stats.ext_evict_alloc_bytes += counters.evict_alloc_bytes;
+    stats.ext_evict_arena_reuses += counters.evict_arena_reuses;
   }
   return stats;
 }

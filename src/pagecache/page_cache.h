@@ -129,6 +129,16 @@ struct CgroupCacheStats {
   bool ext_quarantined = false;
   bool ext_banned = false;
   uint32_t ext_reattach_attempts = 0;
+  // Hot-path counters from the attached cache_ext policy (cumulative
+  // across attachments of this cgroup, live attachment overlaid):
+  // per-folio metadata resolutions that paid a hash probe vs those
+  // served by a folio-embedded storage slot, and heap bytes the
+  // eviction scoring path allocated (flat in steady state — the arena).
+  // See PolicyRuntimeCounters in src/pagecache/eviction.h.
+  uint64_t ext_map_lookups = 0;
+  uint64_t ext_local_storage_hits = 0;
+  uint64_t ext_evict_alloc_bytes = 0;
+  uint64_t ext_evict_arena_reuses = 0;
 };
 
 class PageCache {
@@ -212,6 +222,10 @@ class PageCache {
     std::atomic<uint64_t> invalidations{0};
     std::atomic<uint64_t> rejected_at_load{0};
     std::array<std::atomic<uint64_t>, kNumPolicyHooks> ext_hook_trip_counts{};
+    std::atomic<uint64_t> ext_map_lookups{0};
+    std::atomic<uint64_t> ext_local_storage_hits{0};
+    std::atomic<uint64_t> ext_evict_alloc_bytes{0};
+    std::atomic<uint64_t> ext_evict_arena_reuses{0};
     std::atomic<bool> ext_quarantined{false};
     std::atomic<bool> ext_banned{false};
     std::atomic<uint32_t> ext_reattach_attempts{0};

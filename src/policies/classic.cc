@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "src/bpf/folio_local_storage.h"
 #include "src/bpf/map.h"
 #include "src/cache_ext/eviction_list.h"
 
@@ -128,7 +129,11 @@ Ops MakeLfuOps(const LfuParams& params) {
   struct State {
     explicit State(uint32_t max_folios) : freq(max_folios) {}
     uint64_t list = 0;
-    bpf::HashMap<const Folio*, uint64_t> freq;
+    // Folio-local storage: the per-access frequency bump resolves
+    // through the folio's storage slot (one indexed load) instead of a
+    // hash probe. Freed with the folio on every removal path, so the
+    // explicit folio_removed Delete below is belt-and-suspenders.
+    bpf::FolioLocalStorage<uint64_t> freq;
     uint64_t nr_scan = 512;
   };
   auto st = std::make_shared<State>(params.max_folios);
@@ -148,7 +153,9 @@ Ops MakeLfuOps(const LfuParams& params) {
   // Mirrors lfu_folio_added() in Fig. 4.
   ops.folio_added = [st](CacheExtApi& api, Folio* folio) {
     (void)api.ListAdd(st->list, folio, /*tail=*/true);
-    (void)st->freq.Update(folio, 1);
+    if (uint64_t* freq = st->freq.GetOrCreate(folio); freq != nullptr) {
+      *freq = 1;
+    }
   };
   ops.folio_accessed = [st](CacheExtApi&, Folio* folio) {
     if (uint64_t* freq = st->freq.Lookup(folio); freq != nullptr) {
@@ -171,10 +178,16 @@ Ops MakeLfuOps(const LfuParams& params) {
   ops.folio_removed = [st](CacheExtApi&, Folio* folio) {
     st->freq.Delete(folio);
   };
+  ops.collect_counters = [st](PolicyRuntimeCounters* counters) {
+    const bpf::FolioLocalStorageStats s = st->freq.Stats();
+    counters->map_lookups += s.fallback_lookups;
+    counters->local_storage_hits += s.slot_hits;
+  };
   // freq holds one entry per resident folio; capacity-bounded by the map.
   ops.spec.DeclareLists(1)
       .DeclareCandidates(kMaxEvictionBatch)
-      .DeclareMap("lfu_freq", params.max_folios, params.max_folios)
+      .DeclareLocalStorageMap("lfu_freq", params.max_folios,
+                              params.max_folios)
       .DeclareHook(Hook::kPolicyInit, 1, {Kfunc::kListCreate})
       .DeclareHook(Hook::kFolioAdded, 1, {Kfunc::kListAdd})
       .DeclareHook(Hook::kFolioAccessed, 0)

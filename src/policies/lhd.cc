@@ -5,7 +5,7 @@
 #include <atomic>
 #include <bit>
 
-#include "src/bpf/map.h"
+#include "src/bpf/folio_local_storage.h"
 #include "src/bpf/ringbuf.h"
 #include "src/cache_ext/eviction_list.h"
 
@@ -52,7 +52,10 @@ struct LhdState {
   }
 
   uint64_t list = 0;
-  bpf::HashMap<const Folio*, FolioMeta> meta;
+  // Folio-local storage: LHD touches meta on every add/access/remove AND
+  // once per scanned folio in Score() — the hash probe here was the
+  // single hottest map path in the reproduction before local storage.
+  bpf::FolioLocalStorage<FolioMeta> meta;
   std::array<ClassStats, kNumClasses> classes;
   std::atomic<uint64_t> clock{0};   // coarse event clock
   std::atomic<uint64_t> events{0};  // events since last reconfiguration
@@ -172,10 +175,11 @@ LhdBundle MakeLhdPolicy(const LhdParams& params) {
 
   ops.folio_added = [st](CacheExtApi& api, Folio* folio) {
     (void)api.ListAdd(st->list, folio, /*tail=*/true);
-    FolioMeta m;
-    m.last_access = st->clock.fetch_add(1, std::memory_order_relaxed) + 1;
-    m.cls = 0;
-    (void)st->meta.Update(folio, m);
+    if (FolioMeta* m = st->meta.GetOrCreate(folio); m != nullptr) {
+      m->last_access = st->clock.fetch_add(1, std::memory_order_relaxed) + 1;
+      m->cls = 0;
+      m->hits = 0;
+    }
     st->NoteEvent();
   };
 
@@ -221,13 +225,19 @@ LhdBundle MakeLhdPolicy(const LhdParams& params) {
         [st](Folio* folio) -> int64_t { return st->Score(folio); });
   };
 
+  ops.collect_counters = [st](PolicyRuntimeCounters* counters) {
+    const bpf::FolioLocalStorageStats s = st->meta.Stats();
+    counters->map_lookups += s.fallback_lookups;
+    counters->local_storage_hits += s.slot_hits;
+  };
+
   {
     using bpf::verifier::Hook;
     using bpf::verifier::Kfunc;
     ops.spec.DeclareLists(1)
         .DeclareCandidates(kMaxEvictionBatch)
-        .DeclareMap("lhd_meta", 2 * params.capacity_pages + 16,
-                    params.capacity_pages)
+        .DeclareLocalStorageMap("lhd_meta", 2 * params.capacity_pages + 16,
+                                params.capacity_pages)
         .DeclareMap("lhd_reconfig_ringbuf", 4096, 4096)
         .DeclareHook(Hook::kPolicyInit, 1, {Kfunc::kListCreate})
         .DeclareHook(Hook::kFolioAdded, 1, {Kfunc::kListAdd})

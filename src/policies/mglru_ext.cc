@@ -4,8 +4,8 @@
 #include <array>
 #include <memory>
 
+#include "src/bpf/folio_local_storage.h"
 #include "src/bpf/lru_hash_map.h"
-#include "src/bpf/map.h"
 #include "src/bpf/spinlock.h"
 #include "src/cache_ext/eviction_list.h"
 #include "src/mm/address_space.h"
@@ -36,7 +36,9 @@ struct MglruExtState {
   std::array<uint64_t, kMaxGens> gen_lists = {};
   uint64_t min_seq = 0;
   uint64_t max_seq = kMinGens - 1;
-  bpf::HashMap<const Folio*, GenFreq> meta;
+  // Per-folio (gen, freq) in folio-local storage; the ghost keeps hash
+  // keys because its entries outlive their folios by design.
+  bpf::FolioLocalStorage<GenFreq> meta;
   bpf::LruHashMap<uint64_t, uint32_t> ghost;  // key -> tier at eviction
   MglruPidController pid;
   bpf::SpinLock aging_lock;  // serializes aging (§5.3)
@@ -83,10 +85,10 @@ Ops MakeMglruExtOps(const MglruExtParams& params) {
     // Refaulting folios join the youngest generation, fresh folios the
     // oldest (the preliminary filter).
     const uint64_t seq = refault ? st->max_seq : st->min_seq;
-    GenFreq gf;
-    gf.gen = static_cast<uint32_t>(seq);
-    gf.freq = 0;
-    (void)st->meta.Update(folio, gf);
+    if (GenFreq* gf = st->meta.GetOrCreate(folio); gf != nullptr) {
+      gf->gen = static_cast<uint32_t>(seq);
+      gf->freq = 0;
+    }
     (void)api.ListAdd(st->ListFor(seq), folio, /*tail=*/true);
   };
 
@@ -172,6 +174,11 @@ Ops MakeMglruExtOps(const MglruExtParams& params) {
       st->TryAge();
     }
   };
+  ops.collect_counters = [st](PolicyRuntimeCounters* counters) {
+    const bpf::FolioLocalStorageStats s = st->meta.Stats();
+    counters->map_lookups += s.fallback_lookups;
+    counters->local_storage_hits += s.slot_hits;
+  };
   {
     using bpf::verifier::Hook;
     using bpf::verifier::Kfunc;
@@ -180,8 +187,8 @@ Ops MakeMglruExtOps(const MglruExtParams& params) {
     // generation walked).
     ops.spec.DeclareLists(kMaxGens)
         .DeclareCandidates(kMaxEvictionBatch)
-        .DeclareMap("mglru_meta", 2 * params.capacity_pages + 16,
-                    params.capacity_pages)
+        .DeclareLocalStorageMap("mglru_meta", 2 * params.capacity_pages + 16,
+                                params.capacity_pages)
         .DeclareMap("mglru_ghost", params.capacity_pages + 16,
                     params.capacity_pages + 16)
         .DeclareHook(Hook::kPolicyInit, kMaxGens, {Kfunc::kListCreate})

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "src/bpf/folio_local_storage.h"
 #include "src/bpf/lru_hash_map.h"
 #include "src/bpf/map.h"
 #include "src/cache_ext/eviction_list.h"
@@ -26,7 +27,11 @@ Ops MakeS3FifoOps(const S3FifoParams& params) {
 
     uint64_t small_list = 0;
     uint64_t main_list = 0;
-    bpf::HashMap<const Folio*, uint32_t> freq;
+    // Per-folio access count in folio-local storage (hot: bumped on
+    // every access, probed per scanned folio during eviction). The
+    // ghost stays a hash map — its keys are (mapping, index) of folios
+    // that are already gone, so there is no owner to hang storage off.
+    bpf::FolioLocalStorage<uint32_t> freq;
     bpf::LruHashMap<uint64_t, uint8_t> ghost;
     uint32_t small_percent;
     uint32_t promote_threshold;
@@ -55,7 +60,7 @@ Ops MakeS3FifoOps(const S3FifoParams& params) {
     if (was_ghost) {
       st->ghost.Delete(key);
     }
-    (void)st->freq.Update(folio, 0);
+    (void)st->freq.GetOrCreate(folio);  // zero-initialized access count
     // Ghost hit -> readmit directly to the main FIFO; otherwise start in the
     // small FIFO, which filters one-hit wonders.
     (void)api.ListAdd(was_ghost ? st->main_list : st->small_list, folio,
@@ -133,6 +138,11 @@ Ops MakeS3FifoOps(const S3FifoParams& params) {
     }
     st->freq.Delete(folio);
   };
+  ops.collect_counters = [st](PolicyRuntimeCounters* counters) {
+    const bpf::FolioLocalStorageStats s = st->freq.Stats();
+    counters->map_lookups += s.fallback_lookups;
+    counters->local_storage_hits += s.slot_hits;
+  };
   {
     using bpf::verifier::Hook;
     using bpf::verifier::Kfunc;
@@ -141,8 +151,8 @@ Ops MakeS3FifoOps(const S3FifoParams& params) {
     const uint64_t scan = 8 * kMaxEvictionBatch;
     ops.spec.DeclareLists(2)
         .DeclareCandidates(kMaxEvictionBatch)
-        .DeclareMap("s3fifo_freq", 2 * params.capacity_pages + 16,
-                    params.capacity_pages)
+        .DeclareLocalStorageMap("s3fifo_freq", 2 * params.capacity_pages + 16,
+                                params.capacity_pages)
         .DeclareMap("s3fifo_ghost", params.capacity_pages + 16,
                     params.capacity_pages + 16)
         .DeclareHook(Hook::kPolicyInit, 2, {Kfunc::kListCreate})

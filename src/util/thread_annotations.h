@@ -15,6 +15,7 @@
 #define SRC_UTIL_THREAD_ANNOTATIONS_H_
 
 #include <mutex>
+#include <shared_mutex>
 
 #if defined(__clang__) && defined(CACHE_EXT_THREAD_SAFETY_ANALYSIS)
 #define CACHE_EXT_TSA(x) __attribute__((x))
@@ -31,6 +32,10 @@
 #define CACHE_EXT_REQUIRES(...) CACHE_EXT_TSA(requires_capability(__VA_ARGS__))
 #define CACHE_EXT_ACQUIRE(...) CACHE_EXT_TSA(acquire_capability(__VA_ARGS__))
 #define CACHE_EXT_RELEASE(...) CACHE_EXT_TSA(release_capability(__VA_ARGS__))
+#define CACHE_EXT_ACQUIRE_SHARED(...) \
+  CACHE_EXT_TSA(acquire_shared_capability(__VA_ARGS__))
+#define CACHE_EXT_RELEASE_SHARED(...) \
+  CACHE_EXT_TSA(release_shared_capability(__VA_ARGS__))
 #define CACHE_EXT_TRY_ACQUIRE(...) CACHE_EXT_TSA(try_acquire_capability(__VA_ARGS__))
 #define CACHE_EXT_EXCLUDES(...) CACHE_EXT_TSA(locks_excluded(__VA_ARGS__))
 #define CACHE_EXT_NO_TSA CACHE_EXT_TSA(no_thread_safety_analysis)
@@ -64,6 +69,51 @@ class CACHE_EXT_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+// std::shared_mutex wrapped the same way, for read-mostly structures
+// (e.g. the folio-storage slot directory, where every folio free is a
+// reader and only map attach/detach writes).
+class CACHE_EXT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() CACHE_EXT_ACQUIRE() { mu_.lock(); }
+  void unlock() CACHE_EXT_RELEASE() { mu_.unlock(); }
+  void lock_shared() CACHE_EXT_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() CACHE_EXT_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+class CACHE_EXT_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) CACHE_EXT_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() CACHE_EXT_RELEASE() { mu_.unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+class CACHE_EXT_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) CACHE_EXT_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() CACHE_EXT_RELEASE() { mu_.unlock_shared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
 };
 
 }  // namespace cache_ext

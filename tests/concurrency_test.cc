@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/bpf/folio_local_storage.h"
 #include "src/bpf/lru_hash_map.h"
 #include "src/bpf/map.h"
 #include "src/cache_ext/loader.h"
@@ -81,6 +82,91 @@ TEST(ConcurrencyTest, HashMapKeepsExactCapacityUnderContention) {
     });
   }
   EXPECT_EQ(sharded, walked);
+}
+
+TEST(ConcurrencyTest, FolioLocalStorageLifecycleUnderContention) {
+  // Lock-free slot lookups race GetOrCreate/Delete churn on a shared
+  // folio pool while another thread drives the owner-lifetime path
+  // (folio frees) against the same map. TSan must see no races; the
+  // element pool must balance exactly afterwards.
+  constexpr int kThreads = 4;
+  constexpr uint64_t kIters = 3000;
+  constexpr uint32_t kFolios = 64;
+  bpf::FolioLocalStorage<uint64_t> map(kFolios + 64);
+  ASSERT_TRUE(map.using_slot());
+  std::vector<std::unique_ptr<Folio>> shared(kFolios);
+  for (auto& folio : shared) {
+    folio = std::make_unique<Folio>();
+  }
+
+  std::atomic<bool> sink{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&map, &shared, &sink, t] {
+      for (uint64_t i = 0; i < kIters; ++i) {
+        // Each thread creates/writes/deletes its own folio partition —
+        // per-folio values are only ever written by paths the framework
+        // serializes on that folio — while the pool mutex and freelist
+        // take churn from every thread.
+        Folio* mine =
+            shared[(i * kThreads + static_cast<uint64_t>(t)) % kFolios].get();
+        if (uint64_t* v = map.GetOrCreate(mine)) {
+          *v = i;
+        }
+        if (i % 13 == 0) {
+          map.Delete(mine);
+        }
+        // Lock-free lookups race everyone else's creates and deletes;
+        // only the pointer is examined, not the (foreign) value.
+        Folio* other = shared[(t * 31 + i) % kFolios].get();
+        sink.store(map.Lookup(other) != nullptr,
+                   std::memory_order_relaxed);
+      }
+    });
+  }
+  // The owner-lifetime path: private folios acquire storage and die while
+  // the workers churn the same map's pool and freelist.
+  workers.emplace_back([&map] {
+    for (uint64_t i = 0; i < kIters; ++i) {
+      auto folio = std::make_unique<Folio>();
+      if (uint64_t* v = map.GetOrCreate(folio.get())) {
+        *v = i;
+      }
+      folio.reset();  // ~Folio -> OnFolioFree -> FreeFolioElem
+    }
+  });
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_LE(map.Size(), kFolios);
+  uint64_t walked = 0;
+  map.ForEach([&](Folio*, uint64_t&) {
+    ++walked;
+    return true;
+  });
+  EXPECT_EQ(walked, map.Size());
+  shared.clear();  // every surviving element returns via owner frees
+  EXPECT_EQ(map.Size(), 0u);
+}
+
+TEST(ConcurrencyTest, FolioLocalStorageMapDestroyRacesFolioFree) {
+  // The detach-time protocol: a map being destroyed sweeps its elements
+  // while folios die concurrently. Whoever wins the slot exchange
+  // recycles the element; nobody touches freed memory (TSan/ASan gate).
+  for (int round = 0; round < 50; ++round) {
+    auto map = std::make_unique<bpf::FolioLocalStorage<uint64_t>>(256);
+    std::vector<std::unique_ptr<Folio>> folios(128);
+    for (auto& folio : folios) {
+      folio = std::make_unique<Folio>();
+      ASSERT_NE(map->GetOrCreate(folio.get()), nullptr);
+    }
+    std::thread freer([&folios] {
+      for (auto& folio : folios) {
+        folio.reset();
+      }
+    });
+    map.reset();  // sweep + slot release, racing the frees above
+    freer.join();
+  }
 }
 
 TEST(ConcurrencyTest, LruHashMapShardedEvictionUnderContention) {

@@ -8,6 +8,10 @@
 #   tools/check.sh --tsan       # ThreadSanitizer build, MT stress tests +
 #                               # a bench_mt_scaling run (refreshes
 #                               # bench/baselines/BENCH_mt_scaling.json)
+#   tools/check.sh --bench-smoke  # quick bench_table4_noop_overhead +
+#                               # bench_local_storage runs compared against
+#                               # bench/baselines/*.json; fails if any
+#                               # ns/op point worsens by more than 15%
 #
 # Exits non-zero on the first failing step, so it is safe for CI and for
 # pre-commit use.
@@ -20,12 +24,14 @@ jobs=$(nproc 2>/dev/null || echo 4)
 sanitize=0
 chaos=0
 tsan=0
+bench_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
     --chaos) chaos=1 ;;
     --tsan) tsan=1 ;;
-    *) echo "usage: tools/check.sh [--sanitize] [--chaos] [--tsan]" >&2; exit 2 ;;
+    --bench-smoke) bench_smoke=1 ;;
+    *) echo "usage: tools/check.sh [--sanitize] [--chaos] [--tsan] [--bench-smoke]" >&2; exit 2 ;;
   esac
 done
 
@@ -64,6 +70,27 @@ if [[ "$tsan" == 1 ]]; then
   cmake --build build -j "$jobs" --target bench_mt_scaling
   ./build/bench/bench_mt_scaling --out bench/baselines/BENCH_mt_scaling.json
   echo "== check.sh --tsan: all green =="
+  exit 0
+fi
+
+if [[ "$bench_smoke" == 1 ]]; then
+  # Perf smoke: the hot-path benches against their checked-in baselines.
+  # BENCH_table4.json was generated with --no-local-storage (the hash-map
+  # hot path), so this both catches regressions (>15% over baseline fails)
+  # and shows the folio-local-storage win. Regenerate baselines with:
+  #   ./build/bench/bench_table4_noop_overhead --no-local-storage \
+  #       --out bench/baselines/BENCH_table4.json
+  #   ./build/bench/bench_local_storage --out bench/baselines/BENCH_local_storage.json
+  echo "== bench-smoke: build benches (build/) =="
+  cmake -B build >/dev/null
+  cmake --build build -j "$jobs" --target bench_table4_noop_overhead bench_local_storage
+  echo "== bench-smoke: bench_table4_noop_overhead vs baseline =="
+  ./build/bench/bench_table4_noop_overhead --quick \
+      --baseline bench/baselines/BENCH_table4.json --threshold 0.15
+  echo "== bench-smoke: bench_local_storage vs baseline =="
+  ./build/bench/bench_local_storage --quick \
+      --baseline bench/baselines/BENCH_local_storage.json --threshold 0.15
+  echo "== check.sh --bench-smoke: all green =="
   exit 0
 fi
 
