@@ -88,7 +88,8 @@ void PrintExtCounters(
   harness::Table table(title,
                        {"policy", "map lookups", "local-storage hits",
                         "slot hit rate", "evict alloc", "arena reuses",
-                        "steady-state alloc"});
+                        "steady-state alloc", "lockless lookups",
+                        "lockless retries"});
   for (const auto& [label, arm] : arms) {
     const CgroupCacheStats& st = arm.cache_stats;
     const uint64_t resolutions =
@@ -103,7 +104,9 @@ void PrintExtCounters(
                   harness::FormatDouble(hit_rate, 1) + "%",
                   harness::FormatBytes(st.ext_evict_alloc_bytes),
                   harness::FormatCount(st.ext_evict_arena_reuses),
-                  harness::FormatBytes(arm.steady_state_evict_alloc_bytes)});
+                  harness::FormatBytes(arm.steady_state_evict_alloc_bytes),
+                  harness::FormatCount(st.ext_lockless_lookups),
+                  harness::FormatCount(st.ext_lockless_retries)});
   }
   table.Print();
 }

@@ -8,9 +8,9 @@ std::vector<std::string_view> AllFaultPoints() {
       points::kBpfLruEvictStorm,  points::kBpfRingbufReserve,
       points::kBpfRunBudgetShrink, points::kBpfRunAbort,
       points::kCandidateCorrupt,  points::kListOp,
-      points::kPolicyInit,        points::kDiskRead,
-      points::kDiskWrite,         points::kSsdLatencySpike,
-      points::kSsdDegrade,
+      points::kPolicyInit,        points::kEbrStall,
+      points::kDiskRead,          points::kDiskWrite,
+      points::kSsdLatencySpike,   points::kSsdDegrade,
   };
 }
 

@@ -47,6 +47,11 @@ inline constexpr std::string_view kCandidateCorrupt =
     "cache_ext.candidate.corrupt";
 inline constexpr std::string_view kListOp = "cache_ext.list.op";
 inline constexpr std::string_view kPolicyInit = "cache_ext.policy_init";
+// src/util
+// A phantom EBR reader pinned at the current epoch: blocks `magnitude`
+// epoch-advance attempts (default 64), deferring every free retired in the
+// meantime — the analogue of a reader stuck inside rcu_read_lock.
+inline constexpr std::string_view kEbrStall = "ebr.stall";
 // src/sim
 inline constexpr std::string_view kDiskRead = "sim.disk.read";
 inline constexpr std::string_view kDiskWrite = "sim.disk.write";

@@ -45,15 +45,15 @@ class AddressSpace {
   void IncResident() { nr_resident_.fetch_add(1, std::memory_order_relaxed); }
   void DecResident() { nr_resident_.fetch_sub(1, std::memory_order_relaxed); }
 
-  // Readahead state: last sequentially-read index + current window. Like
-  // `pages_`, these fields are guarded by the PageCache's per-mapping stripe
-  // lock (the analogue of the kernel's i_pages xa_lock); they are never
-  // touched without it.
-  uint64_t ra_prev_index = UINT64_MAX;
-  uint32_t ra_window = 0;
-  bool ra_sequential_hint = false;  // FADV_SEQUENTIAL
-  bool ra_random_hint = false;      // FADV_RANDOM
-  bool noreuse_hint = false;        // FADV_NOREUSE
+  // Readahead state: last sequentially-read index + current window. Relaxed
+  // atomics updated without any lock — racy best-effort hints, exactly like
+  // the kernel's file_ra_state, which filemap updates outside the xa_lock.
+  // A lost update degrades a readahead decision, never correctness.
+  std::atomic<uint64_t> ra_prev_index{UINT64_MAX};
+  std::atomic<uint32_t> ra_window{0};
+  std::atomic<bool> ra_sequential_hint{false};  // FADV_SEQUENTIAL
+  std::atomic<bool> ra_random_hint{false};      // FADV_RANDOM
+  std::atomic<bool> noreuse_hint{false};        // FADV_NOREUSE
 
  private:
   uint64_t id_;

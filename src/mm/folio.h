@@ -80,12 +80,53 @@ struct Folio {
   // Atomically "test and clear" referenced, like folio_test_clear_referenced.
   bool TestClearReferenced() { return TestClearFlag(kFolioReferenced); }
 
-  bool pinned() const { return pins.load(std::memory_order_relaxed) > 0; }
+  // Top bit of `pins`: the folio is *frozen* — its remover won the race
+  // and committed to freeing it. Set once (CAS from an unpinned state,
+  // under the mapping stripe) and never cleared; TryPin fails on it. The
+  // analogue of the kernel freezing a folio's refcount before deleting it
+  // from the page cache (folio_ref_freeze in __filemap_remove_folio).
+  static constexpr uint32_t kPinFrozen = 0x80000000u;
+
+  bool pinned() const {
+    return (pins.load(std::memory_order_relaxed) & ~kPinFrozen) > 0;
+  }
+  bool frozen() const {
+    return (pins.load(std::memory_order_relaxed) & kPinFrozen) != 0;
+  }
+  // Plain pin: callers hold the mapping stripe or an existing pin, either
+  // of which excludes a concurrent freeze.
   void Pin() { pins.fetch_add(1, std::memory_order_relaxed); }
   void Unpin() {
-    const uint32_t old = pins.fetch_sub(1, std::memory_order_relaxed);
-    DCHECK(old > 0);
+    // Release: a remover's freeze CAS (acquire) reading the 0 this store
+    // produces orders our folio accesses before the free.
+    const uint32_t old = pins.fetch_sub(1, std::memory_order_release);
+    DCHECK((old & ~kPinFrozen) > 0);
     (void)old;
+  }
+
+  // Speculative pin for lockless readers (folio_try_get): fails iff the
+  // folio is frozen, i.e. a remover already committed to freeing it.
+  bool TryPin() {
+    uint32_t v = pins.load(std::memory_order_relaxed);
+    while (true) {
+      if ((v & kPinFrozen) != 0) {
+        return false;
+      }
+      if (pins.compare_exchange_weak(v, v + 1, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  // Remover side: atomically claim an unpinned folio for removal. After
+  // success no TryPin can succeed and no pin exists, so the folio can be
+  // unmapped and retired. Fails if any pin is held (or already frozen).
+  bool TryFreeze() {
+    uint32_t expected = 0;
+    return pins.compare_exchange_strong(expected, kPinFrozen,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed);
   }
 };
 

@@ -1,20 +1,22 @@
 #include "src/mm/xarray.h"
 
+#include "src/util/ebr.h"
 #include "src/util/logging.h"
 
 namespace cache_ext {
 
-XArray::Node::Node() = default;
-
 XArray::Node::~Node() {
-  for (Node* child : children) {
-    delete child;
+  // Teardown / retired-node path. A retired (pruned) node has no children
+  // left, so the recursion only does work on whole-tree destruction, which
+  // requires quiescence.
+  for (std::atomic<Node*>& child : children) {
+    delete child.load(std::memory_order_relaxed);
   }
 }
 
 XArray::XArray() = default;
 
-XArray::~XArray() { delete root_; }
+XArray::~XArray() { delete root_.load(std::memory_order_relaxed); }
 
 uint64_t XArray::MaxIndex() const {
   const int bits = height_ * kBitsPerLevel;
@@ -26,44 +28,60 @@ uint64_t XArray::MaxIndex() const {
 
 void XArray::Grow(uint64_t index) {
   while (index > MaxIndex()) {
-    // Push the current root down one level.
-    Node* new_root = new Node();
-    if (root_ != nullptr) {
-      new_root->children[0] = root_;
-      new_root->present = 1;
+    Node* old_root = root_.load(std::memory_order_relaxed);
+    if (old_root == nullptr) {
+      // No tree yet: just widen the height; the root is allocated at the
+      // final shift by Store.
+      ++height_;
+      continue;
     }
-    root_ = new_root;
+    // Push the current root down one level. The new root is fully wired
+    // before the release publication, so a lock-free walker sees either
+    // the old root (a consistent, possibly stale subtree) or the new one.
+    Node* new_root = new Node(height_ * kBitsPerLevel);
+    new_root->children[0].store(old_root, std::memory_order_relaxed);
+    new_root->present = 1;
+    root_.store(new_root, std::memory_order_release);
     ++height_;
   }
 }
 
 XEntry XArray::Load(uint64_t index) const {
-  if (root_ == nullptr || index > MaxIndex()) {
+  const Node* node = root_.load(std::memory_order_acquire);
+  if (node == nullptr) {
     return XEntry::Empty();
   }
-  const Node* node = root_;
-  for (int level = height_; level > 1; --level) {
-    const int shift = (level - 1) * kBitsPerLevel;
-    const int slot = static_cast<int>((index >> shift) & (kSlots - 1));
-    node = node->children[slot];
+  // Range check against the loaded root's own span — never against the
+  // mutable height_, which a concurrent Grow may be changing.
+  const int span_bits = node->shift + kBitsPerLevel;
+  if (span_bits < 64 && (index >> span_bits) != 0) {
+    return XEntry::Empty();
+  }
+  while (node->shift > 0) {
+    const int slot = static_cast<int>((index >> node->shift) & (kSlots - 1));
+    node = node->children[slot].load(std::memory_order_acquire);
     if (node == nullptr) {
       return XEntry::Empty();
     }
   }
-  return node->slots[index & (kSlots - 1)];
+  return XEntry::FromRaw(
+      node->slots[index & (kSlots - 1)].load(std::memory_order_acquire));
 }
 
 XEntry XArray::Store(uint64_t index, XEntry entry) {
-  if (entry.IsEmpty() && (root_ == nullptr || index > MaxIndex())) {
+  if (entry.IsEmpty() &&
+      (root_.load(std::memory_order_relaxed) == nullptr || index > MaxIndex())) {
     return XEntry::Empty();
   }
   if (!entry.IsEmpty()) {
     Grow(index);
-    if (root_ == nullptr) {
-      root_ = new Node();
+    if (root_.load(std::memory_order_relaxed) == nullptr) {
+      root_.store(new Node((height_ - 1) * kBitsPerLevel),
+                  std::memory_order_release);
     }
   }
-  if (root_ == nullptr) {
+  Node* node = root_.load(std::memory_order_relaxed);
+  if (node == nullptr) {
     return XEntry::Empty();
   }
 
@@ -71,60 +89,67 @@ XEntry XArray::Store(uint64_t index, XEntry entry) {
   Node* path[12];
   int slots[12];
   int depth = 0;
-  Node* node = root_;
-  for (int level = height_; level > 1; --level) {
-    const int shift = (level - 1) * kBitsPerLevel;
-    const int slot = static_cast<int>((index >> shift) & (kSlots - 1));
+  while (node->shift > 0) {
+    const int slot = static_cast<int>((index >> node->shift) & (kSlots - 1));
     path[depth] = node;
     slots[depth] = slot;
     ++depth;
-    Node* child = node->children[slot];
+    Node* child = node->children[slot].load(std::memory_order_relaxed);
     if (child == nullptr) {
       if (entry.IsEmpty()) {
         return XEntry::Empty();
       }
-      child = new Node();
-      node->children[slot] = child;
+      child = new Node(node->shift - kBitsPerLevel);
+      // Release: the child's zeroed arrays are visible before the pointer.
+      node->children[slot].store(child, std::memory_order_release);
       ++node->present;
     }
     node = child;
   }
 
   const int leaf_slot = static_cast<int>(index & (kSlots - 1));
-  const XEntry old = node->slots[leaf_slot];
-  node->slots[leaf_slot] = entry;
+  const XEntry old = XEntry::FromRaw(
+      node->slots[leaf_slot].load(std::memory_order_relaxed));
+  // Release: whatever the entry points at was initialized before this
+  // publication; a lock-free walker's acquire load pairs with it.
+  node->slots[leaf_slot].store(entry.raw(), std::memory_order_release);
 
   if (old.IsEmpty() && !entry.IsEmpty()) {
     ++node->present;
-    ++count_;
+    count_.fetch_add(1, std::memory_order_relaxed);
   } else if (!old.IsEmpty() && entry.IsEmpty()) {
     --node->present;
-    DCHECK(count_ > 0);
-    --count_;
-    // Prune now-empty nodes bottom-up (but keep the root allocated).
+    DCHECK(count_.load(std::memory_order_relaxed) > 0);
+    count_.fetch_sub(1, std::memory_order_relaxed);
+    // Prune now-empty nodes bottom-up (but keep the root allocated). A
+    // concurrent lock-free walker may still be inside a pruned node, so
+    // unlink it with a release store and defer the free to EBR.
     Node* child = node;
     for (int i = depth - 1; i >= 0 && child->present == 0; --i) {
-      path[i]->children[slots[i]] = nullptr;
+      path[i]->children[slots[i]].store(nullptr, std::memory_order_release);
       --path[i]->present;
-      delete child;
+      ebr::Retire(child);
       child = path[i];
     }
   }
   return old;
 }
 
-void XArray::ForEachNode(const Node* node, int shift, uint64_t prefix,
-                         uint64_t first, uint64_t last,
-                         const std::function<void(uint64_t, XEntry)>& fn) const {
+void XArray::ForEachNode(
+    const Node* node, uint64_t prefix, uint64_t first, uint64_t last,
+    const std::function<void(uint64_t, XEntry)>& fn) const {
+  const int shift = node->shift;
   for (int slot = 0; slot < kSlots; ++slot) {
     const uint64_t base = prefix | (static_cast<uint64_t>(slot) << shift);
     if (shift == 0) {
-      if (!node->slots[slot].IsEmpty() && base >= first && base <= last) {
-        fn(base, node->slots[slot]);
+      const XEntry entry =
+          XEntry::FromRaw(node->slots[slot].load(std::memory_order_relaxed));
+      if (!entry.IsEmpty() && base >= first && base <= last) {
+        fn(base, entry);
       }
       continue;
     }
-    const Node* child = node->children[slot];
+    const Node* child = node->children[slot].load(std::memory_order_relaxed);
     if (child == nullptr) {
       continue;
     }
@@ -134,17 +159,18 @@ void XArray::ForEachNode(const Node* node, int shift, uint64_t prefix,
     if (subtree_last < first || base > last) {
       continue;
     }
-    ForEachNode(child, shift - kBitsPerLevel, base, first, last, fn);
+    ForEachNode(child, base, first, last, fn);
   }
 }
 
 void XArray::ForEachInRange(
     uint64_t first, uint64_t last,
     const std::function<void(uint64_t, XEntry)>& fn) const {
-  if (root_ == nullptr || first > last) {
+  const Node* root = root_.load(std::memory_order_relaxed);
+  if (root == nullptr || first > last) {
     return;
   }
-  ForEachNode(root_, (height_ - 1) * kBitsPerLevel, 0, first, last, fn);
+  ForEachNode(root, 0, first, last, fn);
 }
 
 }  // namespace cache_ext

@@ -5,15 +5,28 @@
 //   - a pointer entry has bit 0 clear (pointers are at least 4-aligned);
 //   - a "value" entry (shadow entry in the page cache) has bit 0 set and
 //     carries 63 bits of payload.
-// Storing the null entry erases the slot. Not internally synchronized: the
-// caller holds the mapping lock, as in the kernel.
+// Storing the null entry erases the slot.
+//
+// Concurrency: writers (Store/Erase) and iteration are externally
+// serialized — the caller holds the mapping lock, as in the kernel. Load,
+// however, is safe to call with NO lock from inside an ebr::Guard, the
+// analogue of the kernel's RCU xarray walk (filemap_get_entry): slots,
+// child pointers and the root are published with release stores and read
+// with acquire loads, and pruned interior nodes are retired through EBR
+// instead of freed immediately, so a concurrent lock-free walker never
+// steps on freed memory. A lock-free Load may return a stale entry (e.g.
+// an empty slot for an index a racing Store just populated); callers treat
+// that as a miss and fall back to the locked path, which is authoritative.
 
 #ifndef SRC_MM_XARRAY_H_
 #define SRC_MM_XARRAY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+
+#include "src/util/logging.h"
 
 namespace cache_ext {
 
@@ -24,10 +37,14 @@ class XEntry {
   static XEntry FromPointer(void* p) {
     return XEntry(reinterpret_cast<uintptr_t>(p));
   }
-  // payload must fit in 63 bits.
+  // The payload must fit in 63 bits: the low bit is the value tag, so a
+  // 64-bit payload would silently alias a pointer entry after the shift.
   static XEntry FromValue(uint64_t payload) {
+    CHECK((payload >> 63) == 0);
     return XEntry((payload << 1) | 1u);
   }
+  // Rehydrates an entry from a raw tagged word (atomic slot load).
+  static XEntry FromRaw(uintptr_t raw) { return XEntry(raw); }
   static XEntry Empty() { return XEntry(); }
 
   bool IsEmpty() const { return raw_ == 0; }
@@ -55,19 +72,23 @@ class XArray {
   XArray(const XArray&) = delete;
   XArray& operator=(const XArray&) = delete;
 
+  // Lock-free reader walk (callers outside the mapping lock must hold an
+  // ebr::Guard; see file comment). May observe a slightly stale tree.
   XEntry Load(uint64_t index) const;
 
   // Stores entry at index, returning the previous entry. Storing Empty()
-  // erases and prunes empty interior nodes.
+  // erases and prunes empty interior nodes (retired through EBR). Callers
+  // serialize Store/Erase/iteration externally.
   XEntry Store(uint64_t index, XEntry entry);
 
   XEntry Erase(uint64_t index) { return Store(index, XEntry::Empty()); }
 
   // Number of non-empty entries.
-  uint64_t Count() const { return count_; }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
 
   // Calls fn(index, entry) for each non-empty entry with index in
   // [first, last], in ascending index order. fn may not mutate the array.
+  // Requires the caller's external serialization (not lock-free).
   void ForEachInRange(uint64_t first, uint64_t last,
                       const std::function<void(uint64_t, XEntry)>& fn) const;
   void ForEach(const std::function<void(uint64_t, XEntry)>& fn) const {
@@ -79,25 +100,29 @@ class XArray {
   static constexpr int kSlots = 1 << kBitsPerLevel;  // 64
 
   struct Node {
-    XEntry slots[kSlots];
-    Node* children[kSlots] = {};
-    int present = 0;  // non-empty slots + non-null children
+    // Bit shift of this node's slot index; 0 = leaf. Stored per node (like
+    // the kernel's xa_node->shift) so a lock-free walker depends only on
+    // the root pointer it loaded, never on the mutable tree height.
+    const int shift;
+    std::atomic<uintptr_t> slots[kSlots] = {};  // leaf entries (raw words)
+    std::atomic<Node*> children[kSlots] = {};
+    int present = 0;  // non-empty slots + non-null children (writer-only)
 
-    Node();
+    explicit Node(int node_shift) : shift(node_shift) {}
     ~Node();
   };
 
-  // Max index representable with the current tree height.
+  // Max index representable with the current tree height (writer-side).
   uint64_t MaxIndex() const;
   void Grow(uint64_t index);
 
-  void ForEachNode(const Node* node, int shift, uint64_t prefix,
-                   uint64_t first, uint64_t last,
+  void ForEachNode(const Node* node, uint64_t prefix, uint64_t first,
+                   uint64_t last,
                    const std::function<void(uint64_t, XEntry)>& fn) const;
 
-  Node* root_ = nullptr;
-  int height_ = 1;  // number of levels; level 1 = leaves only
-  uint64_t count_ = 0;
+  std::atomic<Node*> root_{nullptr};
+  int height_ = 1;  // number of levels; level 1 = leaves only (writer-side)
+  std::atomic<uint64_t> count_{0};
 };
 
 }  // namespace cache_ext

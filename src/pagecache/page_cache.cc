@@ -7,6 +7,7 @@
 #include "src/pagecache/default_lru.h"
 #include "src/pagecache/mglru.h"
 #include "src/pagecache/workingset.h"
+#include "src/util/ebr.h"
 #include "src/util/logging.h"
 
 namespace cache_ext {
@@ -35,6 +36,10 @@ PageCache::PageCache(SimDisk* disk, SsdModel* ssd, PageCacheOptions options)
 }
 
 PageCache::~PageCache() CACHE_EXT_NO_TSA {
+  // Drain every deferred free first (folios and xarray nodes this cache
+  // retired): their deleters touch the local-storage directory and must
+  // not run after our policies are gone mid-teardown.
+  ebr::Synchronize();
   // Free all resident folios. No locks: destruction requires quiescence.
   for (auto& [name, as] : files_) {
     std::vector<Folio*> folios;
@@ -121,7 +126,7 @@ Status PageCache::AttachExtPolicy(MemCgroup* cg,
   for (auto& [name, as] : files_) {
     std::vector<Folio*> own;
     {
-      MutexLock stripe(StripeFor(as.get()));
+      MutexLock stripe(StripeFor(as.get()).mu);
       as->pages().ForEach([&](uint64_t, XEntry entry) {
         Folio* folio = entry.AsPointer<Folio>();
         if (folio != nullptr && folio->memcg == cg) {
@@ -319,15 +324,61 @@ void PageCache::DispatchRemoved(Lane& lane, CgroupState& st, Folio* folio) {
 
 // --- Folio lifetime --------------------------------------------------------
 
+Folio* PageCache::LocklessLookup(AddressSpace* as, uint64_t index,
+                                 CgroupState& reader) {
+  reader.stats.ext_lockless_lookups.fetch_add(1, std::memory_order_relaxed);
+  // rcu_read_lock: everything reachable through the xarray stays allocated
+  // until the guard drops, even if a racing remover unmaps and retires it.
+  ebr::Guard guard;
+  constexpr int kMaxAttempts = 4;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Folio* folio = as->pages().Load(index).AsPointer<Folio>();
+    if (folio == nullptr) {
+      // Empty or a shadow entry: a miss as far as the fast path is
+      // concerned; the locked slow path decides what the slot means.
+      return nullptr;
+    }
+    if (!folio->TryPin()) {
+      // Frozen: a remover committed to freeing this folio between our
+      // slot load and the pin. Retry into the locked slow path, which
+      // waits out the removal on the stripe.
+      reader.stats.ext_lockless_retries.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return nullptr;
+    }
+    // Revalidate like folio_try_get + the re-check in filemap_get_entry:
+    // the pin guarantees the folio is now immortal, but not that it is
+    // still the folio mapped at (as, index). With freeze-before-unmap a
+    // successful TryPin implies the folio was never removed, so these
+    // checks are expected to pass; they mirror the kernel's xas_reload
+    // defence and guard any future folio reuse.
+    if (folio->mapping == as && folio->index == index &&
+        as->pages().Load(index).AsPointer<Folio>() == folio) {
+      return folio;
+    }
+    folio->Unpin();
+    reader.stats.ext_lockless_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+  return nullptr;
+}
+
 Folio* PageCache::InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
                               uint64_t index, bool is_write, bool via_readahead,
                               DispatchBatch& batch, bool* already_present) {
   *already_present = false;
   MemCgroup* cg = st.cg.get();
-  Mutex& stripe = StripeFor(as);
+  Stripe& stripe = StripeFor(as);
 
-  {
-    MutexLock s(stripe);
+  // First presence probe: lock-free in the default mode (the populated-
+  // while-we-missed case is common under readahead); the second probe
+  // below, under the stripe, is authoritative either way.
+  if (options_.lockless_reads) {
+    if (Folio* existing = LocklessLookup(as, index, st); existing != nullptr) {
+      *already_present = true;
+      return existing;
+    }
+  } else {
+    MutexLock s(stripe.mu);
     if (Folio* existing = as->FindFolio(index); existing != nullptr) {
       existing->Pin();
       *already_present = true;
@@ -356,7 +407,7 @@ Folio* PageCache::InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
   Folio* folio = nullptr;
   RefaultDecision refault;
   {
-    MutexLock s(stripe);
+    MutexLock s(stripe.mu);
     // Another lane (a different cgroup sharing the file) may have populated
     // the index while admission ran; the xarray re-check under the stripe
     // is authoritative.
@@ -380,7 +431,7 @@ Folio* PageCache::InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
     if (refault.activate) {
       folio->SetFlag(kFolioWorkingset);
     }
-    if (as->noreuse_hint) {
+    if (as->noreuse_hint.load(std::memory_order_relaxed)) {
       folio->SetFlag(kFolioDropBehind);
     }
     folio->Pin();  // returned pinned; the caller unpins
@@ -410,17 +461,25 @@ bool PageCache::RemoveFolio(Lane& lane, CgroupState& st, AddressSpace* as,
                             uint64_t index, Folio* expected, RemovalKind kind,
                             bool skip_writeback) {
   MemCgroup* cg = st.cg.get();
-  Mutex& stripe = StripeFor(as);
+  Stripe& stripe = StripeFor(as);
   Folio* folio = nullptr;
   {
-    MutexLock s(stripe);
+    MutexLock s(stripe.mu);
     folio = as->FindFolio(index);
     // Authoritative re-checks: the index must still map the folio we were
-    // asked about, it must belong to this cgroup (we hold its lock, so it
-    // cannot be concurrently freed), and it must be unpinned (a pin means
-    // another lane has it in flight — hit dispatch or device I/O).
+    // asked about, and it must belong to this cgroup (we hold its lock, so
+    // it cannot be concurrently freed).
     if (folio == nullptr || (expected != nullptr && folio != expected) ||
-        folio->memcg != cg || folio->pinned()) {
+        folio->memcg != cg) {
+      return false;
+    }
+    // Commit point: freeze the pin count. Fails if any lane holds a pin
+    // (hit dispatch or device I/O in flight) — then the folio survives,
+    // like a pinned folio surviving the kernel's invalidate. On success no
+    // lockless TryPin can succeed anymore, and freeze + unmap happen
+    // atomically under the stripe, so locked paths never observe a frozen
+    // folio that is still mapped.
+    if (!folio->TryFreeze()) {
       return false;
     }
 
@@ -451,10 +510,13 @@ bool PageCache::RemoveFolio(Lane& lane, CgroupState& st, AddressSpace* as,
     cg->UnchargePage();
   }
 
-  // The folio is unmapped and unpinned: no other lane can reach it anymore
-  // (policy lists and the registry are behind st.mu, which we hold).
+  // The folio is unmapped and frozen: no lane can take a new reference
+  // (policy lists and the registry are behind st.mu, which we hold; the
+  // lockless path bounces off the frozen pin count). A guarded reader may
+  // still be *inspecting* it, so the free is deferred to EBR — kfree_rcu,
+  // not kfree.
   DispatchRemoved(lane, st, folio);
-  delete folio;
+  ebr::Retire(folio);
   return true;
 }
 
@@ -573,25 +635,22 @@ void PageCache::ReclaimIfNeeded(Lane& lane, CgroupState& st,
 
 uint32_t PageCache::ReadaheadWindow(Lane& lane, CgroupState& st,
                                     AddressSpace* as, uint64_t index) {
+  // Readahead state is read and advanced without any lock — racy
+  // load/store like the kernel's file_ra_state; a lost update costs a
+  // readahead decision, never correctness.
   uint32_t heuristic = 0;
-  uint64_t prev_index = UINT64_MAX;
-  {
-    MutexLock s(StripeFor(as));
-    prev_index = as->ra_prev_index;
-    if (!as->ra_random_hint) {
-      const uint32_t max_window =
-          as->ra_sequential_hint ? 2 * options_.max_readahead_pages
-                                 : options_.max_readahead_pages;
-      if (as->ra_prev_index != UINT64_MAX && index == as->ra_prev_index + 1) {
-        // Sequential pattern: grow the window (ondemand_readahead-style).
-        as->ra_window = std::min(max_window, as->ra_window == 0
-                                                 ? 4
-                                                 : as->ra_window * 2);
-      } else {
-        as->ra_window = 0;
-      }
-      heuristic = as->ra_window;
+  const uint64_t prev_index = as->ra_prev_index.load(std::memory_order_relaxed);
+  if (!as->ra_random_hint.load(std::memory_order_relaxed)) {
+    const uint32_t max_window =
+        as->ra_sequential_hint.load(std::memory_order_relaxed)
+            ? 2 * options_.max_readahead_pages
+            : options_.max_readahead_pages;
+    if (prev_index != UINT64_MAX && index == prev_index + 1) {
+      // Sequential pattern: grow the window (ondemand_readahead-style).
+      const uint32_t window = as->ra_window.load(std::memory_order_relaxed);
+      heuristic = std::min(max_window, window == 0 ? 4 : window * 2);
     }
+    as->ra_window.store(heuristic, std::memory_order_relaxed);
   }
 
   // Prefetch-policy extension (§7): an attached policy may override the
@@ -663,17 +722,32 @@ Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
   const uint64_t last = (offset + out.size() - 1) / kPageSize;
   DispatchBatch batch;
   std::vector<Folio*> run_pins;
-  Mutex& stripe = StripeFor(as);
+  Stripe& stripe = StripeFor(as);
 
   uint64_t index = first;
   while (index <= last) {
+    // Hit check. Default mode: lock-free xarray walk + speculative TryPin
+    // under an ebr::Guard (filemap_get_folio under rcu_read_lock) — the
+    // stripe is never required for a hit. Ablation (lockless_reads=false):
+    // the whole hit service runs under the stripe, whose virtual-time
+    // frontier serializes hits across lanes the way a contended xa_lock
+    // serializes real CPUs.
     Folio* hit = nullptr;
-    {
-      MutexLock s(stripe);
+    if (options_.lockless_reads) {
+      hit = LocklessLookup(as, index, *st);
+      if (hit != nullptr) {
+        as->ra_prev_index.store(index, std::memory_order_relaxed);
+        lane.Charge(options_.costs.hit_ns);
+      }
+    } else {
+      MutexLock s(stripe.mu);
+      lane.AdvanceTo(stripe.frontier_ns);  // wait for the previous holder
       hit = as->FindFolio(index);
       if (hit != nullptr) {
         hit->Pin();  // guard across the stripe release, until the ring pins
-        as->ra_prev_index = index;
+        as->ra_prev_index.store(index, std::memory_order_relaxed);
+        lane.Charge(options_.costs.hit_ns);
+        stripe.frontier_ns = lane.now_ns();
       }
     }
     if (hit != nullptr) {
@@ -684,7 +758,6 @@ Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
       CgroupState* owner = StateFor(hit->memcg);
       CHECK_NOTNULL(owner);
       hit->memcg->stat_hits.fetch_add(1, std::memory_order_relaxed);
-      lane.Charge(options_.costs.hit_ns);
       Append(lane, batch, owner, hit, HookEvent::kAccessed, nullptr);
       hit->Unpin();
       ++index;
@@ -694,7 +767,7 @@ Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
     // Miss: gather the contiguous run of missing pages within the request.
     uint64_t run_end = index;
     {
-      MutexLock s(stripe);
+      MutexLock s(stripe.mu);
       while (run_end + 1 <= last && as->FindFolio(run_end + 1) == nullptr) {
         ++run_end;
       }
@@ -755,8 +828,7 @@ Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
         const uint64_t completion =
             ssd_->SubmitRead(lane.now_ns(), run_pages * kPageSize);
         lane.AdvanceTo(completion);
-        MutexLock s(stripe);
-        as->ra_prev_index = next_index - 1;
+        as->ra_prev_index.store(next_index - 1, std::memory_order_relaxed);
       }
 
       if (!oom && cached_pages > 0) {
@@ -814,13 +886,13 @@ Status PageCache::Write(Lane& lane, AddressSpace* as, MemCgroup* cg,
   const uint64_t first = offset / kPageSize;
   const uint64_t last = (offset + data.size() - 1) / kPageSize;
   DispatchBatch batch;
-  Mutex& stripe = StripeFor(as);
+  Stripe& stripe = StripeFor(as);
 
   uint64_t index = first;
   while (index <= last) {
     Folio* hit = nullptr;
     {
-      MutexLock s(stripe);
+      MutexLock s(stripe.mu);
       hit = as->FindFolio(index);
       if (hit != nullptr) {
         hit->Pin();
@@ -880,7 +952,7 @@ Status PageCache::Write(Lane& lane, AddressSpace* as, MemCgroup* cg,
         }
         bool next_missing = false;
         {
-          MutexLock s(stripe);
+          MutexLock s(stripe.mu);
           next_missing = as->FindFolio(index) == nullptr;
         }
         if (!next_missing) {
@@ -903,7 +975,7 @@ Status PageCache::SyncFile(Lane& lane, AddressSpace* as) {
   }
   uint64_t dirty_pages = 0;
   {
-    MutexLock s(StripeFor(as));
+    MutexLock s(StripeFor(as).mu);
     as->pages().ForEach([&](uint64_t, XEntry entry) {
       Folio* folio = entry.AsPointer<Folio>();
       if (folio == nullptr || !folio->TestClearFlag(kFolioDirty)) {
@@ -934,30 +1006,30 @@ Status PageCache::FadviseRange(Lane& lane, AddressSpace* as, MemCgroup* cg,
   const uint64_t last = len == 0 ? UINT64_MAX
                                  : (offset + len - 1) / kPageSize;
   switch (advice) {
+    // Readahead-mode hints are plain relaxed stores: the fields are racy
+    // best-effort hints (file_ra_state semantics) and need no lock at all.
     case Fadvise::kNormal: {
-      MutexLock s(StripeFor(as));
-      as->ra_sequential_hint = false;
-      as->ra_random_hint = false;
-      as->noreuse_hint = false;
+      as->ra_sequential_hint.store(false, std::memory_order_relaxed);
+      as->ra_random_hint.store(false, std::memory_order_relaxed);
+      as->noreuse_hint.store(false, std::memory_order_relaxed);
       return OkStatus();
     }
     case Fadvise::kSequential: {
-      MutexLock s(StripeFor(as));
-      as->ra_sequential_hint = true;
-      as->ra_random_hint = false;
+      as->ra_sequential_hint.store(true, std::memory_order_relaxed);
+      as->ra_random_hint.store(false, std::memory_order_relaxed);
       return OkStatus();
     }
     case Fadvise::kRandom: {
-      MutexLock s(StripeFor(as));
-      as->ra_random_hint = true;
-      as->ra_sequential_hint = false;
+      as->ra_random_hint.store(true, std::memory_order_relaxed);
+      as->ra_sequential_hint.store(false, std::memory_order_relaxed);
       return OkStatus();
     }
     case Fadvise::kNoReuse: {
       // v6.6 semantics: accesses to these folios do not feed promotion. The
-      // folios still enter and occupy the cache.
-      MutexLock s(StripeFor(as));
-      as->noreuse_hint = true;
+      // folios still enter and occupy the cache. The range walk still wants
+      // the stripe: ForEachInRange is not safe against concurrent pruning.
+      MutexLock s(StripeFor(as).mu);
+      as->noreuse_hint.store(true, std::memory_order_relaxed);
       as->pages().ForEachInRange(first, last, [](uint64_t, XEntry entry) {
         if (Folio* folio = entry.AsPointer<Folio>(); folio != nullptr) {
           folio->SetFlag(kFolioDropBehind);
@@ -977,7 +1049,7 @@ Status PageCache::FadviseRange(Lane& lane, AddressSpace* as, MemCgroup* cg,
       };
       std::vector<Victim> victims;
       {
-        MutexLock s(StripeFor(as));
+        MutexLock s(StripeFor(as).mu);
         as->pages().ForEachInRange(first, last, [&](uint64_t idx,
                                                     XEntry entry) {
           if (Folio* folio = entry.AsPointer<Folio>(); folio != nullptr) {
@@ -1041,7 +1113,7 @@ Status PageCache::DeleteFile(Lane& lane, AddressSpace* as) {
   for (;;) {
     std::vector<Victim> victims;
     {
-      MutexLock s(StripeFor(as));
+      MutexLock s(StripeFor(as).mu);
       as->pages().ForEach([&](uint64_t idx, XEntry entry) {
         if (Folio* folio = entry.AsPointer<Folio>(); folio != nullptr) {
           victims.push_back(Victim{idx, StateFor(folio->memcg)});
@@ -1069,7 +1141,7 @@ Status PageCache::DeleteFile(Lane& lane, AddressSpace* as) {
   }
   {
     // Clear any remaining shadow entries.
-    MutexLock s(StripeFor(as));
+    MutexLock s(StripeFor(as).mu);
     std::vector<uint64_t> shadows;
     as->pages().ForEach([&shadows](uint64_t index, XEntry entry) {
       if (entry.IsValue()) {
@@ -1127,6 +1199,10 @@ CgroupCacheStats PageCache::SnapshotStats(CgroupState& st) {
       a.ext_evict_alloc_bytes.load(std::memory_order_relaxed);
   stats.ext_evict_arena_reuses =
       a.ext_evict_arena_reuses.load(std::memory_order_relaxed);
+  stats.ext_lockless_lookups =
+      a.ext_lockless_lookups.load(std::memory_order_relaxed);
+  stats.ext_lockless_retries =
+      a.ext_lockless_retries.load(std::memory_order_relaxed);
   if (st.ext != nullptr) {
     // Overlay the live attachment's breaker state: current degraded mask,
     // plus its trips on top of the cumulative per-cgroup counters.

@@ -24,15 +24,23 @@
 //
 //   registry_mu_          cgroup/file creation, attach/detach, DeleteFile
 //   CgroupState::mu       per-cgroup: policies + reclaim (per-memcg lru_lock)
-//   mapping stripes       per-file index: xarray + folio lifetime + ra_*
-//                         state (i_pages xa_lock; striped, not per-file, to
+//   mapping stripes       per-file index: xarray writes + folio lifetime
+//                         (i_pages xa_lock; striped, not per-file, to
 //                         bound memory)
 //
 // Invariants: never two cgroup locks at once, never two stripes at once,
-// stripe is only ever taken *inside* a cgroup lock (never the reverse).
+// stripe is only ever taken *inside* a cgroup lock (never the reverse),
+// and the stripe is never REQUIRED for a hit: the read path's hit check
+// walks the xarray lock-free under an ebr::Guard (filemap_get_folio under
+// rcu_read_lock) and pins the folio with a speculative TryPin, falling
+// back to the locked miss path on any race. Writers (insert, truncate,
+// eviction) keep the stripe.
 // Folio lifetime: a folio is only freed by its owning cgroup's RemoveFolio,
-// which re-checks "still mapped and unpinned" under the stripe; any path
-// that uses a folio outside the stripe pins it first (under the stripe).
+// which — under the stripe — re-checks "still mapped" and *freezes* the pin
+// count (Folio::TryFreeze) so no lockless TryPin can resurrect it, then
+// unmaps it and defers the free to EBR (ebr::Retire) so concurrent guarded
+// readers never touch freed memory. Any path that uses a folio outside the
+// stripe holds a pin (taken under the stripe, or via TryPin + revalidate).
 
 #ifndef SRC_PAGECACHE_PAGE_CACHE_H_
 #define SRC_PAGECACHE_PAGE_CACHE_H_
@@ -101,6 +109,13 @@ struct PageCacheOptions {
   // amortized hook-dispatch cost per batch — the hot-path analogue of the
   // batch-scoring mode in eviction_list (§4.2.3).
   uint32_t hook_batch_size = 16;
+  // Serve read hits lock-free (EBR guard + TryPin + revalidate, the
+  // filemap_get_folio fast path). When false — the `--locked-reads`
+  // ablation — every hit takes the mapping stripe for the full hit service
+  // and the stripe behaves as a serializing resource in virtual time (its
+  // frontier orders the hits of all lanes), modelling what a stripe-locked
+  // hit path costs under contention.
+  bool lockless_reads = true;
 };
 
 // Per-cgroup snapshot of counters that live inside the page cache (the
@@ -139,6 +154,13 @@ struct CgroupCacheStats {
   uint64_t ext_local_storage_hits = 0;
   uint64_t ext_evict_alloc_bytes = 0;
   uint64_t ext_evict_arena_reuses = 0;
+  // Lockless read path (EBR): lookups attempted without the stripe by this
+  // cgroup's readers, and how many of those lost a race (TryPin on a
+  // frozen folio / failed revalidation) and retried into the locked slow
+  // path. The retry rate under truncate/eviction churn is the health
+  // signal for the lock-free hit path.
+  uint64_t ext_lockless_lookups = 0;
+  uint64_t ext_lockless_retries = 0;
 };
 
 class PageCache {
@@ -226,6 +248,8 @@ class PageCache {
     std::atomic<uint64_t> ext_local_storage_hits{0};
     std::atomic<uint64_t> ext_evict_alloc_bytes{0};
     std::atomic<uint64_t> ext_evict_arena_reuses{0};
+    std::atomic<uint64_t> ext_lockless_lookups{0};
+    std::atomic<uint64_t> ext_lockless_retries{0};
     std::atomic<bool> ext_quarantined{false};
     std::atomic<bool> ext_banned{false};
     std::atomic<uint32_t> ext_reattach_attempts{0};
@@ -272,8 +296,18 @@ class PageCache {
     return cg == nullptr ? nullptr : static_cast<CgroupState*>(cg->priv());
   }
 
-  Mutex& StripeFor(const AddressSpace* as) {
-    return stripes_[as->id() & (kNumStripes - 1)].mu;
+  struct alignas(64) Stripe {
+    Mutex mu;
+    // Virtual-time frontier of the stripe as a serializing resource: only
+    // the `lockless_reads = false` ablation uses it, making each locked
+    // hit wait (in virtual time) for the previous hit on the same stripe —
+    // the contention a real xa_lock imposes that per-lane virtual clocks
+    // cannot otherwise see. The default lockless mode never touches it.
+    uint64_t frontier_ns CACHE_EXT_GUARDED_BY(mu) = 0;
+  };
+
+  Stripe& StripeFor(const AddressSpace* as) {
+    return stripes_[as->id() & (kNumStripes - 1)];
   }
 
   // True when the cgroup's ext policy should still be consulted. False once
@@ -344,6 +378,15 @@ class PageCache {
   bool CandidateValid(CgroupState& st, Folio* folio, bool from_ext,
                       bool* violation) CACHE_EXT_REQUIRES(st.mu);
 
+  // The lockless hit lookup (filemap_get_folio fast path): walks the
+  // xarray under an ebr::Guard, TryPins the folio, then revalidates
+  // mapping/index and reloads the slot (folio_try_get + the re-check in
+  // filemap_get_entry). Returns the folio PINNED, or nullptr on a miss /
+  // shadow entry / lost race — the caller falls back to the locked slow
+  // path, which is authoritative. Bumps `reader`'s lockless counters.
+  Folio* LocklessLookup(AddressSpace* as, uint64_t index,
+                        CgroupState& reader);
+
   CgroupCacheStats SnapshotStats(CgroupState& st) CACHE_EXT_REQUIRES(st.mu);
 
   SimDisk* disk_;
@@ -354,9 +397,6 @@ class PageCache {
   // Striped per-mapping locks (cache-line padded): the analogue of the
   // kernel's per-mapping i_pages xa_lock, striped by mapping id.
   static constexpr uint64_t kNumStripes = 64;
-  struct alignas(64) Stripe {
-    Mutex mu;
-  };
   std::array<Stripe, kNumStripes> stripes_;
 
   // Registry lock (outermost): cgroup/file creation and lookup, DeleteFile.

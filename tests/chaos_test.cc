@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/pagecache/page_cache.h"
 #include "src/policies/policy_factory.h"
+#include "src/util/ebr.h"
 
 namespace cache_ext {
 namespace {
@@ -274,6 +276,45 @@ TEST_F(ChaosTest, InjectedDiskErrorsSurfaceAsCleanStatuses) {
                   .ok());
   ASSERT_TRUE(rig->ReadPage(0).ok());
   EXPECT_LE(rig->cg->charged_pages(), rig->cg->limit_pages());
+}
+
+TEST_F(ChaosTest, EbrStallDefersFreesBoundedlyWhileWritersProgress) {
+  // ebr.stall wedges a phantom reader at the current epoch (a reader stuck
+  // inside rcu_read_lock) for `magnitude` blocked advance attempts. While
+  // it holds, every eviction's folio free is deferred; the cache must keep
+  // serving and evicting (writers never wait on a grace period), the
+  // deferred backlog must stay bounded by the stall length, and once the
+  // phantom expires the backlog must drain completely.
+  auto rig = MakeRig("fifo");  // 256-page file, 64-page cgroup: heavy churn
+  ebr::Synchronize();          // start from a drained domain
+  const uint64_t freed_before = ebr::FreedCount();
+
+  FaultSchedule stall;
+  stall.on_nth = 1;
+  stall.magnitude = 64;  // blocked advance attempts before the phantom dies
+  FaultInjector::Global().Arm(fault::points::kEbrStall, stall);
+
+  AccessStream stream(7777);
+  uint64_t max_retired = 0;
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(rig->ReadPage(stream.NextPage()).ok());
+    max_retired = std::max(max_retired, ebr::RetiredCount());
+  }
+  // The stall really deferred frees...
+  EXPECT_GT(max_retired, 0u);
+  // ...but boundedly: each blocked advance is one Retire-side attempt, so
+  // the backlog can never grow past the order of the stall's ttl.
+  EXPECT_LT(max_retired, 512u);
+  // ...and the cache stayed healthy throughout.
+  EXPECT_FALSE(rig->pc->StatsFor(rig->cg).oom_killed);
+  EXPECT_LE(rig->cg->charged_pages(), rig->cg->limit_pages());
+  EXPECT_GT(rig->cg->stat_evictions.load(), 0u);
+
+  // Phantom gone: a full grace period drains everything that was deferred.
+  FaultInjector::Global().DisarmAll();
+  ebr::Synchronize();
+  EXPECT_EQ(ebr::RetiredCount(), 0u);
+  EXPECT_GT(ebr::FreedCount(), freed_before);
 }
 
 }  // namespace

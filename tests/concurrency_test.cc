@@ -22,6 +22,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/pagecache/page_cache.h"
 #include "src/policies/policy_factory.h"
+#include "src/util/ebr.h"
 
 namespace cache_ext {
 namespace {
@@ -502,6 +503,122 @@ TEST(ConcurrencyTest, AttachDetachRacesWithReaders) {
     const CgroupCacheStats stats = rig->pc->StatsFor(rig->cgs[t]);
     EXPECT_FALSE(stats.oom_killed);
     EXPECT_LE(rig->cgs[t]->charged_pages(), kCgroupPages);
+  }
+}
+
+TEST(ConcurrencyTest, LocklessReadersVsInvalidateEvictionAndDeleteFile) {
+  // The lockless-read stress: readers hammer the EBR-guarded hit path
+  // (xarray walk + speculative TryPin, no stripe) while every folio
+  // lifetime hazard runs against them at once —
+  //   - natural eviction churn (48-page cgroups over 128-page files),
+  //   - FADV_DONTNEED invalidation of the shared file (RemoveFolio's
+  //     freeze commit racing the readers' TryPins),
+  //   - whole-file DeleteFile rotation feeding folios into ebr::Retire.
+  // Meant to run under TSan (tools/check.sh --tsan) and the chaos label's
+  // ASan gate; the inline pattern checks make use-after-free or stale
+  // reads visible on any interleaving.
+  constexpr int kThreads = 3;
+  auto rig = MakeMtRig(kThreads, "");
+  MemCgroup* rot_cg =
+      rig->pc->CreateCgroup("/rot_cg", kCgroupPages * kPageSize);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&rig, &stop, t] {
+      Lane lane(static_cast<uint32_t>(t), TaskContext{500 + t, 500 + t},
+                53 + static_cast<uint64_t>(t));
+      std::vector<uint8_t> buf(kPageSize);
+      uint64_t state = 0xdead + static_cast<uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const uint64_t page = (state >> 33) % kFilePages;
+        if ((state & 1) != 0) {
+          // The shared file is where the invalidator removes folios out
+          // from under us: hits here exercise the freeze/retry protocol.
+          ReadAndCheck(*rig, lane, rig->shared, rig->cgs[t], 99, page, buf);
+        } else {
+          ReadAndCheck(*rig, lane, rig->files[t], rig->cgs[t],
+                       static_cast<uint64_t>(t), page, buf);
+        }
+      }
+    });
+  }
+
+  // Invalidator: drops ranges of the shared file while readers hit it.
+  std::thread invalidator([&rig] {
+    Lane lane(10, TaskContext{510, 510}, 59);
+    for (int round = 0; round < 120; ++round) {
+      const uint64_t p = (static_cast<uint64_t>(round) * 13) % kFilePages;
+      ASSERT_TRUE(rig->pc
+                      ->FadviseRange(lane, rig->shared, rig->cgs[0],
+                                     Fadvise::kDontNeed, p * kPageSize,
+                                     8 * kPageSize)
+                      .ok());
+    }
+  });
+
+  // Rotator: create, populate, read, and delete private files. DeleteFile's
+  // contract forbids racing it against operations on the same mapping, so
+  // only this thread ever touches "/rot" — its deletions still feed whole
+  // trees of folios and xarray nodes into ebr::Retire while the readers'
+  // guards are live.
+  std::thread rotator([&rig, rot_cg] {
+    Lane lane(11, TaskContext{511, 511}, 61);
+    constexpr uint64_t kRotPages = 16;
+    std::vector<uint8_t> page(kPageSize);
+    std::vector<uint8_t> buf(kPageSize);
+    for (int round = 0; round < 40; ++round) {
+      auto as = rig->pc->OpenFile("/rot");
+      ASSERT_TRUE(as.ok());
+      ASSERT_TRUE(
+          rig->disk.Truncate((*as)->file(), kRotPages * kPageSize).ok());
+      for (uint64_t p = 0; p < kRotPages; ++p) {
+        std::fill(page.begin(), page.end(), PatternByte(7, p));
+        ASSERT_TRUE(rig->disk
+                        .WriteAt((*as)->file(), p * kPageSize,
+                                 std::span<const uint8_t>(page))
+                        .ok());
+      }
+      for (uint64_t p = 0; p < kRotPages; ++p) {
+        ASSERT_TRUE(rig->pc
+                        ->Read(lane, *as, rot_cg, p * kPageSize,
+                               std::span<uint8_t>(buf))
+                        .ok());
+        EXPECT_EQ(buf[0], PatternByte(7, p));
+      }
+      ASSERT_TRUE(rig->pc->DeleteFile(lane, *as).ok());
+    }
+  });
+
+  invalidator.join();
+  rotator.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : readers) w.join();
+
+  // Stats coherent: the lockless path actually ran, retries never exceed
+  // lookups, nobody OOMed, and charges respect every limit.
+  uint64_t lookups = 0;
+  uint64_t retries = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    const CgroupCacheStats stats = rig->pc->StatsFor(rig->cgs[t]);
+    EXPECT_FALSE(stats.oom_killed);
+    EXPECT_LE(rig->cgs[t]->charged_pages(), kCgroupPages);
+    lookups += stats.ext_lockless_lookups;
+    retries += stats.ext_lockless_retries;
+  }
+  EXPECT_GT(lookups, 0u);
+  EXPECT_LE(retries, lookups);
+
+  // Quiescing drains every deferred free: nothing leaks through EBR.
+  ebr::Synchronize();
+  EXPECT_EQ(ebr::RetiredCount(), 0u);
+
+  // After the dust settles the cache still serves correct bytes.
+  Lane lane(12, TaskContext{512, 512}, 67);
+  std::vector<uint8_t> buf(kPageSize);
+  for (uint64_t p = 0; p < kFilePages; ++p) {
+    ReadAndCheck(*rig, lane, rig->shared, rig->cgs[0], 99, p, buf);
   }
 }
 

@@ -5,11 +5,13 @@
 #   tools/check.sh --sanitize   # additionally build + ctest under ASan+UBSan
 #   tools/check.sh --chaos      # ASan build, chaos-labelled tests + the
 #                               # bench_chaos fault-storm soak
-#   tools/check.sh --tsan       # ThreadSanitizer build, MT stress tests +
-#                               # a bench_mt_scaling run (refreshes
+#   tools/check.sh --tsan       # ThreadSanitizer build, MT stress tests
+#                               # (concurrency_test + ebr_test) + a
+#                               # bench_mt_scaling run (refreshes
 #                               # bench/baselines/BENCH_mt_scaling.json)
-#   tools/check.sh --bench-smoke  # quick bench_table4_noop_overhead +
-#                               # bench_local_storage runs compared against
+#   tools/check.sh --bench-smoke  # quick bench_table4_noop_overhead,
+#                               # bench_local_storage and
+#                               # bench_lockless_reads runs compared against
 #                               # bench/baselines/*.json; fails if any
 #                               # ns/op point worsens by more than 15%
 #
@@ -63,8 +65,9 @@ if [[ "$tsan" == 1 ]]; then
   # run here; halt_on_error makes any report fail the gate.
   echo "== tsan: ThreadSanitizer build + MT stress tests (build-tsan/) =="
   cmake -B build-tsan -DCACHE_EXT_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "$jobs" --target concurrency_test bench_mt_scaling
+  cmake --build build-tsan -j "$jobs" --target concurrency_test ebr_test bench_mt_scaling
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/ebr_test
   echo "== tsan: MT scaling run (regular build, baseline refresh) =="
   cmake -B build >/dev/null
   cmake --build build -j "$jobs" --target bench_mt_scaling
@@ -81,15 +84,20 @@ if [[ "$bench_smoke" == 1 ]]; then
   #   ./build/bench/bench_table4_noop_overhead --no-local-storage \
   #       --out bench/baselines/BENCH_table4.json
   #   ./build/bench/bench_local_storage --out bench/baselines/BENCH_local_storage.json
+  #   ./build/bench/bench_lockless_reads --quick \
+  #       --out bench/baselines/BENCH_lockless_reads.json
   echo "== bench-smoke: build benches (build/) =="
   cmake -B build >/dev/null
-  cmake --build build -j "$jobs" --target bench_table4_noop_overhead bench_local_storage
+  cmake --build build -j "$jobs" --target bench_table4_noop_overhead bench_local_storage bench_lockless_reads
   echo "== bench-smoke: bench_table4_noop_overhead vs baseline =="
   ./build/bench/bench_table4_noop_overhead --quick \
       --baseline bench/baselines/BENCH_table4.json --threshold 0.15
   echo "== bench-smoke: bench_local_storage vs baseline =="
   ./build/bench/bench_local_storage --quick \
       --baseline bench/baselines/BENCH_local_storage.json --threshold 0.15
+  echo "== bench-smoke: bench_lockless_reads vs baseline =="
+  ./build/bench/bench_lockless_reads --quick \
+      --baseline bench/baselines/BENCH_lockless_reads.json --threshold 0.15
   echo "== check.sh --bench-smoke: all green =="
   exit 0
 fi
