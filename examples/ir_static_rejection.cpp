@@ -1,0 +1,186 @@
+// What STATIC analysis catches that the dry run cannot: two IR policies
+// whose bugs never fire in a short observed execution, rejected at compile
+// time by the abstract-interpretation verifier (src/bpf/verifier/ir_verifier).
+//
+// The legacy std::function path (examples/broken_policy.cpp) can only
+// *observe* a policy misbehaving during the instrumented dry run — a bug
+// on a path the dry run happens not to exercise loads fine and detonates
+// in production. IR policies are different: AnalyzeIrPolicy walks every
+// instruction with abstract register states and PROVES the absence of
+// whole bug classes before a single folio moves. This example builds:
+//
+//   1. "deadlocker" — an eviction walk whose loop body calls
+//      cache_ext_list_size. That kfunc takes the policy's list lock,
+//      which list_iterate already holds: a guaranteed self-deadlock,
+//      but only on the reclaim path, and only when the list is
+//      non-empty. A dry run over an empty cgroup never enters the body
+//      and would happily certify the policy. The verifier rejects it
+//      from the kfunc signature alone (takes_list_lock && in_body).
+//
+//   2. "null_chaser" — folio_accessed looks up a hash map and
+//      dereferences the result without a null check. The lookup misses
+//      only after the map fills (4096 entries); any short dry run sees
+//      hits. The abstract interpreter tracks the pointer as kMaybeNull
+//      and refuses the Load.
+//
+// Both rejections print the full VerifierLog — pass/fail findings with
+// disassembly of the offending instruction. Exits 0 iff BOTH policies are
+// rejected with the expected check.
+
+#include <cstdio>
+
+#include "src/bpf/ir/builder.h"
+#include "src/bpf/ir/compile.h"
+#include "src/bpf/verifier/ir_verifier.h"
+
+namespace {
+
+using namespace cache_ext;  // example code: keep the tutorial readable
+using bpf::ir::Cond;
+using bpf::ir::IrMapKind;
+using bpf::ir::IrPolicy;
+using bpf::ir::MapDecl;
+using bpf::ir::ProgramBuilder;
+using bpf::ir::R0;
+using bpf::ir::R1;
+using bpf::ir::R2;
+using bpf::ir::R6;
+using bpf::verifier::Hook;
+using bpf::verifier::Kfunc;
+
+constexpr uint32_t kStateMap = 0;
+
+MapDecl StateMap() {
+  MapDecl decl;
+  decl.name = "state";
+  decl.kind = IrMapKind::kArray;
+  decl.max_entries = 1;
+  decl.value_size = 8;
+  return decl;
+}
+
+// init: list = list_create(); state[0] = list.
+bpf::ir::Program Init() {
+  ProgramBuilder b;
+  const auto created = b.NewLabel();
+  b.Call(Kfunc::kListCreate);
+  b.JmpImm(Cond::kNe, R0, 0, created);
+  b.MovImm(R0, -1).Exit();
+  b.Bind(created);
+  b.MovReg(R6, R0);
+  b.MovImm(R1, 0);
+  b.MapUpdate(kStateMap, R1, R6);
+  b.MovImm(R0, 0).Exit();
+  return b.Build();
+}
+
+// folio_added: list_add_tail(state[0], folio).
+bpf::ir::Program AddTail() {
+  ProgramBuilder b;
+  const auto have = b.NewLabel();
+  b.MovImm(R6, 0);
+  b.MapLookup(kStateMap, R6);
+  b.JmpImm(Cond::kNe, R0, 0, have);
+  b.Exit();
+  b.Bind(have);
+  b.Load(R1, R0, 0);
+  b.CtxLoad(R2, bpf::ir::CtxField::kFolio);
+  b.MovImm(bpf::ir::R3, 1);
+  b.Call(Kfunc::kListAdd);
+  b.Exit();
+  return b.Build();
+}
+
+// BUG 1: the loop body asks for the list's size. list_iterate holds the
+// list lock for the whole walk; list_size acquires it again. The dry run
+// never executes this body (empty list), so only a proof catches it.
+IrPolicy Deadlocker() {
+  IrPolicy p;
+  p.name = "deadlocker";
+  p.maps.push_back(StateMap());
+  p.hook(Hook::kPolicyInit) = Init();
+  p.hook(Hook::kFolioAdded) = AddTail();
+
+  ProgramBuilder b;
+  const auto have = b.NewLabel();
+  b.MovImm(R6, 0);
+  b.MapLookup(kStateMap, R6);
+  b.JmpImm(Cond::kNe, R0, 0, have);
+  b.Exit();
+  b.Bind(have);
+  b.Load(R6, R0, 0);                     // list id
+  b.BeginIterate(R6, /*bound_imm=*/32);  // body: R1 = the examined folio
+  b.MovReg(R1, R6);
+  b.Call(Kfunc::kListSize);              // <- self-deadlock, proven statically
+  b.MovImm(R0, 1);                       // "evict it" (never reached at run time)
+  b.EndIterate();
+  b.Exit();
+  p.hook(Hook::kEvictFolios) = b.Build();
+  return p;
+}
+
+// BUG 2: dereference a hash-map lookup without testing for null. The miss
+// only happens once "counts" is full — far beyond any dry run.
+IrPolicy NullChaser() {
+  IrPolicy p;
+  p.name = "null_chaser";
+  p.maps.push_back(StateMap());
+  MapDecl counts;
+  counts.name = "counts";
+  counts.kind = IrMapKind::kHash;
+  counts.max_entries = 4096;
+  counts.value_size = 8;
+  p.maps.push_back(counts);
+  p.hook(Hook::kPolicyInit) = Init();
+  p.hook(Hook::kFolioAdded) = AddTail();
+
+  ProgramBuilder b;
+  b.CtxLoad(R1, bpf::ir::CtxField::kFolio);
+  b.FolioKey(R2, R1);
+  b.MapLookup(/*map=*/1, R2);
+  b.Load(R1, R0, 0);  // <- R0 is kMaybeNull here; no check between
+  b.Alu(bpf::ir::AluOp::kAdd, R1, 1);
+  b.Store(R0, 0, R1);
+  b.Exit();
+  p.hook(Hook::kFolioAccessed) = b.Build();
+  return p;
+}
+
+// Returns true iff the verifier rejected `policy` with a failing finding in
+// `check`, printing the full report either way.
+bool ExpectRejection(const IrPolicy& policy, bpf::verifier::Check check) {
+  bpf::verifier::VerifierLog log;
+  auto ops = bpf::ir::CompileToOps(policy, &log);
+
+  std::printf("== IR verifier report for '%s' ==\n%s\n", policy.name.c_str(),
+              log.ToString().c_str());
+  if (ops.ok()) {
+    std::printf("ERROR: '%s' was accepted\n", policy.name.c_str());
+    return false;
+  }
+  for (const auto& finding : log.findings()) {
+    if (!finding.passed && finding.check == check) {
+      std::printf("'%s' statically rejected by %s, as expected:\n  %s\n\n",
+                  policy.name.c_str(), bpf::verifier::CheckName(check),
+                  finding.message.c_str());
+      return true;
+    }
+  }
+  std::printf("ERROR: '%s' was rejected, but not by %s\n", policy.name.c_str(),
+              bpf::verifier::CheckName(check));
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  ok &= ExpectRejection(Deadlocker(), bpf::verifier::Check::kIrKfuncContext);
+  ok &= ExpectRejection(NullChaser(), bpf::verifier::Check::kIrRegSafety);
+  if (!ok) {
+    return 1;
+  }
+  std::printf(
+      "both policies rejected at load time — neither bug ever executed\n");
+  return 0;
+}

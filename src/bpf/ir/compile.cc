@@ -1,0 +1,86 @@
+#include "src/bpf/ir/compile.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/bpf/ir/interp.h"
+#include "src/bpf/verifier/ir_verifier.h"
+
+namespace cache_ext::bpf::ir {
+
+using verifier::Hook;
+
+Expected<cache_ext::Ops> CompileToOps(const IrPolicy& policy,
+                                      verifier::VerifierLog* log) {
+  verifier::VerifierLog local_log;
+  verifier::VerifierLog* out = log != nullptr ? log : &local_log;
+  auto analysis = verifier::AnalyzeIrPolicy(policy, out);
+  if (!analysis.ok()) {
+    return analysis.status();
+  }
+
+  auto runtime = std::make_shared<IrRuntime>(policy);
+  const IrPolicy& prog = runtime->policy();
+
+  cache_ext::Ops ops;
+  ops.name = prog.name;
+  ops.helper_budget = prog.helper_budget;
+  ops.program_cost_ns = prog.program_cost_ns;
+  ops.spec = std::move(analysis->spec);
+  // Expose the verified program so the loader's pass 0 can re-derive the
+  // spec and reject any tampering between compile and attach.
+  ops.ir = std::shared_ptr<const IrPolicy>(runtime, &runtime->policy());
+
+  ops.policy_init = [runtime](CacheExtApi& api, MemCgroup*) -> int32_t {
+    return static_cast<int32_t>(
+        runtime->Execute(Hook::kPolicyInit, api, HookCtx{}));
+  };
+  ops.evict_folios = [runtime](CacheExtApi& api, EvictionCtx* ctx,
+                               MemCgroup*) {
+    HookCtx hctx;
+    hctx.evict = ctx;
+    runtime->Execute(Hook::kEvictFolios, api, hctx);
+  };
+  auto folio_hook = [runtime](Hook hook) {
+    return [runtime, hook](CacheExtApi& api, Folio* folio) {
+      HookCtx hctx;
+      hctx.folio = folio;
+      runtime->Execute(hook, api, hctx);
+    };
+  };
+  ops.folio_added = folio_hook(Hook::kFolioAdded);
+  ops.folio_accessed = folio_hook(Hook::kFolioAccessed);
+  ops.folio_removed = folio_hook(Hook::kFolioRemoved);
+
+  if (prog.HookPresent(Hook::kAdmitFolio)) {
+    ops.admit_folio = [runtime](CacheExtApi& api,
+                                const AdmissionCtx& ctx) -> bool {
+      HookCtx hctx;
+      hctx.admit = &ctx;
+      return runtime->Execute(Hook::kAdmitFolio, api, hctx) != 0;
+    };
+  }
+  if (prog.HookPresent(Hook::kFolioRefaulted)) {
+    ops.folio_refaulted = [runtime](CacheExtApi& api, Folio* folio,
+                                    uint32_t tier) {
+      HookCtx hctx;
+      hctx.folio = folio;
+      hctx.tier = tier;
+      runtime->Execute(Hook::kFolioRefaulted, api, hctx);
+    };
+  }
+  if (prog.HookPresent(Hook::kRequestPrefetch)) {
+    ops.request_prefetch = [runtime](CacheExtApi& api,
+                                     const PrefetchCtx& ctx) -> int64_t {
+      HookCtx hctx;
+      hctx.prefetch = &ctx;
+      return runtime->Execute(Hook::kRequestPrefetch, api, hctx);
+    };
+  }
+  ops.collect_counters = [runtime](PolicyRuntimeCounters* counters) {
+    counters->map_lookups += runtime->MapLookups();
+  };
+  return ops;
+}
+
+}  // namespace cache_ext::bpf::ir

@@ -1,0 +1,28 @@
+// CompileToOps: verify an IrPolicy and lower it into a loadable
+// cache_ext::Ops whose ProgramSpec is the verifier's DERIVED spec — the
+// hand-declared numbers the std::function path requires simply do not
+// exist on this path. A policy the static analysis rejects never becomes
+// an Ops at all; the returned VerifierLog findings say why.
+
+#ifndef SRC_BPF_IR_COMPILE_H_
+#define SRC_BPF_IR_COMPILE_H_
+
+#include "src/bpf/ir/ir.h"
+#include "src/bpf/verifier/log.h"
+#include "src/cache_ext/ops.h"
+#include "src/util/status.h"
+
+namespace cache_ext::bpf::ir {
+
+// Runs the IR static analysis (AnalyzeIrPolicy) and, on success, builds the
+// Ops: interpreter-backed hook closures, the derived ProgramSpec, the
+// policy's helper budget and cost declaration, and ops.ir pointing at the
+// verified program (so CacheExtLoader re-derives and cross-checks the spec
+// at attach time). `log` (optional) receives the analysis findings either
+// way.
+Expected<cache_ext::Ops> CompileToOps(const IrPolicy& policy,
+                                      verifier::VerifierLog* log = nullptr);
+
+}  // namespace cache_ext::bpf::ir
+
+#endif  // SRC_BPF_IR_COMPILE_H_

@@ -1,0 +1,346 @@
+#include "src/bpf/ir/interp.h"
+
+#include <array>
+
+#include "src/cache_ext/eviction_list.h"
+#include "src/mm/address_space.h"
+#include "src/util/logging.h"
+
+namespace cache_ext::bpf::ir {
+
+namespace {
+
+using verifier::Hook;
+using verifier::Kfunc;
+
+// Same stable identity the hand-written policies key their maps by.
+uint64_t FolioIdentityKey(const Folio* folio) {
+  return (folio->mapping->id() << 40) ^ folio->index;
+}
+
+uint64_t EvalAlu(AluOp op, uint64_t l, uint64_t r) {
+  switch (op) {
+    case AluOp::kAdd: return l + r;
+    case AluOp::kSub: return l - r;
+    case AluOp::kMul: return l * r;
+    case AluOp::kDiv: return r == 0 ? 0 : l / r;
+    case AluOp::kMod: return r == 0 ? 0 : l % r;
+    case AluOp::kAnd: return l & r;
+    case AluOp::kOr:  return l | r;
+    case AluOp::kXor: return l ^ r;
+    case AluOp::kLsh: return r >= 64 ? 0 : l << r;
+    case AluOp::kRsh: return r >= 64 ? 0 : l >> r;
+  }
+  return 0;
+}
+
+bool EvalCond(Cond cond, uint64_t l, uint64_t r) {
+  switch (cond) {
+    case Cond::kEq: return l == r;
+    case Cond::kNe: return l != r;
+    case Cond::kLt: return l < r;
+    case Cond::kLe: return l <= r;
+    case Cond::kGt: return l > r;
+    case Cond::kGe: return l >= r;
+  }
+  return false;
+}
+
+IterPlacement ToPlacement(LoopPlace place) {
+  return place == LoopPlace::kMoveToTail ? IterPlacement::kMoveToTail
+                                         : IterPlacement::kKeepInPlace;
+}
+
+}  // namespace
+
+IrMap::IrMap(const MapDecl& decl)
+    : decl_(decl), words_(decl.value_size / 8) {
+  if (decl_.kind == IrMapKind::kArray) {
+    array_.assign(static_cast<size_t>(decl_.max_entries) * words_, 0);
+  }
+}
+
+uint64_t* IrMap::Lookup(uint64_t key) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (decl_.kind == IrMapKind::kArray) {
+    if (key >= decl_.max_entries) {
+      return nullptr;
+    }
+    return &array_[static_cast<size_t>(key) * words_];
+  }
+  auto it = hash_.find(key);
+  return it == hash_.end() ? nullptr : it->second.get();
+}
+
+uint64_t IrMap::Update(uint64_t key, uint64_t value) {
+  if (decl_.kind == IrMapKind::kArray) {
+    if (key >= decl_.max_entries) {
+      return 1;
+    }
+    array_[static_cast<size_t>(key) * words_] = value;
+    return 0;
+  }
+  auto it = hash_.find(key);
+  if (it == hash_.end()) {
+    if (hash_.size() >= decl_.max_entries) {
+      return 1;  // capacity bound enforced, not assumed
+    }
+    auto val = std::make_unique<uint64_t[]>(words_);
+    for (size_t w = 0; w < words_; ++w) {
+      val[w] = 0;
+    }
+    it = hash_.emplace(key, std::move(val)).first;
+  }
+  it->second[0] = value;
+  return 0;
+}
+
+uint64_t IrMap::Delete(uint64_t key) {
+  if (decl_.kind == IrMapKind::kArray) {
+    if (key >= decl_.max_entries) {
+      return 1;
+    }
+    for (size_t w = 0; w < words_; ++w) {
+      array_[static_cast<size_t>(key) * words_ + w] = 0;
+    }
+    return 0;
+  }
+  return hash_.erase(key) > 0 ? 0 : 1;
+}
+
+IrRuntime::IrRuntime(IrPolicy policy) : policy_(std::move(policy)) {
+  cache_ext::MutexLock lock(mu_);
+  for (const MapDecl& decl : policy_.maps) {
+    maps_.push_back(std::make_unique<IrMap>(decl));
+  }
+}
+
+uint64_t IrRuntime::MapLookups() const {
+  cache_ext::MutexLock lock(mu_);
+  uint64_t total = 0;
+  for (const auto& map : maps_) {
+    total += map->lookups();
+  }
+  return total;
+}
+
+int64_t IrRuntime::Execute(Hook hook, CacheExtApi& api, const HookCtx& hctx) {
+  const Program& prog = policy_.hook(hook);
+  if (prog.empty()) {
+    return 0;
+  }
+  cache_ext::MutexLock lock(mu_);
+  std::array<uint64_t, kNumRegs> regs = {};
+  ExecuteRange(0, prog.size(), prog, api, hctx, regs);
+  return static_cast<int64_t>(regs[R0]);
+}
+
+bool IrRuntime::ExecuteRange(size_t begin, size_t end, const Program& prog,
+                             CacheExtApi& api, const HookCtx& hctx,
+                             std::array<uint64_t, kNumRegs>& regs) {
+  size_t pc = begin;
+  while (pc < end) {
+    const Inst& ins = prog[pc];
+    switch (ins.op) {
+      case Op::kMovImm:
+        regs[ins.dst] = static_cast<uint64_t>(ins.imm);
+        break;
+      case Op::kMovReg:
+        regs[ins.dst] = regs[ins.src];
+        break;
+      case Op::kAluImm:
+        regs[ins.dst] =
+            EvalAlu(ins.alu, regs[ins.dst], static_cast<uint64_t>(ins.imm));
+        break;
+      case Op::kAluReg:
+        regs[ins.dst] = EvalAlu(ins.alu, regs[ins.dst], regs[ins.src]);
+        break;
+      case Op::kJmp:
+        pc = static_cast<size_t>(ins.target);
+        continue;
+      case Op::kJmpImm:
+        if (EvalCond(ins.cond, regs[ins.dst], static_cast<uint64_t>(ins.imm))) {
+          pc = static_cast<size_t>(ins.target);
+          continue;
+        }
+        break;
+      case Op::kJmpReg:
+        if (EvalCond(ins.cond, regs[ins.dst], regs[ins.src])) {
+          pc = static_cast<size_t>(ins.target);
+          continue;
+        }
+        break;
+      case Op::kCtxLoad:
+        switch (ins.ctx) {
+          case CtxField::kFolio:
+            regs[ins.dst] =
+                static_cast<uint64_t>(reinterpret_cast<uintptr_t>(hctx.folio));
+            break;
+          case CtxField::kNrRequested:
+            regs[ins.dst] = hctx.evict ? hctx.evict->nr_candidates_requested : 0;
+            break;
+          case CtxField::kIndex:
+            regs[ins.dst] = hctx.admit      ? hctx.admit->index
+                            : hctx.prefetch ? hctx.prefetch->index
+                                            : 0;
+            break;
+          case CtxField::kPrevIndex:
+            regs[ins.dst] = hctx.prefetch ? hctx.prefetch->prev_index : 0;
+            break;
+          case CtxField::kDefaultWindow:
+            regs[ins.dst] = hctx.prefetch ? hctx.prefetch->default_window : 0;
+            break;
+          case CtxField::kPid:
+            regs[ins.dst] = static_cast<uint64_t>(
+                hctx.admit      ? hctx.admit->pid
+                : hctx.prefetch ? hctx.prefetch->pid
+                                : 0);
+            break;
+          case CtxField::kTid:
+            regs[ins.dst] = static_cast<uint64_t>(
+                hctx.admit      ? hctx.admit->tid
+                : hctx.prefetch ? hctx.prefetch->tid
+                                : 0);
+            break;
+          case CtxField::kIsWrite:
+            regs[ins.dst] = hctx.admit && hctx.admit->is_write ? 1 : 0;
+            break;
+          case CtxField::kTier:
+            regs[ins.dst] = hctx.tier;
+            break;
+        }
+        break;
+      case Op::kMapLookup: {
+        uint64_t* value = maps_[ins.map]->Lookup(regs[ins.src]);
+        regs[R0] = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(value));
+        break;
+      }
+      case Op::kMapUpdate:
+        regs[R0] = maps_[ins.map]->Update(regs[ins.dst], regs[ins.src]);
+        break;
+      case Op::kMapDelete:
+        regs[R0] = maps_[ins.map]->Delete(regs[ins.dst]);
+        break;
+      case Op::kLoad: {
+        const uint64_t* value =
+            reinterpret_cast<const uint64_t*>(static_cast<uintptr_t>(regs[ins.src]));
+        regs[ins.dst] = value == nullptr ? 0 : value[ins.off / 8];
+        break;
+      }
+      case Op::kStore:
+      case Op::kStoreImm: {
+        uint64_t* value =
+            reinterpret_cast<uint64_t*>(static_cast<uintptr_t>(regs[ins.dst]));
+        if (value != nullptr) {
+          value[ins.off / 8] = ins.op == Op::kStore
+                                   ? regs[ins.src]
+                                   : static_cast<uint64_t>(ins.imm);
+        }
+        break;
+      }
+      case Op::kFolioKey: {
+        const Folio* folio =
+            reinterpret_cast<const Folio*>(static_cast<uintptr_t>(regs[ins.src]));
+        regs[ins.dst] = folio == nullptr ? 0 : FolioIdentityKey(folio);
+        break;
+      }
+      case Op::kCall: {
+        Folio* arg_folio = nullptr;
+        switch (ins.kfunc) {
+          case Kfunc::kListCreate: {
+            auto id = api.ListCreate();
+            regs[R0] = id.ok() ? *id : 0;
+            break;
+          }
+          case Kfunc::kListAdd:
+          case Kfunc::kListMove: {
+            arg_folio =
+                reinterpret_cast<Folio*>(static_cast<uintptr_t>(regs[R2]));
+            const bool tail = regs[R3] != 0;
+            const Status st =
+                ins.kfunc == Kfunc::kListAdd
+                    ? api.ListAdd(regs[R1], arg_folio, tail)
+                    : api.ListMove(regs[R1], arg_folio, tail);
+            regs[R0] = st.ok() ? 0 : 1;
+            break;
+          }
+          case Kfunc::kListDel:
+            arg_folio =
+                reinterpret_cast<Folio*>(static_cast<uintptr_t>(regs[R1]));
+            regs[R0] = api.ListDel(arg_folio).ok() ? 0 : 1;
+            break;
+          case Kfunc::kListSize: {
+            auto size = api.ListSize(regs[R1]);
+            regs[R0] = size.ok() ? *size : 0;
+            break;
+          }
+          case Kfunc::kListIdOf: {
+            arg_folio =
+                reinterpret_cast<Folio*>(static_cast<uintptr_t>(regs[R1]));
+            auto id = api.ListIdOf(arg_folio);
+            regs[R0] = id.ok() ? *id : 0;
+            break;
+          }
+          case Kfunc::kCurrentTask:
+            regs[R0] = (static_cast<uint64_t>(
+                            static_cast<uint32_t>(api.CurrentPid()))
+                        << 32) |
+                       static_cast<uint32_t>(api.CurrentTid());
+            break;
+          case Kfunc::kListIterate:
+          case Kfunc::kListIterateScore:
+            regs[R0] = 0;  // unreachable: the verifier rejects direct calls
+            break;
+        }
+        regs[R1] = regs[R2] = regs[R3] = regs[R4] = regs[R5] = 0;
+        break;
+      }
+      case Op::kLoopIterate:
+      case Op::kLoopIterateScore: {
+        const size_t body_begin = pc + 1;
+        const size_t body_end = static_cast<size_t>(ins.target);
+        IterOpts opts;
+        opts.nr_scan =
+            ins.bound_is_reg ? regs[ins.src] : static_cast<uint64_t>(ins.imm);
+        opts.on_skip = ToPlacement(ins.on_skip);
+        opts.on_evict = ToPlacement(ins.on_evict);
+        const uint64_t list_id = regs[ins.dst];
+        Status st;
+        if (ins.op == Op::kLoopIterate) {
+          st = api.ListIterate(list_id, opts, hctx.evict, [&](Folio* folio) {
+            regs[R1] =
+                static_cast<uint64_t>(reinterpret_cast<uintptr_t>(folio));
+            ExecuteRange(body_begin, body_end, prog, api, hctx, regs);
+            if (regs[R0] >= 2) {
+              return IterVerdict::kStop;
+            }
+            return regs[R0] == 1 ? IterVerdict::kEvict : IterVerdict::kSkip;
+          });
+        } else {
+          st = api.ListIterateScore(
+              list_id, opts, hctx.evict, [&](Folio* folio) {
+                regs[R1] =
+                    static_cast<uint64_t>(reinterpret_cast<uintptr_t>(folio));
+                ExecuteRange(body_begin, body_end, prog, api, hctx, regs);
+                return static_cast<int64_t>(regs[R0]);
+              });
+        }
+        // The loop clobbers r0 (completion status) and the scratch
+        // registers, matching what the verifier assumes post-loop.
+        regs[R0] = st.ok() ? 0 : 1;
+        regs[R1] = regs[R2] = regs[R3] = regs[R4] = regs[R5] = 0;
+        pc = body_end + 1;
+        continue;
+      }
+      case Op::kLoopEnd:
+        // Only reached as the end of a body range; treat as a range end.
+        return false;
+      case Op::kExit:
+        return true;
+    }
+    ++pc;
+  }
+  return false;
+}
+
+}  // namespace cache_ext::bpf::ir

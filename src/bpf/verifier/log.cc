@@ -18,6 +18,24 @@ const char* CheckName(Check check) {
       return "spec_loop_bound";
     case Check::kSpecMapCapacity:
       return "spec_map_capacity";
+    case Check::kSpecMapDuplicate:
+      return "spec_map_duplicate";
+    case Check::kIrCfg:
+      return "ir_cfg";
+    case Check::kIrUnreachable:
+      return "ir_unreachable";
+    case Check::kIrLoopBound:
+      return "ir_loop_bound";
+    case Check::kIrRegSafety:
+      return "ir_reg_safety";
+    case Check::kIrKfuncContext:
+      return "ir_kfunc_context";
+    case Check::kIrMapBounds:
+      return "ir_map_bounds";
+    case Check::kIrDeadHook:
+      return "ir_dead_hook";
+    case Check::kIrDerivedBudget:
+      return "ir_derived_budget";
     case Check::kSpecCandidateBound:
       return "spec_candidate_bound";
     case Check::kSpecKfuncs:

@@ -30,9 +30,24 @@ enum class Check : uint8_t {
   kSpecBudgetFit,      // declared worst-case helper calls fit helper_budget
   kSpecLoopBound,      // declared loop bounds are finite and budget-covered
   kSpecMapCapacity,    // declared worst-case map occupancy fits max_entries
+  kSpecMapDuplicate,   // map names are unique across the declaration
   kSpecCandidateBound, // declared candidates fit the candidate buffer
   kSpecKfuncs,         // kfunc reachability/consistency over declarations
   kSpecLocalStorage,   // local-storage maps fit the per-folio slot array
+  // Pass 0 — IR static analysis (policies that carry a bpf::ir program;
+  // these checks run BEFORE the spec checks and *produce* the spec the
+  // later passes consume). Each mirrors a kernel-verifier pass: kIrCfg ↔
+  // check_cfg, kIrRegSafety ↔ the bpf_reg_state walk, kIrLoopBound ↔
+  // bounded-loop handling, kIrKfuncContext ↔ kfunc argument/program-type
+  // checking, kIrMapBounds ↔ map value access checks.
+  kIrCfg,              // well-formed forward CFG: targets valid, no fallthrough
+  kIrUnreachable,      // every instruction is reachable from the entry
+  kIrLoopBound,        // loops are the bounded list_iterate form, bound proven
+  kIrRegSafety,        // registers initialized, typed, null-checked on deref
+  kIrKfuncContext,     // kfunc allowed in this hook/loop position, args typed
+  kIrMapBounds,        // map ids valid, value offsets and array keys in bounds
+  kIrDeadHook,         // optional hooks provably do something
+  kIrDerivedBudget,    // derived worst case fits the budget and embedded spec
   // Pass 2 — symbolic dry run.
   kDryRunInit,          // policy_init returns 0 under budget
   kDryRunTermination,   // no hook exhausts its helper budget

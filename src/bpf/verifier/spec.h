@@ -142,6 +142,8 @@ class KfuncSet {
     return out.empty() ? "(none)" : out;
   }
 
+  constexpr bool operator==(const KfuncSet& other) const = default;
+
  private:
   static constexpr uint32_t Bit(Kfunc k) {
     return 1u << static_cast<uint8_t>(k);
@@ -161,6 +163,8 @@ struct HookSpec {
   uint64_t max_loop_iters = 0;
   // kfuncs this hook is allowed to call.
   KfuncSet kfuncs;
+
+  constexpr bool operator==(const HookSpec& other) const = default;
 };
 
 // Map flavors the verifier reasons about. Local-storage maps resolve
@@ -183,6 +187,8 @@ struct MapSpec {
   // plus one per ghost). Must fit max_entries.
   uint64_t worst_case_entries = 0;
   MapKind kind = MapKind::kHash;
+
+  bool operator==(const MapSpec& other) const = default;
 };
 
 struct ProgramSpec {
@@ -246,6 +252,8 @@ struct ProgramSpec {
     max_candidates_per_evict = nr_candidates;
     return *this;
   }
+
+  bool operator==(const ProgramSpec& other) const = default;
 };
 
 }  // namespace cache_ext::bpf::verifier

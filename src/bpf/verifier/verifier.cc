@@ -8,7 +8,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/bpf/ir/ir.h"
 #include "src/bpf/prog.h"
+#include "src/bpf/verifier/ir_verifier.h"
 #include "src/cache_ext/eviction_list.h"
 #include "src/cache_ext/registry.h"
 #include "src/cgroup/memcg.h"
@@ -209,6 +211,25 @@ bool CheckSpec(const cache_ext::Ops& ops, VerifierLog* log,
               U64(spec.maps.size()) + " map(s), worst case fits capacity");
   }
   ok = ok && maps_ok;
+
+  // Map names must be unique: downstream consumers (counter aggregation,
+  // the dry run's occupancy accounting, log rendering) key maps by name,
+  // so two maps sharing one silently alias each other's budgets.
+  bool map_names_ok = true;
+  std::unordered_set<std::string> seen_map_names;
+  for (const MapSpec& map : spec.maps) {
+    if (!seen_map_names.insert(map.name).second) {
+      log->Fail(Check::kSpecMapDuplicate, "",
+                "duplicate map name '" + map.name +
+                    "' — every declared map needs a distinct name");
+      map_names_ok = false;
+    }
+  }
+  if (map_names_ok && !spec.maps.empty()) {
+    log->Pass(Check::kSpecMapDuplicate, "",
+              "all " + U64(spec.maps.size()) + " map name(s) unique");
+  }
+  ok = ok && map_names_ok;
 
   // Local storage: declared folio-local maps must fit the per-folio
   // slot array. Slot demand above the array would silently push maps
@@ -702,6 +723,28 @@ Status VerifyPolicy(const cache_ext::Ops& ops, VerifierLog* log,
   } else {
     log->Pass(Check::kHelperBudget, "",
               "helper budget " + U64(ops.helper_budget));
+  }
+
+  // Pass 0 — IR static analysis. A policy carrying its program as IR gets
+  // its spec DERIVED from the instructions; the embedded spec (set by
+  // CompileToOps) must agree exactly, so nothing between compile and
+  // attach can loosen the declaration the later passes verify against.
+  if (ops.ir != nullptr) {
+    IrAnalysisOptions ir_opts;
+    ir_opts.candidate_cap = opts.candidate_cap;
+    auto analysis = AnalyzeIrPolicy(*ops.ir, log, ir_opts);
+    if (!analysis.ok()) {
+      basics_ok = false;
+    } else if (!(analysis->spec == ops.spec)) {
+      log->Fail(Check::kIrDerivedBudget, "",
+                "embedded ProgramSpec does not match the spec derived from "
+                "the IR program — the declaration was edited after "
+                "CompileToOps");
+      basics_ok = false;
+    } else {
+      log->Pass(Check::kIrDerivedBudget, "",
+                "embedded spec matches the independently re-derived spec");
+    }
   }
 
   if (!ops.spec.declared) {

@@ -17,7 +17,7 @@ CacheExtApi::CacheExtApi(FolioRegistry* registry) : registry_(registry) {
 
 CacheExtApi::~CacheExtApi() {
   // Unlink every node so registry entries can be destroyed cleanly.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [id, list] : lists_) {
     ExtListNode* node = list->head.next;
     while (node != &list->head) {
@@ -82,7 +82,7 @@ Expected<uint64_t> CacheExtApi::ListCreate() {
            0);
     return ResourceExhausted("program helper budget exhausted");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t id = next_list_id_++;
   lists_[id] = std::make_unique<ExtList>();
   Notify(bpf::verifier::Kfunc::kListCreate, ErrorCode::kOk, id);
@@ -104,7 +104,7 @@ Status CacheExtApi::ListAdd(uint64_t list_id, Folio* folio, bool tail) {
     if (node == nullptr) {
       return InvalidArgument("folio not registered");
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ExtList* list = FindList(list_id);
     if (list == nullptr) {
       return NotFound("bad list id");
@@ -131,7 +131,7 @@ Status CacheExtApi::ListMove(uint64_t list_id, Folio* folio, bool tail) {
     if (node == nullptr) {
       return InvalidArgument("folio not registered");
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ExtList* dst = FindList(list_id);
     if (dst == nullptr) {
       return NotFound("bad list id");
@@ -157,7 +157,7 @@ Status CacheExtApi::ListDel(Folio* folio) {
     if (node == nullptr) {
       return InvalidArgument("folio not registered");
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!node->OnList()) {
       return FailedPrecondition("folio not on a list");
     }
@@ -176,7 +176,7 @@ Expected<uint64_t> CacheExtApi::ListSize(uint64_t list_id) const {
            list_id);
     return ResourceExhausted("program helper budget exhausted");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const ExtList* list = FindList(list_id);
   if (list == nullptr) {
     Notify(bpf::verifier::Kfunc::kListSize, ErrorCode::kNotFound, list_id);
@@ -196,7 +196,7 @@ Expected<uint64_t> CacheExtApi::ListIdOf(const Folio* folio) const {
     Notify(bpf::verifier::Kfunc::kListIdOf, ErrorCode::kInvalidArgument, 0);
     return InvalidArgument("folio not registered");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Notify(bpf::verifier::Kfunc::kListIdOf, ErrorCode::kOk, node->list_id);
   return node->list_id;
 }
@@ -218,7 +218,7 @@ void CacheExtApi::UnlinkForRemoval(Folio* folio) {
   if (node == nullptr) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (node->OnList()) {
     ExtList* list = FindList(node->list_id);
     CHECK_NOTNULL(list);
@@ -227,7 +227,7 @@ void CacheExtApi::UnlinkForRemoval(Folio* folio) {
 }
 
 uint64_t CacheExtApi::nr_lists() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lists_.size();
 }
 
@@ -259,7 +259,7 @@ Status CacheExtApi::ListIterate(uint64_t list_id, const IterOpts& opts,
     if (!bpf::ChargeHelperCall()) {
       return ResourceExhausted("program helper budget exhausted");
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ExtList* list = FindList(list_id);
     if (list == nullptr) {
       return NotFound("bad list id");
@@ -310,7 +310,7 @@ Status CacheExtApi::ListIterateScore(uint64_t list_id, const IterOpts& opts,
     if (ctx == nullptr) {
       return InvalidArgument("batch scoring requires an eviction ctx");
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ExtList* list = FindList(list_id);
     if (list == nullptr) {
       return NotFound("bad list id");

@@ -18,13 +18,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "src/bpf/verifier/spec.h"
 #include "src/cache_ext/registry.h"
 #include "src/pagecache/eviction.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace cache_ext {
 
@@ -172,7 +172,10 @@ class CacheExtApi {
   uint64_t nr_lists() const;
 
   // Scratch-arena counters for this policy's eviction path.
-  EvictionArenaStats ArenaStats() const { return arena_.Stats(); }
+  EvictionArenaStats ArenaStats() const {
+    MutexLock lock(mu_);
+    return arena_.Stats();
+  }
 
   // Instrument every kfunc with `observer` (nullptr to detach). Used by the
   // load-time verifier's dry run; production attachments run unobserved.
@@ -189,15 +192,17 @@ class CacheExtApi {
     }
   };
 
-  ExtList* FindList(uint64_t list_id);
-  const ExtList* FindList(uint64_t list_id) const;
+  ExtList* FindList(uint64_t list_id) CACHE_EXT_REQUIRES(mu_);
+  const ExtList* FindList(uint64_t list_id) const CACHE_EXT_REQUIRES(mu_);
 
-  // Linking helpers; list lock must be held.
+  // Linking helpers; mu_ must be held (static, so the requirement is by
+  // convention — every caller is an annotated member).
   static void LinkNode(ExtList* list, uint64_t list_id, ExtListNode* node,
                        bool tail);
   static void UnlinkNode(ExtList* list, ExtListNode* node);
   void Place(ExtList* list, uint64_t list_id, ExtListNode* node,
-             IterPlacement placement, uint64_t dst_list_id);
+             IterPlacement placement, uint64_t dst_list_id)
+      CACHE_EXT_REQUIRES(mu_);
 
   // Report a kfunc outcome to the attached observer, if any.
   void Notify(bpf::verifier::Kfunc kfunc, ErrorCode code, uint64_t list_id,
@@ -205,10 +210,13 @@ class CacheExtApi {
 
   FolioRegistry* registry_;
   ApiObserver* observer_ = nullptr;
-  mutable std::mutex mu_;  // guards lists_, all node linkage, and arena_
-  uint64_t next_list_id_ = 1;
-  std::unordered_map<uint64_t, std::unique_ptr<ExtList>> lists_;
-  EvictionArena arena_;  // score-batch scratch, reused across reclaim passes
+  mutable Mutex mu_;  // guards lists_, all node linkage, and arena_
+  uint64_t next_list_id_ CACHE_EXT_GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<ExtList>> lists_
+      CACHE_EXT_GUARDED_BY(mu_);
+  // Score-batch scratch, reused across reclaim passes. Reserve() runs under
+  // mu_; Stats() reads only the atomics.
+  EvictionArena arena_ CACHE_EXT_GUARDED_BY(mu_);
 };
 
 }  // namespace cache_ext

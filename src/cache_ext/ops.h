@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "src/bpf/verifier/spec.h"
@@ -23,6 +24,10 @@
 #include "src/pagecache/eviction.h"
 
 namespace cache_ext {
+
+namespace bpf::ir {
+struct IrPolicy;
+}  // namespace bpf::ir
 
 class CacheExtApi;
 
@@ -77,6 +82,14 @@ struct Ops {
   // undeclared policies only receive the legacy presence/name checks. See
   // src/bpf/verifier/spec.h.
   bpf::verifier::ProgramSpec spec;
+
+  // Set by ir::CompileToOps: the verified IR program the hook closures
+  // interpret. When present, the loader runs the IR static analysis as
+  // pass 0 and cross-checks that `spec` matches what it derives — an Ops
+  // whose embedded spec disagrees with its own instructions is rejected.
+  // Policies on the legacy std::function path leave this null and are
+  // verified against their hand-declared spec only.
+  std::shared_ptr<const bpf::ir::IrPolicy> ir;
 
   // Declared per-hook CPU cost charged to the acting lane on top of the
   // framework's dispatch/registry overhead (see src/sim/cpu_cost.h).

@@ -20,7 +20,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(std::string_view point, const FaultSchedule& schedule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = points_.insert_or_assign(std::string(point),
                                                  Point(schedule));
   (void)it;
@@ -30,14 +30,14 @@ void FaultInjector::Arm(std::string_view point, const FaultSchedule& schedule) {
 }
 
 void FaultInjector::Disarm(std::string_view point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (points_.erase(std::string(point)) > 0) {
     armed_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_.fetch_sub(points_.size(), std::memory_order_relaxed);
   points_.clear();
 }
@@ -46,7 +46,7 @@ bool FaultInjector::ShouldFail(std::string_view point, uint64_t* magnitude) {
   if (armed_.load(std::memory_order_relaxed) == 0) {
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(std::string(point));
   if (it == points_.end()) {
     return false;
@@ -80,19 +80,19 @@ bool FaultInjector::ShouldFail(std::string_view point, uint64_t* magnitude) {
 }
 
 uint64_t FaultInjector::hits(std::string_view point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(std::string(point));
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultInjector::fires(std::string_view point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(std::string(point));
   return it == points_.end() ? 0 : it->second.fires;
 }
 
 std::vector<std::string> FaultInjector::ArmedPoints() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(points_.size());
   for (const auto& [name, p] : points_) {

@@ -21,13 +21,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/util/rng.h"
+#include "src/util/thread_annotations.h"
 
 namespace cache_ext::fault {
 
@@ -119,8 +119,8 @@ class FaultInjector {
     explicit Point(const FaultSchedule& s) : schedule(s), rng(s.seed) {}
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Point> points_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Point> points_ CACHE_EXT_GUARDED_BY(mu_);
   // Fast disarmed path: number of armed points.
   std::atomic<size_t> armed_{0};
   std::atomic<uint64_t> total_fires_{0};

@@ -1,0 +1,239 @@
+#include "src/policies/ir_policies.h"
+
+#include "src/bpf/ir/builder.h"
+#include "src/bpf/ir/compile.h"
+
+namespace cache_ext::policies {
+
+namespace {
+
+using bpf::ir::Cond;
+using bpf::ir::CtxField;
+using bpf::ir::IrMapKind;
+using bpf::ir::IrPolicy;
+using bpf::ir::LoopPlace;
+using bpf::ir::MapDecl;
+using bpf::ir::ProgramBuilder;
+using bpf::ir::R0;
+using bpf::ir::R1;
+using bpf::ir::R2;
+using bpf::ir::R3;
+using bpf::ir::R6;
+using bpf::ir::R7;
+using bpf::verifier::Hook;
+using bpf::verifier::Kfunc;
+
+// Map #0 in every IR policy here: a one-slot array holding the list id the
+// policy created at init (IR programs have no captured state — everything
+// lives in maps, like real eBPF).
+constexpr uint32_t kStateMap = 0;
+constexpr uint32_t kFreqMap = 1;
+
+MapDecl StateMapDecl() {
+  MapDecl decl;
+  decl.name = "state";
+  decl.kind = IrMapKind::kArray;
+  decl.max_entries = 1;
+  decl.value_size = 8;
+  return decl;
+}
+
+// policy_init: create the list, stash its id in state[0], return 0 — or -1
+// when either step fails (list_create returning 0 / map full).
+bpf::ir::Program InitProgram() {
+  ProgramBuilder b;
+  const auto created = b.NewLabel();
+  const auto stored = b.NewLabel();
+  b.Call(Kfunc::kListCreate);
+  b.JmpImm(Cond::kNe, R0, 0, created);
+  b.MovImm(R0, -1).Exit();
+  b.Bind(created);
+  b.MovReg(R6, R0);            // the new list id
+  b.MovImm(R1, 0);             // state[] key
+  b.MapUpdate(kStateMap, R1, R6);
+  b.JmpImm(Cond::kEq, R0, 0, stored);
+  b.MovImm(R0, -1).Exit();
+  b.Bind(stored);
+  b.MovImm(R0, 0).Exit();
+  return b.Build();
+}
+
+// Shared folio-event shape: load the list id, bail if init never stored
+// one, then call `kfunc`(list, folio, tail).
+bpf::ir::Program ListOpProgram(Kfunc kfunc, bool tail) {
+  ProgramBuilder b;
+  const auto have_list = b.NewLabel();
+  b.MovImm(R6, 0);
+  b.MapLookup(kStateMap, R6);
+  b.JmpImm(Cond::kNe, R0, 0, have_list);
+  b.Exit();
+  b.Bind(have_list);
+  b.Load(R1, R0, 0);           // list id
+  b.CtxLoad(R2, CtxField::kFolio);
+  b.MovImm(R3, tail ? 1 : 0);
+  b.Call(kfunc);
+  b.Exit();
+  return b.Build();
+}
+
+bpf::ir::Program EmptyHook() {
+  ProgramBuilder b;
+  b.Exit();
+  return b.Build();
+}
+
+// evict_folios, simple form: scan up to 4x the requested batch from the
+// head, evict everything examined (FIFO/LRU order is maintained by the
+// other hooks). The loop bound is a REGISTER: the verifier must prove
+// 4 * ctx.nr_candidates_requested is finite from the ctx field's range.
+bpf::ir::Program EvictAllProgram() {
+  ProgramBuilder b;
+  const auto have_list = b.NewLabel();
+  b.MovImm(R6, 0);
+  b.MapLookup(kStateMap, R6);
+  b.JmpImm(Cond::kNe, R0, 0, have_list);
+  b.Exit();
+  b.Bind(have_list);
+  b.Load(R6, R0, 0);                      // list id
+  b.CtxLoad(R7, CtxField::kNrRequested);  // range [0, 32]
+  b.Alu(bpf::ir::AluOp::kMul, R7, 4);     // range [0, 128]
+  ProgramBuilder::LoopOpts opts;
+  opts.on_evict = LoopPlace::kMoveToTail;  // rotate refused folios away
+  b.BeginIterateReg(R6, R7, opts);
+  b.MovImm(R0, 1);                         // verdict: evict
+  b.EndIterate();
+  b.Exit();
+  return b.Build();
+}
+
+IrPolicy IrFifoLruCommon(const char* name, bool move_on_access) {
+  IrPolicy p;
+  p.name = name;
+  p.program_cost_ns = 60;
+  p.maps.push_back(StateMapDecl());
+  p.hook(Hook::kPolicyInit) = InitProgram();
+  p.hook(Hook::kFolioAdded) = ListOpProgram(Kfunc::kListAdd, /*tail=*/true);
+  p.hook(Hook::kFolioAccessed) =
+      move_on_access ? ListOpProgram(Kfunc::kListMove, /*tail=*/true)
+                     : EmptyHook();
+  p.hook(Hook::kFolioRemoved) = EmptyHook();
+  p.hook(Hook::kEvictFolios) = EvictAllProgram();
+  return p;
+}
+
+}  // namespace
+
+IrPolicy IrFifoPolicy() { return IrFifoLruCommon("ir_fifo", false); }
+
+IrPolicy IrLruPolicy() { return IrFifoLruCommon("ir_lru", true); }
+
+IrPolicy IrLfuPolicy(const IrLfuParams& params) {
+  IrPolicy p;
+  p.name = "ir_lfu";
+  p.program_cost_ns = 110;
+  p.maps.push_back(StateMapDecl());
+  MapDecl freq;
+  freq.name = "lfu_freq";
+  freq.kind = IrMapKind::kHash;
+  freq.max_entries = params.max_folios;
+  freq.value_size = 8;
+  p.maps.push_back(freq);
+
+  p.hook(Hook::kPolicyInit) = InitProgram();
+
+  // folio_added: link at the tail, then freq[key(folio)] = 1. A full freq
+  // map is tolerated (update fails, the folio just scores 0 later) — same
+  // behaviour as the hand-written LFU.
+  {
+    ProgramBuilder b;
+    const auto have_list = b.NewLabel();
+    b.MovImm(R6, 0);
+    b.MapLookup(kStateMap, R6);
+    b.JmpImm(Cond::kNe, R0, 0, have_list);
+    b.Exit();
+    b.Bind(have_list);
+    b.Load(R1, R0, 0);
+    b.CtxLoad(R2, CtxField::kFolio);
+    b.MovImm(R3, 1);
+    b.Call(Kfunc::kListAdd);
+    b.CtxLoad(R1, CtxField::kFolio);
+    b.FolioKey(R6, R1);
+    b.MovImm(R7, 1);
+    b.MapUpdate(kFreqMap, R6, R7);
+    b.Exit();
+    p.hook(Hook::kFolioAdded) = b.Build();
+  }
+
+  // folio_accessed: ++freq[key(folio)], via a null-checked lookup — no
+  // kfunc calls at all, so the derived helper cost is zero.
+  {
+    ProgramBuilder b;
+    const auto tracked = b.NewLabel();
+    b.CtxLoad(R1, CtxField::kFolio);
+    b.FolioKey(R6, R1);
+    b.MapLookup(kFreqMap, R6);
+    b.JmpImm(Cond::kNe, R0, 0, tracked);
+    b.Exit();
+    b.Bind(tracked);
+    b.Load(R2, R0, 0);
+    b.Alu(bpf::ir::AluOp::kAdd, R2, 1);
+    b.Store(R0, 0, R2);
+    b.Exit();
+    p.hook(Hook::kFolioAccessed) = b.Build();
+  }
+
+  // folio_removed: drop the folio's frequency entry.
+  {
+    ProgramBuilder b;
+    b.CtxLoad(R1, CtxField::kFolio);
+    b.FolioKey(R6, R1);
+    b.MapDelete(kFreqMap, R6);
+    b.Exit();
+    p.hook(Hook::kFolioRemoved) = b.Build();
+  }
+
+  // evict_folios: batch-score the first nr_scan folios by frequency; the
+  // framework selects the C lowest-scored (Fig. 4's lfu_evict).
+  {
+    ProgramBuilder b;
+    const auto have_list = b.NewLabel();
+    const auto tracked = b.NewLabel();
+    const auto scored = b.NewLabel();
+    b.MovImm(R6, 0);
+    b.MapLookup(kStateMap, R6);
+    b.JmpImm(Cond::kNe, R0, 0, have_list);
+    b.Exit();
+    b.Bind(have_list);
+    b.Load(R6, R0, 0);
+    ProgramBuilder::LoopOpts opts;
+    opts.on_skip = LoopPlace::kMoveToTail;
+    opts.on_evict = LoopPlace::kMoveToTail;
+    b.BeginIterateScore(R6, static_cast<int64_t>(params.nr_scan), opts);
+    b.FolioKey(R2, R1);
+    b.MapLookup(kFreqMap, R2);
+    b.JmpImm(Cond::kNe, R0, 0, tracked);
+    b.MovImm(R0, 0);     // untracked folios score 0: evicted first
+    b.Jmp(scored);       // early loop_end — r0 is the score
+    b.Bind(tracked);
+    b.Load(R0, R0, 0);   // score = frequency count
+    b.Bind(scored);      // binds to the loop_end pc
+    b.EndIterate();
+    b.Exit();
+    p.hook(Hook::kEvictFolios) = b.Build();
+  }
+  return p;
+}
+
+Expected<Ops> MakeIrFifoOps() {
+  return bpf::ir::CompileToOps(IrFifoPolicy());
+}
+
+Expected<Ops> MakeIrLruOps() {
+  return bpf::ir::CompileToOps(IrLruPolicy());
+}
+
+Expected<Ops> MakeIrLfuOps(const IrLfuParams& params) {
+  return bpf::ir::CompileToOps(IrLfuPolicy(params));
+}
+
+}  // namespace cache_ext::policies

@@ -1,0 +1,55 @@
+// Built-in policies expressed in the policy IR (ISSUE 6 tentpole).
+//
+// These are the same FIFO / LRU / LFU algorithms as the std::function
+// versions in classic.h, but written as ir::Program instruction sequences
+// and lowered through ir::CompileToOps — so their ProgramSpec (worst-case
+// helper calls, loop bounds, kfunc sets, list/candidate counts) is DERIVED
+// by the static-analysis engine instead of hand-declared. Loading one of
+// these runs the full three-pass pipeline: IR abstract interpretation
+// (pass 0), spec checking over the derived spec (pass 1), instrumented dry
+// run cross-checking the derived bounds (pass 2).
+//
+// Each builder returns Expected<Ops>: a policy the verifier rejects never
+// becomes an Ops at all.
+
+#ifndef SRC_POLICIES_IR_POLICIES_H_
+#define SRC_POLICIES_IR_POLICIES_H_
+
+#include <cstdint>
+
+#include "src/bpf/ir/ir.h"
+#include "src/cache_ext/ops.h"
+#include "src/util/status.h"
+
+namespace cache_ext::policies {
+
+// FIFO in IR: one list, added folios appended at the tail, eviction scans
+// 4x the requested batch from the head. Algorithmically identical to
+// MakeFifoOps(); the derived evict spec (129 helper calls, 128 iterations
+// for a full batch) matches the hand declaration exactly.
+Expected<Ops> MakeIrFifoOps();
+
+// LRU in IR: FIFO plus move-to-tail on access, so the head is the least
+// recently used.
+Expected<Ops> MakeIrLruOps();
+
+struct IrLfuParams {
+  // Frequency-map capacity; size to the cgroup's page limit (plus slack).
+  uint32_t max_folios = 1 << 20;
+  // Batch-scoring window (§4.2.5): examine the first N, evict the lowest-
+  // frequency C.
+  uint64_t nr_scan = 512;
+};
+// LFU via the batch-scoring loop form, frequencies in an IR hash map.
+Expected<Ops> MakeIrLfuOps(const IrLfuParams& params = {});
+
+// The three IR policies as raw IrPolicy programs (before verification):
+// exposed so tests and the static-rejection example can inspect and
+// perturb the instruction stream.
+bpf::ir::IrPolicy IrFifoPolicy();
+bpf::ir::IrPolicy IrLruPolicy();
+bpf::ir::IrPolicy IrLfuPolicy(const IrLfuParams& params = {});
+
+}  // namespace cache_ext::policies
+
+#endif  // SRC_POLICIES_IR_POLICIES_H_

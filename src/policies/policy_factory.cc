@@ -4,6 +4,7 @@
 
 #include "src/policies/application_informed.h"
 #include "src/policies/classic.h"
+#include "src/policies/ir_policies.h"
 #include "src/policies/lhd.h"
 #include "src/policies/mglru_ext.h"
 #include "src/policies/prefetch.h"
@@ -61,6 +62,20 @@ Expected<PolicyBundle> MakePolicy(std::string_view name,
     p.capacity_pages = params.capacity_pages;
     p.scan_pids = params.scan_pids;
     bundle.ops = MakeGetScanOps(p);
+  } else if (name == "ir_fifo") {
+    auto ops = MakeIrFifoOps();
+    if (!ops.ok()) return ops.status();
+    bundle.ops = std::move(*ops);
+  } else if (name == "ir_lru") {
+    auto ops = MakeIrLruOps();
+    if (!ops.ok()) return ops.status();
+    bundle.ops = std::move(*ops);
+  } else if (name == "ir_lfu") {
+    IrLfuParams p;
+    p.max_folios = 2 * capacity32 + 16;
+    auto ops = MakeIrLfuOps(p);
+    if (!ops.ok()) return ops.status();
+    bundle.ops = std::move(*ops);
   } else if (name == "stride_prefetcher") {
     bundle.ops = MakeStridePrefetcherOps();
   } else if (name == "admission_filter") {
@@ -76,7 +91,8 @@ Expected<PolicyBundle> MakePolicy(std::string_view name,
 std::vector<std::string_view> AvailablePolicies() {
   return {"noop",     "fifo",     "mru",      "lfu",
           "s3fifo",   "lhd",      "mglru_ext", "get_scan",
-          "admission_filter",     "stride_prefetcher"};
+          "admission_filter",     "stride_prefetcher",
+          "ir_fifo",  "ir_lru",   "ir_lfu"};
 }
 
 }  // namespace cache_ext::policies

@@ -182,6 +182,21 @@ TEST(VerifierPass1Test, MapCapacityRules) {
   EXPECT_TRUE(LogHasPass(log3, Check::kSpecMapCapacity));
 }
 
+TEST(VerifierPass1Test, DuplicateMapNamesAreRejected) {
+  Ops ops = DeclaredFifoOps();
+  ops.spec.DeclareMap("twice", /*max_entries=*/128, /*worst_case_entries=*/64)
+      .DeclareMap("twice", /*max_entries=*/64, /*worst_case_entries=*/32);
+  VerifierLog log;
+  EXPECT_FALSE(VerifyPolicy(ops, &log).ok());
+  EXPECT_TRUE(LogHasFailure(log, Check::kSpecMapDuplicate));
+
+  Ops ok_ops = DeclaredFifoOps();
+  ok_ops.spec.DeclareMap("once", 128, 64).DeclareMap("other", 64, 32);
+  VerifierLog ok_log;
+  EXPECT_TRUE(VerifyPolicy(ok_ops, &ok_log).ok());
+  EXPECT_TRUE(LogHasPass(ok_log, Check::kSpecMapDuplicate));
+}
+
 TEST(VerifierPass1Test, CandidateBoundMustFitBuffer) {
   Ops ops = DeclaredFifoOps();
   ops.spec.DeclareCandidates(kMaxEvictionBatch + 1);

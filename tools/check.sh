@@ -14,6 +14,12 @@
 #                               # bench_lockless_reads runs compared against
 #                               # bench/baselines/*.json; fails if any
 #                               # ns/op point worsens by more than 15%
+#   tools/check.sh --analyze    # static analysis: tools/lint_kfunc_charge.py
+#                               # (always), then clang-tidy over src/ using
+#                               # the exported compile_commands.json if a
+#                               # clang-tidy binary is on PATH (skipped with
+#                               # a note otherwise — the CI container ships
+#                               # GCC only)
 #
 # Exits non-zero on the first failing step, so it is safe for CI and for
 # pre-commit use.
@@ -27,13 +33,15 @@ sanitize=0
 chaos=0
 tsan=0
 bench_smoke=0
+analyze=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
     --chaos) chaos=1 ;;
     --tsan) tsan=1 ;;
     --bench-smoke) bench_smoke=1 ;;
-    *) echo "usage: tools/check.sh [--sanitize] [--chaos] [--tsan] [--bench-smoke]" >&2; exit 2 ;;
+    --analyze) analyze=1 ;;
+    *) echo "usage: tools/check.sh [--sanitize] [--chaos] [--tsan] [--bench-smoke] [--analyze]" >&2; exit 2 ;;
   esac
 done
 
@@ -99,6 +107,25 @@ if [[ "$bench_smoke" == 1 ]]; then
   ./build/bench/bench_lockless_reads --quick \
       --baseline bench/baselines/BENCH_lockless_reads.json --threshold 0.15
   echo "== check.sh --bench-smoke: all green =="
+  exit 0
+fi
+
+if [[ "$analyze" == 1 ]]; then
+  # Static analysis gate. The python lint needs no toolchain and always
+  # runs; clang-tidy is best-effort because the CI container is GCC-only —
+  # a developer box with LLVM gets the full bugprone-*/performance-* sweep
+  # (checks and exclusions live in .clang-tidy).
+  echo "== analyze: kfunc charge + fault-point registry lint =="
+  python3 tools/lint_kfunc_charge.py
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== analyze: clang-tidy over src/ (compile_commands from build/) =="
+    cmake -B build >/dev/null
+    mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
+    clang-tidy -p build --quiet "${tidy_sources[@]}"
+  else
+    echo "== analyze: clang-tidy not on PATH, skipping (lint still gates) =="
+  fi
+  echo "== check.sh --analyze: all green =="
   exit 0
 fi
 
