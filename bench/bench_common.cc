@@ -14,6 +14,7 @@ ArmResult RunYcsbArm(std::string_view policy,
                      const YcsbBenchConfig& config) {
   harness::EnvOptions env_options;
   env_options.ssd = config.ssd;
+  env_options.cache.reclaim.background = config.background_reclaim;
   harness::Env env(env_options);
   MemCgroup* cg = env.CreateCgroup("/bench", config.cgroup_bytes,
                                    harness::BaseKindFor(policy));
@@ -107,6 +108,29 @@ void PrintExtCounters(
                   harness::FormatBytes(arm.steady_state_evict_alloc_bytes),
                   harness::FormatCount(st.ext_lockless_lookups),
                   harness::FormatCount(st.ext_lockless_retries)});
+  }
+  table.Print();
+}
+
+void PrintReclaimCounters(
+    const std::string& title,
+    const std::vector<std::pair<std::string, ArmResult>>& arms) {
+  harness::Table table(title,
+                       {"arm", "wakeups", "bg batches", "bg evicted",
+                        "bg reclaim", "direct entries", "direct reclaim",
+                        "emergency", "trips", "psi some", "psi full"});
+  for (const auto& [label, arm] : arms) {
+    const CgroupCacheStats& st = arm.cache_stats;
+    table.AddRow({label, harness::FormatCount(st.reclaim_wakeups),
+                  harness::FormatCount(st.reclaim_background_batches),
+                  harness::FormatCount(st.reclaim_background_evicted),
+                  harness::FormatNs(st.ext_background_reclaim_ns),
+                  harness::FormatCount(st.reclaim_direct_entries),
+                  harness::FormatNs(st.ext_direct_reclaim_ns),
+                  harness::FormatCount(st.reclaim_emergency_entries),
+                  harness::FormatCount(st.reclaim_watchdog_trips),
+                  harness::FormatNs(st.psi_some_ns),
+                  harness::FormatNs(st.psi_full_ns)});
   }
   table.Print();
 }

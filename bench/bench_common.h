@@ -33,6 +33,10 @@ struct YcsbBenchConfig {
   // under 16 client threads): policies with better hit rates see shorter
   // queues, which is where the P99 differences come from.
   SsdModelOptions ssd = ContendedSsd();
+  // Ablation knob: when true the cgroup reclaims in the background via the
+  // watermark-driven reclaimer lane instead of inline at the allocation
+  // site (PageCacheOptions::reclaim.background).
+  bool background_reclaim = false;
 
   static SsdModelOptions ContendedSsd() {
     SsdModelOptions ssd;
@@ -65,6 +69,13 @@ ArmResult RunYcsbArm(std::string_view policy,
 // Prints the per-policy hot-path counters (map lookups vs folio-local
 // storage hits, eviction-arena traffic) as a harness::Table.
 void PrintExtCounters(
+    const std::string& title,
+    const std::vector<std::pair<std::string, ArmResult>>& arms);
+
+// Prints the per-arm reclaim counters (wakeups, background vs direct
+// batches and reclaim-ns, emergency entries, watchdog trips, PSI stall
+// time) as a harness::Table.
+void PrintReclaimCounters(
     const std::string& title,
     const std::vector<std::pair<std::string, ArmResult>>& arms);
 

@@ -97,6 +97,11 @@ void CacheExtPolicy::FolioRemoved(Folio* folio) {
 }
 
 void CacheExtPolicy::EvictFolios(EvictionCtx* ctx, MemCgroup* memcg) {
+  if (ctx->source == ReclaimSource::kBackground) {
+    background_evict_dispatches_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    direct_evict_dispatches_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (Degraded(PolicyHook::kEvict)) {
     // Propose nothing: the page cache's under-proposal fallback (§4.4)
     // evicts via the default policy for the remainder of the batch.

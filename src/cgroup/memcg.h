@@ -17,6 +17,13 @@
 
 namespace cache_ext {
 
+// Default background-reclaim watermark ratios, in 1024ths of the cgroup
+// limit (see src/reclaim/watermarks.h for the semantics): the reclaimer
+// lane wakes when free headroom drops below ~1.6% of the limit and runs
+// until ~4.7% headroom is restored.
+inline constexpr uint32_t kDefaultReclaimLowPer1024 = 16;
+inline constexpr uint32_t kDefaultReclaimHighPer1024 = 48;
+
 class MemCgroup {
  public:
   MemCgroup(uint64_t id, std::string name, uint64_t limit_pages)
@@ -43,6 +50,21 @@ class MemCgroup {
   uint64_t ExcessPages() const {
     const uint64_t charged = charged_pages();
     return charged > limit_pages_ ? charged - limit_pages_ : 0;
+  }
+
+  // Background-reclaim watermark ratios in 1024ths of the limit. Config
+  // knobs with racy-relaxed reads, like set_limit_pages: the reclaim layer
+  // re-derives absolute watermarks from (limit, ratios) on every pressure
+  // check, so runtime churn of either is safe (src/reclaim/watermarks.h).
+  uint32_t reclaim_low_per_1024() const {
+    return reclaim_low_per_1024_.load(std::memory_order_relaxed);
+  }
+  uint32_t reclaim_high_per_1024() const {
+    return reclaim_high_per_1024_.load(std::memory_order_relaxed);
+  }
+  void SetReclaimWatermarks(uint32_t low_per_1024, uint32_t high_per_1024) {
+    reclaim_low_per_1024_.store(low_per_1024, std::memory_order_relaxed);
+    reclaim_high_per_1024_.store(high_per_1024, std::memory_order_relaxed);
   }
 
   // Workingset clock: advances on every eviction from this cgroup; shadow
@@ -91,6 +113,8 @@ class MemCgroup {
   std::string name_;
   uint64_t limit_pages_;
   std::atomic<uint64_t> charged_pages_{0};
+  std::atomic<uint32_t> reclaim_low_per_1024_{kDefaultReclaimLowPer1024};
+  std::atomic<uint32_t> reclaim_high_per_1024_{kDefaultReclaimHighPer1024};
   std::atomic<uint64_t> nonresident_age_{0};
   std::atomic<void*> priv_{nullptr};
 };

@@ -9,8 +9,10 @@ std::vector<std::string_view> AllFaultPoints() {
       points::kBpfRunBudgetShrink, points::kBpfRunAbort,
       points::kCandidateCorrupt,  points::kListOp,
       points::kPolicyInit,        points::kEbrStall,
-      points::kDiskRead,          points::kDiskWrite,
-      points::kSsdLatencySpike,   points::kSsdDegrade,
+      points::kReclaimStall,      points::kReclaimThreadDeath,
+      points::kReclaimOvershoot,  points::kDiskRead,
+      points::kDiskWrite,         points::kSsdLatencySpike,
+      points::kSsdDegrade,
   };
 }
 

@@ -52,6 +52,21 @@ inline constexpr std::string_view kPolicyInit = "cache_ext.policy_init";
 // epoch-advance attempts (default 64), deferring every free retired in the
 // meantime — the analogue of a reader stuck inside rcu_read_lock.
 inline constexpr std::string_view kEbrStall = "ebr.stall";
+// src/reclaim
+// Wedge a cgroup's background reclaimer lane for `magnitude` ticks
+// (default 8): ticks make no progress and the heartbeat stops, so the
+// allocator-side watchdog must detect it — the analogue of kswapd stuck
+// in D-state behind a wedged eviction policy.
+inline constexpr std::string_view kReclaimStall = "reclaim.stall";
+// Kill the cgroup's reclaimer lane permanently: every later tick is a
+// no-op, as if the kswapd thread died. Only the watchdog plus bounded
+// emergency direct reclaim keep the cgroup live.
+inline constexpr std::string_view kReclaimThreadDeath =
+    "reclaim.thread_death";
+// Make the background reclaimer under-reclaim (stop before the high
+// watermark), so occupancy overshoots toward the hard limit and the
+// emergency path must bound the excursion.
+inline constexpr std::string_view kReclaimOvershoot = "reclaim.overshoot";
 // src/sim
 inline constexpr std::string_view kDiskRead = "sim.disk.read";
 inline constexpr std::string_view kDiskWrite = "sim.disk.write";

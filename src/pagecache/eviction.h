@@ -81,9 +81,19 @@ struct PolicyRuntimeCounters {
   uint64_t evict_arena_reuses = 0;
 };
 
+// Who is asking for eviction candidates: an allocating task doing direct
+// reclaim on its own clock, or the cgroup's background reclaimer lane (the
+// kswapd analogue, src/reclaim). Policies may not care, but the cache_ext
+// adapter counts dispatches per source so the async entry path is visible.
+enum class ReclaimSource : uint8_t {
+  kDirect = 0,
+  kBackground = 1,
+};
+
 struct EvictionCtx {
   uint64_t nr_candidates_requested = 0;  // input
   uint64_t nr_candidates_proposed = 0;   // output
+  ReclaimSource source = ReclaimSource::kDirect;  // input
   std::array<Folio*, kMaxEvictionBatch> candidates = {};
 
   // Append a candidate; returns false when the batch is full.

@@ -33,9 +33,19 @@ PageCache::PageCache(SimDisk* disk, SsdModel* ssd, PageCacheOptions options)
   CHECK_NOTNULL(ssd_);
   options_.hook_batch_size = std::clamp<uint32_t>(
       options_.hook_batch_size, 1, static_cast<uint32_t>(kMaxEvictionBatch));
+  if (options_.reclaim.background && options_.reclaim.use_threads) {
+    reclaimer_pool_ = std::make_unique<reclaim::ReclaimerPool>(
+        options_.reclaim,
+        [this](void* token) { BackgroundTickForToken(token); });
+  }
 }
 
 PageCache::~PageCache() CACHE_EXT_NO_TSA {
+  // Reclaimer threads first: they reach through CgroupStates into policies
+  // and folios, so they must be joined before anything else is torn down.
+  if (reclaimer_pool_ != nullptr) {
+    reclaimer_pool_->Stop();
+  }
   // Drain every deferred free first (folios and xarray nodes this cache
   // retired): their deleters touch the local-storage directory and must
   // not run after our policies are gone mid-teardown.
@@ -63,8 +73,13 @@ MemCgroup* PageCache::CreateCgroup(std::string_view name, uint64_t limit_bytes,
                                           limit_pages);
   state->base = MakeBasePolicy(base, options_.costs);
   state->base_event_cost_ns = state->base->PerEventCostNs();
+  state->reclaim = std::make_unique<reclaim::CgroupReclaimControl>(
+      static_cast<uint32_t>(state->cg->id()));
   state->cg->set_priv(state.get());
   MemCgroup* cg = state->cg.get();
+  if (reclaimer_pool_ != nullptr) {
+    reclaimer_pool_->Register(state.get());
+  }
   cgroups_.push_back(std::move(state));
   return cg;
 }
@@ -116,6 +131,9 @@ Status PageCache::AttachExtPolicy(MemCgroup* cg,
   st->ext = std::move(policy);
   st->stats.ext_violations.store(0, std::memory_order_relaxed);
   st->watchdog_detached.store(false, std::memory_order_relaxed);
+  // A fresh attachment starts with a clean reclaim-failure record — the
+  // streak belongs to a policy, not the cgroup.
+  st->reclaim->ResetExtFailureStreak();
   st->ext_event_cost_ns.store(st->ext->PerEventCostNs(),
                               std::memory_order_relaxed);
   st->ext_active_hint.store(true, std::memory_order_release);
@@ -542,95 +560,265 @@ bool PageCache::CandidateValid(CgroupState& st, Folio* folio, bool from_ext,
   return folio->mapping != nullptr && folio->memcg == st.cg.get();
 }
 
-void PageCache::ReclaimIfNeeded(Lane& lane, CgroupState& st,
-                                DispatchBatch& batch) {
+uint64_t PageCache::RunEvictionBatch(Lane& lane, CgroupState& st,
+                                     uint64_t requested,
+                                     ReclaimSource source) {
   MemCgroup* cg = st.cg.get();
-  if (!cg->OverLimit() || st.oom_killed.load(std::memory_order_relaxed)) {
-    return;
+  lane.Charge(options_.costs.reclaim_batch_ns);
+  EvictionCtx ctx;
+  ctx.nr_candidates_requested = requested;
+  ctx.source = source;
+
+  const bool use_ext = ExtActive(st);
+  if (use_ext) {
+    st.ext->EvictFolios(&ctx, cg);
+  } else {
+    st.base->EvictFolios(&ctx, cg);
   }
-  // The policy must see every buffered notification for this cgroup before
-  // proposing victims (batching bounds staleness at the batch size).
-  DrainLocked(lane, batch, st);
-  const uint64_t slack = std::min<uint64_t>(cg->limit_pages() / 8,
-                                            kMaxEvictionBatch - 1);
-  int zero_progress_rounds = 0;
-  while (cg->OverLimit()) {
-    lane.Charge(options_.costs.reclaim_batch_ns);
-    EvictionCtx ctx;
-    ctx.nr_candidates_requested =
-        std::min<uint64_t>(kMaxEvictionBatch, cg->ExcessPages() + slack);
 
-    const bool use_ext = ExtActive(st);
-    if (use_ext) {
-      st.ext->EvictFolios(&ctx, cg);
-    } else {
-      st.base->EvictFolios(&ctx, cg);
+  uint64_t evicted = 0;
+  for (uint64_t i = 0; i < ctx.nr_candidates_proposed; ++i) {
+    Folio* folio = ctx.candidates[i];
+    bool violation = false;
+    if (!CandidateValid(st, folio, use_ext, &violation)) {
+      if (violation) {
+        st.stats.ext_violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
     }
+    if (RemoveFolio(lane, st, folio->mapping, folio->index, folio,
+                    RemovalKind::kEvict)) {
+      ++evicted;
+      lane.Charge(options_.costs.reclaim_per_folio_ns);
+    }
+  }
+  const uint64_t ext_evicted = use_ext ? evicted : 0;
 
-    uint64_t evicted = 0;
-    for (uint64_t i = 0; i < ctx.nr_candidates_proposed; ++i) {
-      Folio* folio = ctx.candidates[i];
+  // Eviction fallback (§4.4): if the ext policy under-proposed, the kernel
+  // falls back to the default policy for the remainder.
+  uint64_t fallback_evicted = 0;
+  if (use_ext && evicted < requested && cg->OverLimit()) {
+    EvictionCtx fallback_ctx;
+    fallback_ctx.nr_candidates_requested = requested - evicted;
+    fallback_ctx.source = source;
+    st.base->EvictFolios(&fallback_ctx, cg);
+    for (uint64_t i = 0; i < fallback_ctx.nr_candidates_proposed; ++i) {
+      Folio* folio = fallback_ctx.candidates[i];
       bool violation = false;
-      if (!CandidateValid(st, folio, use_ext, &violation)) {
-        if (violation) {
-          st.stats.ext_violations.fetch_add(1, std::memory_order_relaxed);
-        }
+      if (!CandidateValid(st, folio, /*from_ext=*/false, &violation)) {
         continue;
       }
       if (RemoveFolio(lane, st, folio->mapping, folio->index, folio,
                       RemovalKind::kEvict)) {
         ++evicted;
+        ++fallback_evicted;
+        st.stats.fallback_evictions.fetch_add(1, std::memory_order_relaxed);
         lane.Charge(options_.costs.reclaim_per_folio_ns);
       }
     }
+  }
 
-    // Eviction fallback (§4.4): if the ext policy under-proposed, the kernel
-    // falls back to the default policy for the remainder.
-    if (use_ext && evicted < ctx.nr_candidates_requested && cg->OverLimit()) {
-      EvictionCtx fallback_ctx;
-      fallback_ctx.nr_candidates_requested =
-          ctx.nr_candidates_requested - evicted;
-      st.base->EvictFolios(&fallback_ctx, cg);
-      for (uint64_t i = 0; i < fallback_ctx.nr_candidates_proposed; ++i) {
-        Folio* folio = fallback_ctx.candidates[i];
-        bool violation = false;
-        if (!CandidateValid(st, folio, /*from_ext=*/false, &violation)) {
-          continue;
-        }
-        if (RemoveFolio(lane, st, folio->mapping, folio->index, folio,
-                        RemovalKind::kEvict)) {
-          ++evicted;
-          st.stats.fallback_evictions.fetch_add(1, std::memory_order_relaxed);
-          lane.Charge(options_.costs.reclaim_per_folio_ns);
-        }
-      }
-    }
+  // Watchdog (§4.4): forcibly unload a persistently misbehaving policy.
+  if (use_ext && st.stats.ext_violations.load(std::memory_order_relaxed) >
+                     options_.watchdog_violation_limit) {
+    LOG_WARNING << "cache_ext watchdog: detaching policy '"
+                << st.ext->name() << "' from cgroup '" << cg->name()
+                << "' after "
+                << st.stats.ext_violations.load(std::memory_order_relaxed)
+                << " invalid candidates";
+    st.watchdog_detached.store(true, std::memory_order_relaxed);
+    st.ext_active_hint.store(false, std::memory_order_release);
+  }
 
-    // Watchdog (§4.4): forcibly unload a persistently misbehaving policy.
-    if (use_ext && st.stats.ext_violations.load(std::memory_order_relaxed) >
-                       options_.watchdog_violation_limit) {
-      LOG_WARNING << "cache_ext watchdog: detaching policy '"
-                  << st.ext->name() << "' from cgroup '" << cg->name()
-                  << "' after "
-                  << st.stats.ext_violations.load(std::memory_order_relaxed)
-                  << " invalid candidates";
-      st.watchdog_detached.store(true, std::memory_order_relaxed);
-      st.ext_active_hint.store(false, std::memory_order_release);
-    }
+  // Circuit-breaker feed (opt-in, options_.reclaim.ext_failure_limit): a
+  // streak of rounds where the ext policy produced nothing usable while the
+  // base fallback evicted fine is the unambiguous "broken policy, working
+  // reclaim" signal. Latching watchdog_detached here hands the policy to
+  // the PolicyManager's revert -> quarantine machinery — reclaim keeps
+  // making progress through the base policy instead of silently looping on
+  // a dead ext hook.
+  if (use_ext &&
+      st.reclaim->NoteExtRound(ext_evicted > 0, fallback_evicted > 0,
+                               options_.reclaim.ext_failure_limit)) {
+    LOG_WARNING << "reclaim watchdog: detaching policy '" << st.ext->name()
+                << "' from cgroup '" << cg->name() << "' after "
+                << options_.reclaim.ext_failure_limit
+                << " consecutive reclaim rounds rescued by the base policy";
+    st.watchdog_detached.store(true, std::memory_order_relaxed);
+    st.ext_active_hint.store(false, std::memory_order_release);
+  }
 
+  return evicted;
+}
+
+void PageCache::DirectReclaim(Lane& lane, CgroupState& st,
+                              DispatchBatch& batch) {
+  MemCgroup* cg = st.cg.get();
+  // The policy must see every buffered notification for this cgroup before
+  // proposing victims (batching bounds staleness at the batch size).
+  DrainLocked(lane, batch, st);
+  const uint64_t start_ns = lane.now_ns();
+  uint64_t zero_progress_ns = 0;
+  uint64_t total_evicted = 0;
+  const uint64_t slack = std::min<uint64_t>(cg->limit_pages() / 8,
+                                            kMaxEvictionBatch - 1);
+  int zero_progress_rounds = 0;
+  while (cg->OverLimit()) {
+    const uint64_t round_start_ns = lane.now_ns();
+    const uint64_t requested =
+        std::min<uint64_t>(kMaxEvictionBatch, cg->ExcessPages() + slack);
+    const uint64_t evicted =
+        RunEvictionBatch(lane, st, requested, ReclaimSource::kDirect);
+    total_evicted += evicted;
     if (evicted == 0) {
+      zero_progress_ns += lane.now_ns() - round_start_ns;
       if (++zero_progress_rounds >= options_.max_reclaim_retries) {
         st.oom_killed.store(true, std::memory_order_relaxed);
         cg->stat_oom_events.fetch_add(1, std::memory_order_relaxed);
         LOG_WARNING << "memcg OOM: cgroup '" << cg->name()
                     << "' could not reclaim below its limit (policy "
-                    << (use_ext ? st.ext->name() : st.base->name()) << ")";
-        return;
+                    << (ExtActive(st) ? st.ext->name() : st.base->name())
+                    << ")";
+        break;
       }
     } else {
       zero_progress_rounds = 0;
     }
   }
+  st.reclaim->NoteDirect(lane.now_ns() - start_ns, zero_progress_ns,
+                         total_evicted);
+}
+
+void PageCache::BackgroundTick(CgroupState& st, DispatchBatch* batch,
+                               uint64_t now_hint_ns) {
+  MemCgroup* cg = st.cg.get();
+  reclaim::CgroupReclaimControl& rc = *st.reclaim;
+  const reclaim::Watermarks wm = reclaim::ForCgroup(*cg);
+  if (!wm.Valid() || st.oom_killed.load(std::memory_order_relaxed)) {
+    return;
+  }
+  switch (rc.EnterTick()) {
+    case reclaim::TickOutcome::kDead:
+    case reclaim::TickOutcome::kStalled:
+      return;  // no progress, no heartbeat — the watchdog's problem now
+    case reclaim::TickOutcome::kRun:
+      break;
+  }
+  Lane& rlane = rc.lane();
+  // The daemon cannot have acted before the pressure that woke it: pin its
+  // clock forward to the waker's (pool threads pass 0 — no virtual waker).
+  rlane.AdvanceTo(now_hint_ns);
+  // Eviction hooks run as the reclaimer task (the kswapd analogue), not as
+  // whichever reader happened to trip the wakeup.
+  ScopedCurrentTask current_task(rc.task());
+  if (batch != nullptr) {
+    DrainLocked(rlane, *batch, st);
+  }
+  const uint64_t start_ns = rlane.now_ns();
+  uint32_t batches = 0;
+  while (!wm.TargetReached(cg->charged_pages()) &&
+         batches < options_.reclaim.max_batches_per_tick) {
+    if (rc.InjectedUnderReclaim()) {
+      break;  // chaos: give up early, occupancy drifts toward the limit
+    }
+    const uint64_t charged = cg->charged_pages();
+    const uint64_t above_target = charged > wm.target_charged()
+                                      ? charged - wm.target_charged()
+                                      : 1;
+    const uint64_t requested =
+        std::min<uint64_t>(kMaxEvictionBatch, above_target);
+    const uint64_t evicted =
+        RunEvictionBatch(rlane, st, requested, ReclaimSource::kBackground);
+    rc.NoteBatch(evicted);
+    ++batches;
+    if (evicted == 0) {
+      break;  // everything pinned / nothing proposed: retry on a later tick
+    }
+  }
+  rc.NoteBackgroundNs(rlane.now_ns() - start_ns);
+  if (wm.TargetReached(cg->charged_pages())) {
+    rc.NoteTargetReached();
+  }
+}
+
+void PageCache::KickBackground(Lane& lane, CgroupState& st,
+                               DispatchBatch& batch) {
+  if (reclaimer_pool_ != nullptr) {
+    // Async: allocation pays a condvar signal, never reclaim work.
+    reclaimer_pool_->Kick(&st);
+    return;
+  }
+  // Virtual lane (single-threaded sims): tick synchronously, modelling an
+  // always-prompt daemon. The eviction work is charged to the reclaimer's
+  // own clock — the allocating lane's latency is untouched.
+  BackgroundTick(st, &batch, lane.now_ns());
+}
+
+void PageCache::BackgroundTickForToken(void* token) CACHE_EXT_NO_TSA {
+  auto* st = static_cast<CgroupState*>(token);
+  if (st->oom_killed.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const reclaim::Watermarks wm = reclaim::ForCgroup(*st->cg);
+  // Lock-free pressure gate: idle cgroups cost the pool two relaxed loads
+  // per poll, never a lock acquisition that could contend the hot path.
+  if (!wm.Valid() ||
+      !st->reclaim->ShouldWake(st->cg->charged_pages(), wm)) {
+    return;
+  }
+  MutexLock lock(st->mu);
+  BackgroundTick(*st, nullptr, 0);
+}
+
+void PageCache::ReclaimIfNeeded(Lane& lane, CgroupState& st,
+                                DispatchBatch& batch) {
+  MemCgroup* cg = st.cg.get();
+  if (st.oom_killed.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (!options_.reclaim.background) {
+    // Inline-only (the historical behaviour and the
+    // `reclaim.background=false` ablation): the allocator pays for
+    // eviction itself, but only once actually over the limit.
+    if (cg->OverLimit()) {
+      DirectReclaim(lane, st, batch);
+    }
+    return;
+  }
+  reclaim::CgroupReclaimControl& rc = *st.reclaim;
+  const reclaim::Watermarks wm = reclaim::ForCgroup(*cg);
+  if (!wm.Valid()) {
+    // A cgroup too small for two watermarks (limit < 2 pages) runs
+    // inline-only; the hard limit is still enforced.
+    if (cg->OverLimit()) {
+      DirectReclaim(lane, st, batch);
+    }
+    return;
+  }
+  if (rc.ShouldWake(cg->charged_pages(), wm) && rc.KickAllowed()) {
+    KickBackground(lane, st, batch);
+  }
+  if (!cg->OverLimit()) {
+    // The common case with a healthy daemon: allocate from pre-reclaimed
+    // headroom, zero reclaim work (and zero stall time) on this lane.
+    return;
+  }
+  // Over the hard limit despite background reclaim: allocation outran the
+  // daemon, or the daemon is stalled/dead. The control block's watchdog
+  // compares heartbeats across these entries; when it still believes a
+  // kick can help (healthy lane, or a backed-off probe of a stalled one),
+  // try that once before paying inline.
+  const uint64_t overshoot = cg->charged_pages() - cg->limit_pages();
+  if (rc.NoteEmergencyEntry(overshoot, options_.reclaim)) {
+    KickBackground(lane, st, batch);
+    if (!cg->OverLimit()) {
+      return;
+    }
+  }
+  // Bounded emergency: reclaim back under the hard limit only — the high
+  // watermark stays the daemon's job, so a wedged daemon costs allocators
+  // the minimum, not the full balance_pgdat sweep.
+  DirectReclaim(lane, st, batch);
 }
 
 uint32_t PageCache::ReadaheadWindow(Lane& lane, CgroupState& st,
@@ -1203,6 +1391,22 @@ CgroupCacheStats PageCache::SnapshotStats(CgroupState& st) {
       a.ext_lockless_lookups.load(std::memory_order_relaxed);
   stats.ext_lockless_retries =
       a.ext_lockless_retries.load(std::memory_order_relaxed);
+  const reclaim::ReclaimCounterSnapshot r = st.reclaim->Snapshot();
+  stats.reclaim_wakeups = r.wakeups;
+  stats.reclaim_background_batches = r.background_batches;
+  stats.reclaim_background_evicted = r.background_evicted;
+  stats.ext_background_reclaim_ns = r.background_reclaim_ns;
+  stats.reclaim_direct_entries = r.direct_entries;
+  stats.reclaim_direct_evicted = r.direct_evicted;
+  stats.ext_direct_reclaim_ns = r.direct_reclaim_ns;
+  stats.reclaim_emergency_entries = r.emergency_entries;
+  stats.reclaim_watchdog_trips = r.watchdog_trips;
+  stats.reclaim_stalled_ticks = r.stalled_ticks;
+  stats.reclaim_max_overshoot_pages = r.max_overshoot_pages;
+  stats.ext_reclaim_failures = r.ext_reclaim_failures;
+  stats.psi_some_ns = r.psi_some_ns;
+  stats.psi_full_ns = r.psi_full_ns;
+  stats.reclaim_health = r.health;
   if (st.ext != nullptr) {
     // Overlay the live attachment's breaker state: current degraded mask,
     // plus its trips on top of the cumulative per-cgroup counters.

@@ -59,6 +59,7 @@
 #include "src/mm/address_space.h"
 #include "src/mm/folio.h"
 #include "src/pagecache/eviction.h"
+#include "src/reclaim/reclaimer.h"
 #include "src/sim/cpu_cost.h"
 #include "src/sim/lane.h"
 #include "src/sim/sim_disk.h"
@@ -109,6 +110,10 @@ struct PageCacheOptions {
   // amortized hook-dispatch cost per batch — the hot-path analogue of the
   // batch-scoring mode in eviction_list (§4.2.3).
   uint32_t hook_batch_size = 16;
+  // Background reclaim (src/reclaim): watermark-paced reclaimer lanes, the
+  // allocator-side watchdog, and the `reclaim.background=false` ablation.
+  // Off by default — inline-only direct reclaim, the historical behaviour.
+  reclaim::ReclaimOptions reclaim;
   // Serve read hits lock-free (EBR guard + TryPin + revalidate, the
   // filemap_get_folio fast path). When false — the `--locked-reads`
   // ablation — every hit takes the mapping stripe for the full hit service
@@ -161,6 +166,31 @@ struct CgroupCacheStats {
   // signal for the lock-free hit path.
   uint64_t ext_lockless_lookups = 0;
   uint64_t ext_lockless_retries = 0;
+  // Background reclaim (src/reclaim). The ns split is the point: eviction
+  // time that used to be folded into miss latency is now attributed either
+  // to allocating tasks (`ext_direct_reclaim_ns`, PSI `some`) or to the
+  // cgroup's reclaimer lane (`ext_background_reclaim_ns`, invisible to
+  // allocation latency). `psi_full_ns` is the zero-progress subset of the
+  // direct stall. Emergency entries, watchdog trips, stalled ticks and the
+  // max overshoot quantify the degradation path (stalled/dead lane ->
+  // bounded inline reclaim); `ext_reclaim_failures` counts rounds where the
+  // ext policy proposed nothing usable while the base fallback evicted
+  // (the circuit-breaker feed).
+  uint64_t reclaim_wakeups = 0;
+  uint64_t reclaim_background_batches = 0;
+  uint64_t reclaim_background_evicted = 0;
+  uint64_t ext_background_reclaim_ns = 0;
+  uint64_t reclaim_direct_entries = 0;
+  uint64_t reclaim_direct_evicted = 0;
+  uint64_t ext_direct_reclaim_ns = 0;
+  uint64_t reclaim_emergency_entries = 0;
+  uint64_t reclaim_watchdog_trips = 0;
+  uint64_t reclaim_stalled_ticks = 0;
+  uint64_t reclaim_max_overshoot_pages = 0;
+  uint64_t ext_reclaim_failures = 0;
+  uint64_t psi_some_ns = 0;
+  uint64_t psi_full_ns = 0;
+  reclaim::LaneHealth reclaim_health = reclaim::LaneHealth::kIdle;
 };
 
 class PageCache {
@@ -272,6 +302,11 @@ class PageCache {
     std::atomic<bool> ext_active_hint{false};
     std::atomic<uint64_t> ext_event_cost_ns{0};
     uint64_t base_event_cost_ns = 0;  // immutable after CreateCgroup
+    // Background-reclaim control block (hysteresis latch, heartbeat,
+    // watchdog, the reclaimer's own virtual lane, and all reclaim
+    // counters). The lruvec->kswapd link; heavy mutation happens under mu,
+    // wake checks are lock-free atomics.
+    std::unique_ptr<reclaim::CgroupReclaimControl> reclaim;
   };
 
   // One buffered folio_added/folio_accessed notification. The ring holds a
@@ -361,10 +396,53 @@ class PageCache {
                    uint64_t index, Folio* expected, RemovalKind kind,
                    bool skip_writeback = false) CACHE_EXT_REQUIRES(st.mu);
 
-  // Bring the cgroup back under its limit; may OOM-kill it. Drains the
-  // cgroup's buffered events first.
+  // --- Reclaim -------------------------------------------------------------
+  //
+  // The allocation-side entry point. With background reclaim off (the
+  // default / ablation) this is the historical inline loop: over the limit
+  // -> DirectReclaim until under. With it on, this becomes the kernel's
+  // shape: check watermarks, kick the cgroup's reclaimer lane on the
+  // low-watermark crossing, and only pay DirectReclaim (bounded: back under
+  // the hard limit, not down to the high watermark) when allocation outran
+  // the daemon — or when the daemon is stalled/dead, which the allocator
+  // watchdog detects by heartbeat and degrades around. May OOM-kill the
+  // cgroup after repeated zero-progress rounds.
   void ReclaimIfNeeded(Lane& lane, CgroupState& st, DispatchBatch& batch)
       CACHE_EXT_REQUIRES(st.mu);
+
+  // One policy dispatch round: charge the batch cost, ask the active policy
+  // for up to `requested` candidates, validate + evict them, run the
+  // under-proposal fallback and the two watchdogs (violation limit, ext
+  // reclaim-failure streak). Returns folios actually evicted. The extracted
+  // body of the old inline loop, now shared by direct and background
+  // reclaim — `lane` is the allocator's clock for the former, the
+  // reclaimer lane for the latter.
+  uint64_t RunEvictionBatch(Lane& lane, CgroupState& st, uint64_t requested,
+                            ReclaimSource source) CACHE_EXT_REQUIRES(st.mu);
+
+  // Inline reclaim to the hard limit on the allocator's own clock, with
+  // PSI some/full stall accounting. Both the inline-only ablation and the
+  // emergency path of background mode land here.
+  void DirectReclaim(Lane& lane, CgroupState& st, DispatchBatch& batch)
+      CACHE_EXT_REQUIRES(st.mu);
+
+  // One reclaimer-lane tick: batches toward the high watermark on the
+  // control block's own virtual lane, as the reclaimer task. `batch` (may
+  // be null from pool threads) is drained first so the policy sees pending
+  // notifications; `now_hint_ns` pins the reclaimer clock forward to the
+  // waker's (0 = none).
+  void BackgroundTick(CgroupState& st, DispatchBatch* batch,
+                      uint64_t now_hint_ns) CACHE_EXT_REQUIRES(st.mu);
+
+  // Wake the cgroup's reclaimer: async condvar kick in threaded mode, a
+  // synchronous virtual-lane tick otherwise (whose cost lands on the
+  // reclaimer's clock, not the allocator's).
+  void KickBackground(Lane& lane, CgroupState& st, DispatchBatch& batch)
+      CACHE_EXT_REQUIRES(st.mu);
+
+  // ReclaimerPool callback: pressure-check the cgroup without its lock,
+  // then lock and tick.
+  void BackgroundTickForToken(void* token);
 
   // Readahead: called on a miss at `index`; returns how many extra pages to
   // prefetch after `last_requested`. Consults the ext policy's prefetch
@@ -410,6 +488,10 @@ class PageCache {
   std::unordered_map<std::string, std::unique_ptr<AddressSpace>> files_
       CACHE_EXT_GUARDED_BY(registry_mu_);
   std::atomic<uint64_t> total_resident_{0};
+  // Real reclaimer threads (options_.reclaim.use_threads); null in the
+  // single-threaded simulators. Stopped in ~PageCache before
+  // ebr::Synchronize() and policy teardown.
+  std::unique_ptr<reclaim::ReclaimerPool> reclaimer_pool_;
 };
 
 }  // namespace cache_ext

@@ -1,0 +1,103 @@
+// Per-cgroup reclaim watermarks: the memcg analogue of the kernel's
+// zone->_watermark[WMARK_LOW/WMARK_HIGH] pair that paces kswapd.
+//
+// Everything is expressed in *headroom* — free pages under the cgroup limit
+// (limit_pages - charged_pages). The background reclaimer lane wakes when
+// headroom falls below `low_pages` and keeps evicting until `high_pages` of
+// headroom are restored, exactly like kswapd waking at zone low and going
+// back to sleep at zone high (mm/vmscan.c balance_pgdat). The gap between
+// the two thresholds is the hysteresis band: after a run finishes at high
+// headroom, (high - low) pages must be allocated before the next wakeup, so
+// an allocation rate oscillating near one threshold cannot thrash the lane.
+//
+// Watermarks are *derived* from the limit via per-1024 ratios (netdata's PGC
+// evictor uses the same per-1000 style pressure ratios), never declared as
+// absolute page counts, so they stay valid under limit and config churn:
+// Derive() clamps any spec — zero, inverted, or >100% ratios included — into
+// a state where Valid() holds for every limit >= 2 pages.
+
+#ifndef SRC_RECLAIM_WATERMARKS_H_
+#define SRC_RECLAIM_WATERMARKS_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/cgroup/memcg.h"
+
+namespace cache_ext::reclaim {
+
+// Watermark ratios in 1024ths of the cgroup limit. Defaults match
+// MemCgroup's per-cgroup knobs (~1.6% wake headroom, ~4.7% sleep headroom).
+struct WatermarkSpec {
+  uint32_t low_per_1024 = kDefaultReclaimLowPer1024;
+  uint32_t high_per_1024 = kDefaultReclaimHighPer1024;
+};
+
+struct Watermarks {
+  uint64_t limit_pages = 0;
+  uint64_t low_pages = 0;   // wake the reclaimer when headroom < low
+  uint64_t high_pages = 0;  // reclaimer sleeps once headroom >= high
+
+  // The invariant every derivation must uphold (and the property tests
+  // hammer): 0 < low < high <= limit. A cgroup too small to carve two
+  // distinct thresholds out of (limit < 2) has no valid watermarks and
+  // runs inline-only.
+  bool Valid() const {
+    return limit_pages >= 2 && low_pages >= 1 && low_pages < high_pages &&
+           high_pages <= limit_pages;
+  }
+
+  uint64_t HeadroomFor(uint64_t charged_pages) const {
+    return charged_pages >= limit_pages ? 0 : limit_pages - charged_pages;
+  }
+  // Wake condition: headroom fell below the low watermark.
+  bool NeedsWake(uint64_t charged_pages) const {
+    return HeadroomFor(charged_pages) < low_pages;
+  }
+  // Sleep condition: the high-watermark headroom has been restored.
+  bool TargetReached(uint64_t charged_pages) const {
+    return HeadroomFor(charged_pages) >= high_pages;
+  }
+  // The occupancy the background reclaimer drives the cgroup down to.
+  uint64_t target_charged() const { return limit_pages - high_pages; }
+
+  // Derive watermarks from a limit and a spec. Total: any spec yields a
+  // Valid() result for limit_pages >= 2 (ratios are clamped to at most
+  // 1024/1024, low to [1, limit-1], high to [low+1, limit]).
+  static Watermarks Derive(uint64_t limit_pages, WatermarkSpec spec) {
+    Watermarks wm;
+    wm.limit_pages = limit_pages;
+    if (limit_pages < 2) {
+      return wm;  // !Valid(): background reclaim cannot engage
+    }
+    wm.low_pages = std::clamp<uint64_t>(Scale(limit_pages, spec.low_per_1024),
+                                        1, limit_pages - 1);
+    wm.high_pages =
+        std::clamp<uint64_t>(Scale(limit_pages, spec.high_per_1024),
+                             wm.low_pages + 1, limit_pages);
+    return wm;
+  }
+
+ private:
+  // limit * per / 1024 without overflow for any uint64 limit (per <= 1024
+  // after clamping, so each term stays below the input).
+  static uint64_t Scale(uint64_t limit_pages, uint32_t per_1024) {
+    const uint64_t per = std::min<uint64_t>(per_1024, 1024);
+    return (limit_pages / 1024) * per + (limit_pages % 1024) * per / 1024;
+  }
+};
+
+// Derive the watermarks for a cgroup from its current limit and its
+// per-cgroup ratio knobs. Pure arithmetic on racy-relaxed config reads:
+// re-deriving on every check is what keeps config churn (set_limit_pages /
+// SetReclaimWatermarks at runtime) safe — there is no cached state to go
+// stale.
+inline Watermarks ForCgroup(const MemCgroup& cg) {
+  return Watermarks::Derive(
+      cg.limit_pages(),
+      WatermarkSpec{cg.reclaim_low_per_1024(), cg.reclaim_high_per_1024()});
+}
+
+}  // namespace cache_ext::reclaim
+
+#endif  // SRC_RECLAIM_WATERMARKS_H_

@@ -3,15 +3,17 @@
 #
 #   tools/check.sh              # build + ctest in ./build
 #   tools/check.sh --sanitize   # additionally build + ctest under ASan+UBSan
-#   tools/check.sh --chaos      # ASan build, chaos-labelled tests + the
-#                               # bench_chaos fault-storm soak
+#   tools/check.sh --chaos      # ASan build, chaos-labelled tests (incl.
+#                               # the reclaim stall/death/overshoot suite)
+#                               # + the bench_chaos fault-storm soak
 #   tools/check.sh --tsan       # ThreadSanitizer build, MT stress tests
-#                               # (concurrency_test + ebr_test) + a
+#                               # (concurrency_test + ebr_test +
+#                               # reclaim_test's reclaimer-thread races) + a
 #                               # bench_mt_scaling run (refreshes
 #                               # bench/baselines/BENCH_mt_scaling.json)
 #   tools/check.sh --bench-smoke  # quick bench_table4_noop_overhead,
-#                               # bench_local_storage and
-#                               # bench_lockless_reads runs compared against
+#                               # bench_local_storage, bench_lockless_reads
+#                               # and bench_reclaim runs compared against
 #                               # bench/baselines/*.json; fails if any
 #                               # ns/op point worsens by more than 15%
 #   tools/check.sh --analyze    # static analysis: tools/lint_kfunc_charge.py
@@ -73,9 +75,10 @@ if [[ "$tsan" == 1 ]]; then
   # run here; halt_on_error makes any report fail the gate.
   echo "== tsan: ThreadSanitizer build + MT stress tests (build-tsan/) =="
   cmake -B build-tsan -DCACHE_EXT_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "$jobs" --target concurrency_test ebr_test bench_mt_scaling
+  cmake --build build-tsan -j "$jobs" --target concurrency_test ebr_test reclaim_test bench_mt_scaling
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/ebr_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/reclaim_test
   echo "== tsan: MT scaling run (regular build, baseline refresh) =="
   cmake -B build >/dev/null
   cmake --build build -j "$jobs" --target bench_mt_scaling
@@ -94,9 +97,10 @@ if [[ "$bench_smoke" == 1 ]]; then
   #   ./build/bench/bench_local_storage --out bench/baselines/BENCH_local_storage.json
   #   ./build/bench/bench_lockless_reads --quick \
   #       --out bench/baselines/BENCH_lockless_reads.json
+  #   ./build/bench/bench_reclaim --out bench/baselines/BENCH_reclaim.json
   echo "== bench-smoke: build benches (build/) =="
   cmake -B build >/dev/null
-  cmake --build build -j "$jobs" --target bench_table4_noop_overhead bench_local_storage bench_lockless_reads
+  cmake --build build -j "$jobs" --target bench_table4_noop_overhead bench_local_storage bench_lockless_reads bench_reclaim
   echo "== bench-smoke: bench_table4_noop_overhead vs baseline =="
   ./build/bench/bench_table4_noop_overhead --quick \
       --baseline bench/baselines/BENCH_table4.json --threshold 0.15
@@ -106,6 +110,9 @@ if [[ "$bench_smoke" == 1 ]]; then
   echo "== bench-smoke: bench_lockless_reads vs baseline =="
   ./build/bench/bench_lockless_reads --quick \
       --baseline bench/baselines/BENCH_lockless_reads.json --threshold 0.15
+  echo "== bench-smoke: bench_reclaim vs baseline (+ p99 acceptance check) =="
+  ./build/bench/bench_reclaim --quick --check \
+      --baseline bench/baselines/BENCH_reclaim.json --threshold 0.15
   echo "== check.sh --bench-smoke: all green =="
   exit 0
 fi
