@@ -77,6 +77,23 @@ Expected<cache_ext::Ops> CompileToOps(const IrPolicy& policy,
       return runtime->Execute(Hook::kRequestPrefetch, api, hctx);
     };
   }
+  if (prog.HookPresent(Hook::kReadahead)) {
+    ops.readahead = [runtime](CacheExtApi& api,
+                              const ReadaheadCtx& ctx) -> int64_t {
+      HookCtx hctx;
+      hctx.readahead = &ctx;
+      return runtime->Execute(Hook::kReadahead, api, hctx);
+    };
+  }
+  if (prog.HookPresent(Hook::kAdmitOrder)) {
+    ops.admit_order = [runtime](CacheExtApi& api,
+                                const AdmitOrderCtx& ctx) -> uint32_t {
+      HookCtx hctx;
+      hctx.admit_order = &ctx;
+      return static_cast<uint32_t>(
+          runtime->Execute(Hook::kAdmitOrder, api, hctx));
+    };
+  }
   ops.collect_counters = [runtime](PolicyRuntimeCounters* counters) {
     counters->map_lookups += runtime->MapLookups();
   };

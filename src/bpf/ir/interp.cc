@@ -177,33 +177,50 @@ bool IrRuntime::ExecuteRange(size_t begin, size_t end, const Program& prog,
                 static_cast<uint64_t>(reinterpret_cast<uintptr_t>(hctx.folio));
             break;
           case CtxField::kNrRequested:
-            regs[ins.dst] = hctx.evict ? hctx.evict->nr_candidates_requested : 0;
+            regs[ins.dst] = hctx.evict ? hctx.evict->nr_candidates_requested
+                            : hctx.readahead   ? hctx.readahead->nr_requested
+                            : hctx.admit_order ? hctx.admit_order->nr_requested
+                                               : 0;
             break;
           case CtxField::kIndex:
-            regs[ins.dst] = hctx.admit      ? hctx.admit->index
-                            : hctx.prefetch ? hctx.prefetch->index
-                                            : 0;
+            regs[ins.dst] = hctx.admit        ? hctx.admit->index
+                            : hctx.prefetch   ? hctx.prefetch->index
+                            : hctx.readahead  ? hctx.readahead->index
+                            : hctx.admit_order ? hctx.admit_order->index
+                                               : 0;
             break;
           case CtxField::kPrevIndex:
-            regs[ins.dst] = hctx.prefetch ? hctx.prefetch->prev_index : 0;
+            regs[ins.dst] = hctx.prefetch    ? hctx.prefetch->prev_index
+                            : hctx.readahead ? hctx.readahead->prev_index
+                                             : 0;
             break;
           case CtxField::kDefaultWindow:
-            regs[ins.dst] = hctx.prefetch ? hctx.prefetch->default_window : 0;
+            regs[ins.dst] = hctx.prefetch    ? hctx.prefetch->default_window
+                            : hctx.readahead ? hctx.readahead->default_window
+                                             : 0;
             break;
           case CtxField::kPid:
             regs[ins.dst] = static_cast<uint64_t>(
-                hctx.admit      ? hctx.admit->pid
-                : hctx.prefetch ? hctx.prefetch->pid
-                                : 0);
+                hctx.admit       ? hctx.admit->pid
+                : hctx.prefetch  ? hctx.prefetch->pid
+                : hctx.readahead ? hctx.readahead->pid
+                : hctx.admit_order ? hctx.admit_order->pid
+                                   : 0);
             break;
           case CtxField::kTid:
             regs[ins.dst] = static_cast<uint64_t>(
-                hctx.admit      ? hctx.admit->tid
-                : hctx.prefetch ? hctx.prefetch->tid
-                                : 0);
+                hctx.admit       ? hctx.admit->tid
+                : hctx.prefetch  ? hctx.prefetch->tid
+                : hctx.readahead ? hctx.readahead->tid
+                : hctx.admit_order ? hctx.admit_order->tid
+                                   : 0);
             break;
           case CtxField::kIsWrite:
-            regs[ins.dst] = hctx.admit && hctx.admit->is_write ? 1 : 0;
+            regs[ins.dst] = (hctx.admit && hctx.admit->is_write) ||
+                                    (hctx.admit_order &&
+                                     hctx.admit_order->is_write)
+                                ? 1
+                                : 0;
             break;
           case CtxField::kTier:
             regs[ins.dst] = hctx.tier;

@@ -62,6 +62,8 @@ struct HookCtx {
   EvictionCtx* evict = nullptr;
   const AdmissionCtx* admit = nullptr;
   const PrefetchCtx* prefetch = nullptr;
+  const ReadaheadCtx* readahead = nullptr;
+  const AdmitOrderCtx* admit_order = nullptr;
   uint32_t tier = 0;
 };
 

@@ -98,13 +98,15 @@ enum class Cond : uint8_t {
 // error), mirroring how the kernel types each program's ctx argument.
 enum class CtxField : uint8_t {
   kFolio = 0,      // folio_added/accessed/removed/refaulted: the folio
-  kNrRequested,    // evict_folios: candidates requested, <= kMaxEvictionBatch
-  kIndex,          // admit_folio / request_prefetch: faulting page index
-  kPrevIndex,      // request_prefetch: previous read position
-  kDefaultWindow,  // request_prefetch: the kernel heuristic's window
-  kPid,            // admit_folio / request_prefetch
-  kTid,            // admit_folio / request_prefetch
-  kIsWrite,        // admit_folio: 0/1
+  kNrRequested,    // evict_folios: candidates requested (<= batch cap);
+                   // readahead / admit_order: pages in the faulting run
+  kIndex,          // admit_folio / request_prefetch / readahead /
+                   // admit_order: faulting page index
+  kPrevIndex,      // request_prefetch / readahead: previous read position
+  kDefaultWindow,  // request_prefetch / readahead: the heuristic's window
+  kPid,            // admit_folio / request_prefetch / readahead / admit_order
+  kTid,            // admit_folio / request_prefetch / readahead / admit_order
+  kIsWrite,        // admit_folio / admit_order: 0/1
   kTier,           // folio_refaulted: MGLRU tier recorded at eviction
 };
 

@@ -263,22 +263,28 @@ std::optional<RegAbs> CtxFieldIn(Hook hook, CtxField field,
       hook == Hook::kFolioAdded || hook == Hook::kFolioAccessed ||
       hook == Hook::kFolioRemoved || hook == Hook::kFolioRefaulted;
   const bool fault_hook =
-      hook == Hook::kAdmitFolio || hook == Hook::kRequestPrefetch;
+      hook == Hook::kAdmitFolio || hook == Hook::kRequestPrefetch ||
+      hook == Hook::kReadahead || hook == Hook::kAdmitOrder;
+  const bool window_hook =
+      hook == Hook::kRequestPrefetch || hook == Hook::kReadahead;
   switch (field) {
     case CtxField::kFolio:
       if (folio_hook) return Folio();
       break;
     case CtxField::kNrRequested:
       if (hook == Hook::kEvictFolios) return Scalar(0, candidate_cap);
+      if (hook == Hook::kReadahead || hook == Hook::kAdmitOrder) {
+        return Scalar(0, std::numeric_limits<uint32_t>::max());
+      }
       break;
     case CtxField::kIndex:
       if (fault_hook) return FullScalar();
       break;
     case CtxField::kPrevIndex:
-      if (hook == Hook::kRequestPrefetch) return FullScalar();
+      if (window_hook) return FullScalar();
       break;
     case CtxField::kDefaultWindow:
-      if (hook == Hook::kRequestPrefetch) {
+      if (window_hook) {
         return Scalar(0, std::numeric_limits<uint32_t>::max());
       }
       break;
@@ -289,7 +295,9 @@ std::optional<RegAbs> CtxFieldIn(Hook hook, CtxField field,
       }
       break;
     case CtxField::kIsWrite:
-      if (hook == Hook::kAdmitFolio) return Scalar(0, 1);
+      if (hook == Hook::kAdmitFolio || hook == Hook::kAdmitOrder) {
+        return Scalar(0, 1);
+      }
       break;
     case CtxField::kTier:
       if (hook == Hook::kFolioRefaulted) return Scalar(0, 255);
@@ -325,7 +333,8 @@ bool KfuncAllowedInHook(Kfunc kfunc, Hook hook) {
 
 bool HookReturnsValue(Hook hook) {
   return hook == Hook::kPolicyInit || hook == Hook::kAdmitFolio ||
-         hook == Hook::kRequestPrefetch;
+         hook == Hook::kRequestPrefetch || hook == Hook::kReadahead ||
+         hook == Hook::kAdmitOrder;
 }
 
 // -----------------------------------------------------------------------
@@ -1063,7 +1072,8 @@ void HookAnalyzer::CheckDeadHook() {
   // Only the optional hooks: a required hook is dispatched regardless, but
   // an optional one that provably does nothing only adds dispatch cost.
   if (hook_ != Hook::kAdmitFolio && hook_ != Hook::kRequestPrefetch &&
-      hook_ != Hook::kFolioRefaulted) {
+      hook_ != Hook::kFolioRefaulted && hook_ != Hook::kReadahead &&
+      hook_ != Hook::kAdmitOrder) {
     return;
   }
   if (HasErrors() || side_effect_ || exits_.empty()) {
@@ -1090,8 +1100,25 @@ void HookAnalyzer::CheckDeadHook() {
     }
     return;
   }
-  // request_prefetch: every exit provably returns a negative window
-  // ("defer to the kernel heuristic").
+  if (hook_ == Hook::kAdmitOrder) {
+    // admit_order: every exit provably returns 0 ("plain order-0 folios"),
+    // which is exactly what the page cache does with the hook absent.
+    bool always_zero = true;
+    for (const ExitInfo& e : exits_) {
+      if (e.r0.kind != RKind::kScalar || e.r0.min != 0 || e.r0.max != 0) {
+        always_zero = false;
+        break;
+      }
+    }
+    if (always_zero) {
+      Err(Check::kIrDeadHook, 0,
+          "admit_order provably always returns order 0 and has no side "
+          "effects — drop the hook");
+    }
+    return;
+  }
+  // request_prefetch / readahead: every exit provably returns a negative
+  // window ("defer to the kernel heuristic").
   bool always_defer = true;
   for (const ExitInfo& e : exits_) {
     const bool negative = e.r0.kind == RKind::kScalar && e.r0.min == e.r0.max &&
@@ -1103,8 +1130,9 @@ void HookAnalyzer::CheckDeadHook() {
   }
   if (always_defer) {
     Err(Check::kIrDeadHook, 0,
-        "request_prefetch provably always defers to the kernel window and "
-        "has no side effects — drop the hook");
+        std::string(HookName(hook_)) +
+            " provably always defers to the kernel window and has no side "
+            "effects — drop the hook");
   }
 }
 
@@ -1132,7 +1160,8 @@ void HookAnalyzer::EmitFindings() {
                    kfuncs_.ToString());
   }
   if (hook_ == Hook::kAdmitFolio || hook_ == Hook::kRequestPrefetch ||
-      hook_ == Hook::kFolioRefaulted) {
+      hook_ == Hook::kFolioRefaulted || hook_ == Hook::kReadahead ||
+      hook_ == Hook::kAdmitOrder) {
     log_->Pass(Check::kIrDeadHook, hook_name, "hook has a provable effect");
   }
 }

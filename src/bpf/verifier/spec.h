@@ -35,8 +35,10 @@ enum class Hook : uint8_t {
   kAdmitFolio,
   kFolioRefaulted,
   kRequestPrefetch,
+  kReadahead,
+  kAdmitOrder,
 };
-inline constexpr size_t kNumHooks = 8;
+inline constexpr size_t kNumHooks = 10;
 
 inline const char* HookName(Hook hook) {
   switch (hook) {
@@ -56,6 +58,10 @@ inline const char* HookName(Hook hook) {
       return "folio_refaulted";
     case Hook::kRequestPrefetch:
       return "request_prefetch";
+    case Hook::kReadahead:
+      return "readahead";
+    case Hook::kAdmitOrder:
+      return "admit_order";
   }
   return "?";
 }

@@ -99,6 +99,10 @@ bool HookPresent(const cache_ext::Ops& ops, Hook hook) {
       return static_cast<bool>(ops.folio_refaulted);
     case Hook::kRequestPrefetch:
       return static_cast<bool>(ops.request_prefetch);
+    case Hook::kReadahead:
+      return static_cast<bool>(ops.readahead);
+    case Hook::kAdmitOrder:
+      return static_cast<bool>(ops.admit_order);
   }
   return false;
 }
@@ -514,6 +518,23 @@ class DryRunner {
       pctx.default_window = 4;
       RunHook(Hook::kRequestPrefetch,
               [&] { (void)ops_.request_prefetch(api_, pctx); });
+    }
+    if (ops_.readahead) {
+      cache_ext::ReadaheadCtx rctx;
+      rctx.mapping = &mapping_;
+      rctx.index = 1;
+      rctx.prev_index = 0;
+      rctx.default_window = 4;
+      rctx.nr_requested = 8;
+      RunHook(Hook::kReadahead, [&] { (void)ops_.readahead(api_, rctx); });
+    }
+    if (ops_.admit_order) {
+      cache_ext::AdmitOrderCtx octx;
+      octx.mapping = &mapping_;
+      octx.index = folios_.size();
+      octx.memcg = &cg_;
+      octx.nr_requested = 16;
+      RunHook(Hook::kAdmitOrder, [&] { (void)ops_.admit_order(api_, octx); });
     }
     if (ops_.folio_refaulted) {
       RunHook(Hook::kFolioRefaulted,

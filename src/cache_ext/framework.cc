@@ -139,6 +139,43 @@ int64_t CacheExtPolicy::RequestPrefetch(const PrefetchCtx& ctx) {
   return window;
 }
 
+int64_t CacheExtPolicy::RequestReadahead(const ReadaheadCtx& ctx) {
+  if (!ops_.readahead || Degraded(PolicyHook::kReadahead)) {
+    return -1;  // defer to the kernel readahead heuristic (window <= 8)
+  }
+  int64_t window = -1;
+  RunProgram(PolicyHook::kReadahead,
+             [&] { window = ops_.readahead(api_, ctx); });
+  // Injected misfire: the policy "returns" a wild window, as if its stream
+  // tracking went off the rails. The page cache's max_readahead_pages clamp
+  // must contain it (surfaced via ext_readahead_clamped).
+  uint64_t magnitude = 0;
+  if (fault::InjectFault(fault::points::kReadaheadMisfire, &magnitude)) {
+    window = magnitude != 0 ? static_cast<int64_t>(magnitude)
+                            : static_cast<int64_t>(1) << 32;
+  }
+  return window;
+}
+
+uint32_t CacheExtPolicy::AdmitOrder(const AdmitOrderCtx& ctx) {
+  if (!ops_.admit_order || Degraded(PolicyHook::kOrder)) {
+    return 0;  // default kernel behaviour: single-page folios
+  }
+  uint32_t order = 0;
+  RunProgram(PolicyHook::kOrder,
+             [&] { order = ops_.admit_order(api_, ctx); });
+  if (!ValidFolioOrder(order)) {
+    // An out-of-set order is a policy violation, not a preference: count it
+    // against this hook's breaker and fall back to a single page.
+    if (breaker_.Record(PolicyHook::kOrder, true)) {
+      LOG_WARNING << "cache_ext breaker: policy '" << ops_.name
+                  << "' order hook tripped on invalid orders";
+    }
+    return 0;
+  }
+  return order;
+}
+
 void CacheExtPolicy::FolioRefaulted(Folio* folio, uint32_t tier) {
   if (!ops_.folio_refaulted || Degraded(PolicyHook::kRefault)) {
     return;

@@ -50,6 +50,8 @@ class CacheExtPolicy : public ReclaimPolicy {
   void EvictFolios(EvictionCtx* ctx, MemCgroup* memcg) override;
   bool AdmitFolio(const AdmissionCtx& ctx) override;
   int64_t RequestPrefetch(const PrefetchCtx& ctx) override;
+  int64_t RequestReadahead(const ReadaheadCtx& ctx) override;
+  uint32_t AdmitOrder(const AdmitOrderCtx& ctx) override;
   void FolioRefaulted(Folio* folio, uint32_t tier) override;
   bool ValidateCandidate(Folio* folio) override;
   uint64_t PerEventCostNs() const override { return per_event_cost_ns_; }

@@ -41,9 +41,15 @@ class MemCgroup {
   uint64_t charged_pages() const {
     return charged_pages_.load(std::memory_order_relaxed);
   }
-  void ChargePage() { charged_pages_.fetch_add(1, std::memory_order_relaxed); }
-  void UnchargePage() {
-    charged_pages_.fetch_sub(1, std::memory_order_relaxed);
+  void ChargePage() { ChargePages(1); }
+  void UnchargePage() { UnchargePages(1); }
+  // Multi-order folios charge their whole span in one step, like the
+  // kernel's folio_nr_pages charging.
+  void ChargePages(uint64_t nr) {
+    charged_pages_.fetch_add(nr, std::memory_order_relaxed);
+  }
+  void UnchargePages(uint64_t nr) {
+    charged_pages_.fetch_sub(nr, std::memory_order_relaxed);
   }
   bool OverLimit() const { return charged_pages() > limit_pages_; }
   // Pages that must be reclaimed to return under the limit.

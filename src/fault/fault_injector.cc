@@ -12,7 +12,7 @@ std::vector<std::string_view> AllFaultPoints() {
       points::kReclaimStall,      points::kReclaimThreadDeath,
       points::kReclaimOvershoot,  points::kDiskRead,
       points::kDiskWrite,         points::kSsdLatencySpike,
-      points::kSsdDegrade,
+      points::kSsdDegrade,        points::kReadaheadMisfire,
   };
 }
 

@@ -47,6 +47,10 @@ inline constexpr std::string_view kCandidateCorrupt =
     "cache_ext.candidate.corrupt";
 inline constexpr std::string_view kListOp = "cache_ext.list.op";
 inline constexpr std::string_view kPolicyInit = "cache_ext.policy_init";
+// Make the readahead hook return a wild window (`magnitude` pages, default
+// 2^32), as if the policy's stream tracking went off the rails. The page
+// cache's max_readahead_pages clamp must contain it.
+inline constexpr std::string_view kReadaheadMisfire = "readahead.misfire";
 // src/util
 // A phantom EBR reader pinned at the current epoch: blocks `magnitude`
 // epoch-advance attempts (default 64), deferring every free retired in the

@@ -37,13 +37,18 @@ class AddressSpace {
     return pages_.Load(index).AsPointer<Folio>();
   }
 
-  // Resident count is read lock-free by stats paths, so it is atomic; it is
-  // only mutated under this mapping's stripe lock (see PageCache).
+  // Resident *page* count (a multi-order folio contributes 2^order). Read
+  // lock-free by stats paths, so it is atomic; it is only mutated under
+  // this mapping's stripe lock (see PageCache).
   uint64_t nr_resident() const {
     return nr_resident_.load(std::memory_order_relaxed);
   }
-  void IncResident() { nr_resident_.fetch_add(1, std::memory_order_relaxed); }
-  void DecResident() { nr_resident_.fetch_sub(1, std::memory_order_relaxed); }
+  void IncResident(uint64_t nr = 1) {
+    nr_resident_.fetch_add(nr, std::memory_order_relaxed);
+  }
+  void DecResident(uint64_t nr = 1) {
+    nr_resident_.fetch_sub(nr, std::memory_order_relaxed);
+  }
 
   // Readahead state: last sequentially-read index + current window. Relaxed
   // atomics updated without any lock — racy best-effort hints, exactly like

@@ -2,8 +2,12 @@
 //
 // Mirrors the kernel's struct folio for the fields eviction policies care
 // about: the owning mapping and index, state flags, LRU linkage, and the
-// MGLRU generation/tier bookkeeping. All folios in this simulation are
-// zero-order (a single 4 KiB page), matching the paper's workloads.
+// MGLRU generation/tier bookkeeping. Folios are multi-order: a folio of
+// order N spans 2^N contiguous pages starting at a 2^N-aligned index (the
+// kernel's large-folio / THP-in-the-page-cache analogue). Residency,
+// charging, pinning, and hook dispatch are all per-folio, so a 16-page
+// folio costs one xarray entry, one pin, and one policy call where 16
+// zero-order folios would cost 16 of each.
 
 #ifndef SRC_MM_FOLIO_H_
 #define SRC_MM_FOLIO_H_
@@ -33,8 +37,18 @@ enum FolioFlag : uint32_t {
 
 struct Folio {
   AddressSpace* mapping = nullptr;
-  uint64_t index = 0;  // page index within the mapping
+  uint64_t index = 0;  // first page index within the mapping (2^order aligned)
   MemCgroup* memcg = nullptr;
+
+  // Allocation order: the folio spans [index, index + 2^order) pages.
+  // Immutable after insertion (splits remove + reinsert, as in the kernel's
+  // truncate path), so plain reads are safe wherever the folio is reachable.
+  uint8_t order = 0;
+
+  uint64_t nr_pages() const { return 1ull << order; }
+  bool Contains(uint64_t page_index) const {
+    return page_index >= index && page_index - index < nr_pages();
+  }
 
   // Flags and the pin count are accessed from concurrent lanes: the hit path
   // sets kFolioReferenced under the mapping stripe lock while reclaim clears

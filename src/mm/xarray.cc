@@ -64,8 +64,68 @@ XEntry XArray::Load(uint64_t index) const {
       return XEntry::Empty();
     }
   }
-  return XEntry::FromRaw(
-      node->slots[index & (kSlots - 1)].load(std::memory_order_acquire));
+  const int leaf_slot = static_cast<int>(index & (kSlots - 1));
+  XEntry entry =
+      XEntry::FromRaw(node->slots[leaf_slot].load(std::memory_order_acquire));
+  if (entry.IsSibling()) {
+    // Resolve to the canonical entry at the base of the multi-order span.
+    // The two loads are not atomic together; a racing writer can leave a
+    // torn view (e.g. a sibling pointing at an already-replaced base). That
+    // surfaces as another sibling or an empty slot here, which lock-free
+    // callers treat as a miss and the locked path resolves authoritatively.
+    const uint32_t off = entry.SiblingOffset();
+    if (off == 0 || static_cast<int>(off) > leaf_slot) {
+      return XEntry::Empty();
+    }
+    entry = XEntry::FromRaw(
+        node->slots[leaf_slot - static_cast<int>(off)].load(
+            std::memory_order_acquire));
+    if (entry.IsSibling()) {
+      return XEntry::Empty();
+    }
+  }
+  return entry;
+}
+
+XArray::Node* XArray::WalkToLeaf(uint64_t index, bool create, Node** path,
+                                 int* slots, int* depth) {
+  *depth = 0;
+  Node* node = root_.load(std::memory_order_relaxed);
+  if (node == nullptr) {
+    return nullptr;
+  }
+  while (node->shift > 0) {
+    const int slot = static_cast<int>((index >> node->shift) & (kSlots - 1));
+    path[*depth] = node;
+    slots[*depth] = slot;
+    ++*depth;
+    Node* child = node->children[slot].load(std::memory_order_relaxed);
+    if (child == nullptr) {
+      if (!create) {
+        return nullptr;
+      }
+      child = new Node(node->shift - kBitsPerLevel);
+      // Release: the child's zeroed arrays are visible before the pointer.
+      node->children[slot].store(child, std::memory_order_release);
+      ++node->present;
+    }
+    node = child;
+  }
+  return node;
+}
+
+void XArray::PruneFrom(Node* node, Node* const* path, const int* slots,
+                       int depth) {
+  // Prune now-empty nodes bottom-up (but keep the root allocated). A
+  // concurrent lock-free walker may still be inside a pruned node, so
+  // unlink it with a release store and defer the free to EBR.
+  Node* child = node;
+  for (int i = depth - 1; i >= 0 && child->present == 0; --i) {
+    path[i]->children[slots[i]].store(nullptr, std::memory_order_release);
+    --path[i]->present;
+    ebr::Retire(child);
+    child = path[i];
+  }
 }
 
 XEntry XArray::Store(uint64_t index, XEntry entry) {
@@ -80,36 +140,23 @@ XEntry XArray::Store(uint64_t index, XEntry entry) {
                   std::memory_order_release);
     }
   }
-  Node* node = root_.load(std::memory_order_relaxed);
-  if (node == nullptr) {
-    return XEntry::Empty();
-  }
-
   // Walk down, remembering the path so empty nodes can be pruned.
   Node* path[12];
   int slots[12];
   int depth = 0;
-  while (node->shift > 0) {
-    const int slot = static_cast<int>((index >> node->shift) & (kSlots - 1));
-    path[depth] = node;
-    slots[depth] = slot;
-    ++depth;
-    Node* child = node->children[slot].load(std::memory_order_relaxed);
-    if (child == nullptr) {
-      if (entry.IsEmpty()) {
-        return XEntry::Empty();
-      }
-      child = new Node(node->shift - kBitsPerLevel);
-      // Release: the child's zeroed arrays are visible before the pointer.
-      node->children[slot].store(child, std::memory_order_release);
-      ++node->present;
-    }
-    node = child;
+  Node* node = WalkToLeaf(index, /*create=*/!entry.IsEmpty(), path, slots,
+                          &depth);
+  if (node == nullptr) {
+    return XEntry::Empty();
   }
 
   const int leaf_slot = static_cast<int>(index & (kSlots - 1));
   const XEntry old = XEntry::FromRaw(
       node->slots[leaf_slot].load(std::memory_order_relaxed));
+  // Order-0 stores may not land inside a live multi-order span: the caller
+  // must erase the whole span (EraseOrder) first, as the kernel's truncate
+  // path splits a large folio before touching its tail pages.
+  DCHECK(!old.IsSibling());
   // Release: whatever the entry points at was initialized before this
   // publication; a lock-free walker's acquire load pairs with it.
   node->slots[leaf_slot].store(entry.raw(), std::memory_order_release);
@@ -121,15 +168,79 @@ XEntry XArray::Store(uint64_t index, XEntry entry) {
     --node->present;
     DCHECK(count_.load(std::memory_order_relaxed) > 0);
     count_.fetch_sub(1, std::memory_order_relaxed);
-    // Prune now-empty nodes bottom-up (but keep the root allocated). A
-    // concurrent lock-free walker may still be inside a pruned node, so
-    // unlink it with a release store and defer the free to EBR.
-    Node* child = node;
-    for (int i = depth - 1; i >= 0 && child->present == 0; --i) {
-      path[i]->children[slots[i]].store(nullptr, std::memory_order_release);
-      --path[i]->present;
-      ebr::Retire(child);
-      child = path[i];
+    PruneFrom(node, path, slots, depth);
+  }
+  return old;
+}
+
+XEntry XArray::StoreOrder(uint64_t index, XEntry entry, int order) {
+  CHECK(order >= 0 && order < kBitsPerLevel);
+  // The base index must be 2^order aligned (spans never straddle a leaf).
+  CHECK((index & ((1ull << order) - 1)) == 0);
+  if (order == 0) {
+    return Store(index, entry);
+  }
+  const int nr = 1 << order;
+  if (entry.IsEmpty() &&
+      (root_.load(std::memory_order_relaxed) == nullptr || index > MaxIndex())) {
+    return XEntry::Empty();
+  }
+  if (!entry.IsEmpty()) {
+    CHECK(!entry.IsSibling());
+    // Alignment puts the whole span under the same high bits, so growing
+    // for the base index covers the last sibling too.
+    Grow(index);
+    if (root_.load(std::memory_order_relaxed) == nullptr) {
+      root_.store(new Node((height_ - 1) * kBitsPerLevel),
+                  std::memory_order_release);
+    }
+  }
+  Node* path[12];
+  int slots[12];
+  int depth = 0;
+  Node* node = WalkToLeaf(index, /*create=*/!entry.IsEmpty(), path, slots,
+                          &depth);
+  if (node == nullptr) {
+    return XEntry::Empty();
+  }
+
+  const int base_slot = static_cast<int>(index & (kSlots - 1));
+  const XEntry old = XEntry::FromRaw(
+      node->slots[base_slot].load(std::memory_order_relaxed));
+  DCHECK(!old.IsSibling());
+
+  // Per-slot bookkeeping delta, applied uniformly: `present` counts
+  // non-empty slots (siblings included, so pruning stays correct), while
+  // count_ tracks logical entries (canonical slots only) — absorbed shadow
+  // values in the span therefore decrement it.
+  auto write_slot = [&](int slot, XEntry next) {
+    const XEntry prev =
+        XEntry::FromRaw(node->slots[slot].load(std::memory_order_relaxed));
+    node->slots[slot].store(next.raw(), std::memory_order_release);
+    node->present += (next.IsEmpty() ? 0 : 1) - (prev.IsEmpty() ? 0 : 1);
+    const int canon_delta = (!next.IsEmpty() && !next.IsSibling() ? 1 : 0) -
+                            (!prev.IsEmpty() && !prev.IsSibling() ? 1 : 0);
+    if (canon_delta > 0) {
+      count_.fetch_add(1, std::memory_order_relaxed);
+    } else if (canon_delta < 0) {
+      DCHECK(count_.load(std::memory_order_relaxed) > 0);
+      count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  };
+
+  if (entry.IsEmpty()) {
+    // Erase: clear siblings first so a lock-free reader resolving one
+    // either still finds the (not-yet-cleared) canonical entry or misses.
+    for (int i = nr - 1; i >= 0; --i) {
+      write_slot(base_slot + i, XEntry::Empty());
+    }
+    PruneFrom(node, path, slots, depth);
+  } else {
+    // Insert/replace: canonical first, then siblings, so a reader landing
+    // on a freshly published sibling always finds the new canonical entry.
+    write_slot(base_slot, entry);
+    for (int i = 1; i < nr; ++i) {
+      write_slot(base_slot + i, XEntry::Sibling(static_cast<uint32_t>(i)));
     }
   }
   return old;
@@ -144,7 +255,10 @@ void XArray::ForEachNode(
     if (shift == 0) {
       const XEntry entry =
           XEntry::FromRaw(node->slots[slot].load(std::memory_order_relaxed));
-      if (!entry.IsEmpty() && base >= first && base <= last) {
+      // Sibling slots are skipped: a multi-order entry is visited once, at
+      // its canonical base index.
+      if (!entry.IsEmpty() && !entry.IsSibling() && base >= first &&
+          base <= last) {
         fn(base, entry);
       }
       continue;

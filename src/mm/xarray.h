@@ -2,9 +2,15 @@
 // xarray (the page-cache index structure).
 //
 // Entries are tagged words, exactly like the kernel:
-//   - a pointer entry has bit 0 clear (pointers are at least 4-aligned);
+//   - a pointer entry has its low two bits clear (pointers are at least
+//     4-aligned);
 //   - a "value" entry (shadow entry in the page cache) has bit 0 set and
-//     carries 63 bits of payload.
+//     carries 63 bits of payload;
+//   - a "sibling" entry has low bits 0b10 and carries the slot offset back
+//     to its canonical entry (the kernel's xa_mk_sibling). A multi-order
+//     entry of order N occupies 2^N slots: the canonical entry at the
+//     2^N-aligned base, siblings in the rest, so a Load anywhere in the
+//     span resolves to the one entry.
 // Storing the null entry erases the slot.
 //
 // Concurrency: writers (Store/Erase) and iteration are externally
@@ -46,10 +52,18 @@ class XEntry {
   // Rehydrates an entry from a raw tagged word (atomic slot load).
   static XEntry FromRaw(uintptr_t raw) { return XEntry(raw); }
   static XEntry Empty() { return XEntry(); }
+  // Sibling entry pointing `offset` slots back to its canonical entry.
+  // Offsets fit within one leaf node (multi-order spans never cross one).
+  static XEntry Sibling(uint32_t offset) {
+    CHECK(offset > 0 && offset < 64);
+    return XEntry((static_cast<uintptr_t>(offset) << 2) | 2u);
+  }
 
   bool IsEmpty() const { return raw_ == 0; }
   bool IsValue() const { return (raw_ & 1u) != 0; }
-  bool IsPointer() const { return raw_ != 0 && (raw_ & 1u) == 0; }
+  bool IsSibling() const { return (raw_ & 3u) == 2u; }
+  bool IsPointer() const { return raw_ != 0 && (raw_ & 3u) == 0; }
+  uint32_t SiblingOffset() const { return static_cast<uint32_t>(raw_ >> 2); }
 
   template <typename T>
   T* AsPointer() const {
@@ -73,7 +87,9 @@ class XArray {
   XArray& operator=(const XArray&) = delete;
 
   // Lock-free reader walk (callers outside the mapping lock must hold an
-  // ebr::Guard; see file comment). May observe a slightly stale tree.
+  // ebr::Guard; see file comment). May observe a slightly stale tree. A
+  // load landing on a sibling slot resolves to the canonical entry, so any
+  // index within a multi-order entry's span returns that entry.
   XEntry Load(uint64_t index) const;
 
   // Stores entry at index, returning the previous entry. Storing Empty()
@@ -81,13 +97,29 @@ class XArray {
   // serialize Store/Erase/iteration externally.
   XEntry Store(uint64_t index, XEntry entry);
 
+  // Multi-order store: `entry` occupies [index, index + 2^order) — the
+  // canonical entry at `index` (which must be 2^order aligned, with
+  // order < 6 so the span stays inside one leaf node) and sibling entries
+  // in the rest of the span. Any non-empty order-0 entries in the span
+  // (e.g. shadow values) are absorbed. Storing Empty() erases the whole
+  // span. Returns the previous canonical entry. Publication order keeps
+  // lock-free readers safe: the canonical slot is written before its
+  // siblings, so a reader resolving a sibling always finds either the new
+  // entry or a stale word it revalidates away.
+  XEntry StoreOrder(uint64_t index, XEntry entry, int order);
+
   XEntry Erase(uint64_t index) { return Store(index, XEntry::Empty()); }
+  XEntry EraseOrder(uint64_t index, int order) {
+    return StoreOrder(index, XEntry::Empty(), order);
+  }
 
   // Number of non-empty entries.
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
 
   // Calls fn(index, entry) for each non-empty entry with index in
-  // [first, last], in ascending index order. fn may not mutate the array.
+  // [first, last], in ascending index order. A multi-order entry is visited
+  // once, at its base index (sibling slots are skipped); it is reported
+  // whenever its base falls in the range. fn may not mutate the array.
   // Requires the caller's external serialization (not lock-free).
   void ForEachInRange(uint64_t first, uint64_t last,
                       const std::function<void(uint64_t, XEntry)>& fn) const;
@@ -115,6 +147,15 @@ class XArray {
   // Max index representable with the current tree height (writer-side).
   uint64_t MaxIndex() const;
   void Grow(uint64_t index);
+
+  // Walks down to the leaf covering `index`, creating interior nodes when
+  // `create` is set and recording the path for pruning. Returns nullptr
+  // when the path doesn't exist (and create is false).
+  Node* WalkToLeaf(uint64_t index, bool create, Node** path, int* slots,
+                   int* depth);
+  // Prunes now-empty nodes bottom-up from `node` along the recorded path
+  // (retiring them through EBR), keeping the root allocated.
+  void PruneFrom(Node* node, Node* const* path, const int* slots, int depth);
 
   void ForEachNode(const Node* node, uint64_t prefix, uint64_t first,
                    uint64_t last,

@@ -35,18 +35,22 @@ enum class PolicyHook : uint32_t {
   kRemoved,
   kPrefetch,
   kRefault,
+  kReadahead,
+  kOrder,
 };
-inline constexpr uint32_t kNumPolicyHooks = 7;
+inline constexpr uint32_t kNumPolicyHooks = 9;
 
 constexpr std::string_view PolicyHookName(PolicyHook hook) {
   switch (hook) {
-    case PolicyHook::kEvict:    return "evict";
-    case PolicyHook::kAdmit:    return "admit";
-    case PolicyHook::kAccess:   return "access";
-    case PolicyHook::kAdded:    return "added";
-    case PolicyHook::kRemoved:  return "removed";
-    case PolicyHook::kPrefetch: return "prefetch";
-    case PolicyHook::kRefault:  return "refault";
+    case PolicyHook::kEvict:     return "evict";
+    case PolicyHook::kAdmit:     return "admit";
+    case PolicyHook::kAccess:    return "access";
+    case PolicyHook::kAdded:     return "added";
+    case PolicyHook::kRemoved:   return "removed";
+    case PolicyHook::kPrefetch:  return "prefetch";
+    case PolicyHook::kRefault:   return "refault";
+    case PolicyHook::kReadahead: return "readahead";
+    case PolicyHook::kOrder:     return "order";
   }
   return "?";
 }
@@ -136,6 +140,44 @@ struct AdmissionCtx {
   bool is_write = false;
 };
 
+// Context handed to the readahead hook (the ondemand_readahead decision
+// point): a miss happened at `index`; the policy returns the window of
+// pages to read ahead (0 suppresses readahead entirely, negative defers to
+// the kernel heuristic). Unlike request_prefetch — which fires once per
+// missing page — this hook fires once per miss *run* and owns the whole
+// window decision, so streaming policies pay one dispatch per stream step.
+struct ReadaheadCtx {
+  AddressSpace* mapping = nullptr;
+  uint64_t index = 0;            // the missing page
+  uint64_t prev_index = 0;       // the mapping's previous read position
+  uint32_t default_window = 0;   // what the kernel's heuristic would do
+  uint32_t nr_requested = 0;     // pages the current read call still wants
+  int32_t pid = 0;
+  int32_t tid = 0;
+};
+
+// Folio allocation orders a policy may request: 1, 4, or 16 pages. Order
+// values outside this set are a policy violation (breaker-counted); the
+// page cache additionally falls back to order 0 on misalignment or memcg
+// pressure, like __filemap_get_folio dropping to smaller orders when
+// allocation fails.
+inline constexpr uint32_t kMaxFolioOrder = 4;
+constexpr bool ValidFolioOrder(uint32_t order) {
+  return order == 0 || order == 2 || order == 4;
+}
+
+// Context handed to the admit_order hook: an admission at `index` is about
+// to allocate a folio; the policy picks the allocation order (0 | 2 | 4).
+struct AdmitOrderCtx {
+  AddressSpace* mapping = nullptr;
+  uint64_t index = 0;
+  MemCgroup* memcg = nullptr;
+  uint32_t nr_requested = 0;  // contiguous pages the current miss run wants
+  int32_t pid = 0;
+  int32_t tid = 0;
+  bool is_write = false;
+};
+
 // A page-cache eviction policy. The page cache invokes the hooks on cache
 // events; EvictFolios is called under memory pressure.
 //
@@ -188,6 +230,22 @@ class ReclaimPolicy {
   virtual int64_t RequestPrefetch(const PrefetchCtx& ctx) {
     (void)ctx;
     return -1;
+  }
+
+  // Readahead hook: the per-stream window decision (ondemand_readahead
+  // analogue). Negative defers to the kernel heuristic (which may in turn
+  // consult RequestPrefetch for compat); 0 suppresses readahead. The page
+  // cache clamps the answer to max_readahead_pages.
+  virtual int64_t RequestReadahead(const ReadaheadCtx& ctx) {
+    (void)ctx;
+    return -1;
+  }
+
+  // Folio allocation order for an admission (0 | 2 | 4). The page cache
+  // falls back to 0 on misalignment, span conflicts, or memcg pressure.
+  virtual uint32_t AdmitOrder(const AdmitOrderCtx& ctx) {
+    (void)ctx;
+    return 0;
   }
 
   // Called by the page cache on every candidate this policy proposed,

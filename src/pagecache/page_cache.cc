@@ -369,8 +369,10 @@ Folio* PageCache::LocklessLookup(AddressSpace* as, uint64_t index,
     // still the folio mapped at (as, index). With freeze-before-unmap a
     // successful TryPin implies the folio was never removed, so these
     // checks are expected to pass; they mirror the kernel's xas_reload
-    // defence and guard any future folio reuse.
-    if (folio->mapping == as && folio->index == index &&
+    // defence and guard any future folio reuse. A multi-order folio is
+    // valid for any index inside its span (the slot load above may have
+    // resolved a sibling entry).
+    if (folio->mapping == as && folio->Contains(index) &&
         as->pages().Load(index).AsPointer<Folio>() == folio) {
       return folio;
     }
@@ -380,9 +382,47 @@ Folio* PageCache::LocklessLookup(AddressSpace* as, uint64_t index,
   return nullptr;
 }
 
+uint32_t PageCache::SelectOrder(Lane& lane, CgroupState& st, AddressSpace* as,
+                                uint64_t index, bool is_write,
+                                uint32_t nr_wanted) {
+  if (!ExtActive(st)) {
+    return 0;
+  }
+  AdmitOrderCtx octx;
+  octx.mapping = as;
+  octx.index = index;
+  octx.memcg = st.cg.get();
+  octx.nr_requested = nr_wanted;
+  octx.pid = lane.task().pid;
+  octx.tid = lane.task().tid;
+  lane.Charge(options_.costs.hook_dispatch_ns);
+  uint32_t order = st.ext->AdmitOrder(octx);
+  if (order == 0) {
+    return 0;
+  }
+  const uint64_t nr = 1ull << order;
+  // Automatic fallbacks (the analogue of __filemap_get_folio dropping to
+  // smaller orders when a large allocation fails): a span must be
+  // 2^order-aligned at its base, must not run past EOF, and is demoted
+  // under memcg pressure — the cgroup already over its limit means
+  // allocation has outrun reclaim, the moment the kernel stops handing out
+  // large folios. (A span conflict with an already-resident folio is
+  // checked under the stripe in InsertFolio.)
+  const bool misaligned = (index & (nr - 1)) != 0;
+  const bool past_eof = (index + nr) * kPageSize > disk_->SizeOf(as->file());
+  const bool pressure =
+      nr > st.cg->limit_pages() || st.cg->OverLimit();
+  if (misaligned || past_eof || pressure) {
+    st.stats.ext_order_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  return order;
+}
+
 Folio* PageCache::InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
                               uint64_t index, bool is_write, bool via_readahead,
-                              DispatchBatch& batch, bool* already_present) {
+                              DispatchBatch& batch, bool* already_present,
+                              uint32_t nr_wanted) {
   *already_present = false;
   MemCgroup* cg = st.cg.get();
   Stripe& stripe = StripeFor(as);
@@ -420,6 +460,8 @@ Folio* PageCache::InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
     }
   }
 
+  uint32_t order = SelectOrder(lane, st, as, index, is_write, nr_wanted);
+
   lane.Charge(options_.costs.miss_setup_ns);
 
   Folio* folio = nullptr;
@@ -435,7 +477,24 @@ Folio* PageCache::InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
       return existing;
     }
 
-    // Refault detection against a shadow entry left by a prior eviction.
+    // Span conflict: any resident folio elsewhere in [index, index + 2^order)
+    // demotes the allocation to a single page — a multi-order entry cannot
+    // overlay an occupied slot.
+    if (order > 0) {
+      for (uint64_t i = index + 1; i < index + (1ull << order); ++i) {
+        if (as->FindFolio(i) != nullptr) {
+          order = 0;
+          st.stats.ext_order_fallbacks.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+    const uint64_t nr = 1ull << order;
+
+    // Refault detection against a shadow entry left by a prior eviction,
+    // keyed at the folio's base index (a multi-order store absorbs any
+    // shadows in the rest of the span).
     const XEntry old_entry = as->pages().Load(index);
     if (old_entry.IsValue()) {
       refault = WorkingsetRefault(cg, old_entry, cg->limit_pages());
@@ -444,6 +503,7 @@ Folio* PageCache::InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
     folio = new Folio();
     folio->mapping = as;
     folio->index = index;
+    folio->order = static_cast<uint8_t>(order);
     folio->memcg = cg;
     folio->SetFlag(kFolioUptodate);
     if (refault.activate) {
@@ -454,15 +514,21 @@ Folio* PageCache::InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
     }
     folio->Pin();  // returned pinned; the caller unpins
 
-    as->pages().Store(index, XEntry::FromPointer(folio));
-    as->IncResident();
-    total_resident_.fetch_add(1, std::memory_order_relaxed);
-    cg->ChargePage();
+    as->pages().StoreOrder(index, XEntry::FromPointer(folio),
+                           static_cast<int>(order));
+    as->IncResident(nr);
+    total_resident_.fetch_add(nr, std::memory_order_relaxed);
+    cg->ChargePages(nr);
     cg->stat_insertions.fetch_add(1, std::memory_order_relaxed);
+    if (order > 0) {
+      st.stats.ext_order_folios.fetch_add(1, std::memory_order_relaxed);
+      st.stats.ext_order_pages.fetch_add(nr, std::memory_order_relaxed);
+    }
   }
 
   if (via_readahead) {
-    st.stats.readahead_pages.fetch_add(1, std::memory_order_relaxed);
+    st.stats.readahead_pages.fetch_add(folio->nr_pages(),
+                                       std::memory_order_relaxed);
   }
 
   if (refault.is_refault) {
@@ -501,14 +567,17 @@ bool PageCache::RemoveFolio(Lane& lane, CgroupState& st, AddressSpace* as,
       return false;
     }
 
+    const uint64_t base = folio->index;
+    const uint64_t nr = folio->nr_pages();
     if (skip_writeback) {
       folio->ClearFlag(kFolioDirty);
     } else if (folio->TestClearFlag(kFolioDirty)) {
       // Writeback: the device write occupies a channel but the reclaiming
-      // lane does not wait for it (async flush).
-      ssd_->SubmitWrite(lane.now_ns(), kPageSize);
-      lane.Charge(options_.costs.writeback_page_ns);
-      st.stats.writeback_pages.fetch_add(1, std::memory_order_relaxed);
+      // lane does not wait for it (async flush). The whole span flushes as
+      // one device write (a multi-order folio is dirty as a unit).
+      ssd_->SubmitWrite(lane.now_ns(), nr * kPageSize);
+      lane.Charge(nr * options_.costs.writeback_page_ns);
+      st.stats.writeback_pages.fetch_add(nr, std::memory_order_relaxed);
     }
 
     XEntry shadow = XEntry::Empty();
@@ -519,13 +588,25 @@ bool PageCache::RemoveFolio(Lane& lane, CgroupState& st, AddressSpace* as,
     } else {
       st.stats.invalidations.fetch_add(1, std::memory_order_relaxed);
     }
-    as->pages().Store(index, shadow);
-    as->DecResident();
+    if (nr == 1) {
+      as->pages().Store(base, shadow);
+    } else {
+      // Clear the whole span first (siblings before canonical), then leave
+      // an order-0 shadow at every index so a refault anywhere in the old
+      // span sees the eviction record.
+      as->pages().EraseOrder(base, static_cast<int>(folio->order));
+      if (!shadow.IsEmpty()) {
+        for (uint64_t i = base; i < base + nr; ++i) {
+          as->pages().Store(i, shadow);
+        }
+      }
+    }
+    as->DecResident(nr);
     const uint64_t prev =
-        total_resident_.fetch_sub(1, std::memory_order_relaxed);
-    DCHECK(prev > 0);
+        total_resident_.fetch_sub(nr, std::memory_order_relaxed);
+    DCHECK(prev >= nr);
     (void)prev;
-    cg->UnchargePage();
+    cg->UnchargePages(nr);
   }
 
   // The folio is unmapped and frozen: no lane can take a new reference
@@ -536,6 +617,74 @@ bool PageCache::RemoveFolio(Lane& lane, CgroupState& st, AddressSpace* as,
   DispatchRemoved(lane, st, folio);
   ebr::Retire(folio);
   return true;
+}
+
+void PageCache::InvalidateForDontNeed(Lane& lane, CgroupState& st,
+                                      AddressSpace* as, uint64_t index,
+                                      uint64_t first, uint64_t last) {
+  MemCgroup* cg = st.cg.get();
+  // Capture the span before removal. Holding the owner's lock keeps the
+  // folio alive and mapped (removal always happens under the owner's lock),
+  // so the captured pointer stays valid to use as `expected`.
+  Folio* folio = nullptr;
+  uint64_t base = 0;
+  uint64_t nr = 0;
+  {
+    MutexLock s(StripeFor(as).mu);
+    folio = as->FindFolio(index);
+    if (folio == nullptr || folio->memcg != cg) {
+      return;
+    }
+    base = folio->index;
+    nr = folio->nr_pages();
+  }
+  if (!RemoveFolio(lane, st, as, base, /*expected=*/folio,
+                   RemovalKind::kInvalidate)) {
+    return;  // pinned by another lane: the whole folio survives
+  }
+  // Partial invalidate of a multi-order folio: the kernel splits the large
+  // folio and truncates only the pages in range (truncate_inode_partial_folio).
+  // Here the removal already dropped the whole span (dirty data was written
+  // back, and SimDisk holds canonical bytes), so the split is a re-insert of
+  // the kept subpages as order-0 folios.
+  const uint64_t span_last = base + nr - 1;
+  if (nr == 1 || (base >= first && span_last <= last)) {
+    return;  // fully covered: a plain invalidate, nothing kept
+  }
+  st.stats.ext_order_splits.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Folio*> kept;
+  {
+    MutexLock s(StripeFor(as).mu);
+    for (uint64_t i = base; i <= span_last; ++i) {
+      if (i >= first && i <= last) {
+        continue;  // the invalidated part
+      }
+      if (as->FindFolio(i) != nullptr) {
+        continue;  // repopulated by a racing miss
+      }
+      Folio* nf = new Folio();
+      nf->mapping = as;
+      nf->index = i;
+      nf->memcg = cg;
+      nf->SetFlag(kFolioUptodate);
+      if (as->noreuse_hint.load(std::memory_order_relaxed)) {
+        nf->SetFlag(kFolioDropBehind);
+      }
+      as->pages().Store(i, XEntry::FromPointer(nf));
+      as->IncResident();
+      total_resident_.fetch_add(1, std::memory_order_relaxed);
+      cg->ChargePages(1);
+      kept.push_back(nf);
+    }
+  }
+  for (Folio* nf : kept) {
+    lane.Charge(st.base_event_cost_ns);
+    st.base->FolioAdded(nf);
+    if (ExtActive(st)) {
+      lane.Charge(st.ext_event_cost_ns.load(std::memory_order_relaxed));
+      st.ext->FolioAdded(nf);
+    }
+  }
 }
 
 bool PageCache::CandidateValid(CgroupState& st, Folio* folio, bool from_ext,
@@ -822,7 +971,8 @@ void PageCache::ReclaimIfNeeded(Lane& lane, CgroupState& st,
 }
 
 uint32_t PageCache::ReadaheadWindow(Lane& lane, CgroupState& st,
-                                    AddressSpace* as, uint64_t index) {
+                                    AddressSpace* as, uint64_t index,
+                                    uint32_t nr_requested) {
   // Readahead state is read and advanced without any lock — racy
   // load/store like the kernel's file_ra_state; a lost update costs a
   // readahead decision, never correctness.
@@ -841,21 +991,41 @@ uint32_t PageCache::ReadaheadWindow(Lane& lane, CgroupState& st,
     as->ra_window.store(heuristic, std::memory_order_relaxed);
   }
 
-  // Prefetch-policy extension (§7): an attached policy may override the
-  // heuristic; the answer is clamped to a sane ceiling.
+  // Policy override. The readahead hook (ondemand_readahead analogue) is
+  // asked first — one dispatch per miss run, with the full stream context.
+  // A deferral (< 0) falls through to the legacy per-page prefetch hook
+  // (§7 extension) for compatibility with policies written against it.
+  // EVERY policy-returned window — either hook, including an injected
+  // readahead.misfire — is clamped to options_.max_readahead_pages;
+  // clamped answers are surfaced via ext_readahead_clamped.
   if (ExtActive(st)) {
-    PrefetchCtx ctx;
-    ctx.mapping = as;
-    ctx.index = index;
-    ctx.prev_index = prev_index;
-    ctx.default_window = heuristic;
-    ctx.pid = lane.task().pid;
-    ctx.tid = lane.task().tid;
     lane.Charge(options_.costs.hook_dispatch_ns);
-    const int64_t requested = st.ext->RequestPrefetch(ctx);
+    ReadaheadCtx rctx;
+    rctx.mapping = as;
+    rctx.index = index;
+    rctx.prev_index = prev_index;
+    rctx.default_window = heuristic;
+    rctx.nr_requested = nr_requested;
+    rctx.pid = lane.task().pid;
+    rctx.tid = lane.task().tid;
+    int64_t requested = st.ext->RequestReadahead(rctx);
+    if (requested < 0) {
+      PrefetchCtx ctx;
+      ctx.mapping = as;
+      ctx.index = index;
+      ctx.prev_index = prev_index;
+      ctx.default_window = heuristic;
+      ctx.pid = lane.task().pid;
+      ctx.tid = lane.task().tid;
+      requested = st.ext->RequestPrefetch(ctx);
+    }
     if (requested >= 0) {
-      constexpr int64_t kPrefetchCeiling = 256;
-      return static_cast<uint32_t>(std::min(requested, kPrefetchCeiling));
+      const int64_t cap = static_cast<int64_t>(options_.max_readahead_pages);
+      if (requested > cap) {
+        st.stats.ext_readahead_clamped.fetch_add(1, std::memory_order_relaxed);
+        requested = cap;
+      }
+      return static_cast<uint32_t>(requested);
     }
   }
   return heuristic;
@@ -865,18 +1035,25 @@ void PageCache::Prefetch(Lane& lane, AddressSpace* as, CgroupState& st,
                          uint64_t first_index, uint32_t nr_pages,
                          DispatchBatch& batch) {
   uint64_t run_bytes = 0;
-  for (uint32_t i = 0; i < nr_pages; ++i) {
-    const uint64_t index = first_index + i;
+  const uint64_t end = first_index + nr_pages;
+  uint64_t index = first_index;
+  while (index < end) {
     bool already = false;
-    Folio* inserted = InsertFolio(lane, as, st, index, /*is_write=*/false,
-                                  /*via_readahead=*/true, batch, &already);
+    Folio* inserted = InsertFolio(
+        lane, as, st, index, /*is_write=*/false, /*via_readahead=*/true,
+        batch, &already, static_cast<uint32_t>(end - index));
     if (inserted == nullptr) {
-      continue;  // admission denied
+      ++index;  // admission denied
+      continue;
+    }
+    // Step over the whole folio (an existing one may cover several of our
+    // indices; a fresh multi-order one certainly does).
+    const uint64_t next = inserted->index + inserted->nr_pages();
+    if (!already) {
+      run_bytes += inserted->nr_pages() * kPageSize;
     }
     inserted->Unpin();
-    if (!already) {
-      run_bytes += kPageSize;
-    }
+    index = std::max(index + 1, next);
   }
   if (run_bytes > 0) {
     // The device read happens asynchronously: it occupies a channel but the
@@ -924,7 +1101,6 @@ Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
     if (options_.lockless_reads) {
       hit = LocklessLookup(as, index, *st);
       if (hit != nullptr) {
-        as->ra_prev_index.store(index, std::memory_order_relaxed);
         lane.Charge(options_.costs.hit_ns);
       }
     } else {
@@ -933,7 +1109,6 @@ Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
       hit = as->FindFolio(index);
       if (hit != nullptr) {
         hit->Pin();  // guard across the stripe release, until the ring pins
-        as->ra_prev_index.store(index, std::memory_order_relaxed);
         lane.Charge(options_.costs.hit_ns);
         stripe.frontier_ns = lane.now_ns();
       }
@@ -942,13 +1117,19 @@ Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
       // Hit. Metadata updates go to the *owning* cgroup's policy, which may
       // differ from the reader's cgroup (§2.1 cross-cgroup semantics); the
       // notification is buffered and dispatched under the owner's lock at
-      // the next drain.
+      // the next drain. A multi-order hit services every requested page the
+      // folio covers in this one step — one hit charge, one hit count, one
+      // policy event for up to 2^order pages (the CPU amortization large
+      // folios buy on the filemap fast path).
       CgroupState* owner = StateFor(hit->memcg);
       CHECK_NOTNULL(owner);
       hit->memcg->stat_hits.fetch_add(1, std::memory_order_relaxed);
       Append(lane, batch, owner, hit, HookEvent::kAccessed, nullptr);
+      const uint64_t next =
+          std::min(last + 1, hit->index + hit->nr_pages());
       hit->Unpin();
-      ++index;
+      as->ra_prev_index.store(next - 1, std::memory_order_relaxed);
+      index = std::max(index + 1, next);
       continue;
     }
 
@@ -968,7 +1149,10 @@ Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
     bool oom = false;
     {
       MutexLock cg_lock(st->mu);
-      const uint32_t ra_window = ReadaheadWindow(lane, *st, as, index);
+      const uint32_t ra_window = ReadaheadWindow(
+          lane, *st, as, index,
+          static_cast<uint32_t>(std::min<uint64_t>(last - index + 1,
+                                                   UINT32_MAX)));
 
       // Pin the folios of this run while its device read is "in flight" and
       // its charges are reclaimed, then release them; pins must never cover
@@ -978,9 +1162,11 @@ Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
       uint64_t next_index = index;
       while (next_index <= run_end) {
         bool already = false;
-        Folio* inserted =
-            InsertFolio(lane, as, *st, next_index, /*is_write=*/false,
-                        /*via_readahead=*/false, batch, &already);
+        Folio* inserted = InsertFolio(
+            lane, as, *st, next_index, /*is_write=*/false,
+            /*via_readahead=*/false, batch, &already,
+            static_cast<uint32_t>(
+                std::min<uint64_t>(run_end - next_index + 1, UINT32_MAX)));
         if (already) {
           // Another lane populated the page; reprocess it as a hit outside
           // our cgroup lock (its owner may differ).
@@ -988,12 +1174,15 @@ Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
           break;
         }
         cg->stat_misses.fetch_add(1, std::memory_order_relaxed);
-        ++next_index;
         if (inserted == nullptr) {
+          ++next_index;
           st->stats.direct_reads.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
-        ++cached_pages;
+        // The inserted folio may span past next_index (multi-order); the
+        // whole span is populated by this run's device read.
+        next_index = inserted->index + inserted->nr_pages();
+        cached_pages += inserted->nr_pages();
         run_pins.push_back(inserted);  // carries the InsertFolio pin
         Append(lane, batch, st, inserted, HookEvent::kAccessed, st);
         // Very long runs (whole-file reads): cap concurrent pins at the
@@ -1030,9 +1219,10 @@ Status PageCache::Read(Lane& lane, AddressSpace* as, MemCgroup* cg,
         oom = true;
       }
 
-      // Readahead past the end of the request.
-      if (!oom && ra_window > 0 && run_pages > 0 && next_index - 1 == last) {
-        Prefetch(lane, as, *st, last + 1, ra_window, batch);
+      // Readahead past the end of the request (a multi-order tail folio may
+      // already have carried us past `last`).
+      if (!oom && ra_window > 0 && run_pages > 0 && next_index - 1 >= last) {
+        Prefetch(lane, as, *st, next_index, ra_window, batch);
       }
       index = next_index;
     }
@@ -1093,8 +1283,12 @@ Status PageCache::Write(Lane& lane, AddressSpace* as, MemCgroup* cg,
       hit->SetFlag(kFolioDirty);
       lane.Charge(options_.costs.write_page_ns);
       Append(lane, batch, owner, hit, HookEvent::kAccessed, nullptr);
+      // A multi-order folio absorbs every covered page of the write in this
+      // one step (it is dirtied — and later written back — as a unit).
+      const uint64_t next =
+          std::min(last + 1, hit->index + hit->nr_pages());
       hit->Unpin();
-      ++index;
+      index = std::max(index + 1, next);
       continue;
     }
 
@@ -1104,9 +1298,11 @@ Status PageCache::Write(Lane& lane, AddressSpace* as, MemCgroup* cg,
       MutexLock cg_lock(st->mu);
       while (index <= last) {
         bool already = false;
-        Folio* inserted =
-            InsertFolio(lane, as, *st, index, /*is_write=*/true,
-                        /*via_readahead=*/false, batch, &already);
+        Folio* inserted = InsertFolio(
+            lane, as, *st, index, /*is_write=*/true,
+            /*via_readahead=*/false, batch, &already,
+            static_cast<uint32_t>(
+                std::min<uint64_t>(last - index + 1, UINT32_MAX)));
         if (already) {
           inserted->Unpin();  // reprocess as a hit outside our lock
           break;
@@ -1119,22 +1315,23 @@ Status PageCache::Write(Lane& lane, AddressSpace* as, MemCgroup* cg,
           const uint64_t completion =
               ssd_->SubmitWrite(lane.now_ns(), kPageSize);
           lane.AdvanceTo(completion);
+          ++index;
         } else {
           inserted->SetFlag(kFolioDirty);
           lane.Charge(options_.costs.write_page_ns);
           Append(lane, batch, st, inserted, HookEvent::kAccessed, st);
-          // The InsertFolio pin covers this page's own charge being
-          // reclaimed (the kernel holds one locked page at a time in the
+          // The InsertFolio pin covers this folio's own charge being
+          // reclaimed (the kernel holds one locked folio at a time in the
           // buffered-write loop; a single huge write must not pin more
           // pages than the cgroup can hold).
           ReclaimIfNeeded(lane, *st, batch);
+          index = inserted->index + inserted->nr_pages();
           inserted->Unpin();
           if (st->oom_killed.load(std::memory_order_relaxed)) {
             oom = true;
             break;
           }
         }
-        ++index;
         if (index > last) {
           break;
         }
@@ -1169,11 +1366,12 @@ Status PageCache::SyncFile(Lane& lane, AddressSpace* as) {
       if (folio == nullptr || !folio->TestClearFlag(kFolioDirty)) {
         return;
       }
-      ++dirty_pages;
-      lane.Charge(options_.costs.writeback_page_ns);
+      const uint64_t nr = folio->nr_pages();  // whole span flushes as a unit
+      dirty_pages += nr;
+      lane.Charge(nr * options_.costs.writeback_page_ns);
       CgroupState* owner = StateFor(folio->memcg);
       if (owner != nullptr) {
-        owner->stats.writeback_pages.fetch_add(1, std::memory_order_relaxed);
+        owner->stats.writeback_pages.fetch_add(nr, std::memory_order_relaxed);
       }
     });
   }
@@ -1218,6 +1416,11 @@ Status PageCache::FadviseRange(Lane& lane, AddressSpace* as, MemCgroup* cg,
       // the stripe: ForEachInRange is not safe against concurrent pruning.
       MutexLock s(StripeFor(as).mu);
       as->noreuse_hint.store(true, std::memory_order_relaxed);
+      // A multi-order folio spanning `first` from below has its canonical
+      // base outside the walk range; probe for it explicitly.
+      if (Folio* head = as->FindFolio(first); head != nullptr) {
+        head->SetFlag(kFolioDropBehind);
+      }
       as->pages().ForEachInRange(first, last, [](uint64_t, XEntry entry) {
         if (Folio* folio = entry.AsPointer<Folio>(); folio != nullptr) {
           folio->SetFlag(kFolioDropBehind);
@@ -1238,6 +1441,12 @@ Status PageCache::FadviseRange(Lane& lane, AddressSpace* as, MemCgroup* cg,
       std::vector<Victim> victims;
       {
         MutexLock s(StripeFor(as).mu);
+        // A multi-order folio spanning `first` from below has its canonical
+        // base outside the walk range; probe for it explicitly.
+        if (Folio* head = as->FindFolio(first);
+            head != nullptr && head->index < first) {
+          victims.push_back(Victim{head->index, StateFor(head->memcg)});
+        }
         as->pages().ForEachInRange(first, last, [&](uint64_t idx,
                                                     XEntry entry) {
           if (Folio* folio = entry.AsPointer<Folio>(); folio != nullptr) {
@@ -1250,8 +1459,7 @@ Status PageCache::FadviseRange(Lane& lane, AddressSpace* as, MemCgroup* cg,
           continue;
         }
         MutexLock lock(v.owner->mu);
-        RemoveFolio(lane, *v.owner, as, v.index, /*expected=*/nullptr,
-                    RemovalKind::kInvalidate);
+        InvalidateForDontNeed(lane, *v.owner, as, v.index, first, last);
       }
       return OkStatus();
     }
@@ -1391,6 +1599,13 @@ CgroupCacheStats PageCache::SnapshotStats(CgroupState& st) {
       a.ext_lockless_lookups.load(std::memory_order_relaxed);
   stats.ext_lockless_retries =
       a.ext_lockless_retries.load(std::memory_order_relaxed);
+  stats.ext_readahead_clamped =
+      a.ext_readahead_clamped.load(std::memory_order_relaxed);
+  stats.ext_order_folios = a.ext_order_folios.load(std::memory_order_relaxed);
+  stats.ext_order_pages = a.ext_order_pages.load(std::memory_order_relaxed);
+  stats.ext_order_fallbacks =
+      a.ext_order_fallbacks.load(std::memory_order_relaxed);
+  stats.ext_order_splits = a.ext_order_splits.load(std::memory_order_relaxed);
   const reclaim::ReclaimCounterSnapshot r = st.reclaim->Snapshot();
   stats.reclaim_wakeups = r.wakeups;
   stats.reclaim_background_batches = r.background_batches;

@@ -166,6 +166,17 @@ struct CgroupCacheStats {
   // signal for the lock-free hit path.
   uint64_t ext_lockless_lookups = 0;
   uint64_t ext_lockless_retries = 0;
+  // Readahead + multi-order admission (the readahead/admit_order hooks).
+  // ext_readahead_clamped counts policy-returned windows cut down to
+  // max_readahead_pages; the ext_order_* trio tracks multi-order folios:
+  // admitted (with their aggregate page count), policy requests that fell
+  // back to order 0 (misalignment, span conflict, memcg pressure), and
+  // folios split back to order 0 by a partial invalidate.
+  uint64_t ext_readahead_clamped = 0;
+  uint64_t ext_order_folios = 0;
+  uint64_t ext_order_pages = 0;
+  uint64_t ext_order_fallbacks = 0;
+  uint64_t ext_order_splits = 0;
   // Background reclaim (src/reclaim). The ns split is the point: eviction
   // time that used to be folded into miss latency is now attributed either
   // to allocating tasks (`ext_direct_reclaim_ns`, PSI `some`) or to the
@@ -280,6 +291,11 @@ class PageCache {
     std::atomic<uint64_t> ext_evict_arena_reuses{0};
     std::atomic<uint64_t> ext_lockless_lookups{0};
     std::atomic<uint64_t> ext_lockless_retries{0};
+    std::atomic<uint64_t> ext_readahead_clamped{0};
+    std::atomic<uint64_t> ext_order_folios{0};
+    std::atomic<uint64_t> ext_order_pages{0};
+    std::atomic<uint64_t> ext_order_fallbacks{0};
+    std::atomic<uint64_t> ext_order_splits{0};
     std::atomic<bool> ext_quarantined{false};
     std::atomic<bool> ext_banned{false};
     std::atomic<uint32_t> ext_reattach_attempts{0};
@@ -381,9 +397,25 @@ class PageCache {
   // rejected it (caller services the I/O directly). If another lane
   // populated the index concurrently, returns that folio pinned with
   // *already_present = true (its owner may differ from st).
+  //
+  // `nr_wanted` is how many further contiguous pages the caller's miss run
+  // still wants (>= 1, counting `index`); it seeds the admit_order hook so
+  // a policy can match the folio order to the stream. The inserted folio
+  // may span [index, index + 2^order) — callers advance by
+  // folio->nr_pages(), not by 1.
   Folio* InsertFolio(Lane& lane, AddressSpace* as, CgroupState& st,
                      uint64_t index, bool is_write, bool via_readahead,
-                     DispatchBatch& batch, bool* already_present)
+                     DispatchBatch& batch, bool* already_present,
+                     uint32_t nr_wanted = 1) CACHE_EXT_REQUIRES(st.mu);
+
+  // Order selection for an admission at `index`: dispatch the ext policy's
+  // admit_order hook, then fall back to 0 on misalignment, span conflicts
+  // (a resident folio already inside the span), EOF overrun, or memcg
+  // pressure (the cgroup already over its limit — allocation has outrun
+  // reclaim). Counted via ext_order_fallbacks when a nonzero request is
+  // demoted.
+  uint32_t SelectOrder(Lane& lane, CgroupState& st, AddressSpace* as,
+                       uint64_t index, bool is_write, uint32_t nr_wanted)
       CACHE_EXT_REQUIRES(st.mu);
 
   // Writeback (if dirty) and remove the folio at (as, index), which must be
@@ -395,6 +427,14 @@ class PageCache {
   bool RemoveFolio(Lane& lane, CgroupState& st, AddressSpace* as,
                    uint64_t index, Folio* expected, RemovalKind kind,
                    bool skip_writeback = false) CACHE_EXT_REQUIRES(st.mu);
+
+  // FADV_DONTNEED on one victim folio: invalidate it, and when it was a
+  // multi-order folio only partially covered by [first, last], split — the
+  // kept subpages are re-inserted as order-0 folios (counted via
+  // ext_order_splits), like truncate_inode_partial_folio.
+  void InvalidateForDontNeed(Lane& lane, CgroupState& st, AddressSpace* as,
+                             uint64_t index, uint64_t first, uint64_t last)
+      CACHE_EXT_REQUIRES(st.mu);
 
   // --- Reclaim -------------------------------------------------------------
   //
@@ -445,10 +485,14 @@ class PageCache {
   void BackgroundTickForToken(void* token);
 
   // Readahead: called on a miss at `index`; returns how many extra pages to
-  // prefetch after `last_requested`. Consults the ext policy's prefetch
-  // hook (§7 extension) when one is attached.
+  // prefetch after `last_requested`. Consults the ext policy's readahead
+  // hook (ondemand_readahead analogue) when one is attached, then the
+  // legacy per-page prefetch hook (§7 extension) for compat; every policy
+  // window is clamped to max_readahead_pages (ext_readahead_clamped).
+  // `nr_requested` is how many pages the current read call still wants.
   uint32_t ReadaheadWindow(Lane& lane, CgroupState& st, AddressSpace* as,
-                           uint64_t index) CACHE_EXT_REQUIRES(st.mu);
+                           uint64_t index, uint32_t nr_requested)
+      CACHE_EXT_REQUIRES(st.mu);
   void Prefetch(Lane& lane, AddressSpace* as, CgroupState& st,
                 uint64_t first_index, uint32_t nr_pages, DispatchBatch& batch)
       CACHE_EXT_REQUIRES(st.mu);

@@ -121,11 +121,74 @@ IrPolicy IrFifoLruCommon(const char* name, bool move_on_access) {
   return p;
 }
 
+// readahead: suppress on a backward seek, defer to the heuristic on a
+// large forward gap, and double the heuristic's window (capped at 64) for
+// a sequential run. Everything the verifier needs — the ctx fields legal
+// in this hook, the absence of list kfuncs, the zero helper cost — is
+// derived from these instructions.
+bpf::ir::Program ReadaheadProgram() {
+  ProgramBuilder b;
+  const auto forward = b.NewLabel();
+  const auto sequential = b.NewLabel();
+  const auto capped = b.NewLabel();
+  b.CtxLoad(R6, CtxField::kIndex);
+  b.CtxLoad(R7, CtxField::kPrevIndex);
+  b.JmpReg(Cond::kGt, R6, R7, forward);
+  b.MovImm(R0, 0).Exit();              // backward / repeat: suppress
+  b.Bind(forward);
+  b.AluReg(bpf::ir::AluOp::kSub, R6, R7);
+  b.JmpImm(Cond::kLe, R6, 32, sequential);
+  b.MovImm(R0, -1).Exit();             // long seek: defer to the heuristic
+  b.Bind(sequential);
+  b.CtxLoad(R0, CtxField::kDefaultWindow);
+  b.Alu(bpf::ir::AluOp::kMul, R0, 2);
+  b.JmpImm(Cond::kLe, R0, 64, capped);
+  b.MovImm(R0, 64);
+  b.Bind(capped);
+  b.Exit();
+  return b.Build();
+}
+
+// admit_order: order 4 for an aligned index inside a run wanting at least
+// a full order-4 span, order 2 when at least an order-2 span is wanted,
+// order 0 otherwise. (The page cache independently re-checks alignment and
+// memcg pressure; this program encodes the policy's *intent*.)
+bpf::ir::Program AdmitOrderProgram() {
+  ProgramBuilder b;
+  const auto aligned = b.NewLabel();
+  const auto big = b.NewLabel();
+  const auto small = b.NewLabel();
+  b.CtxLoad(R6, CtxField::kIndex);
+  b.Alu(bpf::ir::AluOp::kAnd, R6, 3);
+  b.JmpImm(Cond::kEq, R6, 0, aligned);
+  b.MovImm(R0, 0).Exit();              // misaligned even for order 2
+  b.Bind(aligned);
+  b.CtxLoad(R7, CtxField::kNrRequested);
+  b.JmpImm(Cond::kGe, R7, 16, big);
+  b.JmpImm(Cond::kGe, R7, 4, small);
+  b.MovImm(R0, 0).Exit();
+  b.Bind(big);
+  b.CtxLoad(R6, CtxField::kIndex);
+  b.Alu(bpf::ir::AluOp::kAnd, R6, 15);
+  b.JmpImm(Cond::kNe, R6, 0, small);   // 4-aligned but not 16-aligned
+  b.MovImm(R0, 4).Exit();
+  b.Bind(small);
+  b.MovImm(R0, 2).Exit();
+  return b.Build();
+}
+
 }  // namespace
 
 IrPolicy IrFifoPolicy() { return IrFifoLruCommon("ir_fifo", false); }
 
 IrPolicy IrLruPolicy() { return IrFifoLruCommon("ir_lru", true); }
+
+IrPolicy IrReadaheadPolicy() {
+  IrPolicy p = IrFifoLruCommon("ir_readahead", /*move_on_access=*/true);
+  p.hook(Hook::kReadahead) = ReadaheadProgram();
+  p.hook(Hook::kAdmitOrder) = AdmitOrderProgram();
+  return p;
+}
 
 IrPolicy IrLfuPolicy(const IrLfuParams& params) {
   IrPolicy p;
@@ -234,6 +297,10 @@ Expected<Ops> MakeIrLruOps() {
 
 Expected<Ops> MakeIrLfuOps(const IrLfuParams& params) {
   return bpf::ir::CompileToOps(IrLfuPolicy(params));
+}
+
+Expected<Ops> MakeIrReadaheadOps() {
+  return bpf::ir::CompileToOps(IrReadaheadPolicy());
 }
 
 }  // namespace cache_ext::policies

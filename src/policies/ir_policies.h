@@ -43,12 +43,20 @@ struct IrLfuParams {
 // LFU via the batch-scoring loop form, frequencies in an IR hash map.
 Expected<Ops> MakeIrLfuOps(const IrLfuParams& params = {});
 
-// The three IR policies as raw IrPolicy programs (before verification):
+// LRU plus IR programs on the PR-8 fault-side hooks: `readahead` (double
+// the heuristic's window for sequential runs, suppress on backward seeks)
+// and `admit_order` (order 4/2/0 by alignment and run length). The
+// verifier derives both hooks' specs — ctx-field legality, zero helper
+// cost, dead-hook analysis — from the instruction stream.
+Expected<Ops> MakeIrReadaheadOps();
+
+// The IR policies as raw IrPolicy programs (before verification):
 // exposed so tests and the static-rejection example can inspect and
 // perturb the instruction stream.
 bpf::ir::IrPolicy IrFifoPolicy();
 bpf::ir::IrPolicy IrLruPolicy();
 bpf::ir::IrPolicy IrLfuPolicy(const IrLfuParams& params = {});
+bpf::ir::IrPolicy IrReadaheadPolicy();
 
 }  // namespace cache_ext::policies
 

@@ -28,6 +28,20 @@ Ops HookOnlyOps(std::string name,
   return ops;
 }
 
+Ops ReadaheadOnlyOps(
+    std::string name,
+    std::function<int64_t(CacheExtApi&, const ReadaheadCtx&)> fn) {
+  Ops ops;
+  ops.name = std::move(name);
+  ops.policy_init = [](CacheExtApi&, MemCgroup*) -> int32_t { return 0; };
+  ops.evict_folios = [](CacheExtApi&, EvictionCtx*, MemCgroup*) {};
+  ops.folio_added = [](CacheExtApi&, Folio*) {};
+  ops.folio_accessed = [](CacheExtApi&, Folio*) {};
+  ops.folio_removed = [](CacheExtApi&, Folio*) {};
+  ops.readahead = std::move(fn);
+  return ops;
+}
+
 class PrefetchHookTest : public ::testing::Test {
  protected:
   PrefetchHookTest() {
@@ -84,6 +98,28 @@ TEST_F(PrefetchHookTest, HookSeesMissContext) {
 
 TEST_F(PrefetchHookTest, PolicyWindowOverridesHeuristic) {
   ASSERT_TRUE(loader_
+                  ->Attach(cg_, HookOnlyOps("fixed6",
+                                            [](CacheExtApi&,
+                                               const PrefetchCtx&) {
+                                              return int64_t{6};
+                                            }))
+                  .ok());
+  Lane lane(0, TaskContext{1, 1}, 1);
+  ReadPage(lane, 0);  // random first touch: heuristic would prefetch 0
+  // Policy demanded 6 pages: pages 1..6 are now resident.
+  for (uint64_t i = 1; i <= 6; ++i) {
+    EXPECT_NE(as_->FindFolio(i), nullptr) << i;
+  }
+  EXPECT_EQ(as_->FindFolio(7), nullptr);
+  EXPECT_EQ(pc_->StatsFor(cg_).readahead_pages, 6u);
+  EXPECT_EQ(pc_->StatsFor(cg_).ext_readahead_clamped, 0u);
+}
+
+TEST_F(PrefetchHookTest, PolicyWindowClampedToMaxReadahead) {
+  // The fixture caps readahead at 8 pages; a policy asking for 16 is
+  // clamped (RunOptions-level bound on BPF-guided windows) and the clamp
+  // is visible in the counters.
+  ASSERT_TRUE(loader_
                   ->Attach(cg_, HookOnlyOps("fixed16",
                                             [](CacheExtApi&,
                                                const PrefetchCtx&) {
@@ -91,13 +127,13 @@ TEST_F(PrefetchHookTest, PolicyWindowOverridesHeuristic) {
                                             }))
                   .ok());
   Lane lane(0, TaskContext{1, 1}, 1);
-  ReadPage(lane, 0);  // random first touch: heuristic would prefetch 0
-  // Policy demanded 16 pages: pages 1..16 are now resident.
-  for (uint64_t i = 1; i <= 16; ++i) {
+  ReadPage(lane, 0);
+  for (uint64_t i = 1; i <= 8; ++i) {
     EXPECT_NE(as_->FindFolio(i), nullptr) << i;
   }
-  EXPECT_EQ(as_->FindFolio(17), nullptr);
-  EXPECT_EQ(pc_->StatsFor(cg_).readahead_pages, 16u);
+  EXPECT_EQ(as_->FindFolio(9), nullptr);
+  EXPECT_EQ(pc_->StatsFor(cg_).readahead_pages, 8u);
+  EXPECT_EQ(pc_->StatsFor(cg_).ext_readahead_clamped, 1u);
 }
 
 TEST_F(PrefetchHookTest, ZeroDisablesPrefetchOnSequentialStream) {
@@ -143,17 +179,101 @@ TEST_F(PrefetchHookTest, AbsurdWindowClamped) {
                   .ok());
   Lane lane(0, TaskContext{1, 1}, 1);
   ReadPage(lane, 0);
-  // Clamped to the framework ceiling (256), and further bounded by the
-  // cgroup limit via reclaim.
-  EXPECT_LE(pc_->StatsFor(cg_).readahead_pages, 256u);
+  // Clamped to max_readahead_pages (8 in this fixture), and further
+  // bounded by the cgroup limit via reclaim.
+  EXPECT_EQ(pc_->StatsFor(cg_).readahead_pages, 8u);
+  EXPECT_EQ(pc_->StatsFor(cg_).ext_readahead_clamped, 1u);
   EXPECT_LE(cg_->charged_pages(), cg_->limit_pages() + 1);
+}
+
+// --- the per-run readahead hook ----------------------------------------------
+
+TEST_F(PrefetchHookTest, ReadaheadHookSeesRunContext) {
+  ReadaheadCtx seen;
+  int calls = 0;
+  ASSERT_TRUE(loader_
+                  ->Attach(cg_, ReadaheadOnlyOps(
+                                    "ra_spy",
+                                    [&](CacheExtApi&,
+                                        const ReadaheadCtx& ctx) {
+                                      seen = ctx;
+                                      ++calls;
+                                      return int64_t{-1};
+                                    }))
+                  .ok());
+  Lane lane(0, TaskContext{33, 44}, 1);
+  ReadPage(lane, 9);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen.mapping, as_);
+  EXPECT_EQ(seen.index, 9u);
+  EXPECT_EQ(seen.nr_requested, 1u);
+  EXPECT_EQ(seen.pid, 33);
+  EXPECT_EQ(seen.tid, 44);
+  // Hits do not consult the hook.
+  ReadPage(lane, 9);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(PrefetchHookTest, ReadaheadZeroSuppressesWindow) {
+  // A zero return from the readahead hook suppresses all speculation —
+  // including the kernel heuristic (it must NOT fall through to it).
+  ASSERT_TRUE(loader_
+                  ->Attach(cg_, ReadaheadOnlyOps(
+                                    "ra_never",
+                                    [](CacheExtApi&, const ReadaheadCtx&) {
+                                      return int64_t{0};
+                                    }))
+                  .ok());
+  Lane lane(0, TaskContext{1, 1}, 1);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ReadPage(lane, i);  // perfectly sequential: heuristic would ramp up
+  }
+  EXPECT_EQ(pc_->StatsFor(cg_).readahead_pages, 0u);
+  EXPECT_EQ(as_->FindFolio(10), nullptr);
+}
+
+TEST_F(PrefetchHookTest, ReadaheadWindowClampedAndCounted) {
+  ASSERT_TRUE(loader_
+                  ->Attach(cg_, ReadaheadOnlyOps(
+                                    "ra_greedy",
+                                    [](CacheExtApi&, const ReadaheadCtx&) {
+                                      return int64_t{1} << 40;
+                                    }))
+                  .ok());
+  Lane lane(0, TaskContext{1, 1}, 1);
+  ReadPage(lane, 0);
+  EXPECT_EQ(pc_->StatsFor(cg_).readahead_pages, 8u);
+  EXPECT_EQ(pc_->StatsFor(cg_).ext_readahead_clamped, 1u);
+}
+
+TEST_F(PrefetchHookTest, ReadaheadDeferFallsBackToPrefetchShim) {
+  // A policy carrying both hook shapes: when readahead defers (negative),
+  // the page cache consults the legacy request_prefetch shim before the
+  // kernel heuristic.
+  int ra_calls = 0;
+  int pf_calls = 0;
+  Ops ops = ReadaheadOnlyOps("ra_defer",
+                             [&](CacheExtApi&, const ReadaheadCtx&) {
+                               ++ra_calls;
+                               return int64_t{-1};
+                             });
+  ops.request_prefetch = [&](CacheExtApi&, const PrefetchCtx&) -> int64_t {
+    ++pf_calls;
+    return 5;
+  };
+  ASSERT_TRUE(loader_->Attach(cg_, std::move(ops)).ok());
+  Lane lane(0, TaskContext{1, 1}, 1);
+  ReadPage(lane, 0);
+  EXPECT_EQ(ra_calls, 1);
+  EXPECT_EQ(pf_calls, 1);
+  EXPECT_EQ(pc_->StatsFor(cg_).readahead_pages, 5u);
 }
 
 // --- the stride prefetcher policy ---------------------------------------------
 
 TEST_F(PrefetchHookTest, StridePrefetcherConfirmsThenBoosts) {
   policies::PrefetchParams params;
-  params.sequential_window = 24;
+  params.sequential_window = 8;
   params.confirm_after = 2;
   ASSERT_TRUE(
       loader_->Attach(cg_, policies::MakeStridePrefetcherOps(params)).ok());
@@ -163,8 +283,8 @@ TEST_F(PrefetchHookTest, StridePrefetcherConfirmsThenBoosts) {
   ReadPage(lane, 1);  // run=1: still unconfirmed
   EXPECT_EQ(pc_->StatsFor(cg_).readahead_pages, 0u);
   ReadPage(lane, 2);  // run=2: confirmed, full window immediately
-  EXPECT_EQ(pc_->StatsFor(cg_).readahead_pages, 24u);
-  for (uint64_t i = 3; i <= 26; ++i) {
+  EXPECT_EQ(pc_->StatsFor(cg_).readahead_pages, 8u);
+  for (uint64_t i = 3; i <= 10; ++i) {
     EXPECT_NE(as_->FindFolio(i), nullptr) << i;
   }
 }
@@ -216,7 +336,23 @@ TEST_F(PrefetchHookTest, FactoryKnowsThePrefetcher) {
   auto bundle = policies::MakePolicy("stride_prefetcher", {});
   ASSERT_TRUE(bundle.ok());
   EXPECT_TRUE(CacheExtLoader::Verify(bundle->ops).ok());
+  // Primary per-run hook plus the legacy compat shim.
+  EXPECT_NE(bundle->ops.readahead, nullptr);
   EXPECT_NE(bundle->ops.request_prefetch, nullptr);
+}
+
+TEST_F(PrefetchHookTest, StridePrefetcherDrivesTheReadaheadHook) {
+  // The stride policy now answers through `readahead`; the page cache must
+  // reach its window without ever needing the per-page shim.
+  policies::PrefetchParams params;
+  params.sequential_window = 4;
+  params.confirm_after = 1;
+  ASSERT_TRUE(
+      loader_->Attach(cg_, policies::MakeStridePrefetcherOps(params)).ok());
+  Lane lane(0, TaskContext{1, 1}, 1);
+  ReadPage(lane, 0);
+  ReadPage(lane, 1);  // run=1: confirmed
+  EXPECT_EQ(pc_->StatsFor(cg_).readahead_pages, 4u);
 }
 
 }  // namespace

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <thread>
 
 #include "src/mm/xarray.h"
+#include "src/util/ebr.h"
 #include "src/util/rng.h"
 
 namespace cache_ext {
@@ -140,6 +143,161 @@ TEST(XArrayTest, ForEachEmptyRange) {
   EXPECT_EQ(count, 0);
   xa.ForEachInRange(11, 100, [&count](uint64_t, XEntry) { ++count; });
   EXPECT_EQ(count, 0);
+}
+
+// --- Multi-order entries (PR 8) ---
+
+TEST(XArrayOrderTest, SpanResolvesToCanonicalEntry) {
+  XArray xa;
+  int x = 1;
+  xa.StoreOrder(16, XEntry::FromPointer(&x), 2);
+  // Every index in [16, 20) resolves to the one canonical entry; the span
+  // counts as ONE logical entry.
+  for (uint64_t i = 16; i < 20; ++i) {
+    EXPECT_EQ(xa.Load(i).AsPointer<int>(), &x) << "index " << i;
+  }
+  EXPECT_TRUE(xa.Load(15).IsEmpty());
+  EXPECT_TRUE(xa.Load(20).IsEmpty());
+  EXPECT_EQ(xa.Count(), 1u);
+}
+
+TEST(XArrayOrderTest, MidLeafOrder4Span) {
+  XArray xa;
+  int x = 2;
+  // Order 4 at a base that is 16-aligned but not leaf-aligned: the span
+  // [32, 48) sits in the middle of a 64-slot leaf.
+  xa.StoreOrder(32, XEntry::FromPointer(&x), 4);
+  EXPECT_EQ(xa.Load(32).AsPointer<int>(), &x);
+  EXPECT_EQ(xa.Load(47).AsPointer<int>(), &x);
+  EXPECT_TRUE(xa.Load(31).IsEmpty());
+  EXPECT_TRUE(xa.Load(48).IsEmpty());
+  EXPECT_EQ(xa.Count(), 1u);
+}
+
+TEST(XArrayOrderTest, EraseOrderClearsWholeSpan) {
+  XArray xa;
+  int x = 3;
+  xa.StoreOrder(64, XEntry::FromPointer(&x), 4);
+  const XEntry old = xa.EraseOrder(64, 4);
+  EXPECT_EQ(old.AsPointer<int>(), &x);
+  for (uint64_t i = 64; i < 80; ++i) {
+    EXPECT_TRUE(xa.Load(i).IsEmpty()) << "index " << i;
+  }
+  EXPECT_EQ(xa.Count(), 0u);
+}
+
+TEST(XArrayOrderTest, StoreOrderAbsorbsShadowValuesInSpan) {
+  XArray xa;
+  // Shadow (value) entries inside the future span — the insert replaces
+  // them with siblings, and the logical count drops to just the folio.
+  xa.Store(17, XEntry::FromValue(100));
+  xa.Store(19, XEntry::FromValue(101));
+  EXPECT_EQ(xa.Count(), 2u);
+  int x = 4;
+  xa.StoreOrder(16, XEntry::FromPointer(&x), 2);
+  EXPECT_EQ(xa.Count(), 1u);
+  EXPECT_EQ(xa.Load(17).AsPointer<int>(), &x);
+  EXPECT_EQ(xa.Load(19).AsPointer<int>(), &x);
+}
+
+TEST(XArrayOrderTest, ReplaceMultiOrderSlotReturnsOld) {
+  XArray xa;
+  int a = 5, b = 6;
+  xa.StoreOrder(0, XEntry::FromPointer(&a), 2);
+  const XEntry old = xa.StoreOrder(0, XEntry::FromPointer(&b), 2);
+  EXPECT_EQ(old.AsPointer<int>(), &a);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(xa.Load(i).AsPointer<int>(), &b) << "index " << i;
+  }
+  EXPECT_EQ(xa.Count(), 1u);
+}
+
+TEST(XArrayOrderTest, SplitOnPartialInvalidate) {
+  XArray xa;
+  int x = 7;
+  int singles[4];
+  // The page cache's DONTNEED split: erase the span, re-store the kept
+  // subpages as order-0 entries.
+  xa.StoreOrder(16, XEntry::FromPointer(&x), 2);
+  xa.EraseOrder(16, 2);
+  xa.Store(16, XEntry::FromPointer(&singles[0]));
+  xa.Store(19, XEntry::FromPointer(&singles[3]));
+  EXPECT_EQ(xa.Load(16).AsPointer<int>(), &singles[0]);
+  EXPECT_TRUE(xa.Load(17).IsEmpty());
+  EXPECT_TRUE(xa.Load(18).IsEmpty());
+  EXPECT_EQ(xa.Load(19).AsPointer<int>(), &singles[3]);
+  EXPECT_EQ(xa.Count(), 2u);
+}
+
+TEST(XArrayOrderTest, ForEachVisitsSpanOnceAtBase) {
+  XArray xa;
+  int x = 8;
+  xa.StoreOrder(64, XEntry::FromPointer(&x), 4);
+  xa.Store(3, XEntry::FromValue(1));
+  xa.Store(100, XEntry::FromValue(2));
+  std::vector<uint64_t> seen;
+  xa.ForEach([&seen](uint64_t idx, XEntry) { seen.push_back(idx); });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{3, 64, 100}));
+  // A range query that only overlaps the middle of the span sees nothing:
+  // callers that need span-overlap semantics probe the base explicitly
+  // (as FadviseRange does).
+  int count = 0;
+  xa.ForEachInRange(70, 75, [&count](uint64_t, XEntry) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(XArrayOrderTest, EraseOrderPrunesAndRetiresNodes) {
+  // An order-4 span at a deep index forces interior nodes; erasing the
+  // sole entry must prune them through EBR (retired, then freed after a
+  // grace period) — not leak them and not free them in place.
+  XArray xa;
+  int x = 9;
+  const uint64_t base = (1ull << 30) + 512;  // 16-aligned
+  xa.StoreOrder(base, XEntry::FromPointer(&x), 4);
+  EXPECT_EQ(xa.Load(base + 15).AsPointer<int>(), &x);
+  xa.EraseOrder(base, 4);
+  EXPECT_TRUE(xa.Load(base).IsEmpty());
+  EXPECT_EQ(xa.Count(), 0u);
+  ebr::Synchronize();
+  EXPECT_EQ(ebr::RetiredCount(), 0u);
+}
+
+TEST(XArrayOrderTest, LocklessMidSpanLookupDuringChurn) {
+  // One writer repeatedly replaces / erases an order-4 span while readers
+  // hammer a mid-span index under an EBR guard. Readers must only ever see
+  // the live pointer or a miss — never a sibling word or torn state.
+  XArray xa;
+  static int live;
+  // The reader drives the test length (a fixed sample count) and the
+  // writer churns until the reader is done: on a single-core box a
+  // fixed-round writer can finish before the reader thread ever runs.
+  std::atomic<bool> reader_done{false};
+  std::atomic<uint64_t> misses{0}, hits{0};
+
+  std::thread writer([&] {
+    while (!reader_done.load(std::memory_order_acquire)) {
+      xa.StoreOrder(32, XEntry::FromPointer(&live), 4);
+      xa.EraseOrder(32, 4);
+    }
+  });
+  std::thread reader([&] {
+    for (int i = 0; i < 20000; ++i) {
+      ebr::Guard guard;
+      const XEntry e = xa.Load(44);  // mid-span: resolves via a sibling
+      if (e.IsEmpty()) {
+        misses.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ASSERT_TRUE(e.IsPointer());
+        ASSERT_EQ(e.AsPointer<int>(), &live);
+        hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    reader_done.store(true, std::memory_order_release);
+  });
+  writer.join();
+  reader.join();
+  ebr::Synchronize();
+  EXPECT_EQ(hits.load() + misses.load(), 20000u);
 }
 
 // Property test: random Store/Erase/Load against std::map, multiple seeds.

@@ -12,8 +12,9 @@
 #                               # bench_mt_scaling run (refreshes
 #                               # bench/baselines/BENCH_mt_scaling.json)
 #   tools/check.sh --bench-smoke  # quick bench_table4_noop_overhead,
-#                               # bench_local_storage, bench_lockless_reads
-#                               # and bench_reclaim runs compared against
+#                               # bench_local_storage, bench_lockless_reads,
+#                               # bench_reclaim and bench_readahead_order
+#                               # runs compared against
 #                               # bench/baselines/*.json; fails if any
 #                               # ns/op point worsens by more than 15%
 #   tools/check.sh --analyze    # static analysis: tools/lint_kfunc_charge.py
@@ -98,9 +99,11 @@ if [[ "$bench_smoke" == 1 ]]; then
   #   ./build/bench/bench_lockless_reads --quick \
   #       --out bench/baselines/BENCH_lockless_reads.json
   #   ./build/bench/bench_reclaim --out bench/baselines/BENCH_reclaim.json
+  #   ./build/bench/bench_readahead_order --quick \
+  #       --out bench/baselines/BENCH_readahead_order.json
   echo "== bench-smoke: build benches (build/) =="
   cmake -B build >/dev/null
-  cmake --build build -j "$jobs" --target bench_table4_noop_overhead bench_local_storage bench_lockless_reads bench_reclaim
+  cmake --build build -j "$jobs" --target bench_table4_noop_overhead bench_local_storage bench_lockless_reads bench_reclaim bench_readahead_order
   echo "== bench-smoke: bench_table4_noop_overhead vs baseline =="
   ./build/bench/bench_table4_noop_overhead --quick \
       --baseline bench/baselines/BENCH_table4.json --threshold 0.15
@@ -113,6 +116,9 @@ if [[ "$bench_smoke" == 1 ]]; then
   echo "== bench-smoke: bench_reclaim vs baseline (+ p99 acceptance check) =="
   ./build/bench/bench_reclaim --quick --check \
       --baseline bench/baselines/BENCH_reclaim.json --threshold 0.15
+  echo "== bench-smoke: bench_readahead_order vs baseline (+ acceptance check) =="
+  ./build/bench/bench_readahead_order --quick --check \
+      --baseline bench/baselines/BENCH_readahead_order.json --threshold 0.15
   echo "== check.sh --bench-smoke: all green =="
   exit 0
 fi

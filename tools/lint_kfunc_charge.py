@@ -14,6 +14,13 @@ Two invariants the C++ compiler cannot check for us:
    InjectFault(...) call site under src/. A declared-but-unregistered
    point silently disables chaos coverage for that failure mode.
 
+3. Every PolicyHook enumerator (src/pagecache/eviction.h) must be wired
+   through the circuit breaker in src/cache_ext/framework.cc: at least
+   one Degraded(PolicyHook::kX) guard AND one RunProgram(PolicyHook::kX,
+   ...) dispatch. A hook added without both (like the PR-8 readahead /
+   admit_order pair) would run policy code with no violation accounting
+   and no degradation path.
+
 Pure stdlib, no compiler needed; runs as part of tools/check.sh --analyze.
 Exits non-zero with a message per violation.
 """
@@ -43,6 +50,8 @@ KFUNC_METHODS = [
 EVICTION_LIST_CC = os.path.join(REPO, "src", "cache_ext", "eviction_list.cc")
 FAULT_H = os.path.join(REPO, "src", "fault", "fault_injector.h")
 FAULT_CC = os.path.join(REPO, "src", "fault", "fault_injector.cc")
+EVICTION_H = os.path.join(REPO, "src", "pagecache", "eviction.h")
+FRAMEWORK_CC = os.path.join(REPO, "src", "cache_ext", "framework.cc")
 
 
 def read(path):
@@ -153,10 +162,42 @@ def check_fault_registry(errors):
             )
 
 
+def declared_policy_hooks():
+    """PolicyHook enumerator names from src/pagecache/eviction.h."""
+    source = read(EVICTION_H)
+    enum = re.search(r"enum class PolicyHook\s*:\s*\w+\s*\{(.*?)\}", source, re.S)
+    if enum is None:
+        return []
+    return re.findall(r"\b(k\w+)\b", enum.group(1))
+
+
+def check_hook_breaker_wiring(errors):
+    hooks = declared_policy_hooks()
+    if not hooks:
+        errors.append("%s: PolicyHook enum not found" % EVICTION_H)
+        return
+    framework = read(FRAMEWORK_CC)
+    for hook in hooks:
+        if "Degraded(PolicyHook::%s)" % hook not in framework:
+            errors.append(
+                "%s: PolicyHook::%s has no Degraded() guard — hook keeps "
+                "dispatching after its breaker trips" % (FRAMEWORK_CC, hook)
+            )
+        if not re.search(
+            r"RunProgram\(PolicyHook::%s\b" % re.escape(hook), framework
+        ):
+            errors.append(
+                "%s: PolicyHook::%s is never dispatched via RunProgram() — "
+                "policy code would run unmetered (no watchdog, no breaker "
+                "accounting)" % (FRAMEWORK_CC, hook)
+            )
+
+
 def main():
     errors = []
     check_kfunc_charges(errors)
     check_fault_registry(errors)
+    check_hook_breaker_wiring(errors)
     if errors:
         for err in errors:
             print("lint_kfunc_charge: %s" % err, file=sys.stderr)
@@ -168,8 +209,12 @@ def main():
         return 1
     print(
         "lint_kfunc_charge: OK (%d kfuncs charge the helper budget, "
-        "%d fault points registered and reachable)"
-        % (len(KFUNC_METHODS), len(declared_fault_points()))
+        "%d fault points registered and reachable, %d hooks breaker-wired)"
+        % (
+            len(KFUNC_METHODS),
+            len(declared_fault_points()),
+            len(declared_policy_hooks()),
+        )
     )
     return 0
 
