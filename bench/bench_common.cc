@@ -135,6 +135,28 @@ void PrintReclaimCounters(
   table.Print();
 }
 
+void PrintWritebackCounters(
+    const std::string& title,
+    const std::vector<std::pair<std::string, ArmResult>>& arms) {
+  harness::Table table(title,
+                       {"arm", "dirty gauge", "wakeups", "ticks", "extents",
+                        "deferred", "throttles", "throttle ns", "wb ns",
+                        "syncs"});
+  for (const auto& [label, arm] : arms) {
+    const CgroupCacheStats& st = arm.cache_stats;
+    table.AddRow({label, harness::FormatCount(st.dirty_pages),
+                  harness::FormatCount(st.writeback_wakeups),
+                  harness::FormatCount(st.writeback_flush_ticks),
+                  harness::FormatCount(st.writeback_extents),
+                  harness::FormatCount(st.writeback_deferred_pages),
+                  harness::FormatCount(st.writeback_throttle_entries),
+                  harness::FormatNs(st.ext_dirty_throttle_ns),
+                  harness::FormatNs(st.ext_writeback_ns),
+                  harness::FormatCount(st.writeback_sync_entries)});
+  }
+  table.Print();
+}
+
 bool WriteBenchJson(const std::string& path, const std::string& bench,
                     const std::vector<BenchPoint>& points) {
   std::ofstream out(path);

@@ -79,6 +79,14 @@ void PrintReclaimCounters(
     const std::string& title,
     const std::vector<std::pair<std::string, ArmResult>>& arms);
 
+// Prints the per-arm writeback counters: the LIVE dirty-page gauge at
+// snapshot time, flusher wakeups/ticks/extents, hook-deferred pages,
+// writer throttling (entries + stall ns), flusher-lane writeback CPU, and
+// fsync entries — the balance_dirty_pages / bdi-flusher split.
+void PrintWritebackCounters(
+    const std::string& title,
+    const std::vector<std::pair<std::string, ArmResult>>& arms);
+
 // --- bench-smoke baseline plumbing (tools/check.sh --bench-smoke) ---
 
 // One measured scalar, keyed by a stable name ("8192_lfu", "slot_lookup").

@@ -94,6 +94,22 @@ Expected<cache_ext::Ops> CompileToOps(const IrPolicy& policy,
           runtime->Execute(Hook::kAdmitOrder, api, hctx));
     };
   }
+  if (prog.HookPresent(Hook::kShouldWriteback)) {
+    ops.should_writeback = [runtime](CacheExtApi& api,
+                                     const WritebackCtx& ctx) -> bool {
+      HookCtx hctx;
+      hctx.writeback = &ctx;
+      return runtime->Execute(Hook::kShouldWriteback, api, hctx) != 0;
+    };
+  }
+  if (prog.HookPresent(Hook::kWritebackOrder)) {
+    ops.writeback_order = [runtime](CacheExtApi& api,
+                                    const WritebackCtx& ctx) -> int64_t {
+      HookCtx hctx;
+      hctx.writeback = &ctx;
+      return runtime->Execute(Hook::kWritebackOrder, api, hctx);
+    };
+  }
   ops.collect_counters = [runtime](PolicyRuntimeCounters* counters) {
     counters->map_lookups += runtime->MapLookups();
   };

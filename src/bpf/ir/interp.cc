@@ -187,6 +187,7 @@ bool IrRuntime::ExecuteRange(size_t begin, size_t end, const Program& prog,
                             : hctx.prefetch   ? hctx.prefetch->index
                             : hctx.readahead  ? hctx.readahead->index
                             : hctx.admit_order ? hctx.admit_order->index
+                            : hctx.writeback   ? hctx.writeback->index
                                                : 0;
             break;
           case CtxField::kPrevIndex:
@@ -224,6 +225,16 @@ bool IrRuntime::ExecuteRange(size_t begin, size_t end, const Program& prog,
             break;
           case CtxField::kTier:
             regs[ins.dst] = hctx.tier;
+            break;
+          case CtxField::kNrPages:
+            regs[ins.dst] = hctx.writeback ? hctx.writeback->nr_pages : 0;
+            break;
+          case CtxField::kNrDirty:
+            regs[ins.dst] = hctx.writeback ? hctx.writeback->nr_dirty : 0;
+            break;
+          case CtxField::kForSync:
+            regs[ins.dst] =
+                hctx.writeback && hctx.writeback->for_sync ? 1 : 0;
             break;
         }
         break;

@@ -64,6 +64,7 @@ struct HookCtx {
   const PrefetchCtx* prefetch = nullptr;
   const ReadaheadCtx* readahead = nullptr;
   const AdmitOrderCtx* admit_order = nullptr;
+  const WritebackCtx* writeback = nullptr;
   uint32_t tier = 0;
 };
 

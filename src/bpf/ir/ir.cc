@@ -101,6 +101,9 @@ const char* CtxFieldName(CtxField field) {
     case CtxField::kTid:           return "ctx.tid";
     case CtxField::kIsWrite:       return "ctx.is_write";
     case CtxField::kTier:          return "ctx.tier";
+    case CtxField::kNrPages:       return "ctx.nr_pages";
+    case CtxField::kNrDirty:       return "ctx.nr_dirty";
+    case CtxField::kForSync:       return "ctx.for_sync";
   }
   return "ctx.?";
 }

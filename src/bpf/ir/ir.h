@@ -108,6 +108,9 @@ enum class CtxField : uint8_t {
   kTid,            // admit_folio / request_prefetch / readahead / admit_order
   kIsWrite,        // admit_folio / admit_order: 0/1
   kTier,           // folio_refaulted: MGLRU tier recorded at eviction
+  kNrPages,        // should_writeback / writeback_order: folio span
+  kNrDirty,        // should_writeback / writeback_order: cgroup dirty gauge
+  kForSync,        // should_writeback / writeback_order: fsync harvest? 0/1
 };
 
 // Placement of examined folios for the loop forms (the IR supports the two

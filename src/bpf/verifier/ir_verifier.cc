@@ -267,6 +267,8 @@ std::optional<RegAbs> CtxFieldIn(Hook hook, CtxField field,
       hook == Hook::kReadahead || hook == Hook::kAdmitOrder;
   const bool window_hook =
       hook == Hook::kRequestPrefetch || hook == Hook::kReadahead;
+  const bool writeback_hook =
+      hook == Hook::kShouldWriteback || hook == Hook::kWritebackOrder;
   switch (field) {
     case CtxField::kFolio:
       if (folio_hook) return Folio();
@@ -278,7 +280,7 @@ std::optional<RegAbs> CtxFieldIn(Hook hook, CtxField field,
       }
       break;
     case CtxField::kIndex:
-      if (fault_hook) return FullScalar();
+      if (fault_hook || writeback_hook) return FullScalar();
       break;
     case CtxField::kPrevIndex:
       if (window_hook) return FullScalar();
@@ -301,6 +303,16 @@ std::optional<RegAbs> CtxFieldIn(Hook hook, CtxField field,
       break;
     case CtxField::kTier:
       if (hook == Hook::kFolioRefaulted) return Scalar(0, 255);
+      break;
+    case CtxField::kNrPages:
+      // A folio spans 2^order pages, order <= kMaxFolioOrder (= 4).
+      if (writeback_hook) return Scalar(1, 16);
+      break;
+    case CtxField::kNrDirty:
+      if (writeback_hook) return FullScalar();
+      break;
+    case CtxField::kForSync:
+      if (writeback_hook) return Scalar(0, 1);
       break;
   }
   return std::nullopt;
@@ -334,7 +346,8 @@ bool KfuncAllowedInHook(Kfunc kfunc, Hook hook) {
 bool HookReturnsValue(Hook hook) {
   return hook == Hook::kPolicyInit || hook == Hook::kAdmitFolio ||
          hook == Hook::kRequestPrefetch || hook == Hook::kReadahead ||
-         hook == Hook::kAdmitOrder;
+         hook == Hook::kAdmitOrder || hook == Hook::kShouldWriteback ||
+         hook == Hook::kWritebackOrder;
 }
 
 // -----------------------------------------------------------------------
@@ -1073,7 +1086,8 @@ void HookAnalyzer::CheckDeadHook() {
   // an optional one that provably does nothing only adds dispatch cost.
   if (hook_ != Hook::kAdmitFolio && hook_ != Hook::kRequestPrefetch &&
       hook_ != Hook::kFolioRefaulted && hook_ != Hook::kReadahead &&
-      hook_ != Hook::kAdmitOrder) {
+      hook_ != Hook::kAdmitOrder && hook_ != Hook::kShouldWriteback &&
+      hook_ != Hook::kWritebackOrder) {
     return;
   }
   if (HasErrors() || side_effect_ || exits_.empty()) {
@@ -1114,6 +1128,43 @@ void HookAnalyzer::CheckDeadHook() {
       Err(Check::kIrDeadHook, 0,
           "admit_order provably always returns order 0 and has no side "
           "effects — drop the hook");
+    }
+    return;
+  }
+  if (hook_ == Hook::kShouldWriteback) {
+    // should_writeback: every exit provably returns nonzero ("flush it"),
+    // which is exactly what the flusher does with the hook absent.
+    bool always_flush = true;
+    for (const ExitInfo& e : exits_) {
+      if (e.r0.kind != RKind::kScalar || e.r0.min == 0) {
+        always_flush = false;
+        break;
+      }
+    }
+    if (always_flush) {
+      Err(Check::kIrDeadHook, 0,
+          "should_writeback provably always flushes (every exit returns "
+          "r0 >= 1) and has no side effects — drop the hook");
+    }
+    return;
+  }
+  if (hook_ == Hook::kWritebackOrder) {
+    // writeback_order: every exit provably returns a negative key ("defer
+    // to file-offset order"), the hook-absent behaviour.
+    bool always_offset_order = true;
+    for (const ExitInfo& e : exits_) {
+      const bool negative = e.r0.kind == RKind::kScalar &&
+                            e.r0.min == e.r0.max &&
+                            static_cast<int64_t>(e.r0.min) < 0;
+      if (!negative) {
+        always_offset_order = false;
+        break;
+      }
+    }
+    if (always_offset_order) {
+      Err(Check::kIrDeadHook, 0,
+          "writeback_order provably always defers to file-offset order and "
+          "has no side effects — drop the hook");
     }
     return;
   }
@@ -1161,7 +1212,8 @@ void HookAnalyzer::EmitFindings() {
   }
   if (hook_ == Hook::kAdmitFolio || hook_ == Hook::kRequestPrefetch ||
       hook_ == Hook::kFolioRefaulted || hook_ == Hook::kReadahead ||
-      hook_ == Hook::kAdmitOrder) {
+      hook_ == Hook::kAdmitOrder || hook_ == Hook::kShouldWriteback ||
+      hook_ == Hook::kWritebackOrder) {
     log_->Pass(Check::kIrDeadHook, hook_name, "hook has a provable effect");
   }
 }

@@ -37,8 +37,10 @@ enum class Hook : uint8_t {
   kRequestPrefetch,
   kReadahead,
   kAdmitOrder,
+  kShouldWriteback,
+  kWritebackOrder,
 };
-inline constexpr size_t kNumHooks = 10;
+inline constexpr size_t kNumHooks = 12;
 
 inline const char* HookName(Hook hook) {
   switch (hook) {
@@ -62,6 +64,10 @@ inline const char* HookName(Hook hook) {
       return "readahead";
     case Hook::kAdmitOrder:
       return "admit_order";
+    case Hook::kShouldWriteback:
+      return "should_writeback";
+    case Hook::kWritebackOrder:
+      return "writeback_order";
   }
   return "?";
 }

@@ -103,6 +103,10 @@ bool HookPresent(const cache_ext::Ops& ops, Hook hook) {
       return static_cast<bool>(ops.readahead);
     case Hook::kAdmitOrder:
       return static_cast<bool>(ops.admit_order);
+    case Hook::kShouldWriteback:
+      return static_cast<bool>(ops.should_writeback);
+    case Hook::kWritebackOrder:
+      return static_cast<bool>(ops.writeback_order);
   }
   return false;
 }
@@ -535,6 +539,28 @@ class DryRunner {
       octx.memcg = &cg_;
       octx.nr_requested = 16;
       RunHook(Hook::kAdmitOrder, [&] { (void)ops_.admit_order(api_, octx); });
+    }
+    if (ops_.should_writeback) {
+      cache_ext::WritebackCtx wctx;
+      wctx.mapping = &mapping_;
+      wctx.index = 1;
+      wctx.nr_pages = 1;
+      wctx.nr_dirty = folios_.size();
+      wctx.memcg = &cg_;
+      wctx.for_sync = false;
+      RunHook(Hook::kShouldWriteback,
+              [&] { (void)ops_.should_writeback(api_, wctx); });
+    }
+    if (ops_.writeback_order) {
+      cache_ext::WritebackCtx wctx;
+      wctx.mapping = &mapping_;
+      wctx.index = 1;
+      wctx.nr_pages = 1;
+      wctx.nr_dirty = folios_.size();
+      wctx.memcg = &cg_;
+      wctx.for_sync = false;
+      RunHook(Hook::kWritebackOrder,
+              [&] { (void)ops_.writeback_order(api_, wctx); });
     }
     if (ops_.folio_refaulted) {
       RunHook(Hook::kFolioRefaulted,

@@ -176,6 +176,28 @@ uint32_t CacheExtPolicy::AdmitOrder(const AdmitOrderCtx& ctx) {
   return order;
 }
 
+bool CacheExtPolicy::ShouldWriteback(const WritebackCtx& ctx) {
+  if (!ops_.should_writeback || Degraded(PolicyHook::kShouldWriteback)) {
+    return true;  // default kernel behaviour: flush every harvested folio
+  }
+  bool flush = true;
+  RunProgram(PolicyHook::kShouldWriteback,
+             [&] { flush = ops_.should_writeback(api_, ctx); });
+  // Durability override: fsync-driven harvests may not be vetoed — a policy
+  // deferring folios an fsync needs would turn a hint into data loss.
+  return flush || ctx.for_sync;
+}
+
+int64_t CacheExtPolicy::WritebackOrder(const WritebackCtx& ctx) {
+  if (!ops_.writeback_order || Degraded(PolicyHook::kWritebackOrder)) {
+    return -1;  // defer to file offset order
+  }
+  int64_t key = -1;
+  RunProgram(PolicyHook::kWritebackOrder,
+             [&] { key = ops_.writeback_order(api_, ctx); });
+  return key;
+}
+
 void CacheExtPolicy::FolioRefaulted(Folio* folio, uint32_t tier) {
   if (!ops_.folio_refaulted || Degraded(PolicyHook::kRefault)) {
     return;

@@ -52,6 +52,8 @@ class CacheExtPolicy : public ReclaimPolicy {
   int64_t RequestPrefetch(const PrefetchCtx& ctx) override;
   int64_t RequestReadahead(const ReadaheadCtx& ctx) override;
   uint32_t AdmitOrder(const AdmitOrderCtx& ctx) override;
+  bool ShouldWriteback(const WritebackCtx& ctx) override;
+  int64_t WritebackOrder(const WritebackCtx& ctx) override;
   void FolioRefaulted(Folio* folio, uint32_t tier) override;
   bool ValidateCandidate(Folio* folio) override;
   uint64_t PerEventCostNs() const override { return per_event_cost_ns_; }

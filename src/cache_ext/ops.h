@@ -70,6 +70,12 @@ struct Ops {
   // is a violation (breaker-counted, treated as 0); the page cache also
   // falls back to 0 on misalignment or memcg pressure.
   std::function<uint32_t(CacheExtApi&, const AdmitOrderCtx&)> admit_order;
+  // Writeback admission: false defers a harvested dirty folio to a later
+  // flusher tick (ignored for fsync-driven harvests — durability wins).
+  std::function<bool(CacheExtApi&, const WritebackCtx&)> should_writeback;
+  // Flush-ordering key: each flush batch is sorted by ascending key before
+  // extent coalescing. Negative defers to file offset order.
+  std::function<int64_t(CacheExtApi&, const WritebackCtx&)> writeback_order;
 
   // Optional: add this policy's map counters (hash probes vs folio-local
   // storage hits) into `counters`. Policies wire this to the Stats() of

@@ -24,6 +24,14 @@ namespace cache_ext {
 inline constexpr uint32_t kDefaultReclaimLowPer1024 = 16;
 inline constexpr uint32_t kDefaultReclaimHighPer1024 = 48;
 
+// Default writeback dirty ratios, in 1024ths of the cgroup limit (see
+// src/writeback/dirty.h for the semantics): the flusher lane wakes when
+// dirty pages exceed ~10% of the limit and dirtying lanes are throttled
+// (balance_dirty_pages analogue) above ~20%, matching the kernel's
+// dirty_background_ratio / dirty_ratio split.
+inline constexpr uint32_t kDefaultDirtyBgPer1024 = 102;
+inline constexpr uint32_t kDefaultDirtyPer1024 = 205;
+
 class MemCgroup {
  public:
   MemCgroup(uint64_t id, std::string name, uint64_t limit_pages)
@@ -71,6 +79,21 @@ class MemCgroup {
   void SetReclaimWatermarks(uint32_t low_per_1024, uint32_t high_per_1024) {
     reclaim_low_per_1024_.store(low_per_1024, std::memory_order_relaxed);
     reclaim_high_per_1024_.store(high_per_1024, std::memory_order_relaxed);
+  }
+
+  // Writeback dirty ratios in 1024ths of the limit, same racy-relaxed knob
+  // contract as the reclaim watermarks: the writeback layer re-derives
+  // absolute thresholds from (limit, ratios) on every dirtying check
+  // (src/writeback/dirty.h).
+  uint32_t dirty_bg_per_1024() const {
+    return dirty_bg_per_1024_.load(std::memory_order_relaxed);
+  }
+  uint32_t dirty_per_1024() const {
+    return dirty_per_1024_.load(std::memory_order_relaxed);
+  }
+  void SetDirtyRatios(uint32_t bg_per_1024, uint32_t dirty_per_1024) {
+    dirty_bg_per_1024_.store(bg_per_1024, std::memory_order_relaxed);
+    dirty_per_1024_.store(dirty_per_1024, std::memory_order_relaxed);
   }
 
   // Workingset clock: advances on every eviction from this cgroup; shadow
@@ -121,6 +144,8 @@ class MemCgroup {
   std::atomic<uint64_t> charged_pages_{0};
   std::atomic<uint32_t> reclaim_low_per_1024_{kDefaultReclaimLowPer1024};
   std::atomic<uint32_t> reclaim_high_per_1024_{kDefaultReclaimHighPer1024};
+  std::atomic<uint32_t> dirty_bg_per_1024_{kDefaultDirtyBgPer1024};
+  std::atomic<uint32_t> dirty_per_1024_{kDefaultDirtyPer1024};
   std::atomic<uint64_t> nonresident_age_{0};
   std::atomic<void*> priv_{nullptr};
 };

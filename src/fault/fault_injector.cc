@@ -13,6 +13,8 @@ std::vector<std::string_view> AllFaultPoints() {
       points::kReclaimOvershoot,  points::kDiskRead,
       points::kDiskWrite,         points::kSsdLatencySpike,
       points::kSsdDegrade,        points::kReadaheadMisfire,
+      points::kWritebackStall,    points::kWritebackLostWakeup,
+      points::kWritebackPartialFlush,
   };
 }
 

@@ -71,6 +71,21 @@ inline constexpr std::string_view kReclaimThreadDeath =
 // watermark), so occupancy overshoots toward the hard limit and the
 // emergency path must bound the excursion.
 inline constexpr std::string_view kReclaimOvershoot = "reclaim.overshoot";
+// src/writeback
+// Wedge a cgroup's background flusher lane for `magnitude` ticks
+// (default 8): ticks harvest nothing and the dirty gauge keeps climbing,
+// so dirty throttling must contain the writers until the lane heals.
+inline constexpr std::string_view kWritebackStall = "writeback.stall";
+// Drop a flusher kick on the floor, as if the wakeup raced a concurrent
+// sleep: the poll-interval backstop (MT) or the next dirtying operation
+// (ST) must still get the lane running.
+inline constexpr std::string_view kWritebackLostWakeup =
+    "writeback.lost_wakeup";
+// Make a flush tick stop after its first extent, leaving the rest of the
+// harvest dirty — the background threshold must be re-reached by later
+// ticks rather than assumed reached by this one.
+inline constexpr std::string_view kWritebackPartialFlush =
+    "writeback.partial_flush";
 // src/sim
 inline constexpr std::string_view kDiskRead = "sim.disk.read";
 inline constexpr std::string_view kDiskWrite = "sim.disk.write";

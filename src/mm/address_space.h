@@ -60,6 +60,39 @@ class AddressSpace {
   std::atomic<bool> ra_random_hint{false};      // FADV_RANDOM
   std::atomic<bool> noreuse_hint{false};        // FADV_NOREUSE
 
+  // Writeback state: the latest virtual-time completion of any device
+  // write the flusher (or an fsync) submitted for this file, plus the
+  // count of dirty pages resident in this mapping. `wb_last_completion_ns`
+  // is max-merged so fsync can wait on every in-flight write for *this*
+  // file without scanning other files (the per-inode slice of the kernel's
+  // PG_writeback wait). `nr_dirty` is maintained under the mapping's
+  // stripe lock but read lock-free by the flusher's file scan.
+  void NoteWritebackCompletion(uint64_t completion_ns) {
+    uint64_t prev = wb_last_completion_ns.load(std::memory_order_relaxed);
+    while (completion_ns > prev &&
+           !wb_last_completion_ns.compare_exchange_weak(
+               prev, completion_ns, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<uint64_t> wb_last_completion_ns{0};
+  std::atomic<uint64_t> nr_dirty{0};
+
+  // Writeback batch sequencing, closing the fsync race the kFolioWriteback
+  // flag alone cannot: a writer (flusher tick or fsync) bumps
+  // `wb_seq_started` under the stripe *before* clearing kFolioDirty, and
+  // bumps `wb_seq_done` only after the device write is submitted and its
+  // completion merged into wb_last_completion_ns. A concurrent fsync
+  // snapshots started, drains done up to it, and only then trusts
+  // wb_last_completion_ns — so observing a cleared dirty bit always implies
+  // waiting for the write that cleared it.
+  std::atomic<uint64_t> wb_seq_started{0};
+  std::atomic<uint64_t> wb_seq_done{0};
+
+  // Dedup flag for the flusher's dirty-file set (I_DIRTY list membership):
+  // NoteDirtied only appends the file when it wins the false->true CAS, and
+  // the harvest clears it when it takes the file off the list.
+  std::atomic<bool> wb_on_dirty_list{false};
+
  private:
   uint64_t id_;
   FileId file_;

@@ -33,6 +33,7 @@ enum FolioFlag : uint32_t {
   kFolioUptodate = 1u << 3,    // contents populated from storage
   kFolioWorkingset = 1u << 4,  // refaulted within the workingset window
   kFolioDropBehind = 1u << 5,  // FADV_NOREUSE-style hint: evict early
+  kFolioWriteback = 1u << 6,   // device write in flight (PG_writeback)
 };
 
 struct Folio {
@@ -88,6 +89,14 @@ struct Folio {
   bool TestClearFlag(FolioFlag f) {
     const uint32_t old =
         flags.fetch_and(~static_cast<uint32_t>(f), std::memory_order_relaxed);
+    return (old & f) != 0;
+  }
+
+  // Atomically "test and set" a flag, like folio_test_set_*: returns true
+  // iff the flag was already set. Lets a clean->dirty transition be counted
+  // exactly once even when concurrent writers race on the same folio.
+  bool TestSetFlag(FolioFlag f) {
+    const uint32_t old = flags.fetch_or(f, std::memory_order_relaxed);
     return (old & f) != 0;
   }
 

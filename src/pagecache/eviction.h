@@ -37,8 +37,10 @@ enum class PolicyHook : uint32_t {
   kRefault,
   kReadahead,
   kOrder,
+  kShouldWriteback,
+  kWritebackOrder,
 };
-inline constexpr uint32_t kNumPolicyHooks = 9;
+inline constexpr uint32_t kNumPolicyHooks = 11;
 
 constexpr std::string_view PolicyHookName(PolicyHook hook) {
   switch (hook) {
@@ -51,6 +53,8 @@ constexpr std::string_view PolicyHookName(PolicyHook hook) {
     case PolicyHook::kRefault:   return "refault";
     case PolicyHook::kReadahead: return "readahead";
     case PolicyHook::kOrder:     return "order";
+    case PolicyHook::kShouldWriteback: return "should_writeback";
+    case PolicyHook::kWritebackOrder:  return "writeback_order";
   }
   return "?";
 }
@@ -178,6 +182,22 @@ struct AdmitOrderCtx {
   bool is_write = false;
 };
 
+// Context handed to the writeback hooks: the flusher harvested a dirty
+// folio at `index` and asks the policy (a) whether to write it back this
+// tick at all (`should_writeback` — false defers the folio to a later
+// tick, e.g. an LSM policy holding back a half-built SSTable block) and
+// (b) what key to sort the flush batch by (`writeback_order` — smaller
+// keys flush first; the default is file offset order, which maximizes
+// extent coalescing).
+struct WritebackCtx {
+  AddressSpace* mapping = nullptr;
+  uint64_t index = 0;          // folio's first page index
+  uint32_t nr_pages = 0;       // folio span (2^order)
+  uint64_t nr_dirty = 0;       // cgroup dirty gauge at harvest time
+  MemCgroup* memcg = nullptr;
+  bool for_sync = false;       // harvested by fsync, not the background lane
+};
+
 // A page-cache eviction policy. The page cache invokes the hooks on cache
 // events; EvictFolios is called under memory pressure.
 //
@@ -246,6 +266,25 @@ class ReclaimPolicy {
   virtual uint32_t AdmitOrder(const AdmitOrderCtx& ctx) {
     (void)ctx;
     return 0;
+  }
+
+  // Writeback admission: may the flusher write this dirty folio back this
+  // tick? Returning false defers it to a later tick; fsync-driven harvests
+  // (ctx.for_sync) ignore a veto — durability beats policy intent, and the
+  // flusher re-offers deferred folios every tick so a stuck policy cannot
+  // pin dirty data forever (the breaker degrades the hook instead).
+  virtual bool ShouldWriteback(const WritebackCtx& ctx) {
+    (void)ctx;
+    return true;
+  }
+
+  // Flush-ordering key for a harvested dirty folio: the flusher sorts each
+  // batch by ascending key before extent coalescing, so a policy can flush
+  // SSTable blocks in key order or group writes by stream. Negative defers
+  // to the default (file offset order).
+  virtual int64_t WritebackOrder(const WritebackCtx& ctx) {
+    (void)ctx;
+    return -1;
   }
 
   // Called by the page cache on every candidate this policy proposed,

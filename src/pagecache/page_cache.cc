@@ -38,6 +38,15 @@ PageCache::PageCache(SimDisk* disk, SsdModel* ssd, PageCacheOptions options)
         options_.reclaim,
         [this](void* token) { BackgroundTickForToken(token); });
   }
+  if (options_.writeback.background && options_.writeback.use_threads) {
+    // Reuse the reclaim pool machinery for flusher threads; it only reads
+    // nr_threads / thread_poll_us from the options.
+    reclaim::ReclaimOptions pool_opts;
+    pool_opts.nr_threads = options_.writeback.nr_threads;
+    pool_opts.thread_poll_us = options_.writeback.thread_poll_us;
+    flusher_pool_ = std::make_unique<reclaim::ReclaimerPool>(
+        pool_opts, [this](void* token) { FlushTickForToken(token); });
+  }
 }
 
 PageCache::~PageCache() CACHE_EXT_NO_TSA {
@@ -45,6 +54,9 @@ PageCache::~PageCache() CACHE_EXT_NO_TSA {
   // and folios, so they must be joined before anything else is torn down.
   if (reclaimer_pool_ != nullptr) {
     reclaimer_pool_->Stop();
+  }
+  if (flusher_pool_ != nullptr) {
+    flusher_pool_->Stop();
   }
   // Drain every deferred free first (folios and xarray nodes this cache
   // retired): their deleters touch the local-storage directory and must
@@ -75,10 +87,15 @@ MemCgroup* PageCache::CreateCgroup(std::string_view name, uint64_t limit_bytes,
   state->base_event_cost_ns = state->base->PerEventCostNs();
   state->reclaim = std::make_unique<reclaim::CgroupReclaimControl>(
       static_cast<uint32_t>(state->cg->id()));
+  state->flush = std::make_unique<writeback::CgroupFlushControl>(
+      static_cast<uint32_t>(state->cg->id()));
   state->cg->set_priv(state.get());
   MemCgroup* cg = state->cg.get();
   if (reclaimer_pool_ != nullptr) {
     reclaimer_pool_->Register(state.get());
+  }
+  if (flusher_pool_ != nullptr) {
+    flusher_pool_->Register(state.get());
   }
   cgroups_.push_back(std::move(state));
   return cg;
@@ -570,13 +587,33 @@ bool PageCache::RemoveFolio(Lane& lane, CgroupState& st, AddressSpace* as,
     const uint64_t base = folio->index;
     const uint64_t nr = folio->nr_pages();
     if (skip_writeback) {
-      folio->ClearFlag(kFolioDirty);
+      if (folio->TestClearFlag(kFolioDirty)) {
+        st.flush->NoteCleaned(as, nr);
+      }
     } else if (folio->TestClearFlag(kFolioDirty)) {
-      // Writeback: the device write occupies a channel but the reclaiming
-      // lane does not wait for it (async flush). The whole span flushes as
-      // one device write (a multi-order folio is dirty as a unit).
-      ssd_->SubmitWrite(lane.now_ns(), nr * kPageSize);
-      lane.Charge(nr * options_.costs.writeback_page_ns);
+      // Writeback of a dirty victim: the device write occupies a channel
+      // but the evicting lane does not wait for it (async flush). The whole
+      // span flushes as one device write (a multi-order folio is dirty as a
+      // unit). With background writeback on, the CPU cost of issuing the
+      // write is handed to the cgroup's flusher lane — reclaim no longer
+      // pays writeback_page_ns on the reclaiming (or allocating) lane;
+      // inline mode preserves the historical on-lane charge. Either way the
+      // completion is merged into the mapping so a later fsync waits for it.
+      st.flush->NoteCleaned(as, nr);
+      as->wb_seq_started.fetch_add(1, std::memory_order_relaxed);
+      uint64_t completion = 0;
+      if (options_.writeback.background) {
+        Lane& wlane = st.flush->lane();
+        wlane.AdvanceTo(lane.now_ns());
+        completion = ssd_->SubmitWrite(wlane.now_ns(), nr * kPageSize);
+        wlane.Charge(nr * options_.costs.writeback_page_ns);
+        st.flush->NoteWritebackNs(nr * options_.costs.writeback_page_ns);
+      } else {
+        completion = ssd_->SubmitWrite(lane.now_ns(), nr * kPageSize);
+        lane.Charge(nr * options_.costs.writeback_page_ns);
+      }
+      as->NoteWritebackCompletion(completion);
+      as->wb_seq_done.fetch_add(1, std::memory_order_release);
       st.stats.writeback_pages.fetch_add(nr, std::memory_order_relaxed);
     }
 
@@ -629,6 +666,7 @@ void PageCache::InvalidateForDontNeed(Lane& lane, CgroupState& st,
   Folio* folio = nullptr;
   uint64_t base = 0;
   uint64_t nr = 0;
+  bool was_dirty = false;
   {
     MutexLock s(StripeFor(as).mu);
     folio = as->FindFolio(index);
@@ -637,22 +675,48 @@ void PageCache::InvalidateForDontNeed(Lane& lane, CgroupState& st,
     }
     base = folio->index;
     nr = folio->nr_pages();
+    was_dirty = folio->TestFlag(kFolioDirty);
   }
+  const uint64_t span_last = base + nr - 1;
+  const bool partial = nr > 1 && !(base >= first && span_last <= last);
+  // A partial invalidate of a dirty multi-order folio skips the removal's
+  // whole-span writeback: only the invalidated subrange is flushed (below,
+  // inline — DONTNEED writes back what it drops), and the kept subpages are
+  // re-inserted with kFolioDirty intact. Splitting must not launder the
+  // kept pages clean, or an fsync after the split would miss them.
   if (!RemoveFolio(lane, st, as, base, /*expected=*/folio,
-                   RemovalKind::kInvalidate)) {
+                   RemovalKind::kInvalidate,
+                   /*skip_writeback=*/partial && was_dirty)) {
     return;  // pinned by another lane: the whole folio survives
   }
   // Partial invalidate of a multi-order folio: the kernel splits the large
   // folio and truncates only the pages in range (truncate_inode_partial_folio).
-  // Here the removal already dropped the whole span (dirty data was written
-  // back, and SimDisk holds canonical bytes), so the split is a re-insert of
-  // the kept subpages as order-0 folios.
-  const uint64_t span_last = base + nr - 1;
-  if (nr == 1 || (base >= first && span_last <= last)) {
+  // Here the removal already dropped the whole span (SimDisk holds canonical
+  // bytes), so the split is a re-insert of the kept subpages as order-0
+  // folios.
+  if (nr == 1 || !partial) {
     return;  // fully covered: a plain invalidate, nothing kept
+  }
+  if (was_dirty) {
+    // Flush the dropped subrange inline on the caller's lane (DONTNEED pays
+    // for the writeback it forces, like the kernel's invalidate path).
+    uint64_t dropped = 0;
+    for (uint64_t i = base; i <= span_last; ++i) {
+      if (i >= first && i <= last) {
+        ++dropped;
+      }
+    }
+    if (dropped > 0) {
+      const uint64_t completion =
+          ssd_->SubmitWrite(lane.now_ns(), dropped * kPageSize);
+      lane.Charge(dropped * options_.costs.writeback_page_ns);
+      as->NoteWritebackCompletion(completion);
+      st.stats.writeback_pages.fetch_add(dropped, std::memory_order_relaxed);
+    }
   }
   st.stats.ext_order_splits.fetch_add(1, std::memory_order_relaxed);
   std::vector<Folio*> kept;
+  uint64_t kept_dirty = 0;
   {
     MutexLock s(StripeFor(as).mu);
     for (uint64_t i = base; i <= span_last; ++i) {
@@ -667,6 +731,10 @@ void PageCache::InvalidateForDontNeed(Lane& lane, CgroupState& st,
       nf->index = i;
       nf->memcg = cg;
       nf->SetFlag(kFolioUptodate);
+      if (was_dirty) {
+        nf->SetFlag(kFolioDirty);  // both split halves stay dirty
+        ++kept_dirty;
+      }
       if (as->noreuse_hint.load(std::memory_order_relaxed)) {
         nf->SetFlag(kFolioDropBehind);
       }
@@ -676,6 +744,9 @@ void PageCache::InvalidateForDontNeed(Lane& lane, CgroupState& st,
       cg->ChargePages(1);
       kept.push_back(nf);
     }
+  }
+  if (kept_dirty > 0) {
+    st.flush->NoteDirtied(as, kept_dirty);
   }
   for (Folio* nf : kept) {
     lane.Charge(st.base_event_cost_ns);
@@ -968,6 +1039,222 @@ void PageCache::ReclaimIfNeeded(Lane& lane, CgroupState& st,
   // watermark stays the daemon's job, so a wedged daemon costs allocators
   // the minimum, not the full balance_pgdat sweep.
   DirectReclaim(lane, st, batch);
+}
+
+void PageCache::FlushTick(CgroupState& st, DispatchBatch* batch,
+                          uint64_t now_hint_ns) {
+  writeback::CgroupFlushControl& fc = *st.flush;
+  const writeback::DirtyLimits dl = writeback::ForCgroup(*st.cg);
+  if (!dl.Valid()) {
+    return;
+  }
+  switch (fc.EnterTick(dl)) {
+    case writeback::FlushTickOutcome::kStalled:
+    case writeback::FlushTickOutcome::kIdle:
+      return;
+    case writeback::FlushTickOutcome::kRun:
+      break;
+  }
+  Lane& wlane = fc.lane();
+  // The flusher cannot have acted before the dirtying that woke it: pin its
+  // clock forward to the waker's (pool threads pass 0 — no virtual waker).
+  wlane.AdvanceTo(now_hint_ns);
+  // Writeback hooks run as the flusher task, not as whichever writer
+  // happened to trip the wakeup.
+  ScopedCurrentTask current_task(wlane.task());
+  if (batch != nullptr) {
+    DrainLocked(wlane, *batch, st);
+  }
+  const uint64_t start_ns = wlane.now_ns();
+  const bool use_ext = ExtActive(st);
+  uint64_t budget = options_.writeback.max_pages_per_tick;
+
+  // Harvest: walk each dirty file under its stripe, clear dirty bits, mark
+  // + pin the folios for the in-flight window (kFolioWriteback; the pin
+  // keeps eviction off them), and collect sort-keyed items. The policy's
+  // should_writeback hook may veto a folio (it stays dirty — deferred);
+  // writeback_order assigns the flush key (SSTable key order etc.).
+  std::vector<writeback::FlushItem> items;
+  const std::vector<AddressSpace*> files = fc.TakeDirtyFiles();
+  for (AddressSpace* as : files) {
+    if (budget == 0) {
+      fc.RequeueDirtyFile(as);
+      continue;
+    }
+    bool leftover = false;
+    {
+      MutexLock s(StripeFor(as).mu);
+      as->pages().ForEach([&](uint64_t idx, XEntry entry) {
+        Folio* folio = entry.AsPointer<Folio>();
+        if (folio == nullptr || folio->index != idx ||
+            folio->memcg != st.cg.get() ||
+            !folio->TestFlag(kFolioDirty)) {
+          return;  // files are shared: flush only this cgroup's folios
+        }
+        const uint64_t nr = folio->nr_pages();
+        if (budget < nr) {
+          leftover = true;  // tick budget spent: finish on a later tick
+          return;
+        }
+        int64_t key = -1;
+        if (use_ext) {
+          WritebackCtx ctx;
+          ctx.mapping = as;
+          ctx.index = folio->index;
+          ctx.nr_pages = static_cast<uint32_t>(nr);
+          ctx.nr_dirty = fc.nr_dirty();
+          ctx.memcg = st.cg.get();
+          ctx.for_sync = false;
+          wlane.Charge(options_.costs.hook_dispatch_ns);
+          if (!st.ext->ShouldWriteback(ctx)) {
+            fc.NoteDeferred(nr);
+            leftover = true;  // stays dirty: keep the file on the list
+            return;
+          }
+          wlane.Charge(options_.costs.hook_dispatch_ns);
+          key = st.ext->WritebackOrder(ctx);
+        }
+        if (!folio->TestClearFlag(kFolioDirty)) {
+          return;  // raced clean (a concurrent fsync got here first)
+        }
+        as->wb_seq_started.fetch_add(1, std::memory_order_relaxed);
+        folio->SetFlag(kFolioWriteback);
+        folio->Pin();
+        fc.NoteCleaned(as, nr);
+        budget -= nr;
+        items.push_back(writeback::FlushItem{
+            as, folio->index, static_cast<uint32_t>(nr), key, folio});
+      });
+    }
+    if (leftover || as->nr_dirty.load(std::memory_order_relaxed) > 0) {
+      fc.RequeueDirtyFile(as);
+    }
+  }
+
+  // Submit: sort into policy-key/file-offset order and merge contiguous
+  // same-file runs so one device write covers a whole extent (the block
+  // layer's request merging). All CPU time lands on the flusher lane.
+  writeback::SortFlushItems(items);
+  uint64_t pages = 0;
+  uint64_t extents = 0;
+  size_t reverted_from = items.size();
+  size_t i = 0;
+  while (i < items.size()) {
+    if (extents > 0 && fc.PartialFlushInjected()) {
+      reverted_from = i;  // chaos: the tick dies after its first extent
+      break;
+    }
+    size_t j = i;
+    uint64_t run_pages = items[i].nr_pages;
+    while (j + 1 < items.size() && items[j + 1].mapping == items[j].mapping &&
+           items[j + 1].index == items[j].index + items[j].nr_pages &&
+           run_pages + items[j + 1].nr_pages <=
+               options_.writeback.max_extent_pages) {
+      ++j;
+      run_pages += items[j].nr_pages;
+    }
+    const uint64_t completion =
+        ssd_->SubmitWrite(wlane.now_ns(), run_pages * kPageSize);
+    wlane.Charge(run_pages * options_.costs.writeback_page_ns);
+    items[i].mapping->NoteWritebackCompletion(completion);
+    st.stats.writeback_pages.fetch_add(run_pages, std::memory_order_relaxed);
+    for (size_t k = i; k <= j; ++k) {
+      items[k].folio->ClearFlag(kFolioWriteback);
+      items[k].mapping->wb_seq_done.fetch_add(1, std::memory_order_release);
+      items[k].folio->Unpin();
+    }
+    pages += run_pages;
+    ++extents;
+    i = j + 1;
+  }
+  for (size_t k = reverted_from; k < items.size(); ++k) {
+    // Un-submitted items revert to dirty (contents are safe — SimDisk is
+    // write-through; only durability timing was pending). NoteDirtied also
+    // requeues the file, so the next tick retries the lost work.
+    items[k].folio->SetFlag(kFolioDirty);
+    items[k].folio->ClearFlag(kFolioWriteback);
+    fc.NoteDirtied(items[k].mapping, items[k].nr_pages);
+    items[k].mapping->wb_seq_done.fetch_add(1, std::memory_order_release);
+    items[k].folio->Unpin();
+  }
+  if (pages > 0) {
+    fc.NoteFlush(pages, extents);
+  }
+  fc.NoteWritebackNs(wlane.now_ns() - start_ns);
+  if (dl.TargetReached(fc.nr_dirty())) {
+    fc.NoteTargetReached();
+  }
+}
+
+void PageCache::KickFlusher(Lane& lane, CgroupState& st, DispatchBatch* batch) {
+  if (flusher_pool_ != nullptr) {
+    // Async: dirtying pays a condvar signal, never writeback work.
+    flusher_pool_->Kick(&st);
+    return;
+  }
+  // Virtual lane (single-threaded sims): tick synchronously, modelling an
+  // always-prompt flusher. The writeback work is charged to the flusher's
+  // own clock — the writer's latency is untouched.
+  FlushTick(st, batch, lane.now_ns());
+}
+
+void PageCache::FlushTickForToken(void* token) CACHE_EXT_NO_TSA {
+  auto* st = static_cast<CgroupState*>(token);
+  // Lock-free gate: clean cgroups cost the pool one relaxed load per poll.
+  if (st->flush->nr_dirty() == 0) {
+    return;
+  }
+  MutexLock lock(st->mu);
+  FlushTick(*st, nullptr, 0);
+}
+
+void PageCache::BalanceDirty(Lane& lane, CgroupState& st) {
+  if (!options_.writeback.background) {
+    return;
+  }
+  const writeback::DirtyLimits dl = writeback::ForCgroup(*st.cg);
+  // Lock-free fast path for the common case (under the background
+  // threshold): the hot write path never takes the cgroup lock for this.
+  if (!dl.Valid() || !dl.NeedsWake(st.flush->nr_dirty())) {
+    return;
+  }
+  MutexLock lock(st.mu);
+  BalanceDirtyLocked(lane, st, nullptr);
+}
+
+void PageCache::BalanceDirtyLocked(Lane& lane, CgroupState& st,
+                                   DispatchBatch* batch) {
+  if (!options_.writeback.background) {
+    return;
+  }
+  writeback::CgroupFlushControl& fc = *st.flush;
+  const writeback::DirtyLimits dl = writeback::ForCgroup(*st.cg);
+  if (!dl.Valid()) {
+    return;
+  }
+  if (fc.ShouldWake(dl)) {
+    KickFlusher(lane, st, batch);
+  }
+  if (!dl.NeedsThrottle(fc.nr_dirty())) {
+    return;
+  }
+  // balance_dirty_pages: the writer outran the device past the dirty ratio.
+  // Stall it in bounded pauses until the flusher drains back under the
+  // ratio (or the round cap hits — writer latency stays bounded even when
+  // the device cannot keep up). The stall is the PSI-style
+  // `ext_dirty_throttle_ns` half of the writeback accounting.
+  const uint64_t start_ns = lane.now_ns();
+  uint32_t rounds = 0;
+  while (dl.NeedsThrottle(fc.nr_dirty()) &&
+         rounds < options_.writeback.max_throttle_rounds) {
+    KickFlusher(lane, st, batch);
+    lane.Charge(options_.writeback.throttle_pause_ns);
+    if (flusher_pool_ != nullptr) {
+      std::this_thread::yield();  // real threads: let the flusher run
+    }
+    ++rounds;
+  }
+  fc.NoteThrottle(lane.now_ns() - start_ns);
 }
 
 uint32_t PageCache::ReadaheadWindow(Lane& lane, CgroupState& st,
@@ -1280,7 +1567,12 @@ Status PageCache::Write(Lane& lane, AddressSpace* as, MemCgroup* cg,
       CgroupState* owner = StateFor(hit->memcg);
       CHECK_NOTNULL(owner);
       hit->memcg->stat_hits.fetch_add(1, std::memory_order_relaxed);
-      hit->SetFlag(kFolioDirty);
+      if (!hit->TestSetFlag(kFolioDirty)) {
+        // Exactly-once clean->dirty accounting, routed to the folio owner's
+        // flush control (files are shared; the dirtier may be a different
+        // cgroup than the one that cached the page).
+        owner->flush->NoteDirtied(as, hit->nr_pages());
+      }
       lane.Charge(options_.costs.write_page_ns);
       Append(lane, batch, owner, hit, HookEvent::kAccessed, nullptr);
       // A multi-order folio absorbs every covered page of the write in this
@@ -1288,6 +1580,7 @@ Status PageCache::Write(Lane& lane, AddressSpace* as, MemCgroup* cg,
       const uint64_t next =
           std::min(last + 1, hit->index + hit->nr_pages());
       hit->Unpin();
+      BalanceDirty(lane, *owner);
       index = std::max(index + 1, next);
       continue;
     }
@@ -1317,7 +1610,9 @@ Status PageCache::Write(Lane& lane, AddressSpace* as, MemCgroup* cg,
           lane.AdvanceTo(completion);
           ++index;
         } else {
-          inserted->SetFlag(kFolioDirty);
+          if (!inserted->TestSetFlag(kFolioDirty)) {
+            st->flush->NoteDirtied(as, inserted->nr_pages());
+          }
           lane.Charge(options_.costs.write_page_ns);
           Append(lane, batch, st, inserted, HookEvent::kAccessed, st);
           // The InsertFolio pin covers this folio's own charge being
@@ -1325,6 +1620,7 @@ Status PageCache::Write(Lane& lane, AddressSpace* as, MemCgroup* cg,
           // buffered-write loop; a single huge write must not pin more
           // pages than the cgroup can hold).
           ReclaimIfNeeded(lane, *st, batch);
+          BalanceDirtyLocked(lane, *st, &batch);
           index = inserted->index + inserted->nr_pages();
           inserted->Unpin();
           if (st->oom_killed.load(std::memory_order_relaxed)) {
@@ -1358,7 +1654,21 @@ Status PageCache::SyncFile(Lane& lane, AddressSpace* as) {
   if (as == nullptr) {
     return InvalidArgument("null mapping");
   }
-  uint64_t dirty_pages = 0;
+  // Phase 1 — collect under the stripe, charge nothing: clear dirty bits,
+  // mark + pin the folios for the in-flight window, and snapshot the
+  // mapping's writeback sequence. CPU charges and device submits happen
+  // outside the lock so concurrent readers of this stripe never wait behind
+  // an fsync's device work.
+  //
+  // Durability vs a concurrent fsync: every clear of kFolioDirty (here and
+  // in the flusher) bumps wb_seq_started under the stripe first and
+  // wb_seq_done only after the device write is submitted. A second fsync
+  // that finds the bits already clear still snapshots `started` covering
+  // those in-flight writes, drains to it below, and advances to the merged
+  // completion — it cannot return before the data it depends on is durable.
+  std::vector<writeback::FlushItem> items;
+  std::vector<CgroupState*> sync_owners;
+  uint64_t started = 0;
   {
     MutexLock s(StripeFor(as).mu);
     as->pages().ForEach([&](uint64_t, XEntry entry) {
@@ -1366,20 +1676,67 @@ Status PageCache::SyncFile(Lane& lane, AddressSpace* as) {
       if (folio == nullptr || !folio->TestClearFlag(kFolioDirty)) {
         return;
       }
+      as->wb_seq_started.fetch_add(1, std::memory_order_relaxed);
+      folio->SetFlag(kFolioWriteback);
+      folio->Pin();
       const uint64_t nr = folio->nr_pages();  // whole span flushes as a unit
-      dirty_pages += nr;
-      lane.Charge(nr * options_.costs.writeback_page_ns);
       CgroupState* owner = StateFor(folio->memcg);
       if (owner != nullptr) {
-        owner->stats.writeback_pages.fetch_add(nr, std::memory_order_relaxed);
+        owner->flush->NoteCleaned(as, nr);
+        if (std::find(sync_owners.begin(), sync_owners.end(), owner) ==
+            sync_owners.end()) {
+          sync_owners.push_back(owner);
+        }
       }
+      items.push_back(writeback::FlushItem{
+          as, folio->index, static_cast<uint32_t>(nr), -1, folio});
     });
+    started = as->wb_seq_started.load(std::memory_order_relaxed);
   }
-  if (dirty_pages > 0) {
-    const uint64_t last_completion =
-        ssd_->SubmitWrite(lane.now_ns(), dirty_pages * kPageSize);
-    lane.AdvanceTo(last_completion);  // fsync waits
+  for (CgroupState* owner : sync_owners) {
+    owner->flush->NoteSyncEntry();
   }
+
+  // Phase 2 — submit outside the stripe in file-offset order, merging
+  // contiguous runs into extents. fsync is synchronous by definition, so
+  // the CPU cost stays on the calling lane (unlike background flushing).
+  writeback::SortFlushItems(items);
+  size_t i = 0;
+  while (i < items.size()) {
+    size_t j = i;
+    uint64_t run_pages = items[i].nr_pages;
+    while (j + 1 < items.size() &&
+           items[j + 1].index == items[j].index + items[j].nr_pages &&
+           run_pages + items[j + 1].nr_pages <=
+               options_.writeback.max_extent_pages) {
+      ++j;
+      run_pages += items[j].nr_pages;
+    }
+    const uint64_t completion =
+        ssd_->SubmitWrite(lane.now_ns(), run_pages * kPageSize);
+    lane.Charge(run_pages * options_.costs.writeback_page_ns);
+    as->NoteWritebackCompletion(completion);
+    for (size_t k = i; k <= j; ++k) {
+      if (CgroupState* owner = StateFor(items[k].folio->memcg);
+          owner != nullptr) {
+        owner->stats.writeback_pages.fetch_add(items[k].nr_pages,
+                                               std::memory_order_relaxed);
+      }
+      items[k].folio->ClearFlag(kFolioWriteback);
+      as->wb_seq_done.fetch_add(1, std::memory_order_release);
+      items[k].folio->Unpin();
+    }
+    i = j + 1;
+  }
+
+  // Phase 3 — drain: wait for every writeback this fsync depends on (its
+  // own plus any in flight on other lanes at snapshot time), then wait out
+  // the device. Single-threaded simulators never spin here (all ticks are
+  // synchronous); MT lanes yield to the flusher threads.
+  while (as->wb_seq_done.load(std::memory_order_acquire) < started) {
+    std::this_thread::yield();
+  }
+  lane.AdvanceTo(as->wb_last_completion_ns.load(std::memory_order_relaxed));
   return OkStatus();
 }
 
@@ -1622,6 +1979,23 @@ CgroupCacheStats PageCache::SnapshotStats(CgroupState& st) {
   stats.psi_some_ns = r.psi_some_ns;
   stats.psi_full_ns = r.psi_full_ns;
   stats.reclaim_health = r.health;
+  // Writeback counters live on the flush control block (they survive policy
+  // detach naturally — nothing to fold). dirty_pages is the live gauge;
+  // pages_written is not surfaced separately because every submit site
+  // already bumps the cumulative writeback_pages stat above.
+  const writeback::WritebackCounterSnapshot w = st.flush->Snapshot();
+  stats.dirty_pages = w.dirty_pages;
+  stats.writeback_wakeups = w.wakeups;
+  stats.writeback_flush_ticks = w.flush_ticks;
+  stats.writeback_extents = w.extents_written;
+  stats.writeback_deferred_pages = w.deferred_pages;
+  stats.writeback_throttle_entries = w.throttle_entries;
+  stats.ext_dirty_throttle_ns = w.dirty_throttle_ns;
+  stats.ext_writeback_ns = w.writeback_ns;
+  stats.writeback_sync_entries = w.sync_entries;
+  stats.writeback_stalled_ticks = w.stalled_ticks;
+  stats.writeback_lost_wakeups = w.lost_wakeups;
+  stats.writeback_partial_flushes = w.partial_flushes;
   if (st.ext != nullptr) {
     // Overlay the live attachment's breaker state: current degraded mask,
     // plus its trips on top of the cumulative per-cgroup counters.

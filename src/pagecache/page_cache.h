@@ -66,6 +66,8 @@
 #include "src/sim/ssd_model.h"
 #include "src/util/status.h"
 #include "src/util/thread_annotations.h"
+#include "src/writeback/dirty.h"
+#include "src/writeback/flusher.h"
 
 namespace cache_ext {
 
@@ -114,6 +116,11 @@ struct PageCacheOptions {
   // allocator-side watchdog, and the `reclaim.background=false` ablation.
   // Off by default — inline-only direct reclaim, the historical behaviour.
   reclaim::ReclaimOptions reclaim;
+  // Background writeback (src/writeback): per-cgroup flusher lanes paced by
+  // dirty ratios, writer throttling above the dirty threshold, and the
+  // `writeback.background=false` ablation. Off by default — dirty folios
+  // are only written back by fsync or at eviction time, inline.
+  writeback::WritebackOptions writeback;
   // Serve read hits lock-free (EBR guard + TryPin + revalidate, the
   // filemap_get_folio fast path). When false — the `--locked-reads`
   // ablation — every hit takes the mapping stripe for the full hit service
@@ -202,6 +209,26 @@ struct CgroupCacheStats {
   uint64_t psi_some_ns = 0;
   uint64_t psi_full_ns = 0;
   reclaim::LaneHealth reclaim_health = reclaim::LaneHealth::kIdle;
+  // Background writeback (src/writeback). `dirty_pages` is the LIVE gauge
+  // of dirty pages charged to the cgroup (writeback_pages above is the
+  // cumulative flushed count). The ns split mirrors reclaim's: writer wall
+  // time stalled in the balance_dirty_pages analogue (`ext_dirty_throttle_ns`,
+  // the PSI-visible cost) vs flusher-lane time spent writing
+  // (`ext_writeback_ns`, invisible to writer latency when background
+  // writeback is on). Stalled ticks / lost wakeups / partial flushes count
+  // chaos-injected degradation the throttle must contain.
+  uint64_t dirty_pages = 0;
+  uint64_t writeback_wakeups = 0;
+  uint64_t writeback_flush_ticks = 0;
+  uint64_t writeback_extents = 0;
+  uint64_t writeback_deferred_pages = 0;
+  uint64_t writeback_throttle_entries = 0;
+  uint64_t ext_dirty_throttle_ns = 0;
+  uint64_t ext_writeback_ns = 0;
+  uint64_t writeback_sync_entries = 0;
+  uint64_t writeback_stalled_ticks = 0;
+  uint64_t writeback_lost_wakeups = 0;
+  uint64_t writeback_partial_flushes = 0;
 };
 
 class PageCache {
@@ -323,6 +350,11 @@ class PageCache {
     // counters). The lruvec->kswapd link; heavy mutation happens under mu,
     // wake checks are lock-free atomics.
     std::unique_ptr<reclaim::CgroupReclaimControl> reclaim;
+    // Background-writeback control block (dirty gauge + file set, wakeup
+    // latch, the flusher's own virtual lane, and all writeback counters).
+    // The bdi_writeback analogue; the dirty gauge mutates lock-free from
+    // hit paths, flush ticks run under mu.
+    std::unique_ptr<writeback::CgroupFlushControl> flush;
   };
 
   // One buffered folio_added/folio_accessed notification. The ring holds a
@@ -484,6 +516,40 @@ class PageCache {
   // then lock and tick.
   void BackgroundTickForToken(void* token);
 
+  // --- Writeback -----------------------------------------------------------
+  //
+  // The dirtying-side entry points of the flusher subsystem (src/writeback).
+  // A clean->dirty transition calls NoteDirtied on the owner's flush control
+  // (gauge + dirty-file set), then balances: crossing the background
+  // threshold kicks the cgroup's flusher lane; crossing the dirty threshold
+  // additionally stalls the writer (balance_dirty_pages), accounted as
+  // ext_dirty_throttle_ns.
+
+  // Balance from a path holding no locks (the write hit path; `st` is the
+  // dirtied folio's OWNER). Takes st.mu only when the lock-free gauge check
+  // says the thresholds demand it.
+  void BalanceDirty(Lane& lane, CgroupState& st);
+  void BalanceDirtyLocked(Lane& lane, CgroupState& st, DispatchBatch* batch)
+      CACHE_EXT_REQUIRES(st.mu);
+
+  // One flusher-lane tick: harvest dirty folios from the cgroup's dirty
+  // files (consulting the policy's should_writeback / writeback_order
+  // hooks), coalesce them into contiguous per-file extents, and submit each
+  // extent on the flusher's own virtual lane. `now_hint_ns` pins the
+  // flusher clock forward to the waker's (0 = none, pool threads).
+  void FlushTick(CgroupState& st, DispatchBatch* batch, uint64_t now_hint_ns)
+      CACHE_EXT_REQUIRES(st.mu);
+
+  // Wake the cgroup's flusher: async condvar kick in threaded mode, a
+  // synchronous virtual-lane tick otherwise (cost lands on the flusher's
+  // clock, not the dirtying writer's).
+  void KickFlusher(Lane& lane, CgroupState& st, DispatchBatch* batch)
+      CACHE_EXT_REQUIRES(st.mu);
+
+  // Flusher pool callback: dirty-check the cgroup without its lock, then
+  // lock and tick.
+  void FlushTickForToken(void* token);
+
   // Readahead: called on a miss at `index`; returns how many extra pages to
   // prefetch after `last_requested`. Consults the ext policy's readahead
   // hook (ondemand_readahead analogue) when one is attached, then the
@@ -536,6 +602,11 @@ class PageCache {
   // single-threaded simulators. Stopped in ~PageCache before
   // ebr::Synchronize() and policy teardown.
   std::unique_ptr<reclaim::ReclaimerPool> reclaimer_pool_;
+  // Real flusher threads (options_.writeback.use_threads); reuses the
+  // reclaim pool machinery (threads + condvar kick + poll backstop are
+  // identical — only the tick callback differs). Null in the
+  // single-threaded simulators.
+  std::unique_ptr<reclaim::ReclaimerPool> flusher_pool_;
 };
 
 }  // namespace cache_ext

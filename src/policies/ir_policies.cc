@@ -177,9 +177,56 @@ bpf::ir::Program AdmitOrderProgram() {
   return b.Build();
 }
 
+// should_writeback: always flush a sync harvest; in the background, defer
+// sub-order-2 blocks while dirty pressure is mild (<= 64 pages in the
+// cgroup) so small SSTable blocks sit dirty long enough to coalesce with
+// their neighbours into one extent. Both outcomes are reachable, so the
+// dead-hook analysis proves the veto is real.
+bpf::ir::Program ShouldWritebackProgram() {
+  ProgramBuilder b;
+  const auto flush = b.NewLabel();
+  b.CtxLoad(R6, CtxField::kForSync);
+  b.JmpImm(Cond::kNe, R6, 0, flush);
+  b.CtxLoad(R6, CtxField::kNrPages);
+  b.JmpImm(Cond::kGe, R6, 4, flush);
+  b.CtxLoad(R7, CtxField::kNrDirty);
+  b.JmpImm(Cond::kGt, R7, 64, flush);
+  b.MovImm(R0, 0).Exit();              // defer: let small blocks batch up
+  b.Bind(flush);
+  b.MovImm(R0, 1).Exit();
+  return b.Build();
+}
+
+// writeback_order: SSTable blocks flush in key order — in this demo layout
+// the page index IS the key — so the flusher writes the keyspace in the
+// order an LSM compaction would, merging runs across the whole harvest.
+// The key is clamped into the non-negative range (a negative return means
+// "defer to file-offset order").
+bpf::ir::Program WritebackOrderProgram() {
+  ProgramBuilder b;
+  const auto in_range = b.NewLabel();
+  b.CtxLoad(R0, CtxField::kIndex);
+  b.JmpImm(Cond::kLe, R0, 0x7fffffff, in_range);
+  b.MovImm(R0, 0x7fffffff);
+  b.Bind(in_range);
+  b.Exit();
+  return b.Build();
+}
+
 }  // namespace
 
 IrPolicy IrFifoPolicy() { return IrFifoLruCommon("ir_fifo", false); }
+
+IrPolicy IrWbLsmPolicy() {
+  IrPolicy p = IrFifoLruCommon("ir_wb_lsm", /*move_on_access=*/true);
+  p.hook(Hook::kShouldWriteback) = ShouldWritebackProgram();
+  p.hook(Hook::kWritebackOrder) = WritebackOrderProgram();
+  return p;
+}
+
+Expected<Ops> MakeIrWbLsmOps() {
+  return bpf::ir::CompileToOps(IrWbLsmPolicy());
+}
 
 IrPolicy IrLruPolicy() { return IrFifoLruCommon("ir_lru", true); }
 

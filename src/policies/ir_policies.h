@@ -50,6 +50,13 @@ Expected<Ops> MakeIrLfuOps(const IrLfuParams& params = {});
 // cost, dead-hook analysis — from the instruction stream.
 Expected<Ops> MakeIrReadaheadOps();
 
+// LRU plus IR programs on the writeback hooks (ISSUE 9): `should_writeback`
+// (defer small cold blocks under mild dirty pressure so they coalesce) and
+// `writeback_order` (flush SSTable blocks in key order — page index as the
+// key). Both specs are derived; the dead-hook analysis proves the veto and
+// the ordering are real effects.
+Expected<Ops> MakeIrWbLsmOps();
+
 // The IR policies as raw IrPolicy programs (before verification):
 // exposed so tests and the static-rejection example can inspect and
 // perturb the instruction stream.
@@ -57,6 +64,7 @@ bpf::ir::IrPolicy IrFifoPolicy();
 bpf::ir::IrPolicy IrLruPolicy();
 bpf::ir::IrPolicy IrLfuPolicy(const IrLfuParams& params = {});
 bpf::ir::IrPolicy IrReadaheadPolicy();
+bpf::ir::IrPolicy IrWbLsmPolicy();
 
 }  // namespace cache_ext::policies
 

@@ -80,6 +80,10 @@ Expected<PolicyBundle> MakePolicy(std::string_view name,
     auto ops = MakeIrReadaheadOps();
     if (!ops.ok()) return ops.status();
     bundle.ops = std::move(*ops);
+  } else if (name == "ir_wb_lsm") {
+    auto ops = MakeIrWbLsmOps();
+    if (!ops.ok()) return ops.status();
+    bundle.ops = std::move(*ops);
   } else if (name == "stride_prefetcher") {
     bundle.ops = MakeStridePrefetcherOps();
   } else if (name == "admission_filter") {
@@ -96,7 +100,8 @@ std::vector<std::string_view> AvailablePolicies() {
   return {"noop",     "fifo",     "mru",      "lfu",
           "s3fifo",   "lhd",      "mglru_ext", "get_scan",
           "admission_filter",     "stride_prefetcher",
-          "ir_fifo",  "ir_lru",   "ir_lfu",   "ir_readahead"};
+          "ir_fifo",  "ir_lru",   "ir_lfu",   "ir_readahead",
+          "ir_wb_lsm"};
 }
 
 }  // namespace cache_ext::policies

@@ -1,0 +1,95 @@
+// Per-cgroup dirty thresholds: the memcg analogue of the kernel's
+// dirty_background_ratio / dirty_ratio pair that paces the bdi flusher and
+// balance_dirty_pages.
+//
+// Everything is expressed in *dirty pages* charged to the cgroup. The
+// background flusher lane wakes when the dirty count exceeds `bg_pages`
+// (kernel: dirty_background_ratio waking the bdi flusher) and dirtying
+// lanes are throttled once the count exceeds `dirty_pages` (kernel:
+// dirty_ratio pulling the writer into balance_dirty_pages). The gap between
+// the two thresholds is the operating band the flusher tries to keep the
+// cgroup inside: writers only ever stall when they outrun the device.
+//
+// Like reclaim's Watermarks, thresholds are *derived* from the limit via
+// per-1024 ratios, never declared as absolute counts, so they stay valid
+// under limit and config churn: Derive() clamps any spec — zero, inverted,
+// or >100% ratios included — into a state where Valid() holds for every
+// limit >= 2 pages.
+
+#ifndef SRC_WRITEBACK_DIRTY_H_
+#define SRC_WRITEBACK_DIRTY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/cgroup/memcg.h"
+
+namespace cache_ext::writeback {
+
+// Threshold ratios in 1024ths of the cgroup limit. Defaults match
+// MemCgroup's per-cgroup knobs (~10% background, ~20% throttle).
+struct DirtySpec {
+  uint32_t bg_per_1024 = kDefaultDirtyBgPer1024;
+  uint32_t dirty_per_1024 = kDefaultDirtyPer1024;
+};
+
+struct DirtyLimits {
+  uint64_t limit_pages = 0;
+  uint64_t bg_pages = 0;     // wake the flusher when dirty > bg
+  uint64_t dirty_pages = 0;  // throttle dirtying lanes when dirty > dirty
+
+  // The invariant every derivation upholds: 0 < bg < dirty <= limit. A
+  // cgroup too small to carve two distinct thresholds out of (limit < 2)
+  // has no valid limits and writeback stays purely fsync-driven.
+  bool Valid() const {
+    return limit_pages >= 2 && bg_pages >= 1 && bg_pages < dirty_pages &&
+           dirty_pages <= limit_pages;
+  }
+
+  // Wake condition: dirty pages climbed past the background threshold.
+  bool NeedsWake(uint64_t nr_dirty) const { return nr_dirty > bg_pages; }
+  // Throttle condition: dirty pages climbed past the hard dirty threshold.
+  bool NeedsThrottle(uint64_t nr_dirty) const {
+    return nr_dirty > dirty_pages;
+  }
+  // Sleep condition: the flusher has drained the cgroup back under the
+  // background threshold (the kernel flusher also stops at bg_thresh).
+  bool TargetReached(uint64_t nr_dirty) const { return nr_dirty <= bg_pages; }
+
+  // Derive limits from a cgroup limit and a spec. Total: any spec yields a
+  // Valid() result for limit_pages >= 2 (ratios are clamped to at most
+  // 1024/1024, bg to [1, limit-1], dirty to [bg+1, limit]).
+  static DirtyLimits Derive(uint64_t limit_pages, DirtySpec spec) {
+    DirtyLimits dl;
+    dl.limit_pages = limit_pages;
+    if (limit_pages < 2) {
+      return dl;  // !Valid(): background writeback cannot engage
+    }
+    dl.bg_pages = std::clamp<uint64_t>(Scale(limit_pages, spec.bg_per_1024),
+                                       1, limit_pages - 1);
+    dl.dirty_pages =
+        std::clamp<uint64_t>(Scale(limit_pages, spec.dirty_per_1024),
+                             dl.bg_pages + 1, limit_pages);
+    return dl;
+  }
+
+ private:
+  // limit * per / 1024 without overflow for any uint64 limit (per <= 1024
+  // after clamping, so each term stays below the input).
+  static uint64_t Scale(uint64_t limit_pages, uint32_t per_1024) {
+    const uint64_t per = std::min<uint64_t>(per_1024, 1024);
+    return (limit_pages / 1024) * per + (limit_pages % 1024) * per / 1024;
+  }
+};
+
+// Derive the dirty limits for a cgroup from its current limit and its
+// per-cgroup ratio knobs. Pure arithmetic on racy-relaxed config reads, so
+// runtime churn of either is safe — there is no cached state to go stale.
+inline DirtyLimits ForCgroup(const MemCgroup& cg) {
+  return DirtyLimits::Derive(
+      cg.limit_pages(), DirtySpec{cg.dirty_bg_per_1024(), cg.dirty_per_1024()});
+}
+
+}  // namespace cache_ext::writeback
+
+#endif  // SRC_WRITEBACK_DIRTY_H_

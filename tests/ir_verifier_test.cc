@@ -342,6 +342,28 @@ TEST(IrDeadHookTest, AlwaysDeferringPrefetchHookIsRejected) {
                  Check::kIrDeadHook, "always defers");
 }
 
+TEST(IrDeadHookTest, AlwaysFlushingShouldWritebackIsRejected) {
+  ProgramBuilder b;
+  b.MovImm(R0, 1).Exit();
+  ExpectRejected(PolicyWith(Hook::kShouldWriteback, b.Build()),
+                 Check::kIrDeadHook, "always flushes");
+}
+
+TEST(IrDeadHookTest, AlwaysDeferringWritebackOrderIsRejected) {
+  ProgramBuilder b;
+  b.MovImm(R0, -1).Exit();
+  ExpectRejected(PolicyWith(Hook::kWritebackOrder, b.Build()),
+                 Check::kIrDeadHook, "file-offset order");
+}
+
+TEST(IrRegSafetyTest, WritebackCtxFieldForeignToHookIsRejected) {
+  ProgramBuilder b;
+  b.CtxLoad(R1, CtxField::kNrDirty);  // policy_init has no writeback ctx
+  b.MovImm(R0, 0).Exit();
+  ExpectRejected(PolicyWith(Hook::kPolicyInit, b.Build()),
+                 Check::kIrRegSafety, "not part of the policy_init context");
+}
+
 TEST(IrDeadHookTest, EffectfulAdmitHookPasses) {
   ProgramBuilder b;
   const auto admit = b.NewLabel();

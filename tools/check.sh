@@ -13,7 +13,8 @@
 #                               # bench/baselines/BENCH_mt_scaling.json)
 #   tools/check.sh --bench-smoke  # quick bench_table4_noop_overhead,
 #                               # bench_local_storage, bench_lockless_reads,
-#                               # bench_reclaim and bench_readahead_order
+#                               # bench_reclaim, bench_readahead_order and
+#                               # bench_writeback
 #                               # runs compared against
 #                               # bench/baselines/*.json; fails if any
 #                               # ns/op point worsens by more than 15%
@@ -101,9 +102,10 @@ if [[ "$bench_smoke" == 1 ]]; then
   #   ./build/bench/bench_reclaim --out bench/baselines/BENCH_reclaim.json
   #   ./build/bench/bench_readahead_order --quick \
   #       --out bench/baselines/BENCH_readahead_order.json
+  #   ./build/bench/bench_writeback --out bench/baselines/BENCH_writeback.json
   echo "== bench-smoke: build benches (build/) =="
   cmake -B build >/dev/null
-  cmake --build build -j "$jobs" --target bench_table4_noop_overhead bench_local_storage bench_lockless_reads bench_reclaim bench_readahead_order
+  cmake --build build -j "$jobs" --target bench_table4_noop_overhead bench_local_storage bench_lockless_reads bench_reclaim bench_readahead_order bench_writeback
   echo "== bench-smoke: bench_table4_noop_overhead vs baseline =="
   ./build/bench/bench_table4_noop_overhead --quick \
       --baseline bench/baselines/BENCH_table4.json --threshold 0.15
@@ -119,6 +121,9 @@ if [[ "$bench_smoke" == 1 ]]; then
   echo "== bench-smoke: bench_readahead_order vs baseline (+ acceptance check) =="
   ./build/bench/bench_readahead_order --quick --check \
       --baseline bench/baselines/BENCH_readahead_order.json --threshold 0.15
+  echo "== bench-smoke: bench_writeback vs baseline (+ ablation acceptance check) =="
+  ./build/bench/bench_writeback --quick --check \
+      --baseline bench/baselines/BENCH_writeback.json --threshold 0.15
   echo "== check.sh --bench-smoke: all green =="
   exit 0
 fi
