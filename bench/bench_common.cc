@@ -90,7 +90,8 @@ void PrintExtCounters(
                        {"policy", "map lookups", "local-storage hits",
                         "slot hit rate", "evict alloc", "arena reuses",
                         "steady-state alloc", "lockless lookups",
-                        "lockless retries"});
+                        "lockless retries", "jit compiles", "jit ns",
+                        "interp fallbacks"});
   for (const auto& [label, arm] : arms) {
     const CgroupCacheStats& st = arm.cache_stats;
     const uint64_t resolutions =
@@ -107,7 +108,10 @@ void PrintExtCounters(
                   harness::FormatCount(st.ext_evict_arena_reuses),
                   harness::FormatBytes(arm.steady_state_evict_alloc_bytes),
                   harness::FormatCount(st.ext_lockless_lookups),
-                  harness::FormatCount(st.ext_lockless_retries)});
+                  harness::FormatCount(st.ext_lockless_retries),
+                  harness::FormatCount(st.ext_ir_jit_compiles),
+                  harness::FormatCount(st.ext_ir_jit_ns),
+                  harness::FormatCount(st.ext_ir_interp_fallbacks)});
   }
   table.Print();
 }

@@ -14,7 +14,11 @@
 // one drives real std::threads and reports wall-clock throughput; per-op
 // latency percentiles remain virtual-time. Emits BENCH_mt_scaling.json.
 //
-// Flags: --quick (smaller DBs + fewer ops, for CI), --out PATH.
+// Flags: --quick (smaller DBs + fewer ops, for CI), --out PATH,
+// --policy NAME (every thread attaches NAME instead of the
+// s3fifo/default mix — used to prove an IR policy's hook dispatch does
+// not serialize the lanes), --check (assert the 8-thread point keeps
+// >= 4x aggregate speedup over 1 thread; exit 1 otherwise).
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +38,9 @@ struct ScalingConfig {
   uint32_t value_size = 2048;
   uint64_t cgroup_bytes = 1700 * 1024;  // ~10:1 data:cache per thread
   uint64_t ops_per_thread = 20000;
+  // Empty = the default alternating s3fifo/default mix; otherwise every
+  // thread attaches this policy ("default" still means no ext policy).
+  std::string policy;
 };
 
 struct ScalingPoint {
@@ -58,7 +65,9 @@ ScalingPoint RunPoint(const ScalingConfig& config, int nr_threads) {
   std::vector<PerThread> threads(static_cast<size_t>(nr_threads));
   for (int i = 0; i < nr_threads; ++i) {
     PerThread& t = threads[static_cast<size_t>(i)];
-    const std::string_view policy = (i % 2 == 0) ? "s3fifo" : "default";
+    const std::string_view policy =
+        !config.policy.empty() ? std::string_view(config.policy)
+                               : (i % 2 == 0) ? "s3fifo" : "default";
     t.cg = env.CreateCgroup("/bench" + std::to_string(i), config.cgroup_bytes,
                             harness::BaseKindFor(policy));
     auto db = env.CreateLoadedDb(t.cg, "bench_db" + std::to_string(i),
@@ -134,14 +143,22 @@ void WriteJson(const std::string& path, const ScalingConfig& config,
 int Main(int argc, char** argv) {
   ScalingConfig config;
   std::string out_path = "BENCH_mt_scaling.json";
+  bool check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       config.record_count = 4000;
       config.ops_per_thread = 8000;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      config.policy = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out PATH] [--policy NAME] "
+                   "[--check]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -155,8 +172,11 @@ int Main(int argc, char** argv) {
     }
   }
 
+  const std::string mix_label =
+      config.policy.empty() ? "s3fifo/default mix" : config.policy;
   harness::Table table("MT scaling: K lane threads, one page cache "
-                       "(YCSB-C, per-thread cgroup+DB, s3fifo/default mix)",
+                       "(YCSB-C, per-thread cgroup+DB, " +
+                           mix_label + ")",
                        {"threads", "aggregate tput", "wall tput", "p50",
                         "p99", "speedup"});
   for (const ScalingPoint& p : points) {
@@ -169,6 +189,18 @@ int Main(int argc, char** argv) {
   }
   table.Print();
   WriteJson(out_path, config, points);
+  if (check) {
+    const ScalingPoint& last = points.back();
+    if (last.threads < 8 || last.speedup < 4.0) {
+      std::fprintf(stderr,
+                   "mt_scaling CHECK FAIL: %d threads scale %.2fx "
+                   "(need >= 4x at 8 threads)\n",
+                   last.threads, last.speedup);
+      return 1;
+    }
+    std::printf("mt_scaling CHECK OK: %d threads scale %.2fx (>= 4x)\n",
+                last.threads, last.speedup);
+  }
   return 0;
 }
 

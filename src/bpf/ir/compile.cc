@@ -1,17 +1,47 @@
 #include "src/bpf/ir/compile.h"
 
+#include <atomic>
 #include <memory>
 #include <utility>
 
 #include "src/bpf/ir/interp.h"
+#include "src/bpf/jit/jit.h"
 #include "src/bpf/verifier/ir_verifier.h"
 
 namespace cache_ext::bpf::ir {
 
 using verifier::Hook;
 
+namespace {
+
+std::atomic<Backend> g_default_backend{Backend::kJit};
+
+// The closures' dispatch handle: the interpreter runtime always exists
+// (it owns the maps and is the fallback); the JIT runtime wraps it when
+// the jit backend is selected. One predicted branch per dispatch.
+struct ExecHandle {
+  std::shared_ptr<IrRuntime> interp;
+  std::shared_ptr<jit::JitRuntime> jit;
+
+  int64_t Run(Hook hook, CacheExtApi& api, const HookCtx& hctx) const {
+    return jit != nullptr ? jit->Execute(hook, api, hctx)
+                          : interp->Execute(hook, api, hctx);
+  }
+};
+
+}  // namespace
+
+Backend DefaultBackend() {
+  return g_default_backend.load(std::memory_order_relaxed);
+}
+
+void SetDefaultBackend(Backend backend) {
+  g_default_backend.store(backend, std::memory_order_relaxed);
+}
+
 Expected<cache_ext::Ops> CompileToOps(const IrPolicy& policy,
-                                      verifier::VerifierLog* log) {
+                                      verifier::VerifierLog* log,
+                                      const CompileOptions& opts) {
   verifier::VerifierLog local_log;
   verifier::VerifierLog* out = log != nullptr ? log : &local_log;
   auto analysis = verifier::AnalyzeIrPolicy(policy, out);
@@ -19,8 +49,13 @@ Expected<cache_ext::Ops> CompileToOps(const IrPolicy& policy,
     return analysis.status();
   }
 
-  auto runtime = std::make_shared<IrRuntime>(policy);
-  const IrPolicy& prog = runtime->policy();
+  ExecHandle exec;
+  exec.interp = std::make_shared<IrRuntime>(policy);
+  const Backend backend = opts.backend.value_or(DefaultBackend());
+  if (backend == Backend::kJit) {
+    exec.jit = std::make_shared<jit::JitRuntime>(exec.interp, *analysis);
+  }
+  const IrPolicy& prog = exec.interp->policy();
 
   cache_ext::Ops ops;
   ops.name = prog.name;
@@ -29,23 +64,24 @@ Expected<cache_ext::Ops> CompileToOps(const IrPolicy& policy,
   ops.spec = std::move(analysis->spec);
   // Expose the verified program so the loader's pass 0 can re-derive the
   // spec and reject any tampering between compile and attach.
-  ops.ir = std::shared_ptr<const IrPolicy>(runtime, &runtime->policy());
+  ops.ir = std::shared_ptr<const IrPolicy>(exec.interp,
+                                           &exec.interp->policy());
 
-  ops.policy_init = [runtime](CacheExtApi& api, MemCgroup*) -> int32_t {
+  ops.policy_init = [exec](CacheExtApi& api, MemCgroup*) -> int32_t {
     return static_cast<int32_t>(
-        runtime->Execute(Hook::kPolicyInit, api, HookCtx{}));
+        exec.Run(Hook::kPolicyInit, api, HookCtx{}));
   };
-  ops.evict_folios = [runtime](CacheExtApi& api, EvictionCtx* ctx,
-                               MemCgroup*) {
+  ops.evict_folios = [exec](CacheExtApi& api, EvictionCtx* ctx,
+                            MemCgroup*) {
     HookCtx hctx;
     hctx.evict = ctx;
-    runtime->Execute(Hook::kEvictFolios, api, hctx);
+    exec.Run(Hook::kEvictFolios, api, hctx);
   };
-  auto folio_hook = [runtime](Hook hook) {
-    return [runtime, hook](CacheExtApi& api, Folio* folio) {
+  auto folio_hook = [exec](Hook hook) {
+    return [exec, hook](CacheExtApi& api, Folio* folio) {
       HookCtx hctx;
       hctx.folio = folio;
-      runtime->Execute(hook, api, hctx);
+      exec.Run(hook, api, hctx);
     };
   };
   ops.folio_added = folio_hook(Hook::kFolioAdded);
@@ -53,65 +89,69 @@ Expected<cache_ext::Ops> CompileToOps(const IrPolicy& policy,
   ops.folio_removed = folio_hook(Hook::kFolioRemoved);
 
   if (prog.HookPresent(Hook::kAdmitFolio)) {
-    ops.admit_folio = [runtime](CacheExtApi& api,
-                                const AdmissionCtx& ctx) -> bool {
+    ops.admit_folio = [exec](CacheExtApi& api,
+                             const AdmissionCtx& ctx) -> bool {
       HookCtx hctx;
       hctx.admit = &ctx;
-      return runtime->Execute(Hook::kAdmitFolio, api, hctx) != 0;
+      return exec.Run(Hook::kAdmitFolio, api, hctx) != 0;
     };
   }
   if (prog.HookPresent(Hook::kFolioRefaulted)) {
-    ops.folio_refaulted = [runtime](CacheExtApi& api, Folio* folio,
-                                    uint32_t tier) {
+    ops.folio_refaulted = [exec](CacheExtApi& api, Folio* folio,
+                                 uint32_t tier) {
       HookCtx hctx;
       hctx.folio = folio;
       hctx.tier = tier;
-      runtime->Execute(Hook::kFolioRefaulted, api, hctx);
+      exec.Run(Hook::kFolioRefaulted, api, hctx);
     };
   }
   if (prog.HookPresent(Hook::kRequestPrefetch)) {
-    ops.request_prefetch = [runtime](CacheExtApi& api,
-                                     const PrefetchCtx& ctx) -> int64_t {
+    ops.request_prefetch = [exec](CacheExtApi& api,
+                                  const PrefetchCtx& ctx) -> int64_t {
       HookCtx hctx;
       hctx.prefetch = &ctx;
-      return runtime->Execute(Hook::kRequestPrefetch, api, hctx);
+      return exec.Run(Hook::kRequestPrefetch, api, hctx);
     };
   }
   if (prog.HookPresent(Hook::kReadahead)) {
-    ops.readahead = [runtime](CacheExtApi& api,
-                              const ReadaheadCtx& ctx) -> int64_t {
+    ops.readahead = [exec](CacheExtApi& api,
+                           const ReadaheadCtx& ctx) -> int64_t {
       HookCtx hctx;
       hctx.readahead = &ctx;
-      return runtime->Execute(Hook::kReadahead, api, hctx);
+      return exec.Run(Hook::kReadahead, api, hctx);
     };
   }
   if (prog.HookPresent(Hook::kAdmitOrder)) {
-    ops.admit_order = [runtime](CacheExtApi& api,
-                                const AdmitOrderCtx& ctx) -> uint32_t {
+    ops.admit_order = [exec](CacheExtApi& api,
+                             const AdmitOrderCtx& ctx) -> uint32_t {
       HookCtx hctx;
       hctx.admit_order = &ctx;
-      return static_cast<uint32_t>(
-          runtime->Execute(Hook::kAdmitOrder, api, hctx));
+      return static_cast<uint32_t>(exec.Run(Hook::kAdmitOrder, api, hctx));
     };
   }
   if (prog.HookPresent(Hook::kShouldWriteback)) {
-    ops.should_writeback = [runtime](CacheExtApi& api,
-                                     const WritebackCtx& ctx) -> bool {
+    ops.should_writeback = [exec](CacheExtApi& api,
+                                  const WritebackCtx& ctx) -> bool {
       HookCtx hctx;
       hctx.writeback = &ctx;
-      return runtime->Execute(Hook::kShouldWriteback, api, hctx) != 0;
+      return exec.Run(Hook::kShouldWriteback, api, hctx) != 0;
     };
   }
   if (prog.HookPresent(Hook::kWritebackOrder)) {
-    ops.writeback_order = [runtime](CacheExtApi& api,
-                                    const WritebackCtx& ctx) -> int64_t {
+    ops.writeback_order = [exec](CacheExtApi& api,
+                                 const WritebackCtx& ctx) -> int64_t {
       HookCtx hctx;
       hctx.writeback = &ctx;
-      return runtime->Execute(Hook::kWritebackOrder, api, hctx);
+      return exec.Run(Hook::kWritebackOrder, api, hctx);
     };
   }
-  ops.collect_counters = [runtime](PolicyRuntimeCounters* counters) {
-    counters->map_lookups += runtime->MapLookups();
+  ops.collect_counters = [exec](PolicyRuntimeCounters* counters) {
+    counters->map_lookups += exec.interp->MapLookups();
+    if (exec.jit != nullptr) {
+      counters->ir_jit_compiles += exec.jit->compiles();
+      counters->ir_jit_ns += exec.jit->compile_ns();
+      counters->ir_interp_fallbacks += exec.jit->interp_fallbacks();
+    }
   };
   return ops;
 }

@@ -1,7 +1,9 @@
 #include "src/bpf/ir/interp.h"
 
 #include <array>
+#include <atomic>
 
+#include "src/bpf/ir/exec.h"
 #include "src/cache_ext/eviction_list.h"
 #include "src/mm/address_space.h"
 #include "src/util/logging.h"
@@ -11,112 +13,27 @@ namespace cache_ext::bpf::ir {
 namespace {
 
 using verifier::Hook;
-using verifier::Kfunc;
 
-// Same stable identity the hand-written policies key their maps by.
-uint64_t FolioIdentityKey(const Folio* folio) {
-  return (folio->mapping->id() << 40) ^ folio->index;
+// Map-value words are shared with concurrent invocations (and with the
+// lock-free JIT steps), so all loads/stores through value pointers go
+// through atomic_ref — same discipline as bpf::ArrayMap.
+inline uint64_t ValueLoad(const uint64_t* p) {
+  return std::atomic_ref<const uint64_t>(*p).load(std::memory_order_relaxed);
 }
 
-uint64_t EvalAlu(AluOp op, uint64_t l, uint64_t r) {
-  switch (op) {
-    case AluOp::kAdd: return l + r;
-    case AluOp::kSub: return l - r;
-    case AluOp::kMul: return l * r;
-    case AluOp::kDiv: return r == 0 ? 0 : l / r;
-    case AluOp::kMod: return r == 0 ? 0 : l % r;
-    case AluOp::kAnd: return l & r;
-    case AluOp::kOr:  return l | r;
-    case AluOp::kXor: return l ^ r;
-    case AluOp::kLsh: return r >= 64 ? 0 : l << r;
-    case AluOp::kRsh: return r >= 64 ? 0 : l >> r;
-  }
-  return 0;
-}
-
-bool EvalCond(Cond cond, uint64_t l, uint64_t r) {
-  switch (cond) {
-    case Cond::kEq: return l == r;
-    case Cond::kNe: return l != r;
-    case Cond::kLt: return l < r;
-    case Cond::kLe: return l <= r;
-    case Cond::kGt: return l > r;
-    case Cond::kGe: return l >= r;
-  }
-  return false;
-}
-
-IterPlacement ToPlacement(LoopPlace place) {
-  return place == LoopPlace::kMoveToTail ? IterPlacement::kMoveToTail
-                                         : IterPlacement::kKeepInPlace;
+inline void ValueStore(uint64_t* p, uint64_t v) {
+  std::atomic_ref<uint64_t>(*p).store(v, std::memory_order_relaxed);
 }
 
 }  // namespace
 
-IrMap::IrMap(const MapDecl& decl)
-    : decl_(decl), words_(decl.value_size / 8) {
-  if (decl_.kind == IrMapKind::kArray) {
-    array_.assign(static_cast<size_t>(decl_.max_entries) * words_, 0);
-  }
-}
-
-uint64_t* IrMap::Lookup(uint64_t key) {
-  lookups_.fetch_add(1, std::memory_order_relaxed);
-  if (decl_.kind == IrMapKind::kArray) {
-    if (key >= decl_.max_entries) {
-      return nullptr;
-    }
-    return &array_[static_cast<size_t>(key) * words_];
-  }
-  auto it = hash_.find(key);
-  return it == hash_.end() ? nullptr : it->second.get();
-}
-
-uint64_t IrMap::Update(uint64_t key, uint64_t value) {
-  if (decl_.kind == IrMapKind::kArray) {
-    if (key >= decl_.max_entries) {
-      return 1;
-    }
-    array_[static_cast<size_t>(key) * words_] = value;
-    return 0;
-  }
-  auto it = hash_.find(key);
-  if (it == hash_.end()) {
-    if (hash_.size() >= decl_.max_entries) {
-      return 1;  // capacity bound enforced, not assumed
-    }
-    auto val = std::make_unique<uint64_t[]>(words_);
-    for (size_t w = 0; w < words_; ++w) {
-      val[w] = 0;
-    }
-    it = hash_.emplace(key, std::move(val)).first;
-  }
-  it->second[0] = value;
-  return 0;
-}
-
-uint64_t IrMap::Delete(uint64_t key) {
-  if (decl_.kind == IrMapKind::kArray) {
-    if (key >= decl_.max_entries) {
-      return 1;
-    }
-    for (size_t w = 0; w < words_; ++w) {
-      array_[static_cast<size_t>(key) * words_ + w] = 0;
-    }
-    return 0;
-  }
-  return hash_.erase(key) > 0 ? 0 : 1;
-}
-
 IrRuntime::IrRuntime(IrPolicy policy) : policy_(std::move(policy)) {
-  cache_ext::MutexLock lock(mu_);
   for (const MapDecl& decl : policy_.maps) {
     maps_.push_back(std::make_unique<IrMap>(decl));
   }
 }
 
 uint64_t IrRuntime::MapLookups() const {
-  cache_ext::MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& map : maps_) {
     total += map->lookups();
@@ -129,7 +46,6 @@ int64_t IrRuntime::Execute(Hook hook, CacheExtApi& api, const HookCtx& hctx) {
   if (prog.empty()) {
     return 0;
   }
-  cache_ext::MutexLock lock(mu_);
   std::array<uint64_t, kNumRegs> regs = {};
   ExecuteRange(0, prog.size(), prog, api, hctx, regs);
   return static_cast<int64_t>(regs[R0]);
@@ -171,72 +87,7 @@ bool IrRuntime::ExecuteRange(size_t begin, size_t end, const Program& prog,
         }
         break;
       case Op::kCtxLoad:
-        switch (ins.ctx) {
-          case CtxField::kFolio:
-            regs[ins.dst] =
-                static_cast<uint64_t>(reinterpret_cast<uintptr_t>(hctx.folio));
-            break;
-          case CtxField::kNrRequested:
-            regs[ins.dst] = hctx.evict ? hctx.evict->nr_candidates_requested
-                            : hctx.readahead   ? hctx.readahead->nr_requested
-                            : hctx.admit_order ? hctx.admit_order->nr_requested
-                                               : 0;
-            break;
-          case CtxField::kIndex:
-            regs[ins.dst] = hctx.admit        ? hctx.admit->index
-                            : hctx.prefetch   ? hctx.prefetch->index
-                            : hctx.readahead  ? hctx.readahead->index
-                            : hctx.admit_order ? hctx.admit_order->index
-                            : hctx.writeback   ? hctx.writeback->index
-                                               : 0;
-            break;
-          case CtxField::kPrevIndex:
-            regs[ins.dst] = hctx.prefetch    ? hctx.prefetch->prev_index
-                            : hctx.readahead ? hctx.readahead->prev_index
-                                             : 0;
-            break;
-          case CtxField::kDefaultWindow:
-            regs[ins.dst] = hctx.prefetch    ? hctx.prefetch->default_window
-                            : hctx.readahead ? hctx.readahead->default_window
-                                             : 0;
-            break;
-          case CtxField::kPid:
-            regs[ins.dst] = static_cast<uint64_t>(
-                hctx.admit       ? hctx.admit->pid
-                : hctx.prefetch  ? hctx.prefetch->pid
-                : hctx.readahead ? hctx.readahead->pid
-                : hctx.admit_order ? hctx.admit_order->pid
-                                   : 0);
-            break;
-          case CtxField::kTid:
-            regs[ins.dst] = static_cast<uint64_t>(
-                hctx.admit       ? hctx.admit->tid
-                : hctx.prefetch  ? hctx.prefetch->tid
-                : hctx.readahead ? hctx.readahead->tid
-                : hctx.admit_order ? hctx.admit_order->tid
-                                   : 0);
-            break;
-          case CtxField::kIsWrite:
-            regs[ins.dst] = (hctx.admit && hctx.admit->is_write) ||
-                                    (hctx.admit_order &&
-                                     hctx.admit_order->is_write)
-                                ? 1
-                                : 0;
-            break;
-          case CtxField::kTier:
-            regs[ins.dst] = hctx.tier;
-            break;
-          case CtxField::kNrPages:
-            regs[ins.dst] = hctx.writeback ? hctx.writeback->nr_pages : 0;
-            break;
-          case CtxField::kNrDirty:
-            regs[ins.dst] = hctx.writeback ? hctx.writeback->nr_dirty : 0;
-            break;
-          case CtxField::kForSync:
-            regs[ins.dst] =
-                hctx.writeback && hctx.writeback->for_sync ? 1 : 0;
-            break;
-        }
+        regs[ins.dst] = LoadCtx(ins.ctx, hctx);
         break;
       case Op::kMapLookup: {
         uint64_t* value = maps_[ins.map]->Lookup(regs[ins.src]);
@@ -252,7 +103,7 @@ bool IrRuntime::ExecuteRange(size_t begin, size_t end, const Program& prog,
       case Op::kLoad: {
         const uint64_t* value =
             reinterpret_cast<const uint64_t*>(static_cast<uintptr_t>(regs[ins.src]));
-        regs[ins.dst] = value == nullptr ? 0 : value[ins.off / 8];
+        regs[ins.dst] = value == nullptr ? 0 : ValueLoad(&value[ins.off / 8]);
         break;
       }
       case Op::kStore:
@@ -260,9 +111,9 @@ bool IrRuntime::ExecuteRange(size_t begin, size_t end, const Program& prog,
         uint64_t* value =
             reinterpret_cast<uint64_t*>(static_cast<uintptr_t>(regs[ins.dst]));
         if (value != nullptr) {
-          value[ins.off / 8] = ins.op == Op::kStore
-                                   ? regs[ins.src]
-                                   : static_cast<uint64_t>(ins.imm);
+          ValueStore(&value[ins.off / 8],
+                     ins.op == Op::kStore ? regs[ins.src]
+                                          : static_cast<uint64_t>(ins.imm));
         }
         break;
       }
@@ -272,57 +123,9 @@ bool IrRuntime::ExecuteRange(size_t begin, size_t end, const Program& prog,
         regs[ins.dst] = folio == nullptr ? 0 : FolioIdentityKey(folio);
         break;
       }
-      case Op::kCall: {
-        Folio* arg_folio = nullptr;
-        switch (ins.kfunc) {
-          case Kfunc::kListCreate: {
-            auto id = api.ListCreate();
-            regs[R0] = id.ok() ? *id : 0;
-            break;
-          }
-          case Kfunc::kListAdd:
-          case Kfunc::kListMove: {
-            arg_folio =
-                reinterpret_cast<Folio*>(static_cast<uintptr_t>(regs[R2]));
-            const bool tail = regs[R3] != 0;
-            const Status st =
-                ins.kfunc == Kfunc::kListAdd
-                    ? api.ListAdd(regs[R1], arg_folio, tail)
-                    : api.ListMove(regs[R1], arg_folio, tail);
-            regs[R0] = st.ok() ? 0 : 1;
-            break;
-          }
-          case Kfunc::kListDel:
-            arg_folio =
-                reinterpret_cast<Folio*>(static_cast<uintptr_t>(regs[R1]));
-            regs[R0] = api.ListDel(arg_folio).ok() ? 0 : 1;
-            break;
-          case Kfunc::kListSize: {
-            auto size = api.ListSize(regs[R1]);
-            regs[R0] = size.ok() ? *size : 0;
-            break;
-          }
-          case Kfunc::kListIdOf: {
-            arg_folio =
-                reinterpret_cast<Folio*>(static_cast<uintptr_t>(regs[R1]));
-            auto id = api.ListIdOf(arg_folio);
-            regs[R0] = id.ok() ? *id : 0;
-            break;
-          }
-          case Kfunc::kCurrentTask:
-            regs[R0] = (static_cast<uint64_t>(
-                            static_cast<uint32_t>(api.CurrentPid()))
-                        << 32) |
-                       static_cast<uint32_t>(api.CurrentTid());
-            break;
-          case Kfunc::kListIterate:
-          case Kfunc::kListIterateScore:
-            regs[R0] = 0;  // unreachable: the verifier rejects direct calls
-            break;
-        }
-        regs[R1] = regs[R2] = regs[R3] = regs[R4] = regs[R5] = 0;
+      case Op::kCall:
+        DoKfuncCall(ins.kfunc, api, regs.data());
         break;
-      }
       case Op::kLoopIterate:
       case Op::kLoopIterateScore: {
         const size_t body_begin = pc + 1;
@@ -339,10 +142,7 @@ bool IrRuntime::ExecuteRange(size_t begin, size_t end, const Program& prog,
             regs[R1] =
                 static_cast<uint64_t>(reinterpret_cast<uintptr_t>(folio));
             ExecuteRange(body_begin, body_end, prog, api, hctx, regs);
-            if (regs[R0] >= 2) {
-              return IterVerdict::kStop;
-            }
-            return regs[R0] == 1 ? IterVerdict::kEvict : IterVerdict::kSkip;
+            return VerdictFromR0(regs[R0]);
           });
         } else {
           st = api.ListIterateScore(

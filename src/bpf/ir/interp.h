@@ -1,22 +1,30 @@
 // The IR interpreter: executes a *verified* IrPolicy against the CacheExtApi
-// kfunc surface. This is the runtime half of the IR path — the analogue of
-// the kernel JIT/interpreter executing bytecode the verifier already proved
-// safe. It performs no semantic checking of its own beyond cheap defensive
-// backstops; CompileToOps (compile.h) refuses to construct a runtime for a
-// policy the static analysis rejected.
+// kfunc surface. This is the reference backend of the IR path — the analogue
+// of the kernel's ___bpf_prog_run() executing bytecode the verifier already
+// proved safe. The JIT backend (src/bpf/jit/) is the fast path; the
+// interpreter stays as the differential-testing oracle and the fallback when
+// lowering fails. It performs no semantic checking of its own beyond cheap
+// defensive backstops; CompileToOps (compile.h) refuses to construct a
+// runtime for a policy the static analysis rejected.
+//
+// Execution is lock-free: registers and loop state live in a per-invocation
+// stack-allocated frame, and IrMap (ir_map.h) carries its own sharded
+// concurrency story — so concurrent hook dispatch from the batched (PR 3)
+// and lockless-read (PR 5) paths scales instead of serializing through a
+// runtime-wide mutex.
 
 #ifndef SRC_BPF_IR_INTERP_H_
 #define SRC_BPF_IR_INTERP_H_
 
-#include <atomic>
+#include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "src/bpf/ir/exec.h"
 #include "src/bpf/ir/ir.h"
+#include "src/bpf/ir/ir_map.h"
 #include "src/pagecache/eviction.h"
-#include "src/util/thread_annotations.h"
 
 namespace cache_ext {
 class CacheExtApi;
@@ -24,55 +32,10 @@ class CacheExtApi;
 
 namespace cache_ext::bpf::ir {
 
-// Self-contained map storage for IR policies: u64 keys, fixed-size values
-// of value_size bytes accessed as u64 words. Array maps are dense and
-// pre-zeroed; hash maps cap live entries at max_entries (an insert beyond
-// capacity fails with "full", which is how the verifier's occupancy bound
-// is *enforced* rather than assumed).
-class IrMap {
- public:
-  explicit IrMap(const MapDecl& decl);
-
-  // Pointer to the value words, or nullptr when absent/out-of-range. The
-  // pointer stays valid until the entry is deleted (values are separately
-  // allocated), and callers run serialized under the runtime lock.
-  uint64_t* Lookup(uint64_t key);
-  // Create-zeroed-if-absent, then store `value` in word 0. Returns 0 on
-  // success, 1 when a hash map is at capacity.
-  uint64_t Update(uint64_t key, uint64_t value);
-  // Returns 0 when an entry was deleted (array: zeroed), 1 when absent.
-  uint64_t Delete(uint64_t key);
-
-  uint64_t lookups() const {
-    return lookups_.load(std::memory_order_relaxed);
-  }
-
- private:
-  const MapDecl decl_;
-  const size_t words_;                  // value_size / 8
-  std::vector<uint64_t> array_;         // kArray: max_entries * words_
-  std::unordered_map<uint64_t, std::unique_ptr<uint64_t[]>> hash_;
-  std::atomic<uint64_t> lookups_{0};
-};
-
-// Context for one hook invocation; exactly one of the pointers is set
-// (none for policy_init).
-struct HookCtx {
-  Folio* folio = nullptr;
-  EvictionCtx* evict = nullptr;
-  const AdmissionCtx* admit = nullptr;
-  const PrefetchCtx* prefetch = nullptr;
-  const ReadaheadCtx* readahead = nullptr;
-  const AdmitOrderCtx* admit_order = nullptr;
-  const WritebackCtx* writeback = nullptr;
-  uint32_t tier = 0;
-};
-
 // One loaded IR policy's execution state: the instructions plus its maps.
-// Execute() serializes hook invocations through mu_ (the interpreter is a
-// single virtual CPU, like a BPF program running non-preemptible), which
-// also makes map-value pointers held in registers safe for the duration of
-// a program.
+// Execute() is safe to call from any number of threads concurrently; each
+// invocation is a private virtual CPU (stack registers), and the maps are
+// internally synchronized.
 class IrRuntime {
  public:
   explicit IrRuntime(IrPolicy policy);
@@ -86,17 +49,19 @@ class IrRuntime {
   // Sum of hash probes across this policy's maps (collect_counters).
   uint64_t MapLookups() const;
 
+  // Map access for the JIT backend (devirtualized map steps) and tests.
+  size_t nr_maps() const { return maps_.size(); }
+  IrMap* map(size_t idx) const { return maps_[idx].get(); }
+
  private:
   // Execute [begin, end); returns true when a kExit ran (top level only —
   // the verifier proves loop bodies never exit).
   bool ExecuteRange(size_t begin, size_t end, const Program& prog,
                     CacheExtApi& api, const HookCtx& hctx,
-                    std::array<uint64_t, kNumRegs>& regs)
-      CACHE_EXT_REQUIRES(mu_);
+                    std::array<uint64_t, kNumRegs>& regs);
 
   const IrPolicy policy_;
-  mutable cache_ext::Mutex mu_;
-  std::vector<std::unique_ptr<IrMap>> maps_ CACHE_EXT_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<IrMap>> maps_;
 };
 
 }  // namespace cache_ext::bpf::ir

@@ -1,0 +1,123 @@
+// The IR compilation backend: lowers a *verified* IrPolicy into native
+// hook closures, the analogue of the kernel's bpf_int_jit_compile()
+// turning verifier-approved bytecode into machine code (DESIGN.md §12).
+//
+// Lowering happens once at CompileToOps time and produces, per hook, the
+// cheapest applicable form:
+//
+//  - Whole-shape specializations: hooks matching the common policy idioms
+//    (constant return, LFU frequency bump, FIFO/LRU list op against a
+//    constant state slot) become single straight-line C++ functions with
+//    no dispatch at all.
+//  - Token-threaded steps: everything else pre-decodes each instruction
+//    into a Step whose function pointer is a per-opcode *template
+//    instantiation* (per ALU op, per condition, per ctx field, per kfunc
+//    — resolved at lower time against the verifier's derived allowlist),
+//    so dispatch is one indirect call per instruction with no inner
+//    switch — direct-threaded dispatch, like the kernel interpreter's
+//    computed goto but with the operand decode already done.
+//  - Constant folding: a kMapLookup whose key the verifier proved to be a
+//    single constant (IrAnalysis::HookFacts) folds to a direct value
+//    pointer for array maps — the map_gen_lookup inlining analogue — and
+//    the mandated null-check branch that follows it is resolved at lower
+//    time (the folded pointer is never null).
+//
+// Execution state (registers, loop frames) is a per-invocation
+// stack-allocated context; maps are the sharded IrMap. There is no lock
+// anywhere in dispatch, so concurrent hook invocations scale.
+//
+// A hook that fails to lower — including via the `jit.compile_fail` fault
+// point — silently falls back to the interpreter (interp.h), which stays
+// bit-identical by construction: both backends execute through the shared
+// semantic kernel in src/bpf/ir/exec.h, and both charge helper calls
+// through the same CacheExtApi surface, so budgets, breakers, and
+// quarantine behave identically (BPF_JIT_ALWAYS_ON is a policy choice in
+// the kernel too; we keep the interpreter as the differential oracle).
+
+#ifndef SRC_BPF_JIT_JIT_H_
+#define SRC_BPF_JIT_JIT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/bpf/ir/exec.h"
+#include "src/bpf/ir/interp.h"
+#include "src/bpf/verifier/ir_verifier.h"
+
+namespace cache_ext::bpf::jit {
+
+class JitRuntime {
+ public:
+  // One hook's lowered form; defined in jit.cc (whole-shape
+  // specialization or token-threaded step array).
+  struct CompiledProg;
+
+  // Lowers every present hook of interp->policy(). `analysis` must be the
+  // verifier result for that same policy (CompileToOps guarantees this);
+  // its derived kfunc allowlists devirtualize the call steps and its
+  // HookFacts drive constant folding. Hooks that fail to lower stay
+  // interpreted.
+  JitRuntime(std::shared_ptr<ir::IrRuntime> interp,
+             const verifier::IrAnalysis& analysis);
+  ~JitRuntime();
+
+  // A compiled hook's entry point: one devirtualized indirect call per
+  // dispatch, with the closure state behind the opaque ctx pointer. The
+  // per-kind thunks live in jit.cc and are registered at lower time.
+  using HookFn = int64_t (*)(void* ctx, CacheExtApi& api,
+                             const ir::HookCtx& hctx);
+
+  // Dispatch one hook invocation: compiled form when lowering succeeded,
+  // interpreter otherwise. Thread-safe; no lock on either path. Inline so
+  // the hot path is a table load plus one indirect call — and a hook that
+  // folded to a constant verdict skips even the call (the analogue of the
+  // kernel JIT emitting a bare `mov eax, imm; ret` body).
+  int64_t Execute(verifier::Hook hook, CacheExtApi& api,
+                  const ir::HookCtx& hctx) {
+    const size_t i = static_cast<size_t>(hook);
+    if ((const_mask_ >> i) & 1) {
+      return const_ret_[i];
+    }
+    if (fns_[i] != nullptr) {
+      return fns_[i](fctx_[i], api, hctx);
+    }
+    return Fallback(hook, api, hctx);
+  }
+
+  // Stats for CgroupCacheStats (ext_ir_jit_*): hooks lowered to native
+  // closures, cumulative ns spent lowering, and dispatches that fell back
+  // to the interpreter.
+  uint64_t compiles() const { return compiles_; }
+  uint64_t compile_ns() const { return compile_ns_; }
+  uint64_t interp_fallbacks() const {
+    return interp_fallbacks_.load(std::memory_order_relaxed);
+  }
+  bool HookCompiled(verifier::Hook hook) const {
+    return progs_[static_cast<size_t>(hook)] != nullptr;
+  }
+
+  const ir::IrRuntime& interp() const { return *interp_; }
+
+ private:
+  // Cold path: hook absent (return 0) or not lowered (count the fallback
+  // and run the interpreter).
+  int64_t Fallback(verifier::Hook hook, CacheExtApi& api,
+                   const ir::HookCtx& hctx);
+
+  std::shared_ptr<ir::IrRuntime> interp_;
+  std::array<std::unique_ptr<CompiledProg>, verifier::kNumHooks> progs_;
+  std::array<HookFn, verifier::kNumHooks> fns_{};
+  std::array<void*, verifier::kNumHooks> fctx_{};
+  uint32_t const_mask_ = 0;  // bit i: hook i is a folded constant return
+  std::array<int64_t, verifier::kNumHooks> const_ret_{};
+  static_assert(verifier::kNumHooks <= 32, "const_mask_ needs widening");
+  uint64_t compiles_ = 0;
+  uint64_t compile_ns_ = 0;
+  std::atomic<uint64_t> interp_fallbacks_{0};
+};
+
+}  // namespace cache_ext::bpf::jit
+
+#endif  // SRC_BPF_JIT_JIT_H_

@@ -362,7 +362,8 @@ class HookAnalyzer {
         prog_(policy.hook(hook)),
         hook_(hook),
         log_(log),
-        candidate_cap_(candidate_cap) {}
+        candidate_cap_(candidate_cap),
+        const_key_(policy.hook(hook).size(), kKeyUnvisited) {}
 
   // Runs every pass; returns true iff all proofs for this hook succeeded.
   // Findings (pass and fail) are appended to the log.
@@ -375,6 +376,15 @@ class HookAnalyzer {
   // Worst-case candidates the hook's loops can propose (pre-clamp).
   uint64_t candidates_possible() const { return candidates_possible_; }
   bool has_side_effect() const { return side_effect_; }
+  // Exported facts (HookFacts): per-pc constant lookup keys, -1 where the
+  // key is not a single proven constant (or pc is not a lookup).
+  std::vector<int64_t> const_lookup_keys() const {
+    std::vector<int64_t> keys(const_key_.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = const_key_[i] == kKeyUnvisited ? -1 : const_key_[i];
+    }
+    return keys;
+  }
 
  private:
   // Everything the interpretation carries along an edge: the register
@@ -425,6 +435,11 @@ class HookAnalyzer {
   const Hook hook_;
   VerifierLog* const log_;
   const uint64_t candidate_cap_;
+
+  // Per-pc constant-key lattice: kKeyUnvisited until a kMapLookup at pc is
+  // first interpreted, then the constant (>= 0) or -1 (not constant).
+  static constexpr int64_t kKeyUnvisited = -2;
+  std::vector<int64_t> const_key_;
 
   struct LoopExtent {
     size_t header;
@@ -808,11 +823,25 @@ bool HookAnalyzer::Transfer(size_t pc, Flow cur, bool in_body, size_t end,
       fall();
       break;
     }
-    case Op::kMapLookup:
+    case Op::kMapLookup: {
       if (!need_key(ins.src, ins.map)) break;
+      // Compile-time fact for the JIT: a key proven to be one constant on
+      // every path reaching this pc lets the backend fold the lookup to a
+      // direct pointer (the kernel's map_gen_lookup inlining). Revisits
+      // (loop fixpoint / joins) with a different value demote to -1.
+      const RegAbs& key = cur.state.regs[ins.src];
+      const int64_t konst = key.kind == RKind::kScalar && key.min == key.max
+                                ? static_cast<int64_t>(key.min)
+                                : -1;
+      if (const_key_[pc] == kKeyUnvisited) {
+        const_key_[pc] = konst;
+      } else if (const_key_[pc] != konst) {
+        const_key_[pc] = -1;
+      }
       cur.state.regs[R0] = MaybeNull(ins.map);
       fall();
       break;
+    }
     case Op::kMapUpdate:
       if (!need_key(ins.dst, ins.map) || !need_scalar(ins.src)) break;
       cur.state.regs[R0] = Scalar(0, 1);
@@ -1274,6 +1303,7 @@ Expected<IrAnalysis> AnalyzeIrPolicy(const ir::IrPolicy& policy,
   ok = ok && maps_ok;
 
   ProgramSpec spec;
+  std::array<HookFacts, kNumHooks> facts = {};
   uint64_t lists = 0;
   uint64_t candidates = 0;
   for (size_t i = 0; i < kNumHooks; ++i) {
@@ -1288,6 +1318,7 @@ Expected<IrAnalysis> AnalyzeIrPolicy(const ir::IrPolicy& policy,
     }
     spec.DeclareHook(hook, analyzer.max_helper_calls(), analyzer.kfuncs(),
                      analyzer.max_loop_iters());
+    facts[i].const_lookup_key = analyzer.const_lookup_keys();
     if (hook == Hook::kPolicyInit) {
       lists = analyzer.lists_created();
     }
@@ -1323,7 +1354,10 @@ Expected<IrAnalysis> AnalyzeIrPolicy(const ir::IrPolicy& policy,
   if (!ok) {
     return InvalidArgument("ir verification failed: " + log->FailureSummary());
   }
-  return IrAnalysis{std::move(spec)};
+  IrAnalysis analysis;
+  analysis.spec = std::move(spec);
+  analysis.facts = std::move(facts);
+  return analysis;
 }
 
 }  // namespace cache_ext::bpf::verifier

@@ -42,7 +42,9 @@
 #ifndef SRC_BPF_VERIFIER_IR_VERIFIER_H_
 #define SRC_BPF_VERIFIER_IR_VERIFIER_H_
 
+#include <array>
 #include <cstdint>
+#include <vector>
 
 #include "src/bpf/ir/ir.h"
 #include "src/bpf/verifier/log.h"
@@ -57,10 +59,24 @@ struct IrAnalysisOptions {
   uint64_t candidate_cap = 32;
 };
 
+// Per-hook compile-time facts the abstract interpretation proves as a
+// side effect — exported so the JIT backend (src/bpf/jit/) can specialize
+// without re-deriving them, the way the kernel JIT consumes the
+// verifier's insn_aux_data (e.g. map_ptr_state for map_gen_lookup
+// inlining of array lookups).
+struct HookFacts {
+  // Indexed by pc. For a kMapLookup at pc: the key's abstractly-proven
+  // value when it is the same single constant on every path reaching the
+  // instruction, else -1. (-1 also for non-lookup pcs.) A constant key
+  // into an array map folds to a direct value pointer at lower time.
+  std::vector<int64_t> const_lookup_key;
+};
+
 struct IrAnalysis {
   // The derived declaration: what the hand-written ProgramSpec used to
   // assert, now proven from the instructions.
   ProgramSpec spec;
+  std::array<HookFacts, kNumHooks> facts = {};
 };
 
 // Analyze every hook program of `policy`, appending one finding per check

@@ -14,7 +14,7 @@ std::vector<std::string_view> AllFaultPoints() {
       points::kDiskWrite,         points::kSsdLatencySpike,
       points::kSsdDegrade,        points::kReadaheadMisfire,
       points::kWritebackStall,    points::kWritebackLostWakeup,
-      points::kWritebackPartialFlush,
+      points::kWritebackPartialFlush, points::kJitCompileFail,
   };
 }
 

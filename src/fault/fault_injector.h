@@ -51,6 +51,12 @@ inline constexpr std::string_view kPolicyInit = "cache_ext.policy_init";
 // 2^32), as if the policy's stream tracking went off the rails. The page
 // cache's max_readahead_pages clamp must contain it.
 inline constexpr std::string_view kReadaheadMisfire = "readahead.misfire";
+// src/bpf/jit
+// Fail lowering a hook's IR to its native closure, as if bpf_int_jit_compile
+// returned an error: the hook must keep running through the interpreter
+// fallback with the policy still attached (ext_ir_interp_fallbacks counts
+// the dispatches that took the slow path).
+inline constexpr std::string_view kJitCompileFail = "jit.compile_fail";
 // src/util
 // A phantom EBR reader pinned at the current epoch: blocks `magnitude`
 // epoch-advance attempts (default 64), deferring every free retired in the

@@ -87,6 +87,12 @@ struct PolicyRuntimeCounters {
   uint64_t local_storage_hits = 0;
   uint64_t evict_alloc_bytes = 0;
   uint64_t evict_arena_reuses = 0;
+  // IR-policy backend counters (src/bpf/jit): hooks lowered to native
+  // closures, cumulative ns spent lowering them, and hook dispatches that
+  // fell back to the interpreter (lowering failed or was faulted out).
+  uint64_t ir_jit_compiles = 0;
+  uint64_t ir_jit_ns = 0;
+  uint64_t ir_interp_fallbacks = 0;
 };
 
 // Who is asking for eviction candidates: an allocating task doing direct

@@ -204,6 +204,12 @@ Status PageCache::DetachExtPolicy(MemCgroup* cg) {
                                             std::memory_order_relaxed);
   st->stats.ext_evict_arena_reuses.fetch_add(counters.evict_arena_reuses,
                                              std::memory_order_relaxed);
+  st->stats.ext_ir_jit_compiles.fetch_add(counters.ir_jit_compiles,
+                                          std::memory_order_relaxed);
+  st->stats.ext_ir_jit_ns.fetch_add(counters.ir_jit_ns,
+                                    std::memory_order_relaxed);
+  st->stats.ext_ir_interp_fallbacks.fetch_add(counters.ir_interp_fallbacks,
+                                              std::memory_order_relaxed);
   st->ext_active_hint.store(false, std::memory_order_release);
   st->ext.reset();
   return OkStatus();
@@ -1952,6 +1958,11 @@ CgroupCacheStats PageCache::SnapshotStats(CgroupState& st) {
       a.ext_evict_alloc_bytes.load(std::memory_order_relaxed);
   stats.ext_evict_arena_reuses =
       a.ext_evict_arena_reuses.load(std::memory_order_relaxed);
+  stats.ext_ir_jit_compiles =
+      a.ext_ir_jit_compiles.load(std::memory_order_relaxed);
+  stats.ext_ir_jit_ns = a.ext_ir_jit_ns.load(std::memory_order_relaxed);
+  stats.ext_ir_interp_fallbacks =
+      a.ext_ir_interp_fallbacks.load(std::memory_order_relaxed);
   stats.ext_lockless_lookups =
       a.ext_lockless_lookups.load(std::memory_order_relaxed);
   stats.ext_lockless_retries =
@@ -2010,6 +2021,9 @@ CgroupCacheStats PageCache::SnapshotStats(CgroupState& st) {
     stats.ext_local_storage_hits += counters.local_storage_hits;
     stats.ext_evict_alloc_bytes += counters.evict_alloc_bytes;
     stats.ext_evict_arena_reuses += counters.evict_arena_reuses;
+    stats.ext_ir_jit_compiles += counters.ir_jit_compiles;
+    stats.ext_ir_jit_ns += counters.ir_jit_ns;
+    stats.ext_ir_interp_fallbacks += counters.ir_interp_fallbacks;
   }
   return stats;
 }

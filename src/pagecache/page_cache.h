@@ -166,6 +166,14 @@ struct CgroupCacheStats {
   uint64_t ext_local_storage_hits = 0;
   uint64_t ext_evict_alloc_bytes = 0;
   uint64_t ext_evict_arena_reuses = 0;
+  // IR compilation backend (src/bpf/jit): hooks lowered to native
+  // closures, cumulative ns spent lowering them, and dispatches that fell
+  // back to the reference interpreter (JIT declined the shape or
+  // jit.compile_fail was injected). fallbacks > 0 with compiles == 0 is
+  // the "interpreter kept the policy attached" signature.
+  uint64_t ext_ir_jit_compiles = 0;
+  uint64_t ext_ir_jit_ns = 0;
+  uint64_t ext_ir_interp_fallbacks = 0;
   // Lockless read path (EBR): lookups attempted without the stripe by this
   // cgroup's readers, and how many of those lost a race (TryPin on a
   // frozen folio / failed revalidation) and retried into the locked slow
@@ -316,6 +324,9 @@ class PageCache {
     std::atomic<uint64_t> ext_local_storage_hits{0};
     std::atomic<uint64_t> ext_evict_alloc_bytes{0};
     std::atomic<uint64_t> ext_evict_arena_reuses{0};
+    std::atomic<uint64_t> ext_ir_jit_compiles{0};
+    std::atomic<uint64_t> ext_ir_jit_ns{0};
+    std::atomic<uint64_t> ext_ir_interp_fallbacks{0};
     std::atomic<uint64_t> ext_lockless_lookups{0};
     std::atomic<uint64_t> ext_lockless_retries{0};
     std::atomic<uint64_t> ext_readahead_clamped{0};

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/bpf/ir/compile.h"
 #include "src/cache_ext/loader.h"
 #include "src/fault/fault_injector.h"
 #include "src/pagecache/page_cache.h"
@@ -315,6 +316,80 @@ TEST_F(ChaosTest, EbrStallDefersFreesBoundedlyWhileWritersProgress) {
   ebr::Synchronize();
   EXPECT_EQ(ebr::RetiredCount(), 0u);
   EXPECT_GT(ebr::FreedCount(), freed_before);
+}
+
+TEST_F(ChaosTest, JitCompileFailFallsBackToInterpreterAndStaysAttached) {
+  // jit.compile_fail rejects every hook at lowering time — the analogue of
+  // bpf_int_jit_compile returning NULL. Without BPF_JIT_ALWAYS_ON, the
+  // kernel keeps the program and runs it in the interpreter; here the
+  // policy must stay attached, keep its semantics, and surface the
+  // degradation through the ext_ir_* counters.
+  FaultSchedule always;
+  always.every_kth = 1;
+  FaultInjector::Global().Arm(fault::points::kJitCompileFail, always);
+
+  auto rig = MakeRig("ir_lfu");
+  ASSERT_NE(rig->pc->ext_policy(rig->cg), nullptr);
+
+  AccessStream stream(424242);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(rig->ReadPage(stream.NextPage()).ok());
+  }
+
+  const CgroupCacheStats stats = rig->pc->StatsFor(rig->cg);
+  EXPECT_EQ(stats.ext_ir_jit_compiles, 0u);
+  EXPECT_GT(stats.ext_ir_interp_fallbacks, 0u);
+  // The interpreter kept the policy alive: still attached, never
+  // quarantined, cache healthy.
+  EXPECT_NE(rig->pc->ext_policy(rig->cg), nullptr);
+  EXPECT_FALSE(stats.ext_quarantined);
+  EXPECT_FALSE(stats.oom_killed);
+  EXPECT_GT(rig->cg->stat_hits.load(), 0u);
+}
+
+TEST_F(ChaosTest, BudgetOverrunBehaviourIdenticalAcrossIrBackends) {
+  // Shrink the helper budget under both IR backends and require the
+  // breaker/violation picture to be bit-identical: both backends charge
+  // the same ChargeHelperCall accounting, so an overrun aborts the same
+  // invocation with the same counts whichever backend dispatched it.
+  struct Observed {
+    uint64_t violations = 0;
+    uint64_t trips = 0;
+    uint64_t hits = 0;
+    bool quarantined = false;
+  };
+  auto run_with = [&](bpf::ir::Backend backend) {
+    bpf::ir::SetDefaultBackend(backend);
+    FaultSchedule shrink;
+    shrink.every_kth = 3;
+    shrink.seed = 99;
+    shrink.magnitude = 1;  // one helper call, then abort
+    FaultInjector::Global().Arm(fault::points::kBpfRunBudgetShrink, shrink);
+    auto rig = MakeRig("ir_lfu");
+    AccessStream stream(5150);
+    for (int i = 0; i < 2500; ++i) {
+      EXPECT_TRUE(rig->ReadPage(stream.NextPage()).ok());
+    }
+    Observed o;
+    const CgroupCacheStats stats = rig->pc->StatsFor(rig->cg);
+    o.violations = stats.ext_violations;
+    for (uint64_t trips : stats.ext_hook_trip_counts) {
+      o.trips += trips;
+    }
+    o.hits = rig->cg->stat_hits.load();
+    o.quarantined = stats.ext_quarantined;
+    FaultInjector::Global().DisarmAll();
+    return o;
+  };
+
+  const Observed interp = run_with(bpf::ir::Backend::kInterp);
+  const Observed jit = run_with(bpf::ir::Backend::kJit);
+  bpf::ir::SetDefaultBackend(bpf::ir::Backend::kJit);
+
+  EXPECT_EQ(interp.violations, jit.violations);
+  EXPECT_EQ(interp.trips, jit.trips);
+  EXPECT_EQ(interp.hits, jit.hits);
+  EXPECT_EQ(interp.quarantined, jit.quarantined);
 }
 
 }  // namespace

@@ -7,23 +7,29 @@
 #                               # the reclaim stall/death/overshoot suite)
 #                               # + the bench_chaos fault-storm soak
 #   tools/check.sh --tsan       # ThreadSanitizer build, MT stress tests
-#                               # (concurrency_test + ebr_test +
-#                               # reclaim_test's reclaimer-thread races) + a
-#                               # bench_mt_scaling run (refreshes
-#                               # bench/baselines/BENCH_mt_scaling.json)
+#                               # (concurrency_test — incl. the IR hook
+#                               # dispatch storms on both backends — +
+#                               # ebr_test + reclaim_test's reclaimer-thread
+#                               # races) + a bench_mt_scaling run (refreshes
+#                               # bench/baselines/BENCH_mt_scaling.json) + an
+#                               # ir_lfu-on-every-lane scaling check
 #   tools/check.sh --bench-smoke  # quick bench_table4_noop_overhead,
 #                               # bench_local_storage, bench_lockless_reads,
-#                               # bench_reclaim, bench_readahead_order and
-#                               # bench_writeback
+#                               # bench_reclaim, bench_readahead_order,
+#                               # bench_writeback and the IR dispatch
+#                               # interp-vs-JIT microbench
 #                               # runs compared against
 #                               # bench/baselines/*.json; fails if any
 #                               # ns/op point worsens by more than 15%
 #   tools/check.sh --analyze    # static analysis: tools/lint_kfunc_charge.py
-#                               # (always), then clang-tidy over src/ using
-#                               # the exported compile_commands.json if a
-#                               # clang-tidy binary is on PATH (skipped with
-#                               # a note otherwise — the CI container ships
-#                               # GCC only)
+#                               # (always), a quick IR backend differential
+#                               # run (200 randomized programs through
+#                               # interpreter and JIT), then clang-tidy over
+#                               # src/ using the exported
+#                               # compile_commands.json if a clang-tidy
+#                               # binary is on PATH (skipped with a note
+#                               # otherwise — the CI container ships GCC
+#                               # only)
 #
 # Exits non-zero on the first failing step, so it is safe for CI and for
 # pre-commit use.
@@ -85,6 +91,9 @@ if [[ "$tsan" == 1 ]]; then
   cmake -B build >/dev/null
   cmake --build build -j "$jobs" --target bench_mt_scaling
   ./build/bench/bench_mt_scaling --out bench/baselines/BENCH_mt_scaling.json
+  echo "== tsan: MT scaling with ir_lfu attached (JIT dispatch must not serialize lanes) =="
+  ./build/bench/bench_mt_scaling --quick --policy ir_lfu --check \
+      --out build/BENCH_mt_scaling_ir_lfu.json
   echo "== check.sh --tsan: all green =="
   exit 0
 fi
@@ -103,6 +112,8 @@ if [[ "$bench_smoke" == 1 ]]; then
   #   ./build/bench/bench_readahead_order --quick \
   #       --out bench/baselines/BENCH_readahead_order.json
   #   ./build/bench/bench_writeback --out bench/baselines/BENCH_writeback.json
+  #   ./build/bench/bench_table4_noop_overhead --ir-bench \
+  #       --out bench/baselines/BENCH_ir_jit.json
   echo "== bench-smoke: build benches (build/) =="
   cmake -B build >/dev/null
   cmake --build build -j "$jobs" --target bench_table4_noop_overhead bench_local_storage bench_lockless_reads bench_reclaim bench_readahead_order bench_writeback
@@ -124,6 +135,9 @@ if [[ "$bench_smoke" == 1 ]]; then
   echo "== bench-smoke: bench_writeback vs baseline (+ ablation acceptance check) =="
   ./build/bench/bench_writeback --quick --check \
       --baseline bench/baselines/BENCH_writeback.json --threshold 0.15
+  echo "== bench-smoke: IR dispatch interp-vs-JIT vs baseline (+ >=3x / >=4x checks) =="
+  ./build/bench/bench_table4_noop_overhead --ir-bench --quick --check \
+      --baseline bench/baselines/BENCH_ir_jit.json --threshold 0.15
   echo "== check.sh --bench-smoke: all green =="
   exit 0
 fi
@@ -135,6 +149,10 @@ if [[ "$analyze" == 1 ]]; then
   # (checks and exclusions live in .clang-tidy).
   echo "== analyze: kfunc charge + fault-point registry lint =="
   python3 tools/lint_kfunc_charge.py
+  echo "== analyze: IR backend differential test (quick: 200 randomized programs) =="
+  cmake -B build >/dev/null
+  cmake --build build -j "$jobs" --target ir_diff_test
+  CACHE_EXT_IR_DIFF_N=200 ./build/tests/ir_diff_test
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "== analyze: clang-tidy over src/ (compile_commands from build/) =="
     cmake -B build >/dev/null
